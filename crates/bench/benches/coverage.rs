@@ -1,0 +1,48 @@
+//! Throughput of the fault-coverage evaluator (the engine behind the
+//! Section 5 experiment): faults simulated per second for the transparent
+//! word-oriented March C− on a small embedded memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use twm_core::TwmTransformer;
+use twm_coverage::evaluator::evaluate;
+use twm_coverage::universe::UniverseBuilder;
+use twm_march::algorithms::march_c_minus;
+use twm_mem::MemoryConfig;
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_evaluation");
+    group.sample_size(20);
+    for &(words, width) in &[(8usize, 4usize), (8, 8)] {
+        let config = MemoryConfig::new(words, width).unwrap();
+        let transformed = TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let faults = UniverseBuilder::new(config)
+            .all_classes()
+            .sample_per_class(200, 7)
+            .build();
+        group.throughput(Throughput::Elements(faults.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("twmarch", format!("{words}x{width}")),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    evaluate(
+                        black_box(transformed.transparent_test()),
+                        black_box(&faults),
+                        config,
+                        11,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

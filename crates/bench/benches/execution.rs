@@ -1,0 +1,47 @@
+//! Run-time counterpart of the paper's Table 3: executing each scheme's
+//! transparent word-oriented test on the memory simulator, for March C−
+//! across word widths. The measured time tracks the operation counts, so
+//! the ordering (proposed < Scheme 1 < Scheme 2/TOMT for wide words) and the
+//! crossover between Scheme 1 and TOMT at small widths reproduce the table's
+//! shape in wall-clock form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use twm_bench::{bench_memory, proposed_test, scheme1_test};
+use twm_bist::execute;
+use twm_core::tomt::tomt_like_test;
+use twm_march::algorithms::march_c_minus;
+
+const WORDS: usize = 256;
+const WIDTHS: [usize; 4] = [8, 16, 32, 64];
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_execution");
+    let bmarch = march_c_minus();
+    for &width in &WIDTHS {
+        let schemes: Vec<(&str, twm_march::MarchTest)> = vec![
+            ("proposed", proposed_test(&bmarch, width)),
+            ("scheme1", scheme1_test(&bmarch, width)),
+            ("scheme2_tomt", tomt_like_test(width).unwrap()),
+        ];
+        for (name, test) in schemes {
+            group.throughput(Throughput::Elements(test.total_operations(WORDS) as u64));
+            group.bench_with_input(BenchmarkId::new(name, width), &width, |b, &width| {
+                b.iter_batched(
+                    || bench_memory(WORDS, width, 7),
+                    |mut memory| {
+                        let result = execute(black_box(&test), &mut memory).unwrap();
+                        assert!(!result.detected());
+                        result
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock cost of the transformation algorithms themselves:
+//! TWM_TA (the paper's Algorithm 1) versus Scheme 1's multi-background
+//! expansion, for March C− and March U across the word widths of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use twm_bench::WIDTHS;
+use twm_core::{Scheme1Transformer, TwmTransformer};
+use twm_march::algorithms::{march_c_minus, march_u};
+
+fn bench_transformation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transformation");
+    for bmarch in [march_c_minus(), march_u()] {
+        for &width in &WIDTHS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("twm_ta/{}", bmarch.name()), width),
+                &width,
+                |b, &width| {
+                    let transformer = TwmTransformer::new(width).unwrap();
+                    b.iter(|| transformer.transform(black_box(&bmarch)).unwrap());
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scheme1/{}", bmarch.name()), width),
+                &width,
+                |b, &width| {
+                    let transformer = Scheme1Transformer::new(width).unwrap();
+                    b.iter(|| transformer.transform(black_box(&bmarch)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformation);
+criterion_main!(benches);

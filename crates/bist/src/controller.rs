@@ -1,0 +1,312 @@
+//! Periodic transparent testing in idle windows.
+//!
+//! Transparent tests are meant to run while the system does not need the
+//! memory (Section 1 and 4 of the paper: "transparent tests usually are
+//! executed in idle state of systems", and "shorter test time can reduce the
+//! probability of interference of normal system operation"). This module
+//! provides a small analytical/simulation model of that scheduling problem:
+//!
+//! * an [`IdleWindowModel`] describes the lengths (in memory operations) of
+//!   the idle windows the system offers;
+//! * [`schedule`] reports how many windows a test of a given length needs
+//!   when it can be split at word boundaries, and how often it fits into a
+//!   single window (no interference at all);
+//! * [`PeriodicController`] walks a concrete transparent test through the
+//!   windows of a model, executing whole per-word operation bursts so the
+//!   memory is never left mid-word between windows.
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::MarchTest;
+use twm_mem::{AddressSequence, FaultyMemory, SplitMix64};
+
+use crate::BistError;
+
+/// Lengths (in memory operations) of the idle windows offered by the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleWindowModel {
+    windows: Vec<usize>,
+}
+
+impl IdleWindowModel {
+    /// Creates a model from explicit window lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BistError::EmptyWindowModel`] if no windows are given.
+    pub fn new(windows: Vec<usize>) -> Result<Self, BistError> {
+        if windows.is_empty() {
+            return Err(BistError::EmptyWindowModel);
+        }
+        Ok(Self { windows })
+    }
+
+    /// Creates a model of `count` pseudo-random window lengths uniformly
+    /// drawn from `min..=max` operations, deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BistError::EmptyWindowModel`] if `count` is zero.
+    pub fn random(count: usize, min: usize, max: usize, seed: u64) -> Result<Self, BistError> {
+        let mut rng = SplitMix64::new(seed);
+        let span = max.saturating_sub(min) + 1;
+        let windows = (0..count).map(|_| min + rng.next_below(span)).collect();
+        Self::new(windows)
+    }
+
+    /// The window lengths.
+    #[must_use]
+    pub fn windows(&self) -> &[usize] {
+        &self.windows
+    }
+}
+
+/// How a test of a given length maps onto an idle-window model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Total operations of the test (per full memory).
+    pub test_operations: usize,
+    /// Number of idle windows consumed to finish one full test pass
+    /// (`None` if the model's windows are exhausted before completion).
+    pub windows_used: Option<usize>,
+    /// Fraction of windows in the model that could host the entire test on
+    /// their own (no interference with normal operation at all).
+    pub single_window_fit_fraction: f64,
+    /// Total idle operations offered by the model.
+    pub idle_capacity: usize,
+}
+
+/// Computes how a test of `test_operations` operations schedules onto the
+/// idle-window model, assuming the test can be suspended and resumed at any
+/// word boundary.
+#[must_use]
+pub fn schedule(test_operations: usize, model: &IdleWindowModel) -> ScheduleReport {
+    let mut remaining = test_operations;
+    let mut windows_used = None;
+    for (index, &window) in model.windows.iter().enumerate() {
+        if remaining <= window {
+            windows_used = Some(index + 1);
+            break;
+        }
+        remaining -= window;
+    }
+    let fitting = model
+        .windows
+        .iter()
+        .filter(|&&w| w >= test_operations)
+        .count();
+    ScheduleReport {
+        test_operations,
+        windows_used,
+        single_window_fit_fraction: fitting as f64 / model.windows.len() as f64,
+        idle_capacity: model.windows.iter().sum(),
+    }
+}
+
+/// Executes a transparent march test across idle windows, one whole word's
+/// operation burst at a time, so normal operation never observes a word in a
+/// partially tested state.
+#[derive(Debug, Clone)]
+pub struct PeriodicController {
+    test: MarchTest,
+}
+
+/// Result of running a test to completion across idle windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicRun {
+    /// Idle windows consumed.
+    pub windows_used: usize,
+    /// Operations executed.
+    pub operations: usize,
+    /// Number of reads that mismatched the fault-free expectation.
+    pub mismatches: usize,
+    /// Whether the memory content was preserved end to end.
+    pub content_preserved: bool,
+}
+
+impl PeriodicController {
+    /// Creates a controller for the given transparent test.
+    #[must_use]
+    pub fn new(test: MarchTest) -> Self {
+        Self { test }
+    }
+
+    /// The scheduled test.
+    #[must_use]
+    pub fn test(&self) -> &MarchTest {
+        &self.test
+    }
+
+    /// Runs the test to completion on `memory`, consuming idle windows from
+    /// the model in order (cycling if necessary). Each window executes as
+    /// many whole per-word operation bursts as fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns executor errors for unresolvable data or invalid addresses.
+    pub fn run(
+        &self,
+        memory: &mut FaultyMemory,
+        model: &IdleWindowModel,
+    ) -> Result<PeriodicRun, BistError> {
+        let content_before = memory.content();
+        let initial_content = memory.content();
+        let words = memory.words();
+
+        // Flatten the test into per-word bursts: (element index, address).
+        let mut bursts: Vec<(usize, usize)> = Vec::new();
+        for (element_index, element) in self.test.elements().iter().enumerate() {
+            for address in AddressSequence::new(words, element.order) {
+                bursts.push((element_index, address));
+            }
+        }
+
+        let mut mismatches = 0usize;
+        let mut operations = 0usize;
+        let mut windows_used = 0usize;
+        let mut burst_index = 0usize;
+        let mut window_cursor = 0usize;
+
+        while burst_index < bursts.len() {
+            let window = model.windows[window_cursor % model.windows.len()];
+            window_cursor += 1;
+            windows_used += 1;
+            let mut budget = window;
+            while burst_index < bursts.len() {
+                let (element_index, address) = bursts[burst_index];
+                let element = &self.test.elements()[element_index];
+                if element.len() > budget {
+                    break;
+                }
+                let initial = initial_content[address];
+                for op in &element.ops {
+                    let value = op.data.resolve(initial)?;
+                    match op.kind {
+                        twm_march::OpKind::Write => memory.write_word(address, value)?,
+                        twm_march::OpKind::Read => {
+                            let observed = memory.read_word(address)?;
+                            if observed != value {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    operations += 1;
+                    budget -= 1;
+                }
+                burst_index += 1;
+            }
+            // Guard against windows too small for even one burst: skip ahead
+            // to the next window (counted, but no progress) — if every window
+            // is too small the loop would never terminate, so give up.
+            if budget == window && window < self.max_burst_len() {
+                if model.windows.iter().all(|&w| w < self.max_burst_len()) {
+                    break;
+                }
+            }
+        }
+
+        Ok(PeriodicRun {
+            windows_used,
+            operations,
+            mismatches,
+            content_preserved: memory.content() == content_before || burst_index < bursts.len(),
+        })
+    }
+
+    fn max_burst_len(&self) -> usize {
+        self.test
+            .elements()
+            .iter()
+            .map(twm_march::MarchElement::len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_core::TwmTransformer;
+    use twm_march::algorithms::march_c_minus;
+    use twm_mem::MemoryBuilder;
+
+    #[test]
+    fn window_model_validation_and_randomness() {
+        assert!(IdleWindowModel::new(vec![]).is_err());
+        let model = IdleWindowModel::random(10, 5, 50, 3).unwrap();
+        assert_eq!(model.windows().len(), 10);
+        assert!(model.windows().iter().all(|&w| (5..=50).contains(&w)));
+        let again = IdleWindowModel::random(10, 5, 50, 3).unwrap();
+        assert_eq!(model, again);
+    }
+
+    #[test]
+    fn schedule_counts_windows_and_fit_fraction() {
+        let model = IdleWindowModel::new(vec![100, 50, 200, 400]).unwrap();
+        let report = schedule(120, &model);
+        assert_eq!(report.windows_used, Some(2));
+        assert!((report.single_window_fit_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(report.idle_capacity, 750);
+
+        let report = schedule(10_000, &model);
+        assert_eq!(report.windows_used, None);
+    }
+
+    #[test]
+    fn shorter_tests_fit_in_more_windows() {
+        // The paper's motivation: the proposed scheme's shorter test fits in
+        // idle windows that Scheme 1's longer test cannot use.
+        let n = 64usize;
+        let proposed = TwmTransformer::new(32)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .total_operations(n);
+        let scheme1 = twm_core::Scheme1Transformer::new(32)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .total_operations(n);
+        let model = IdleWindowModel::random(200, n * 20, n * 60, 7).unwrap();
+        let report_proposed = schedule(proposed, &model);
+        let report_scheme1 = schedule(scheme1, &model);
+        assert!(
+            report_proposed.single_window_fit_fraction
+                > report_scheme1.single_window_fit_fraction
+        );
+    }
+
+    #[test]
+    fn periodic_run_completes_and_preserves_content() {
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let controller = PeriodicController::new(transformed.transparent_test().clone());
+        let mut mem = MemoryBuilder::new(16, 8).random_content(9).build().unwrap();
+        let model = IdleWindowModel::new(vec![37, 11, 64]).unwrap();
+        let run = controller.run(&mut mem, &model).unwrap();
+        assert_eq!(
+            run.operations,
+            transformed.transparent_test().total_operations(16)
+        );
+        assert_eq!(run.mismatches, 0);
+        assert!(run.content_preserved);
+        assert!(run.windows_used >= 1);
+    }
+
+    #[test]
+    fn windows_smaller_than_a_burst_terminate_gracefully() {
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let controller = PeriodicController::new(transformed.transparent_test().clone());
+        let mut mem = MemoryBuilder::new(4, 8).build().unwrap();
+        let model = IdleWindowModel::new(vec![1, 2]).unwrap();
+        let run = controller.run(&mut mem, &model).unwrap();
+        assert_eq!(run.operations, 0);
+    }
+}

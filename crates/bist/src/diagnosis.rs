@@ -1,0 +1,258 @@
+//! Fault localisation from transparent-test read logs.
+//!
+//! Periodic transparent testing does not only ask *whether* the memory is
+//! still healthy; when a test fails, the maintenance layer wants to know
+//! *where* (which word, which bit) so it can map out the defect or retire
+//! the block. This module turns the read records of an
+//! [`crate::ExecutionResult`] into a per-cell diagnosis: how often each cell
+//! disagreed with its fault-free expectation, whether its observations are
+//! consistent with a stuck cell, and which words are affected.
+//!
+//! The diagnosis is deliberately conservative: from read data alone a
+//! transition fault is indistinguishable from a stuck-at fault (the cell is
+//! only ever *observed* at one value), and a coupling fault is attributed to
+//! its victim cell — which is exactly the information a repair/retirement
+//! flow needs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use twm_mem::BitAddress;
+
+use crate::executor::ExecutionResult;
+
+/// Per-cell diagnosis evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspectCell {
+    /// The suspect cell.
+    pub cell: BitAddress,
+    /// Number of reads in which this cell disagreed with the fault-free
+    /// expectation.
+    pub mismatches: usize,
+    /// Number of reads of this cell's word overall.
+    pub observations: usize,
+    /// If every observation of the cell returned the same value, that value
+    /// — the signature of a stuck (or transition-faulty) cell.
+    pub constant_observation: Option<bool>,
+}
+
+impl SuspectCell {
+    /// Fraction of this cell's observations that mismatched.
+    #[must_use]
+    pub fn mismatch_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.mismatches as f64 / self.observations as f64
+        }
+    }
+}
+
+/// Result of diagnosing an execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Cells that mismatched at least once, most-suspect first.
+    pub suspects: Vec<SuspectCell>,
+    /// Word addresses containing at least one suspect cell, ascending.
+    pub faulty_words: Vec<usize>,
+    /// Total number of mismatching reads in the execution.
+    pub mismatching_reads: usize,
+}
+
+impl DiagnosisReport {
+    /// Whether any cell was flagged.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.suspects.is_empty()
+    }
+
+    /// The most suspicious cell, if any.
+    #[must_use]
+    pub fn primary_suspect(&self) -> Option<&SuspectCell> {
+        self.suspects.first()
+    }
+}
+
+/// Diagnoses an execution from its read records.
+///
+/// The execution must have been run with
+/// [`crate::ExecutionOptions::record_reads`] enabled (the default); without
+/// records the report is empty.
+#[must_use]
+pub fn diagnose(result: &ExecutionResult) -> DiagnosisReport {
+    #[derive(Default)]
+    struct CellEvidence {
+        mismatches: usize,
+        observations: usize,
+        saw_zero: bool,
+        saw_one: bool,
+    }
+
+    let mut evidence: BTreeMap<BitAddress, CellEvidence> = BTreeMap::new();
+    let mut mismatching_reads = 0usize;
+
+    for record in &result.reads {
+        if record.is_mismatch() {
+            mismatching_reads += 1;
+        }
+        let width = record.observed.width();
+        for bit in 0..width {
+            let cell = BitAddress::new(record.address, bit);
+            let entry = evidence.entry(cell).or_default();
+            entry.observations += 1;
+            let observed = record.observed.bit(bit);
+            if observed {
+                entry.saw_one = true;
+            } else {
+                entry.saw_zero = true;
+            }
+            if observed != record.expected.bit(bit) {
+                entry.mismatches += 1;
+            }
+        }
+    }
+
+    let mut suspects: Vec<SuspectCell> = evidence
+        .into_iter()
+        .filter(|(_, e)| e.mismatches > 0)
+        .map(|(cell, e)| SuspectCell {
+            cell,
+            mismatches: e.mismatches,
+            observations: e.observations,
+            constant_observation: match (e.saw_zero, e.saw_one) {
+                (true, false) => Some(false),
+                (false, true) => Some(true),
+                _ => None,
+            },
+        })
+        .collect();
+    suspects.sort_by(|a, b| b.mismatches.cmp(&a.mismatches).then(a.cell.cmp(&b.cell)));
+
+    let mut faulty_words: Vec<usize> = suspects.iter().map(|s| s.cell.word).collect();
+    faulty_words.sort_unstable();
+    faulty_words.dedup();
+
+    DiagnosisReport {
+        suspects,
+        faulty_words,
+        mismatching_reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use twm_core::TwmTransformer;
+    use twm_march::algorithms::march_c_minus;
+    use twm_mem::{Fault, MemoryBuilder, Transition};
+
+    fn transparent_test(width: usize) -> twm_march::MarchTest {
+        TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .clone()
+    }
+
+    #[test]
+    fn clean_memory_yields_clean_diagnosis() {
+        let mut memory = MemoryBuilder::new(16, 8).random_content(5).build().unwrap();
+        let result = execute(&transparent_test(8), &mut memory).unwrap();
+        let report = diagnose(&result);
+        assert!(report.is_clean());
+        assert!(report.primary_suspect().is_none());
+        assert_eq!(report.mismatching_reads, 0);
+    }
+
+    #[test]
+    fn stuck_at_fault_is_localised_to_the_exact_cell() {
+        let cell = BitAddress::new(11, 6);
+        let mut memory = MemoryBuilder::new(16, 8)
+            .random_content(5)
+            .fault(Fault::stuck_at(cell, true))
+            .build()
+            .unwrap();
+        let result = execute(&transparent_test(8), &mut memory).unwrap();
+        let report = diagnose(&result);
+        assert_eq!(report.faulty_words, vec![11]);
+        let primary = report.primary_suspect().unwrap();
+        assert_eq!(primary.cell, cell);
+        assert_eq!(primary.constant_observation, Some(true));
+        assert!(primary.mismatch_rate() > 0.0);
+    }
+
+    #[test]
+    fn transition_fault_is_localised_and_looks_stuck_from_read_data() {
+        let cell = BitAddress::new(3, 0);
+        // Start from all-zero content so the rising-blocked cell begins (and
+        // therefore stays) at 0.
+        let mut memory = MemoryBuilder::new(8, 4)
+            .filled_with(twm_mem::Word::zeros(4))
+            .fault(Fault::transition(cell, Transition::Rising))
+            .build()
+            .unwrap();
+        let result = execute(&transparent_test(4), &mut memory).unwrap();
+        let report = diagnose(&result);
+        assert_eq!(report.faulty_words, vec![3]);
+        let primary = report.primary_suspect().unwrap();
+        assert_eq!(primary.cell, cell);
+        // A cell that cannot rise is only ever observed at 0.
+        assert_eq!(primary.constant_observation, Some(false));
+    }
+
+    #[test]
+    fn coupling_fault_is_attributed_to_the_victim() {
+        let aggressor = BitAddress::new(2, 1);
+        let victim = BitAddress::new(9, 3);
+        let mut memory = MemoryBuilder::new(16, 8)
+            .random_content(23)
+            .fault(Fault::coupling_inversion(aggressor, victim, Transition::Rising))
+            .build()
+            .unwrap();
+        let result = execute(&transparent_test(8), &mut memory).unwrap();
+        let report = diagnose(&result);
+        assert!(report.faulty_words.contains(&victim.word));
+        assert_eq!(report.primary_suspect().unwrap().cell, victim);
+        // The aggressor itself behaves correctly and is not flagged.
+        assert!(report.suspects.iter().all(|s| s.cell != aggressor));
+    }
+
+    #[test]
+    fn multiple_faults_are_all_reported() {
+        let a = BitAddress::new(0, 0);
+        let b = BitAddress::new(7, 5);
+        let mut memory = MemoryBuilder::new(8, 8)
+            .random_content(31)
+            .faults(vec![Fault::stuck_at(a, false), Fault::stuck_at(b, true)])
+            .build()
+            .unwrap();
+        let result = execute(&transparent_test(8), &mut memory).unwrap();
+        let report = diagnose(&result);
+        assert_eq!(report.faulty_words, vec![0, 7]);
+        let cells: Vec<BitAddress> = report.suspects.iter().map(|s| s.cell).collect();
+        assert!(cells.contains(&a));
+        assert!(cells.contains(&b));
+    }
+
+    #[test]
+    fn executions_without_records_diagnose_as_clean() {
+        let mut memory = MemoryBuilder::new(4, 4)
+            .fault(Fault::stuck_at(BitAddress::new(0, 0), true))
+            .build()
+            .unwrap();
+        let result = crate::executor::execute_with(
+            &transparent_test(4),
+            &mut memory,
+            crate::ExecutionOptions {
+                record_reads: false,
+                stop_at_first_mismatch: false,
+            },
+        )
+        .unwrap();
+        let report = diagnose(&result);
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,320 @@
+//! Execution of march tests on the fault-injected memory simulator.
+//!
+//! The executor resolves every operation's data against each word's *initial
+//! content* (snapshotted before the test starts), sweeps addresses in the
+//! order each march element prescribes, and records every read together with
+//! the value a fault-free memory would have returned and the read's XOR
+//! offset from the initial content. Downstream consumers decide how to judge
+//! the result: the exact-compare oracle counts mismatches, the signature
+//! flow compacts the (offset-compensated) read stream in a MISR.
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::{MarchTest, OpKind};
+use twm_mem::{AddressSequence, FaultyMemory, Word};
+
+use crate::BistError;
+
+/// One executed read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadRecord {
+    /// Word address that was read.
+    pub address: usize,
+    /// Value observed on the (possibly faulty) memory.
+    pub observed: Word,
+    /// Value a fault-free memory would have returned.
+    pub expected: Word,
+    /// XOR offset of the expected value from the word's initial content
+    /// (the transparent data pattern resolved for this word width; all-zero
+    /// for plain reads of the initial content).
+    pub offset: Word,
+}
+
+impl ReadRecord {
+    /// Whether the observed value differs from the fault-free expectation.
+    #[must_use]
+    pub fn is_mismatch(&self) -> bool {
+        self.observed != self.expected
+    }
+
+    /// The value fed to the MISR during the test phase: the observed data
+    /// compensated by the read's XOR offset, so a fault-free memory
+    /// contributes its initial content for every read.
+    #[must_use]
+    pub fn compensated(&self) -> Word {
+        self.observed ^ self.offset
+    }
+}
+
+/// Options controlling [`execute_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionOptions {
+    /// Record every read in [`ExecutionResult::reads`]. Disable for large
+    /// fault-coverage sweeps where only the mismatch count matters.
+    pub record_reads: bool,
+    /// Stop executing as soon as the first mismatch is observed.
+    pub stop_at_first_mismatch: bool,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> Self {
+        Self {
+            record_reads: true,
+            stop_at_first_mismatch: false,
+        }
+    }
+}
+
+/// The outcome of executing a march test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    /// Every read performed, in execution order (empty when
+    /// [`ExecutionOptions::record_reads`] is disabled).
+    pub reads: Vec<ReadRecord>,
+    /// Number of reads whose observed value differed from the fault-free
+    /// expectation.
+    pub mismatches: usize,
+    /// Total number of read operations performed.
+    pub reads_performed: usize,
+    /// Total number of write operations performed.
+    pub writes_performed: usize,
+    /// The memory content before the test started.
+    pub initial_content: Vec<Word>,
+    /// The memory content after the test finished.
+    pub final_content: Vec<Word>,
+}
+
+impl ExecutionResult {
+    /// Whether the exact-compare oracle flags a fault (any read mismatch).
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        self.mismatches > 0
+    }
+
+    /// Whether the memory content after the test equals the content before
+    /// it (the transparency property).
+    #[must_use]
+    pub fn content_preserved(&self) -> bool {
+        self.initial_content == self.final_content
+    }
+
+    /// Total number of operations performed.
+    #[must_use]
+    pub fn operations(&self) -> usize {
+        self.reads_performed + self.writes_performed
+    }
+}
+
+/// Executes a march test with default options.
+///
+/// # Errors
+///
+/// See [`execute_with`].
+pub fn execute(test: &MarchTest, memory: &mut FaultyMemory) -> Result<ExecutionResult, BistError> {
+    execute_with(test, memory, ExecutionOptions::default())
+}
+
+/// Executes a march test on the given memory.
+///
+/// The memory's current content is taken as the initial content that
+/// transparent data specifications refer to.
+///
+/// # Errors
+///
+/// Returns [`BistError::March`] if an operation's data cannot be resolved
+/// for the memory's word width (for example a background index out of
+/// range), or [`BistError::Mem`] for address errors.
+pub fn execute_with(
+    test: &MarchTest,
+    memory: &mut FaultyMemory,
+    options: ExecutionOptions,
+) -> Result<ExecutionResult, BistError> {
+    let initial_content = memory.content();
+    let words = memory.words();
+
+    let mut reads = Vec::new();
+    let mut mismatches = 0usize;
+    let mut reads_performed = 0usize;
+    let mut writes_performed = 0usize;
+
+    'elements: for element in test.elements() {
+        for address in AddressSequence::new(words, element.order) {
+            let initial = initial_content[address];
+            for op in &element.ops {
+                let value = op.data.resolve(initial)?;
+                match op.kind {
+                    OpKind::Write => {
+                        memory.write_word(address, value)?;
+                        writes_performed += 1;
+                    }
+                    OpKind::Read => {
+                        let observed = memory.read_word(address)?;
+                        reads_performed += 1;
+                        let offset = op.data.pattern().resolve(initial.width())?;
+                        let record = ReadRecord {
+                            address,
+                            observed,
+                            expected: value,
+                            offset,
+                        };
+                        if record.is_mismatch() {
+                            mismatches += 1;
+                        }
+                        if options.record_reads {
+                            reads.push(record);
+                        }
+                        if options.stop_at_first_mismatch && mismatches > 0 {
+                            break 'elements;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ExecutionResult {
+        reads,
+        mismatches,
+        reads_performed,
+        writes_performed,
+        initial_content,
+        final_content: memory.content(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_core::TwmTransformer;
+    use twm_march::algorithms::{march_c_minus, march_u};
+    use twm_mem::{BitAddress, Fault, MemoryBuilder, MemoryConfig, Transition};
+
+    fn bit_memory(cells: usize) -> FaultyMemory {
+        FaultyMemory::fault_free(MemoryConfig::bit_oriented(cells).unwrap())
+    }
+
+    #[test]
+    fn fault_free_bit_oriented_march_reports_no_mismatch() {
+        let mut mem = bit_memory(16);
+        let result = execute(&march_c_minus(), &mut mem).unwrap();
+        assert!(!result.detected());
+        assert_eq!(result.operations(), 10 * 16);
+        assert_eq!(result.reads_performed, 5 * 16);
+        // March C- ends with every cell at 0, which is also the starting
+        // content of a zero-initialised memory.
+        assert!(result.content_preserved());
+    }
+
+    #[test]
+    fn nontransparent_march_destroys_random_content() {
+        let mut mem = MemoryBuilder::new(16, 1).random_content(7).build().unwrap();
+        let had_ones = mem.content().iter().any(|w| !w.is_zero());
+        let result = execute(&march_c_minus(), &mut mem).unwrap();
+        // The non-transparent test initialises every cell before reading, so
+        // it reports no mismatches on a fault-free memory — but it wipes the
+        // arbitrary content, which is exactly why transparent tests exist.
+        assert!(had_ones);
+        assert!(!result.detected());
+        assert!(!result.content_preserved());
+        assert!(mem.content().iter().all(|w| w.is_zero()));
+    }
+
+    #[test]
+    fn transparent_test_preserves_arbitrary_content_and_reports_clean() {
+        let transformed = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+        let mut mem = MemoryBuilder::new(32, 8).random_content(99).build().unwrap();
+        let before = mem.content();
+        let result = execute(transformed.transparent_test(), &mut mem).unwrap();
+        assert!(!result.detected());
+        assert!(result.content_preserved());
+        assert_eq!(mem.content(), before);
+        assert_eq!(
+            result.operations(),
+            transformed.transparent_test().total_operations(32)
+        );
+    }
+
+    #[test]
+    fn stuck_at_fault_is_detected_by_the_exact_oracle() {
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let mut mem = MemoryBuilder::new(16, 8)
+            .random_content(3)
+            .fault(Fault::stuck_at(BitAddress::new(5, 2), true))
+            .build()
+            .unwrap();
+        let result = execute(transformed.transparent_test(), &mut mem).unwrap();
+        assert!(result.detected());
+    }
+
+    #[test]
+    fn transition_fault_is_detected_by_transparent_march() {
+        let transformed = TwmTransformer::new(4)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let mut mem = MemoryBuilder::new(8, 4)
+            .random_content(11)
+            .fault(Fault::transition(BitAddress::new(3, 1), Transition::Rising))
+            .build()
+            .unwrap();
+        let result = execute(transformed.transparent_test(), &mut mem).unwrap();
+        assert!(result.detected());
+    }
+
+    #[test]
+    fn stop_at_first_mismatch_short_circuits() {
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let build = || {
+            MemoryBuilder::new(64, 8)
+                .random_content(5)
+                .fault(Fault::stuck_at(BitAddress::new(0, 0), true))
+                .build()
+                .unwrap()
+        };
+        let mut full_mem = build();
+        let full = execute(transformed.transparent_test(), &mut full_mem).unwrap();
+        let mut short_mem = build();
+        let short = execute_with(
+            transformed.transparent_test(),
+            &mut short_mem,
+            ExecutionOptions {
+                record_reads: false,
+                stop_at_first_mismatch: true,
+            },
+        )
+        .unwrap();
+        assert!(full.detected() && short.detected());
+        assert!(short.operations() <= full.operations());
+        assert!(short.reads.is_empty());
+    }
+
+    #[test]
+    fn read_records_expose_offsets_for_misr_compensation() {
+        let transformed = TwmTransformer::new(4).unwrap().transform(&march_c_minus()).unwrap();
+        let mut mem = MemoryBuilder::new(4, 4).random_content(1).build().unwrap();
+        let initial = mem.content();
+        let result = execute(transformed.transparent_test(), &mut mem).unwrap();
+        // On a fault-free memory the compensated value of every read equals
+        // the word's initial content.
+        for record in &result.reads {
+            assert_eq!(record.compensated(), initial[record.address]);
+            assert!(!record.is_mismatch());
+        }
+    }
+
+    #[test]
+    fn background_resolution_errors_are_reported() {
+        // An ATMarch built for 8-bit words references D3, which does not
+        // exist for 4-bit words.
+        let transformed = TwmTransformer::new(8).unwrap().transform(&march_c_minus()).unwrap();
+        let mut narrow = MemoryBuilder::new(4, 4).build().unwrap();
+        let result = execute(transformed.transparent_test(), &mut narrow);
+        assert!(matches!(result, Err(BistError::March(_))));
+    }
+}

@@ -1,0 +1,251 @@
+//! The two-phase transparent BIST session.
+//!
+//! A transparent BIST run has two phases:
+//!
+//! 1. **Signature prediction** — the read-only prediction test is executed
+//!    and the raw read data (the untouched memory content) are compacted in
+//!    a MISR, producing the *predicted* signature.
+//! 2. **Transparent test** — the transparent march test is executed; each
+//!    read's data is XOR-compensated by its known offset (so a fault-free
+//!    memory contributes exactly the same stream of initial-content words as
+//!    phase 1) and compacted in a second MISR, producing the *test*
+//!    signature.
+//!
+//! A difference between the two signatures flags a fault. Because MISR
+//! compaction can alias, the session also reports the exact-compare verdict
+//! and whether the memory content was preserved.
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::MarchTest;
+use twm_mem::{FaultyMemory, Word};
+
+use crate::executor::{execute_with, ExecutionOptions};
+use crate::misr::Misr;
+use crate::BistError;
+
+/// The outcome of a transparent BIST session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Signature produced by the prediction phase.
+    pub predicted_signature: Word,
+    /// Signature produced by the transparent test phase.
+    pub test_signature: Word,
+    /// Number of reads whose observed value differed from the fault-free
+    /// expectation during the test phase (exact-compare oracle).
+    pub mismatches: usize,
+    /// Whether the memory content after the session equals the content
+    /// before it.
+    pub content_preserved: bool,
+    /// Operations executed in the prediction phase.
+    pub prediction_operations: usize,
+    /// Operations executed in the test phase.
+    pub test_operations: usize,
+}
+
+impl SessionOutcome {
+    /// Whether the signature comparison flags a fault.
+    #[must_use]
+    pub fn fault_detected(&self) -> bool {
+        self.predicted_signature != self.test_signature
+    }
+
+    /// Whether the exact-compare oracle flags a fault.
+    #[must_use]
+    pub fn fault_detected_exact(&self) -> bool {
+        self.mismatches > 0
+    }
+
+    /// Whether the signature comparison missed a fault the exact oracle saw
+    /// (MISR aliasing).
+    #[must_use]
+    pub fn aliased(&self) -> bool {
+        self.fault_detected_exact() && !self.fault_detected()
+    }
+
+    /// Total operations executed in both phases.
+    #[must_use]
+    pub fn total_operations(&self) -> usize {
+        self.prediction_operations + self.test_operations
+    }
+}
+
+/// Runs a complete transparent BIST session (prediction phase, test phase,
+/// signature comparison) on the given memory.
+///
+/// The provided MISR is used as a template for both phases (each phase gets
+/// a reset copy), so its width must match the memory's word width.
+///
+/// # Errors
+///
+/// Returns [`BistError::WidthMismatch`] if the MISR width differs from the
+/// memory word width, and the executor's errors for unresolvable data or
+/// invalid addresses.
+pub fn run_transparent_session(
+    transparent_test: &MarchTest,
+    prediction_test: &MarchTest,
+    memory: &mut FaultyMemory,
+    misr: Misr,
+) -> Result<SessionOutcome, BistError> {
+    if misr.width() != memory.width() {
+        return Err(BistError::WidthMismatch {
+            misr: misr.width(),
+            memory: memory.width(),
+        });
+    }
+    let content_before = memory.content();
+
+    // Phase 1: signature prediction — raw read data.
+    let mut prediction_misr = misr.clone();
+    prediction_misr.reset();
+    let prediction = execute_with(
+        prediction_test,
+        memory,
+        ExecutionOptions {
+            record_reads: true,
+            stop_at_first_mismatch: false,
+        },
+    )?;
+    for record in &prediction.reads {
+        prediction_misr.absorb(record.observed);
+    }
+
+    // Phase 2: transparent test — offset-compensated read data.
+    let mut test_misr = misr;
+    test_misr.reset();
+    let test = execute_with(
+        transparent_test,
+        memory,
+        ExecutionOptions {
+            record_reads: true,
+            stop_at_first_mismatch: false,
+        },
+    )?;
+    for record in &test.reads {
+        test_misr.absorb(record.compensated());
+    }
+
+    let content_after = memory.content();
+
+    Ok(SessionOutcome {
+        predicted_signature: prediction_misr.signature(),
+        test_signature: test_misr.signature(),
+        mismatches: test.mismatches,
+        content_preserved: content_before == content_after,
+        prediction_operations: prediction.operations(),
+        test_operations: test.operations(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_core::TwmTransformer;
+    use twm_march::algorithms::{march_c_minus, march_u};
+    use twm_mem::{BitAddress, Fault, MemoryBuilder, Transition};
+
+    fn transformed(width: usize) -> twm_core::TwmTransformed {
+        TwmTransformer::new(width).unwrap().transform(&march_c_minus()).unwrap()
+    }
+
+    #[test]
+    fn fault_free_memory_passes_and_content_is_preserved() {
+        let t = transformed(8);
+        let mut mem = MemoryBuilder::new(64, 8).random_content(1234).build().unwrap();
+        let before = mem.content();
+        let outcome = run_transparent_session(
+            t.transparent_test(),
+            t.signature_prediction(),
+            &mut mem,
+            Misr::standard(8),
+        )
+        .unwrap();
+        assert!(!outcome.fault_detected());
+        assert!(!outcome.fault_detected_exact());
+        assert!(outcome.content_preserved);
+        assert!(!outcome.aliased());
+        assert_eq!(mem.content(), before);
+        assert_eq!(
+            outcome.test_operations,
+            t.transparent_test().total_operations(64)
+        );
+        assert_eq!(
+            outcome.prediction_operations,
+            t.signature_prediction().total_operations(64)
+        );
+    }
+
+    #[test]
+    fn stuck_at_fault_changes_the_signature() {
+        let t = transformed(8);
+        let mut mem = MemoryBuilder::new(32, 8)
+            .random_content(77)
+            .fault(Fault::stuck_at(BitAddress::new(9, 4), false))
+            .build()
+            .unwrap();
+        let outcome = run_transparent_session(
+            t.transparent_test(),
+            t.signature_prediction(),
+            &mut mem,
+            Misr::standard(8),
+        )
+        .unwrap();
+        assert!(outcome.fault_detected_exact());
+        assert!(outcome.fault_detected(), "signature comparison should flag the fault");
+    }
+
+    #[test]
+    fn coupling_fault_between_words_is_detected() {
+        let t = TwmTransformer::new(4).unwrap().transform(&march_u()).unwrap();
+        let mut mem = MemoryBuilder::new(16, 4)
+            .random_content(5)
+            .fault(Fault::coupling_idempotent(
+                BitAddress::new(2, 1),
+                BitAddress::new(10, 3),
+                Transition::Rising,
+                true,
+            ))
+            .build()
+            .unwrap();
+        let outcome = run_transparent_session(
+            t.transparent_test(),
+            t.signature_prediction(),
+            &mut mem,
+            Misr::standard(4),
+        )
+        .unwrap();
+        assert!(outcome.fault_detected_exact());
+    }
+
+    #[test]
+    fn misr_width_must_match_memory_width() {
+        let t = transformed(8);
+        let mut mem = MemoryBuilder::new(8, 8).build().unwrap();
+        let result = run_transparent_session(
+            t.transparent_test(),
+            t.signature_prediction(),
+            &mut mem,
+            Misr::standard(16),
+        );
+        assert!(matches!(result, Err(BistError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn signatures_are_reproducible_across_sessions() {
+        let t = transformed(8);
+        let run = || {
+            let mut mem = MemoryBuilder::new(16, 8).random_content(42).build().unwrap();
+            run_transparent_session(
+                t.transparent_test(),
+                t.signature_prediction(),
+                &mut mem,
+                Misr::standard(8),
+            )
+            .unwrap()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.predicted_signature, second.predicted_signature);
+        assert_eq!(first.test_signature, second.test_signature);
+    }
+}

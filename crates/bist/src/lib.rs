@@ -1,0 +1,61 @@
+//! # twm-bist — transparent BIST engine
+//!
+//! This crate is the run-time half of the reproduction: it executes march
+//! tests (transparent or not) against the fault-injected memory simulator of
+//! [`twm_mem`], compacts read streams in a [`Misr`] signature register, runs
+//! the two-phase *signature prediction → transparent test → compare* flow of
+//! transparent BIST, and models the periodic idle-window scheduling that
+//! motivates the paper's push for shorter transparent tests.
+//!
+//! * [`executor`] — runs a [`twm_march::MarchTest`] on a
+//!   [`twm_mem::FaultyMemory`], recording every read with its expected
+//!   fault-free value and its XOR offset from the initial content.
+//! * [`misr`] — a multiple-input signature register (LFSR-based) with
+//!   configurable feedback polynomial.
+//! * [`flow`] — the transparent BIST session: prediction phase, test phase,
+//!   signature comparison and content-preservation check.
+//! * [`controller`] — periodic testing in idle windows: how many idle
+//!   windows a test needs and how likely it is to complete without
+//!   interfering with normal operation.
+//! * [`diagnosis`] — localisation of the defective words and bits from the
+//!   read records of a failing run.
+//!
+//! ```
+//! use twm_bist::flow::run_transparent_session;
+//! use twm_bist::misr::Misr;
+//! use twm_core::TwmTransformer;
+//! use twm_march::algorithms::march_c_minus;
+//! use twm_mem::{FaultyMemory, MemoryConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let transformed = TwmTransformer::new(8)?.transform(&march_c_minus())?;
+//! let mut memory = FaultyMemory::fault_free(MemoryConfig::new(64, 8)?);
+//! memory.fill_random(42);
+//!
+//! let outcome = run_transparent_session(
+//!     transformed.transparent_test(),
+//!     transformed.signature_prediction(),
+//!     &mut memory,
+//!     Misr::standard(8),
+//! )?;
+//! assert!(!outcome.fault_detected());          // fault-free memory
+//! assert!(outcome.content_preserved);          // transparent test restored content
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod diagnosis;
+mod error;
+pub mod executor;
+pub mod flow;
+pub mod misr;
+
+pub use diagnosis::{diagnose, DiagnosisReport, SuspectCell};
+pub use error::BistError;
+pub use executor::{execute, execute_with, ExecutionOptions, ExecutionResult, ReadRecord};
+pub use flow::{run_transparent_session, SessionOutcome};
+pub use misr::Misr;

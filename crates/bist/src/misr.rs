@@ -1,0 +1,247 @@
+//! Multiple-input signature register (MISR).
+//!
+//! Transparent BIST compacts the data returned by read operations into a
+//! signature instead of comparing each read against a stored expected value.
+//! The signature produced by the transparent test phase is compared with the
+//! signature predicted in a preceding read-only phase; a mismatch flags a
+//! fault. Like every LFSR-based compactor a MISR is subject to *aliasing*
+//! (an erroneous stream can map to the fault-free signature), which is why
+//! the library also offers an exact-compare oracle for coverage analysis.
+
+use serde::{Deserialize, Serialize};
+
+use twm_mem::Word;
+
+use crate::BistError;
+
+/// An LFSR-based multiple-input signature register of configurable width.
+///
+/// ```
+/// use twm_bist::Misr;
+/// use twm_mem::Word;
+///
+/// # fn main() -> Result<(), twm_bist::BistError> {
+/// let mut a = Misr::standard(8);
+/// let mut b = Misr::standard(8);
+/// for value in [0x12u128, 0x34, 0x56] {
+///     a.absorb(Word::from_bits(value, 8).unwrap());
+/// }
+/// for value in [0x12u128, 0x34, 0x57] {       // one bit differs
+///     b.absorb(Word::from_bits(value, 8).unwrap());
+/// }
+/// assert_ne!(a.signature(), b.signature());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Misr {
+    state: u128,
+    width: usize,
+    polynomial: u128,
+    absorbed: u64,
+}
+
+impl Misr {
+    /// Creates a MISR with an explicit feedback polynomial (tap mask).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BistError::InvalidMisr`] if the width is zero or above the
+    /// supported maximum, or if the polynomial is zero or has taps outside
+    /// the register width.
+    pub fn new(width: usize, polynomial: u128) -> Result<Self, BistError> {
+        if width == 0 || width > twm_mem::MAX_WORD_WIDTH {
+            return Err(BistError::InvalidMisr {
+                detail: format!("unsupported register width {width}"),
+            });
+        }
+        let mask = Word::ones(width).to_bits();
+        if polynomial == 0 {
+            return Err(BistError::InvalidMisr {
+                detail: "feedback polynomial must be non-zero".into(),
+            });
+        }
+        if polynomial & !mask != 0 {
+            return Err(BistError::InvalidMisr {
+                detail: format!("feedback polynomial 0x{polynomial:x} has taps outside width {width}"),
+            });
+        }
+        Ok(Self {
+            state: 0,
+            width,
+            polynomial,
+            absorbed: 0,
+        })
+    }
+
+    /// Creates a MISR with a default feedback polynomial for the width.
+    ///
+    /// Widely used primitive polynomials are chosen for the common word
+    /// widths (4, 8, 16, 32, 64); other widths fall back to `x^w + x + 1`
+    /// style taps, which is sufficient for simulation purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or above the supported maximum; use
+    /// [`Misr::new`] for a fallible constructor.
+    #[must_use]
+    pub fn standard(width: usize) -> Self {
+        let polynomial: u128 = match width {
+            1 => 0x1,
+            2 => 0x3,
+            3 => 0x3,
+            4 => 0x9,                  // x^4 + x + 1 (taps at 3 and 0)
+            8 => 0x8E,                 // x^8 + x^4 + x^3 + x^2 + 1
+            16 => 0xD008,              // CRC-16-ish taps
+            32 => 0x8020_0003,
+            64 => 0x8000_0000_0000_001B,
+            w => (1u128 << (w - 1)) | 0x3,
+        };
+        Self::new(width, polynomial).expect("standard polynomial is valid")
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of words absorbed since the last reset.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Clears the register state.
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.absorbed = 0;
+    }
+
+    /// Absorbs one data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word width differs from the register width.
+    pub fn absorb(&mut self, word: Word) {
+        assert_eq!(
+            word.width(),
+            self.width,
+            "misr width {} does not match data width {}",
+            self.width,
+            word.width()
+        );
+        let mask = Word::ones(self.width).to_bits();
+        let feedback = (self.state >> (self.width - 1)) & 1;
+        let mut next = (self.state << 1) & mask;
+        if feedback == 1 {
+            next ^= self.polynomial;
+        }
+        next ^= word.to_bits();
+        self.state = next & mask;
+        self.absorbed += 1;
+    }
+
+    /// The current signature.
+    #[must_use]
+    pub fn signature(&self) -> Word {
+        Word::from_bits(self.state, self.width).expect("state is masked to a valid width")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(bits: u128, width: usize) -> Word {
+        Word::from_bits(bits, width).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Misr::new(0, 1).is_err());
+        assert!(Misr::new(8, 0).is_err());
+        assert!(Misr::new(8, 0x1FF).is_err());
+        assert!(Misr::new(8, 0x8E).is_ok());
+        for width in [1usize, 2, 3, 4, 8, 16, 32, 64, 100, 128] {
+            assert_eq!(Misr::standard(width).width(), width);
+        }
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_signatures() {
+        let stream: Vec<u128> = vec![0x01, 0xFF, 0x55, 0xAA, 0x13];
+        let mut a = Misr::standard(8);
+        let mut b = Misr::standard(8);
+        for &value in &stream {
+            a.absorb(word(value, 8));
+            b.absorb(word(value, 8));
+        }
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.absorbed(), stream.len() as u64);
+    }
+
+    #[test]
+    fn single_bit_difference_changes_the_signature() {
+        let mut a = Misr::standard(16);
+        let mut b = Misr::standard(16);
+        for i in 0..100u128 {
+            a.absorb(word(i, 16));
+            b.absorb(word(if i == 57 { i ^ 0x0400 } else { i }, 16));
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn order_of_inputs_matters() {
+        let mut a = Misr::standard(8);
+        let mut b = Misr::standard(8);
+        a.absorb(word(0x12, 8));
+        a.absorb(word(0x34, 8));
+        b.absorb(word(0x34, 8));
+        b.absorb(word(0x12, 8));
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut misr = Misr::standard(8);
+        misr.absorb(word(0xAB, 8));
+        assert_ne!(misr.signature(), Word::zeros(8));
+        misr.reset();
+        assert_eq!(misr.signature(), Word::zeros(8));
+        assert_eq!(misr.absorbed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match data width")]
+    fn absorbing_the_wrong_width_panics() {
+        Misr::standard(8).absorb(word(0, 16));
+    }
+
+    #[test]
+    fn aliasing_is_possible_but_rare() {
+        // Exhaustively flip one word in a short stream: the signature must
+        // differ from the reference for every single-word corruption (single
+        // errors never alias in an LFSR-based MISR).
+        let stream: Vec<u128> = (0..32).map(|i| (i * 37) % 256).collect();
+        let mut reference = Misr::standard(8);
+        for &v in &stream {
+            reference.absorb(word(v, 8));
+        }
+        for position in 0..stream.len() {
+            for bit in 0..8 {
+                let mut corrupted = Misr::standard(8);
+                for (i, &v) in stream.iter().enumerate() {
+                    let value = if i == position { v ^ (1 << bit) } else { v };
+                    corrupted.absorb(word(value, 8));
+                }
+                assert_ne!(
+                    corrupted.signature(),
+                    reference.signature(),
+                    "single-bit corruption at word {position} bit {bit} aliased"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Construction of the ATMarch test added by the paper's Algorithm 1.
+//!
+//! After the transparent solid-background test (TSMarch) has exercised all
+//! inter-word fault conditions, the word-oriented memory still needs the
+//! intra-word coupling-fault conditions excited. ATMarch does this with one
+//! march element per standard data background `D_k` (`k = 1 … ⌈log₂W⌉`):
+//!
+//! ```text
+//! ⇕( r_c, w_{c⊕D_k}, r_{c⊕D_k}, w_c, r_c )
+//! ```
+//!
+//! followed by a single closing element. When the word content after TSMarch
+//! equals the initial content the closing element is a plain `⇕(r_c)`; when
+//! it is the complement, every element operates on `c̄` instead and the
+//! closing element `⇕(r_c̄, w_c)` also restores the content (the two branches
+//! of Algorithm 1).
+
+use twm_march::background::background_degree;
+use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
+
+use crate::CoreError;
+
+/// Smallest word width for which a word-oriented transformation is
+/// meaningful.
+pub const MIN_WORD_WIDTH: usize = 2;
+
+fn check_width(width: usize) -> Result<(), CoreError> {
+    if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+        return Err(CoreError::InvalidWidth { width });
+    }
+    Ok(())
+}
+
+/// The ATMarch element for data background `D_k`.
+///
+/// `content_inverted` selects whether the element operates relative to the
+/// initial content (`false`) or to its complement (`true`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for an unsupported width and
+/// [`CoreError::March`] if `k` is not a valid background index for the width.
+pub fn atmarch_element(
+    width: usize,
+    k: usize,
+    content_inverted: bool,
+) -> Result<MarchElement, CoreError> {
+    check_width(width)?;
+    // Validate the background index for this width.
+    twm_march::background::data_background(width, k)?;
+
+    let (base, flipped) = if content_inverted {
+        (DataPattern::Ones, DataPattern::BackgroundComplement(k))
+    } else {
+        (DataPattern::Zeros, DataPattern::Background(k))
+    };
+    let base = DataSpec::TransparentXor(base);
+    let flipped = DataSpec::TransparentXor(flipped);
+    Ok(MarchElement::any_order(vec![
+        Operation::read(base),
+        Operation::write(flipped),
+        Operation::read(flipped),
+        Operation::write(base),
+        Operation::read(base),
+    ]))
+}
+
+/// The complete ATMarch test for a `width`-bit word memory.
+///
+/// `content_inverted` corresponds to the branch of Algorithm 1 taken when
+/// the content after TSMarch is the complement of the initial content; the
+/// closing element then restores the content.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for an unsupported width.
+pub fn atmarch(width: usize, content_inverted: bool) -> Result<MarchTest, CoreError> {
+    check_width(width)?;
+    let degree = background_degree(width);
+    let mut elements = Vec::with_capacity(degree + 1);
+    for k in 1..=degree {
+        elements.push(atmarch_element(width, k, content_inverted)?);
+    }
+    let closing = if content_inverted {
+        MarchElement::any_order(vec![
+            Operation::read(DataSpec::TransparentXor(DataPattern::Ones)),
+            Operation::write(DataSpec::TransparentXor(DataPattern::Zeros)),
+        ])
+    } else {
+        MarchElement::any_order(vec![Operation::read(DataSpec::TransparentXor(
+            DataPattern::Zeros,
+        ))])
+    };
+    elements.push(closing);
+    Ok(MarchTest::new(format!("ATMarch (W={width})"), elements)?)
+}
+
+/// Per-word operation count of ATMarch: `5·⌈log₂W⌉ + 1` (or `+ 2` for the
+/// inverted-content branch).
+#[must_use]
+pub fn atmarch_length(width: usize, content_inverted: bool) -> usize {
+    5 * background_degree(width) + if content_inverted { 2 } else { 1 }
+}
+
+/// The *non-transparent* counterpart of ATMarch used in the paper's fault
+/// coverage analysis (Section 5, there called AMarch): one element
+/// `⇕(r0, w D_k, r D_k, w0, r0)` per standard background, plus a closing
+/// read of the all-zero background. Concatenated after the solid-background
+/// march test it forms the non-transparent word-oriented march test whose
+/// coverage the transparent TWMarch is shown to preserve.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for an unsupported width.
+pub fn amarch(width: usize) -> Result<MarchTest, CoreError> {
+    check_width(width)?;
+    let degree = background_degree(width);
+    let mut elements = Vec::with_capacity(degree + 1);
+    for k in 1..=degree {
+        let zero = DataSpec::Literal(DataPattern::Zeros);
+        let background = DataSpec::Literal(DataPattern::Background(k));
+        elements.push(MarchElement::any_order(vec![
+            Operation::read(zero),
+            Operation::write(background),
+            Operation::read(background),
+            Operation::write(zero),
+            Operation::read(zero),
+        ]));
+    }
+    elements.push(MarchElement::any_order(vec![Operation::read(
+        DataSpec::Literal(DataPattern::Zeros),
+    )]));
+    Ok(MarchTest::new(format!("AMarch (W={width})"), elements)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_atmarch_matches_paper_example() {
+        // Section 4: for 8-bit words ATMarch uses D1 = 01010101,
+        // D2 = 00110011, D3 = 00001111, five operations each, plus one
+        // closing read — 16 operations per word.
+        let test = atmarch(8, false).unwrap();
+        assert_eq!(test.element_count(), 4);
+        assert_eq!(test.length().operations, 16);
+        assert_eq!(test.length().reads, 10);
+        assert_eq!(test.length().writes, 6);
+        assert_eq!(
+            test.to_string(),
+            "⇕(rc,wc^D1,rc^D1,wc,rc); ⇕(rc,wc^D2,rc^D2,wc,rc); ⇕(rc,wc^D3,rc^D3,wc,rc); ⇕(rc)"
+        );
+        assert!(test.is_transparent());
+    }
+
+    #[test]
+    fn inverted_branch_restores_content() {
+        let test = atmarch(4, true).unwrap();
+        // 2 backgrounds for 4-bit words, 5 ops each, plus a 2-op restore.
+        assert_eq!(test.length().operations, 12);
+        let last = test.elements().last().unwrap();
+        assert_eq!(last.len(), 2);
+        assert!(last.ops[0].is_read());
+        assert!(last.ops[1].is_write());
+        assert_eq!(
+            last.ops[1].data,
+            DataSpec::TransparentXor(DataPattern::Zeros)
+        );
+    }
+
+    #[test]
+    fn length_helper_matches_constructed_tests() {
+        for width in [2usize, 4, 8, 16, 32, 64, 128] {
+            for inverted in [false, true] {
+                let test = atmarch(width, inverted).unwrap();
+                assert_eq!(
+                    test.length().operations,
+                    atmarch_length(width, inverted),
+                    "width {width} inverted {inverted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn element_data_uses_the_requested_background() {
+        let element = atmarch_element(16, 3, false).unwrap();
+        assert_eq!(
+            element.ops[1].data,
+            DataSpec::TransparentXor(DataPattern::Background(3))
+        );
+        let element = atmarch_element(16, 3, true).unwrap();
+        assert_eq!(
+            element.ops[1].data,
+            DataSpec::TransparentXor(DataPattern::BackgroundComplement(3))
+        );
+    }
+
+    #[test]
+    fn amarch_is_the_nontransparent_counterpart() {
+        let transparent = atmarch(8, false).unwrap();
+        let plain = amarch(8).unwrap();
+        assert_eq!(plain.length().operations, transparent.length().operations);
+        assert_eq!(plain.length().reads, transparent.length().reads);
+        assert!(!plain.is_transparent());
+        assert!(plain.elements().iter().all(|e| !e.is_empty()));
+        assert_eq!(
+            plain.to_string(),
+            "⇕(r0,wD1,rD1,w0,r0); ⇕(r0,wD2,rD2,w0,r0); ⇕(r0,wD3,rD3,w0,r0); ⇕(r0)"
+        );
+    }
+
+    #[test]
+    fn invalid_widths_and_backgrounds_are_rejected() {
+        assert!(matches!(atmarch(1, false), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(atmarch(256, false), Err(CoreError::InvalidWidth { .. })));
+        assert!(atmarch_element(8, 4, false).is_err());
+        assert!(atmarch_element(8, 0, false).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+use twm_march::MarchError;
+
+/// Errors produced by the transparent-test transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The input march test is not bit-oriented, but the transformation
+    /// requires a bit-oriented march test.
+    NotBitOriented {
+        /// Name of the offending test.
+        test: String,
+    },
+    /// The word width is not usable for a word-oriented transformation.
+    InvalidWidth {
+        /// The requested width.
+        width: usize,
+    },
+    /// The march test reads a value inconsistent with the state left by its
+    /// own preceding operations, so its expected values cannot be tracked.
+    InconsistentMarch {
+        /// Index of the offending element.
+        element: usize,
+        /// Index of the offending operation within the element.
+        operation: usize,
+        /// Description of the expected versus tracked data.
+        detail: String,
+    },
+    /// An underlying march-framework error.
+    March(MarchError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotBitOriented { test } => {
+                write!(f, "march test '{test}' is not bit-oriented")
+            }
+            CoreError::InvalidWidth { width } => {
+                write!(f, "word width {width} is not usable for a word-oriented transformation")
+            }
+            CoreError::InconsistentMarch {
+                element,
+                operation,
+                detail,
+            } => write!(
+                f,
+                "march test is inconsistent at element {element}, operation {operation}: {detail}"
+            ),
+            CoreError::March(err) => write!(f, "march framework error: {err}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::March(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarchError> for CoreError {
+    fn from(err: MarchError) -> Self {
+        CoreError::March(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = CoreError::March(MarchError::EmptyTest);
+        assert!(err.to_string().contains("march framework error"));
+        assert!(err.source().is_some());
+
+        let err = CoreError::NotBitOriented { test: "X".into() };
+        assert!(err.to_string().contains("not bit-oriented"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn conversion_from_march_error() {
+        let err: CoreError = MarchError::EmptyTest.into();
+        assert_eq!(err, CoreError::March(MarchError::EmptyTest));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

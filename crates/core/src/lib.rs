@@ -1,0 +1,54 @@
+//! # twm-core — transparent word-oriented march test transformation
+//!
+//! This crate implements the contribution of *"An Efficient Transparent Test
+//! Scheme for Embedded Word-Oriented Memories"* (Li, Tseng, Wey — DATE 2005)
+//! together with the baseline schemes it is compared against:
+//!
+//! * [`nicolaidis`] — the classical transformation of a march test into a
+//!   *transparent* march test (Nicolaidis, ITC'92 / IEEE ToC'96): every
+//!   datum becomes an XOR combination of the word's initial content, reads
+//!   are inserted where needed, and the signature-prediction test is the
+//!   read-only projection.
+//! * [`scheme1`] — the word-oriented baseline of reference \[12\]: the
+//!   transparent bit-oriented test repeated over the `⌈log₂W⌉ + 1` standard
+//!   data backgrounds.
+//! * [`tomt`] — a complexity/behavioural stand-in for TOMT (reference
+//!   \[13\]), the second baseline of the paper's comparison tables.
+//! * [`twm_ta`] — **the paper's Algorithm 1 (TWM_TA)**: solid-background
+//!   SMarch, its transparent version TSMarch, the added ATMarch built from
+//!   the `D_k` data backgrounds, the complete transparent word-oriented
+//!   march test TWMarch, and its signature-prediction test.
+//! * [`complexity`] — closed-form and exact test-length accounting used to
+//!   regenerate the paper's Tables 2 and 3 and the 56 % / 19 % headline
+//!   comparison.
+//! * [`verify`] — structural checks (transparency, content restoration).
+//!
+//! ```
+//! use twm_march::algorithms::march_u;
+//! use twm_core::TwmTransformer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's worked example: March U on a memory with 8-bit words has
+//! // a transparent word-oriented test of 29 operations per word.
+//! let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
+//! assert_eq!(transformed.transparent_test().operations_per_word(), 29);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atmarch;
+pub mod complexity;
+mod error;
+pub mod nicolaidis;
+pub mod scheme1;
+pub mod tomt;
+pub mod twm_ta;
+pub mod verify;
+
+pub use error::CoreError;
+pub use nicolaidis::{TransparentTransform, to_transparent};
+pub use scheme1::{Scheme1Transform, Scheme1Transformer};
+pub use twm_ta::{TwmTransformed, TwmTransformer};

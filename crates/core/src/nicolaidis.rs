@@ -1,0 +1,441 @@
+//! The classical transparent-march transformation (Nicolaidis).
+//!
+//! The rules (Section 3 of the paper, originally from Nicolaidis ITC'92 and
+//! IEEE Trans. Computers 1996) convert an ordinary march test into a
+//! *transparent* one that preserves the memory's initial content:
+//!
+//! 1. If the first operation of a march element is a write, insert a read at
+//!    the beginning of the element. If the test starts with a pure
+//!    initialization element (writes only), remove it — the arbitrary
+//!    initial content plays the role of the initialization data.
+//! 2. Replace every datum `a` by `a ⊕ c`, where `c` is the word's initial
+//!    content: `w0 → w c`, `w1 → w c̄`, `r0 → r c`, `r1 → r c̄` (and, for
+//!    word-oriented tests, background data `b → c ⊕ b`).
+//! 3. If the transformed test would leave the memory holding the complement
+//!    (more generally: a non-identity XOR) of its initial content, append a
+//!    read-then-write-back element that restores it.
+//! 4. The *signature prediction* test is obtained by deleting every write
+//!    operation.
+//!
+//! The implementation works for bit-oriented tests and for word-oriented
+//! tests whose data are the standard backgrounds, which is what Scheme 1
+//! (reference \[12\]) needs.
+
+use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
+
+use crate::CoreError;
+
+/// Options controlling [`to_transparent_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransparentOptions {
+    /// Whether to append a restore element when the test would otherwise
+    /// leave the memory holding a non-identity XOR of its initial content
+    /// (rule 3). The paper's TWM_TA disables this and lets its ATMarch
+    /// closing element perform the restoration instead.
+    pub restore_content: bool,
+}
+
+impl Default for TransparentOptions {
+    fn default() -> Self {
+        Self { restore_content: true }
+    }
+}
+
+/// Result of the transparent transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransparentTransform {
+    transparent: MarchTest,
+    prediction: MarchTest,
+    removed_initialization: bool,
+    prepended_reads: usize,
+    appended_restore: bool,
+    final_state: DataPattern,
+}
+
+impl TransparentTransform {
+    /// The transparent march test.
+    #[must_use]
+    pub fn transparent_test(&self) -> &MarchTest {
+        &self.transparent
+    }
+
+    /// The signature-prediction test (read-only projection, rule 4).
+    #[must_use]
+    pub fn signature_prediction(&self) -> &MarchTest {
+        &self.prediction
+    }
+
+    /// Whether a leading initialization element was removed (rule 1).
+    #[must_use]
+    pub fn removed_initialization(&self) -> bool {
+        self.removed_initialization
+    }
+
+    /// Number of reads inserted at the head of elements that started with a
+    /// write (rule 1).
+    #[must_use]
+    pub fn prepended_reads(&self) -> usize {
+        self.prepended_reads
+    }
+
+    /// Whether a restore element was appended (rule 3).
+    #[must_use]
+    pub fn appended_restore(&self) -> bool {
+        self.appended_restore
+    }
+
+    /// The XOR offset of the memory content relative to its initial content
+    /// after the transparent test completes. [`DataPattern::Zeros`] means the
+    /// content is fully restored.
+    #[must_use]
+    pub fn final_state(&self) -> DataPattern {
+        self.final_state
+    }
+}
+
+/// Tracked per-element state of a march test in its own data domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTrack {
+    /// The data value (pattern) each cell/word holds when each element
+    /// starts, as established by the preceding operations. `None` means the
+    /// value is not yet defined (no prior read or write).
+    pub before_elements: Vec<Option<DataPattern>>,
+    /// The value held after the last operation of the test.
+    pub final_state: Option<DataPattern>,
+    /// The value established by the test's own initialization (the first
+    /// write or, if the test starts with a read, that read's expected data).
+    pub initial_state: Option<DataPattern>,
+    /// Whether the last operation of the test is a write.
+    pub ends_with_write: bool,
+}
+
+/// Tracks the value every cell/word holds between operations of a
+/// (non-transparent) march test, verifying that every read expects the value
+/// actually left by the preceding operations.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InconsistentMarch`] if a read's expected data does
+/// not match the tracked value, or [`CoreError::NotBitOriented`] if the test
+/// contains transparent data specifications.
+pub fn track_states(march: &MarchTest) -> Result<StateTrack, CoreError> {
+    let mut state: Option<DataPattern> = None;
+    let mut initial_state: Option<DataPattern> = None;
+    let mut before_elements = Vec::with_capacity(march.element_count());
+    let mut ends_with_write = false;
+
+    for (element_index, element) in march.elements().iter().enumerate() {
+        before_elements.push(state);
+        for (op_index, op) in element.ops.iter().enumerate() {
+            let pattern = match op.data {
+                DataSpec::Literal(p) => p,
+                DataSpec::TransparentXor(_) => {
+                    return Err(CoreError::NotBitOriented {
+                        test: march.name().to_string(),
+                    })
+                }
+            };
+            match op.kind {
+                twm_march::OpKind::Read => {
+                    match state {
+                        None => state = Some(pattern),
+                        Some(current) if current == pattern => {}
+                        Some(current) => {
+                            return Err(CoreError::InconsistentMarch {
+                                element: element_index,
+                                operation: op_index,
+                                detail: format!(
+                                    "read expects {pattern} but the tracked value is {current}"
+                                ),
+                            })
+                        }
+                    }
+                    ends_with_write = false;
+                }
+                twm_march::OpKind::Write => {
+                    state = Some(pattern);
+                    ends_with_write = true;
+                }
+            }
+            if initial_state.is_none() {
+                initial_state = Some(pattern);
+            }
+        }
+    }
+
+    Ok(StateTrack {
+        before_elements,
+        final_state: state,
+        initial_state,
+        ends_with_write,
+    })
+}
+
+/// Applies the transparent transformation with default options (content is
+/// always restored, rule 3 enabled).
+///
+/// # Errors
+///
+/// See [`to_transparent_with`].
+pub fn to_transparent(march: &MarchTest) -> Result<TransparentTransform, CoreError> {
+    to_transparent_with(march, TransparentOptions::default())
+}
+
+/// Applies the transparent transformation with explicit options.
+///
+/// # Errors
+///
+/// * [`CoreError::NotBitOriented`] if the input already contains transparent
+///   data.
+/// * [`CoreError::InconsistentMarch`] if the input's reads do not match the
+///   values its own writes establish, or if its initialization value is not
+///   expressible relative to the all-zero background (the transformation
+///   supports tests initialised to the all-0 or all-1 background).
+/// * [`CoreError::March`] for structural errors (an input with no read
+///   operations cannot produce a prediction test).
+pub fn to_transparent_with(
+    march: &MarchTest,
+    options: TransparentOptions,
+) -> Result<TransparentTransform, CoreError> {
+    let track = track_states(march)?;
+
+    // Re-base data so that the initialization value corresponds to the
+    // untouched initial content `c`. Tests initialised to all-1 are handled
+    // by complementing every pattern.
+    let rebase = match track.initial_state {
+        None | Some(DataPattern::Zeros) => Rebase::Identity,
+        Some(DataPattern::Ones) => Rebase::Complement,
+        Some(other) => {
+            return Err(CoreError::InconsistentMarch {
+                element: 0,
+                operation: 0,
+                detail: format!(
+                    "initialization value {other} is not supported; initialise with all-0 or all-1"
+                ),
+            })
+        }
+    };
+
+    let elements = march.elements();
+    let drop_first = elements
+        .first()
+        .map(MarchElement::is_write_only)
+        .unwrap_or(false);
+
+    let mut transparent_elements = Vec::new();
+    let mut prepended_reads = 0usize;
+
+    for (index, element) in elements.iter().enumerate() {
+        if index == 0 && drop_first {
+            continue;
+        }
+        let mut ops = Vec::with_capacity(element.len() + 1);
+        if element.first_op().map(|op| op.is_write()).unwrap_or(false) {
+            let state = track.before_elements[index].unwrap_or(DataPattern::Zeros);
+            ops.push(Operation::read(DataSpec::TransparentXor(rebase.apply(state)?)));
+            prepended_reads += 1;
+        }
+        for op in &element.ops {
+            let pattern = match op.data {
+                DataSpec::Literal(p) => p,
+                DataSpec::TransparentXor(_) => unreachable!("checked by track_states"),
+            };
+            let spec = DataSpec::TransparentXor(rebase.apply(pattern)?);
+            ops.push(Operation { kind: op.kind, data: spec });
+        }
+        transparent_elements.push(MarchElement::new(element.order, ops));
+    }
+
+    // Rule 3: restore the content if the test leaves it XOR-shifted.
+    let final_state = rebase.apply(track.final_state.unwrap_or(DataPattern::Zeros))?;
+    let mut appended_restore = false;
+    if options.restore_content && final_state != DataPattern::Zeros {
+        transparent_elements.push(MarchElement::any_order(vec![
+            Operation::read(DataSpec::TransparentXor(final_state)),
+            Operation::write(DataSpec::TransparentXor(DataPattern::Zeros)),
+        ]));
+        appended_restore = true;
+    }
+
+    let transparent_name = format!("Transparent {}", march.name());
+    let transparent = MarchTest::new(transparent_name.clone(), transparent_elements)?;
+    let prediction = transparent.reads_only(&format!("{transparent_name} (prediction)"))?;
+
+    Ok(TransparentTransform {
+        transparent,
+        prediction,
+        removed_initialization: drop_first,
+        prepended_reads,
+        appended_restore,
+        final_state: if appended_restore { DataPattern::Zeros } else { final_state },
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Rebase {
+    Identity,
+    Complement,
+}
+
+impl Rebase {
+    fn apply(self, pattern: DataPattern) -> Result<DataPattern, CoreError> {
+        match self {
+            Rebase::Identity => Ok(pattern),
+            Rebase::Complement => pattern.complemented().ok_or(CoreError::InconsistentMarch {
+                element: 0,
+                operation: 0,
+                detail: format!("pattern {pattern} has no closed-form complement"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::{march_c_minus, march_u, mats_plus};
+    use twm_march::{MarchElement as El, Operation as Op};
+
+    #[test]
+    fn march_c_minus_matches_paper_tmarch() {
+        // Section 3 of the paper: TMarch C- =
+        // ⇑(rc,w~c); ⇑(r~c,wc); ⇓(rc,w~c); ⇓(r~c,wc); ⇕(rc).
+        let result = to_transparent(&march_c_minus()).unwrap();
+        assert_eq!(
+            result.transparent_test().to_string(),
+            "⇑(rc,w~c); ⇑(r~c,wc); ⇓(rc,w~c); ⇓(r~c,wc); ⇕(rc)"
+        );
+        assert!(result.removed_initialization());
+        assert_eq!(result.prepended_reads(), 0);
+        assert!(!result.appended_restore());
+        assert_eq!(result.transparent_test().length().operations, 9);
+        assert_eq!(result.transparent_test().length().reads, 5);
+        // Signature prediction = reads only.
+        assert_eq!(
+            result.signature_prediction().to_string(),
+            "⇑(rc); ⇑(r~c); ⇓(rc); ⇓(r~c); ⇕(rc)"
+        );
+    }
+
+    #[test]
+    fn transformation_is_transparent_for_all_library_tests() {
+        for march in twm_march::algorithms::all() {
+            let result = to_transparent(&march).unwrap();
+            assert!(result.transparent_test().is_transparent(), "{}", march.name());
+            assert_eq!(result.final_state(), DataPattern::Zeros, "{}", march.name());
+        }
+    }
+
+    #[test]
+    fn restore_is_added_when_content_ends_inverted() {
+        // ⇕(w0); ⇑(r0,w1) leaves every cell at 1, i.e. the complement of its
+        // transparent initial content.
+        let march = MarchTest::new(
+            "invert",
+            vec![
+                El::any_order(vec![Op::w0()]),
+                El::ascending(vec![Op::r0(), Op::w1()]),
+            ],
+        )
+        .unwrap();
+        let restored = to_transparent(&march).unwrap();
+        assert!(restored.appended_restore());
+        assert_eq!(restored.final_state(), DataPattern::Zeros);
+        assert_eq!(
+            restored.transparent_test().to_string(),
+            "⇑(rc,w~c); ⇕(r~c,wc)"
+        );
+
+        let unrestored =
+            to_transparent_with(&march, TransparentOptions { restore_content: false }).unwrap();
+        assert!(!unrestored.appended_restore());
+        assert_eq!(unrestored.final_state(), DataPattern::Ones);
+        assert_eq!(unrestored.transparent_test().to_string(), "⇑(rc,w~c)");
+    }
+
+    #[test]
+    fn write_leading_elements_get_a_read_prepended() {
+        // The second element starts with a write: a read of the tracked value
+        // must be inserted in front of it.
+        let march = MarchTest::new(
+            "w-lead",
+            vec![
+                El::any_order(vec![Op::w0()]),
+                El::ascending(vec![Op::r0(), Op::w1()]),
+                El::descending(vec![Op::w0()]),
+                El::any_order(vec![Op::r0()]),
+            ],
+        )
+        .unwrap();
+        let result = to_transparent(&march).unwrap();
+        assert_eq!(result.prepended_reads(), 1);
+        assert_eq!(
+            result.transparent_test().to_string(),
+            "⇑(rc,w~c); ⇓(r~c,wc); ⇕(rc)"
+        );
+    }
+
+    #[test]
+    fn all_one_initialization_is_rebased() {
+        // A test initialised with w1 is handled by complementing patterns so
+        // that the first read still expects the untouched content.
+        let march = MarchTest::new(
+            "init1",
+            vec![
+                El::any_order(vec![Op::w1()]),
+                El::ascending(vec![Op::r1(), Op::w0()]),
+                El::descending(vec![Op::r0(), Op::w1()]),
+                El::any_order(vec![Op::r1()]),
+            ],
+        )
+        .unwrap();
+        let result = to_transparent(&march).unwrap();
+        assert_eq!(
+            result.transparent_test().to_string(),
+            "⇑(rc,w~c); ⇓(r~c,wc); ⇕(rc)"
+        );
+    }
+
+    #[test]
+    fn inconsistent_march_is_rejected() {
+        let march = MarchTest::new(
+            "bad",
+            vec![
+                El::any_order(vec![Op::w0()]),
+                El::ascending(vec![Op::r1(), Op::w0()]),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            to_transparent(&march),
+            Err(CoreError::InconsistentMarch { .. })
+        ));
+    }
+
+    #[test]
+    fn transparent_input_is_rejected() {
+        let march = MarchTest::new(
+            "already",
+            vec![El::ascending(vec![Op::read_content()])],
+        )
+        .unwrap();
+        assert!(matches!(
+            to_transparent(&march),
+            Err(CoreError::NotBitOriented { .. })
+        ));
+    }
+
+    #[test]
+    fn state_tracking_reports_shape() {
+        let track = track_states(&march_u()).unwrap();
+        assert_eq!(track.initial_state, Some(DataPattern::Zeros));
+        assert_eq!(track.final_state, Some(DataPattern::Zeros));
+        assert!(track.ends_with_write);
+
+        let track = track_states(&mats_plus()).unwrap();
+        assert!(track.ends_with_write);
+        assert_eq!(track.before_elements.len(), 3);
+        assert_eq!(track.before_elements[1], Some(DataPattern::Zeros));
+        assert_eq!(track.before_elements[2], Some(DataPattern::Ones));
+    }
+}

@@ -1,0 +1,252 @@
+//! Scheme 1 — the word-oriented transparent baseline of reference \[12\].
+//!
+//! The classical way to test a word-oriented memory with a bit-oriented
+//! march test is to repeat the test once per standard data background
+//! (all-0, `D₁`, `D₂`, …, `D_{⌈log₂W⌉}`), writing the background or its
+//! complement where the bit-oriented test writes 0 or 1. Nicolaidis'
+//! transparent transformation is then applied to the whole multi-background
+//! word test. This is the scheme the DATE 2005 paper calls *Scheme 1* and
+//! compares against in Tables 2 and 3; its complexity grows with
+//! `(⌈log₂W⌉ + 1)` whole passes of the original test, whereas the paper's
+//! TWM_TA only adds `5·⌈log₂W⌉ + 1` operations in total.
+
+use twm_march::background::{background_degree, standard_background_count};
+use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
+
+use crate::atmarch::MIN_WORD_WIDTH;
+use crate::nicolaidis::to_transparent;
+use crate::CoreError;
+
+/// Transformer implementing Scheme 1 (reference \[12\]) for a fixed word
+/// width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheme1Transformer {
+    width: usize,
+}
+
+impl Scheme1Transformer {
+    /// Creates a Scheme 1 transformer for `width`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidWidth`] for widths below 2 or above the
+    /// supported maximum.
+    pub fn new(width: usize) -> Result<Self, CoreError> {
+        if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+            return Err(CoreError::InvalidWidth { width });
+        }
+        Ok(Self { width })
+    }
+
+    /// The word width this transformer targets.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Builds the (non-transparent) word-oriented march test: the source test
+    /// repeated once per standard data background.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotBitOriented`] if the input is not bit-oriented.
+    pub fn word_oriented(&self, bmarch: &MarchTest) -> Result<MarchTest, CoreError> {
+        if !bmarch.is_bit_oriented() {
+            return Err(CoreError::NotBitOriented {
+                test: bmarch.name().to_string(),
+            });
+        }
+        let degree = background_degree(self.width);
+        let mut elements = Vec::new();
+        for pass in 0..=degree {
+            let (zero_pattern, one_pattern) = if pass == 0 {
+                (DataPattern::Zeros, DataPattern::Ones)
+            } else {
+                (
+                    DataPattern::Background(pass),
+                    DataPattern::BackgroundComplement(pass),
+                )
+            };
+            for element in bmarch.elements() {
+                let ops: Vec<Operation> = element
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        let pattern = match op.data {
+                            DataSpec::Literal(DataPattern::Zeros) => zero_pattern,
+                            DataSpec::Literal(DataPattern::Ones) => one_pattern,
+                            // `is_bit_oriented` guarantees only the two solid
+                            // patterns occur.
+                            _ => unreachable!("bit-oriented test"),
+                        };
+                        Operation {
+                            kind: op.kind,
+                            data: DataSpec::Literal(pattern),
+                        }
+                    })
+                    .collect();
+                elements.push(MarchElement::new(element.order, ops));
+            }
+        }
+        Ok(MarchTest::new(
+            format!("Word-oriented {} (W={})", bmarch.name(), self.width),
+            elements,
+        )?)
+    }
+
+    /// Transforms a bit-oriented march test into Scheme 1's transparent
+    /// word-oriented march test.
+    ///
+    /// # Errors
+    ///
+    /// Returns the errors of [`Scheme1Transformer::word_oriented`] and of the
+    /// underlying transparent transformation.
+    pub fn transform(&self, bmarch: &MarchTest) -> Result<Scheme1Transform, CoreError> {
+        let word_test = self.word_oriented(bmarch)?;
+        let transparent = to_transparent(&word_test)?;
+        let name = format!("Scheme 1 transparent {} (W={})", bmarch.name(), self.width);
+        let transparent_test = transparent.transparent_test().renamed(name.clone());
+        let prediction = transparent
+            .signature_prediction()
+            .renamed(format!("{name} (prediction)"));
+        Ok(Scheme1Transform {
+            width: self.width,
+            source_name: bmarch.name().to_string(),
+            passes: standard_background_count(self.width),
+            word_test,
+            transparent: transparent_test,
+            prediction,
+        })
+    }
+}
+
+/// The result of applying Scheme 1 to a bit-oriented march test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme1Transform {
+    width: usize,
+    source_name: String,
+    passes: usize,
+    word_test: MarchTest,
+    transparent: MarchTest,
+    prediction: MarchTest,
+}
+
+impl Scheme1Transform {
+    /// The word width the transformation targets.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Name of the source bit-oriented march test.
+    #[must_use]
+    pub fn source_name(&self) -> &str {
+        &self.source_name
+    }
+
+    /// Number of data-background passes (`⌈log₂W⌉ + 1`).
+    #[must_use]
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// The non-transparent multi-background word-oriented march test.
+    #[must_use]
+    pub fn word_oriented_test(&self) -> &MarchTest {
+        &self.word_test
+    }
+
+    /// Scheme 1's transparent word-oriented march test.
+    #[must_use]
+    pub fn transparent_test(&self) -> &MarchTest {
+        &self.transparent
+    }
+
+    /// The signature-prediction test.
+    #[must_use]
+    pub fn signature_prediction(&self) -> &MarchTest {
+        &self.prediction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::{march_c_minus, march_u};
+
+    #[test]
+    fn four_bit_march_c_minus_uses_three_backgrounds() {
+        // Section 3's example: March C- on 4-bit words runs with the
+        // backgrounds 0000, 0101 and 0011.
+        let transformer = Scheme1Transformer::new(4).unwrap();
+        let result = transformer.transform(&march_c_minus()).unwrap();
+        assert_eq!(result.passes(), 3);
+        // The word-oriented test repeats the 10-operation test three times.
+        assert_eq!(result.word_oriented_test().length().operations, 30);
+        assert!(result.transparent_test().is_transparent());
+    }
+
+    #[test]
+    fn transparent_length_tracks_the_formula_shape() {
+        // Scheme 1 complexity is close to M·(log2W + 1): the first pass loses
+        // its initialization element (-1), every later pass keeps its
+        // initialization element but gains a prepended read (+1 each), and a
+        // final 2-operation restore element brings the content back from the
+        // last background. For March C- (1-op initialization, read-first
+        // elements) the exact count is therefore M·passes + passes.
+        let transformer = Scheme1Transformer::new(32).unwrap();
+        let result = transformer.transform(&march_c_minus()).unwrap();
+        let m = march_c_minus().length().operations;
+        let passes = result.passes();
+        assert_eq!(passes, 6);
+        assert_eq!(
+            result.transparent_test().operations_per_word(),
+            m * passes + passes
+        );
+    }
+
+    #[test]
+    fn prediction_is_read_only_projection() {
+        let transformer = Scheme1Transformer::new(8).unwrap();
+        let result = transformer.transform(&march_u()).unwrap();
+        assert_eq!(result.signature_prediction().length().writes, 0);
+        assert_eq!(
+            result.signature_prediction().length().reads,
+            result.transparent_test().length().reads
+        );
+    }
+
+    #[test]
+    fn proposed_scheme_is_shorter_for_every_library_test() {
+        // The whole point of the paper: TWM_TA produces shorter transparent
+        // word-oriented tests than Scheme 1.
+        for width in [8usize, 32, 128] {
+            let scheme1 = Scheme1Transformer::new(width).unwrap();
+            let proposed = crate::TwmTransformer::new(width).unwrap();
+            for march in twm_march::algorithms::all() {
+                let s1 = scheme1.transform(&march).unwrap();
+                let twm = proposed.transform(&march).unwrap();
+                assert!(
+                    twm.transparent_test().operations_per_word()
+                        < s1.transparent_test().operations_per_word(),
+                    "{} at width {width}",
+                    march.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(Scheme1Transformer::new(1).is_err());
+        let transformer = Scheme1Transformer::new(8).unwrap();
+        let transparent = to_transparent(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .clone();
+        assert!(matches!(
+            transformer.transform(&transparent),
+            Err(CoreError::NotBitOriented { .. })
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Scheme 2 — a stand-in for TOMT (Thaller & Steininger, reference \[13\]).
+//!
+//! TOMT is a transparent *online* memory test for word-oriented memories
+//! protected by parity or Hamming codes: it walks every bit of every word
+//! with read–modify–write operations and relies on the code checker instead
+//! of a signature, so it needs no signature-prediction phase but performs a
+//! number of operations per word that grows linearly with the word width.
+//!
+//! The original hardware (code checkers, dedicated controller) is outside the
+//! scope of this reproduction; what the DATE 2005 paper compares against is
+//! TOMT's *test length*. This module therefore provides:
+//!
+//! * [`tomt_tcm_per_word`] — the per-word operation count `8·W + 2` used for
+//!   the paper's Tables 2/3 comparison (this constant reproduces the paper's
+//!   "≈19 % for March C−, W = 32" headline; the exact constant is not
+//!   legible in the source text and is recorded as an assumption in
+//!   EXPERIMENTS.md);
+//! * [`tomt_like_test`] — a synthetic transparent word-oriented march test
+//!   with exactly that operation count, walking each bit of the word in both
+//!   polarities, so the execution benches can run a Scheme-2-shaped workload
+//!   on the same simulator.
+
+use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
+
+use crate::atmarch::MIN_WORD_WIDTH;
+use crate::CoreError;
+
+/// Per-word operation count of the TOMT baseline: `8·W + 2`.
+#[must_use]
+pub fn tomt_tcm_per_word(width: usize) -> usize {
+    8 * width + 2
+}
+
+/// TOMT needs no signature-prediction phase (concurrent error detection).
+#[must_use]
+pub fn tomt_tcp_per_word(_width: usize) -> usize {
+    0
+}
+
+/// A synthetic transparent word-oriented test with TOMT's per-word operation
+/// count (`8·W + 2`): for every bit of the word, read–flip–read–restore in
+/// both polarities, plus a closing double read.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for unsupported word widths.
+pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
+    if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+        return Err(CoreError::InvalidWidth { width });
+    }
+    let mut elements = Vec::with_capacity(width + 1);
+    for bit in 0..width {
+        let mask = DataPattern::Custom(1u128 << bit);
+        let content = DataSpec::TransparentXor(DataPattern::Zeros);
+        let flipped = DataSpec::TransparentXor(mask);
+        elements.push(MarchElement::any_order(vec![
+            Operation::read(content),
+            Operation::write(flipped),
+            Operation::read(flipped),
+            Operation::write(content),
+            Operation::read(content),
+            Operation::write(flipped),
+            Operation::read(flipped),
+            Operation::write(content),
+        ]));
+    }
+    elements.push(MarchElement::any_order(vec![
+        Operation::read(DataSpec::TransparentXor(DataPattern::Zeros)),
+        Operation::read(DataSpec::TransparentXor(DataPattern::Zeros)),
+    ]));
+    Ok(MarchTest::new(format!("TOMT-like walk (W={width})"), elements)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_word_length_matches_the_formula() {
+        for width in [2usize, 4, 8, 16, 32, 64, 128] {
+            let test = tomt_like_test(width).unwrap();
+            assert_eq!(test.length().operations, tomt_tcm_per_word(width));
+        }
+    }
+
+    #[test]
+    fn reproduction_of_headline_ratio_constant() {
+        // The paper's headline: for March C- and 32-bit words the proposed
+        // scheme needs about 19 % of Scheme 2's operations.
+        let proposed_total = 35 + 15; // TCM + TCP closed forms
+        let tomt_total = tomt_tcm_per_word(32) + tomt_tcp_per_word(32);
+        let ratio = proposed_total as f64 / tomt_total as f64;
+        assert!((ratio - 0.19).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn test_is_transparent_and_width_checked() {
+        let test = tomt_like_test(8).unwrap();
+        assert!(test.is_transparent());
+        assert!(matches!(tomt_like_test(1), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(tomt_like_test(999), Err(CoreError::InvalidWidth { .. })));
+    }
+
+    #[test]
+    fn no_prediction_phase() {
+        assert_eq!(tomt_tcp_per_word(64), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! TWM_TA — the paper's Algorithm 1.
+//!
+//! The transparent word-oriented march transformation algorithm converts a
+//! bit-oriented march test (BMarch) into a transparent word-oriented march
+//! test (TWMarch) for a memory with `W`-bit words:
+//!
+//! 1. Replace the bit data `0`/`1` of BMarch with the solid all-0 / all-1
+//!    word backgrounds, giving **SMarch** (structurally identical to BMarch
+//!    in this library, because the all-0/all-1 patterns resolve to any word
+//!    width).
+//! 2. If the last operation of SMarch is a write, append a read.
+//! 3. Transform SMarch into the transparent **TSMarch** with the classical
+//!    rules ([`crate::nicolaidis`]) — *without* the final restore element,
+//!    which Algorithm 1 delegates to ATMarch's closing element.
+//! 4. Append **ATMarch** ([`crate::atmarch`]): one element per standard data
+//!    background `D_k`, plus a closing element that also restores the
+//!    content when TSMarch left it complemented.
+//! 5. **TWMarch** = TSMarch ; ATMarch. The signature-prediction test is its
+//!    read-only projection.
+
+use twm_march::{DataPattern, MarchElement, MarchTest, Operation};
+
+use crate::atmarch::{atmarch, MIN_WORD_WIDTH};
+use crate::nicolaidis::{to_transparent_with, track_states, TransparentOptions};
+use crate::CoreError;
+
+/// Transformer from bit-oriented march tests to transparent word-oriented
+/// march tests for a fixed word width (the paper's TWM_TA).
+///
+/// ```
+/// use twm_core::TwmTransformer;
+/// use twm_march::algorithms::march_c_minus;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let transformer = TwmTransformer::new(32)?;
+/// let result = transformer.transform(&march_c_minus())?;
+/// assert_eq!(result.transparent_test().operations_per_word(), 35);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwmTransformer {
+    width: usize,
+}
+
+impl TwmTransformer {
+    /// Creates a transformer for a memory with `width`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidWidth`] if `width` is below 2 or above the
+    /// supported maximum word width.
+    pub fn new(width: usize) -> Result<Self, CoreError> {
+        if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+            return Err(CoreError::InvalidWidth { width });
+        }
+        Ok(Self { width })
+    }
+
+    /// The word width this transformer targets.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Transforms a bit-oriented march test into a transparent word-oriented
+    /// march test.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NotBitOriented`] if the input is not a bit-oriented
+    ///   march test.
+    /// * [`CoreError::InconsistentMarch`] if the input's reads are
+    ///   inconsistent with its own writes.
+    /// * [`CoreError::March`] for structural errors.
+    pub fn transform(&self, bmarch: &MarchTest) -> Result<TwmTransformed, CoreError> {
+        if !bmarch.is_bit_oriented() {
+            return Err(CoreError::NotBitOriented {
+                test: bmarch.name().to_string(),
+            });
+        }
+
+        // Step 1: solid data backgrounds. The all-0/all-1 patterns of the
+        // bit-oriented test already denote solid word backgrounds, so SMarch
+        // is structurally the same test under a new name.
+        let track = track_states(bmarch)?;
+        let mut smarch = bmarch.renamed(format!("SMarch ({})", bmarch.name()));
+
+        // Step 2: if the last operation is a write, append a read of the
+        // value that write left behind.
+        if track.ends_with_write {
+            let final_pattern = track.final_state.unwrap_or(DataPattern::Zeros);
+            smarch = smarch.with_element(MarchElement::any_order(vec![Operation::read(
+                twm_march::DataSpec::Literal(final_pattern),
+            )]));
+        }
+
+        // Step 3: transparent transformation, without the restore element
+        // (ATMarch's closing element takes care of restoration).
+        let transparent = to_transparent_with(
+            &smarch,
+            TransparentOptions {
+                restore_content: false,
+            },
+        )?;
+        let tsmarch = transparent
+            .transparent_test()
+            .renamed(format!("TSMarch ({})", bmarch.name()));
+
+        // Step 4: the branch of Algorithm 1 depends on whether TSMarch left
+        // the content equal to the initial content or complemented.
+        let content_inverted = match transparent.final_state() {
+            DataPattern::Zeros => false,
+            DataPattern::Ones => true,
+            other => {
+                return Err(CoreError::InconsistentMarch {
+                    element: 0,
+                    operation: 0,
+                    detail: format!(
+                        "TSMarch leaves the content XOR-shifted by {other}, which TWM_TA does not support"
+                    ),
+                })
+            }
+        };
+        let atmarch_test = atmarch(self.width, content_inverted)?;
+
+        // Step 5: TWMarch and its signature prediction.
+        let twmarch = tsmarch.concatenated(
+            &atmarch_test,
+            format!("TWMarch ({}, W={})", bmarch.name(), self.width),
+        );
+        let prediction = twmarch.reads_only(&format!(
+            "TWMarch prediction ({}, W={})",
+            bmarch.name(),
+            self.width
+        ))?;
+
+        Ok(TwmTransformed {
+            width: self.width,
+            source_name: bmarch.name().to_string(),
+            smarch,
+            tsmarch,
+            atmarch: atmarch_test,
+            twmarch,
+            prediction,
+            content_inverted,
+        })
+    }
+}
+
+/// The result of applying TWM_TA to a bit-oriented march test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwmTransformed {
+    width: usize,
+    source_name: String,
+    smarch: MarchTest,
+    tsmarch: MarchTest,
+    atmarch: MarchTest,
+    twmarch: MarchTest,
+    prediction: MarchTest,
+    content_inverted: bool,
+}
+
+impl TwmTransformed {
+    /// The word width the transformation targets.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Name of the source bit-oriented march test.
+    #[must_use]
+    pub fn source_name(&self) -> &str {
+        &self.source_name
+    }
+
+    /// The solid-background march test (SMarch), including the appended read
+    /// when the source ends with a write.
+    #[must_use]
+    pub fn smarch(&self) -> &MarchTest {
+        &self.smarch
+    }
+
+    /// The transparent solid-background test (TSMarch).
+    #[must_use]
+    pub fn tsmarch(&self) -> &MarchTest {
+        &self.tsmarch
+    }
+
+    /// The added transparent march test (ATMarch).
+    #[must_use]
+    pub fn atmarch(&self) -> &MarchTest {
+        &self.atmarch
+    }
+
+    /// The complete transparent word-oriented march test
+    /// (TWMarch = TSMarch ; ATMarch).
+    #[must_use]
+    pub fn transparent_test(&self) -> &MarchTest {
+        &self.twmarch
+    }
+
+    /// The signature-prediction test (read-only projection of TWMarch).
+    #[must_use]
+    pub fn signature_prediction(&self) -> &MarchTest {
+        &self.prediction
+    }
+
+    /// Whether ATMarch's inverted-content branch was taken (the content
+    /// after TSMarch was the complement of the initial content).
+    #[must_use]
+    pub fn content_inverted(&self) -> bool {
+        self.content_inverted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::{march_c_minus, march_lr, march_u, mats_plus};
+
+    #[test]
+    fn march_u_8_bit_matches_paper_worked_example() {
+        // Section 4: the transparent word-oriented March U for 8-bit words
+        // has complexity 29 operations per word.
+        let result = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+        assert_eq!(result.tsmarch().length().operations, 13);
+        assert_eq!(result.atmarch().length().operations, 16);
+        assert_eq!(result.transparent_test().operations_per_word(), 29);
+        assert!(!result.content_inverted());
+        assert_eq!(
+            result.tsmarch().to_string(),
+            "⇑(rc,w~c,r~c,wc); ⇑(rc,w~c); ⇓(r~c,wc,rc,w~c); ⇓(r~c,wc); ⇕(rc)"
+        );
+    }
+
+    #[test]
+    fn march_c_minus_32_bit_matches_closed_form() {
+        // TCM = M + 5·log2(W) = 10 + 25 = 35 for March C- and 32-bit words.
+        let result = TwmTransformer::new(32)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        assert_eq!(result.transparent_test().operations_per_word(), 35);
+        // The prediction test is the read-only projection.
+        assert_eq!(
+            result.signature_prediction().length().writes,
+            0
+        );
+        assert_eq!(
+            result.signature_prediction().length().reads,
+            result.transparent_test().length().reads
+        );
+    }
+
+    #[test]
+    fn transformation_outputs_are_transparent(){
+        for march in twm_march::algorithms::all() {
+            let result = TwmTransformer::new(16).unwrap().transform(&march).unwrap();
+            assert!(result.transparent_test().is_transparent(), "{}", march.name());
+            assert!(result.signature_prediction().is_transparent(), "{}", march.name());
+        }
+    }
+
+    #[test]
+    fn smarch_appends_read_only_when_needed() {
+        // March U ends with a write: one read appended.
+        let result = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+        assert_eq!(
+            result.smarch().length().operations,
+            march_u().length().operations + 1
+        );
+        // March C- ends with a read: nothing appended.
+        let result = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        assert_eq!(
+            result.smarch().length().operations,
+            march_c_minus().length().operations
+        );
+        // MATS+ ends with a write as well.
+        let result = TwmTransformer::new(8).unwrap().transform(&mats_plus()).unwrap();
+        assert_eq!(
+            result.smarch().length().operations,
+            mats_plus().length().operations + 1
+        );
+    }
+
+    #[test]
+    fn complexity_follows_m_plus_5_log2_w_for_read_terminated_tests() {
+        // For tests satisfying the paper's assumptions (initialization write,
+        // read-first elements, read-terminated), TCM = M + 5·log2(W).
+        for width in [4usize, 8, 16, 32, 64, 128] {
+            let log2w = twm_march::background::background_degree(width);
+            for march in [march_c_minus(), march_lr()] {
+                let result = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+                assert_eq!(
+                    result.transparent_test().operations_per_word(),
+                    march.length().operations + 5 * log2w,
+                    "{} at width {width}",
+                    march.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_widths_and_non_bit_oriented_inputs() {
+        assert!(matches!(TwmTransformer::new(1), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(TwmTransformer::new(129), Err(CoreError::InvalidWidth { .. })));
+
+        let transformer = TwmTransformer::new(8).unwrap();
+        let transparent = crate::nicolaidis::to_transparent(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .clone();
+        assert!(matches!(
+            transformer.transform(&transparent),
+            Err(CoreError::NotBitOriented { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_expose_all_stages() {
+        let result = TwmTransformer::new(16).unwrap().transform(&march_u()).unwrap();
+        assert_eq!(result.width(), 16);
+        assert_eq!(result.source_name(), "March U");
+        assert!(result.smarch().name().starts_with("SMarch"));
+        assert!(result.tsmarch().name().starts_with("TSMarch"));
+        assert!(result.atmarch().name().starts_with("ATMarch"));
+        assert!(result.transparent_test().name().starts_with("TWMarch"));
+        assert!(result.signature_prediction().name().contains("prediction"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural verification of transparent march tests.
+//!
+//! Two properties make a march test *transparent*:
+//!
+//! 1. every operation's data is expressed relative to the word's initial
+//!    content (an XOR offset), so no information about the content is
+//!    required up front; and
+//! 2. the net effect of the writes leaves every word holding its initial
+//!    content when the test completes.
+//!
+//! [`check_transparent`] verifies both statically (without running the test
+//! on a memory); the BIST executor additionally verifies restoration
+//! dynamically in the integration tests.
+
+use twm_march::{DataPattern, DataSpec, MarchTest, OpKind};
+
+use crate::CoreError;
+
+/// Whether every operation's data is transparent (an XOR offset of the
+/// initial content).
+#[must_use]
+pub fn all_data_transparent(test: &MarchTest) -> bool {
+    test.is_transparent()
+}
+
+/// The XOR offset of the memory content relative to its initial content
+/// after the test completes, tracked structurally.
+///
+/// # Errors
+///
+/// * [`CoreError::NotBitOriented`] if the test contains non-transparent
+///   (literal) data.
+/// * [`CoreError::InconsistentMarch`] if a read expects an offset different
+///   from the one established by the preceding writes.
+pub fn final_content_offset(test: &MarchTest) -> Result<DataPattern, CoreError> {
+    let mut state = DataPattern::Zeros;
+    for (element_index, element) in test.elements().iter().enumerate() {
+        for (op_index, op) in element.ops.iter().enumerate() {
+            let pattern = match op.data {
+                DataSpec::TransparentXor(p) => p,
+                DataSpec::Literal(_) => {
+                    return Err(CoreError::NotBitOriented {
+                        test: test.name().to_string(),
+                    })
+                }
+            };
+            match op.kind {
+                OpKind::Read => {
+                    if pattern != state {
+                        return Err(CoreError::InconsistentMarch {
+                            element: element_index,
+                            operation: op_index,
+                            detail: format!(
+                                "read expects offset {pattern} but the tracked offset is {state}"
+                            ),
+                        });
+                    }
+                }
+                OpKind::Write => state = pattern,
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Checks that a march test is transparent: all data relative to the initial
+/// content, reads consistent with the preceding writes, and the content
+/// restored at the end.
+///
+/// # Errors
+///
+/// Returns the errors of [`final_content_offset`], or
+/// [`CoreError::InconsistentMarch`] if the final content offset is not zero
+/// (the content would not be restored).
+pub fn check_transparent(test: &MarchTest) -> Result<(), CoreError> {
+    let offset = final_content_offset(test)?;
+    if offset != DataPattern::Zeros {
+        return Err(CoreError::InconsistentMarch {
+            element: test.element_count().saturating_sub(1),
+            operation: 0,
+            detail: format!("test leaves the content XOR-shifted by {offset}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scheme1Transformer, TwmTransformer};
+    use twm_march::algorithms::all;
+    use twm_march::{MarchElement as El, MarchTest, Operation as Op};
+
+    #[test]
+    fn twm_outputs_pass_the_structural_check() {
+        for march in all() {
+            for width in [4usize, 8, 32] {
+                let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+                check_transparent(transformed.transparent_test())
+                    .unwrap_or_else(|e| panic!("{} W={width}: {e}", march.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn scheme1_outputs_pass_the_structural_check() {
+        for march in all() {
+            let transformed = Scheme1Transformer::new(8).unwrap().transform(&march).unwrap();
+            check_transparent(transformed.transparent_test())
+                .unwrap_or_else(|e| panic!("{}: {e}", march.name()));
+        }
+    }
+
+    #[test]
+    fn non_restoring_test_is_rejected() {
+        let test = MarchTest::new(
+            "leaves complement",
+            vec![El::ascending(vec![
+                Op::read_content(),
+                Op::write_content_complement(),
+            ])],
+        )
+        .unwrap();
+        assert!(all_data_transparent(&test));
+        assert_eq!(final_content_offset(&test).unwrap(), DataPattern::Ones);
+        assert!(check_transparent(&test).is_err());
+    }
+
+    #[test]
+    fn literal_data_is_rejected() {
+        let test = MarchTest::new("literal", vec![El::ascending(vec![Op::r0()])]).unwrap();
+        assert!(!all_data_transparent(&test));
+        assert!(matches!(
+            final_content_offset(&test),
+            Err(CoreError::NotBitOriented { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_read_offset_is_rejected() {
+        let test = MarchTest::new(
+            "inconsistent",
+            vec![El::ascending(vec![
+                Op::read_content_complement(),
+                Op::write_content(),
+            ])],
+        )
+        .unwrap();
+        assert!(matches!(
+            final_content_offset(&test),
+            Err(CoreError::InconsistentMarch { .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the transformation algorithms.
+
+use proptest::prelude::*;
+
+use twm_core::complexity::{proposed_formula, scheme1_formula};
+use twm_core::verify::check_transparent;
+use twm_core::{to_transparent, Scheme1Transformer, TwmTransformer};
+use twm_march::background::background_degree;
+use twm_march::{algorithms, MarchElement, MarchTest, Operation};
+
+/// Generates structurally valid bit-oriented march tests: an initialization
+/// element followed by read-first elements whose reads match the value left
+/// by the preceding operations.
+fn arb_consistent_march() -> impl Strategy<Value = MarchTest> {
+    // Each element is described by a sequence of "flip" decisions: starting
+    // from the tracked state, read it, then perform 1..3 writes alternating
+    // the value.
+    prop::collection::vec((any::<bool>(), 1usize..4), 1..6).prop_map(|descriptors| {
+        let mut elements = vec![MarchElement::any_order(vec![Operation::w0()])];
+        let mut state = false;
+        for (descending, writes) in descriptors {
+            let mut ops = vec![if state { Operation::r1() } else { Operation::r0() }];
+            for _ in 0..writes {
+                state = !state;
+                ops.push(if state { Operation::w1() } else { Operation::w0() });
+            }
+            let element = if descending {
+                MarchElement::descending(ops)
+            } else {
+                MarchElement::ascending(ops)
+            };
+            elements.push(element);
+        }
+        MarchTest::new("generated", elements).expect("valid elements")
+    })
+}
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32), Just(64), Just(128)]
+}
+
+proptest! {
+    /// The classical transparent transformation always yields a structurally
+    /// transparent, content-restoring test whose prediction is write-free.
+    #[test]
+    fn nicolaidis_transform_is_structurally_transparent(march in arb_consistent_march()) {
+        let result = to_transparent(&march).unwrap();
+        prop_assert!(check_transparent(result.transparent_test()).is_ok());
+        prop_assert_eq!(result.signature_prediction().length().writes, 0);
+    }
+
+    /// TWM_TA output is structurally transparent for every generated test
+    /// and width, and its length never exceeds M + 1 + 5·log2(W) + 1.
+    #[test]
+    fn twm_ta_output_is_transparent_and_bounded(
+        march in arb_consistent_march(),
+        width in arb_width(),
+    ) {
+        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
+        let m = march.length().operations;
+        let log2w = background_degree(width);
+        let tcm = transformed.transparent_test().operations_per_word();
+        // Closed form M + 5·log2(W), plus at most one appended read and one
+        // extra restore operation in the inverted-content branch.
+        prop_assert!(tcm >= m - 1 + 5 * log2w);
+        prop_assert!(tcm <= m + 2 + 5 * log2w);
+        // The prediction test is exactly the reads of the transparent test.
+        prop_assert_eq!(
+            transformed.signature_prediction().length().reads,
+            transformed.transparent_test().length().reads
+        );
+    }
+
+    /// The proposed scheme beats Scheme 1 whenever the bit-oriented test is
+    /// non-trivial. In the closed-form model the exact break-even point is
+    /// M + Q = 7·L / L = 7: TWM_TA adds a fixed 7·log2(W) operations while
+    /// Scheme 1 multiplies the whole test by log2(W)+1, so the proposed
+    /// scheme wins exactly when M + Q > 7 — which every practical march test
+    /// satisfies (MATS+ is the shortest at M + Q = 7).
+    #[test]
+    fn proposed_beats_scheme1_on_generated_tests(
+        march in arb_consistent_march(),
+        width in prop_oneof![Just(8usize), Just(32), Just(128)],
+    ) {
+        let length = march.length();
+        prop_assume!(length.operations + length.reads > 8);
+        let formula_proposed = proposed_formula(length, width).total();
+        let formula_scheme1 = scheme1_formula(length, width).total();
+        prop_assert!(formula_proposed < formula_scheme1);
+
+        let proposed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let scheme1 = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
+        prop_assert!(
+            proposed.transparent_test().operations_per_word()
+                < scheme1.transparent_test().operations_per_word()
+        );
+    }
+
+    /// Transforming any library algorithm twice gives identical output
+    /// (the transformation is deterministic).
+    #[test]
+    fn transformation_is_deterministic(index in 0usize..11, width in arb_width()) {
+        let all = algorithms::all();
+        let march = &all[index % all.len()];
+        let a = TwmTransformer::new(width).unwrap().transform(march).unwrap();
+        let b = TwmTransformer::new(width).unwrap().transform(march).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

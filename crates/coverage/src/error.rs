@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use twm_bist::BistError;
+use twm_mem::MemError;
+
+/// Errors produced by the coverage evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoverageError {
+    /// The fault list is empty, so no coverage can be computed.
+    EmptyUniverse,
+    /// An underlying BIST-engine error.
+    Bist(BistError),
+    /// An underlying memory error.
+    Mem(MemError),
+    /// The analysed test is not usable for the requested analysis.
+    UnsupportedTest {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageError::EmptyUniverse => write!(f, "fault universe contains no faults"),
+            CoverageError::Bist(err) => write!(f, "bist error: {err}"),
+            CoverageError::Mem(err) => write!(f, "memory error: {err}"),
+            CoverageError::UnsupportedTest { detail } => {
+                write!(f, "unsupported test for this analysis: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoverageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoverageError::Bist(err) => Some(err),
+            CoverageError::Mem(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<BistError> for CoverageError {
+    fn from(err: BistError) -> Self {
+        CoverageError::Bist(err)
+    }
+}
+
+impl From<MemError> for CoverageError {
+    fn from(err: MemError) -> Self {
+        CoverageError::Mem(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let err: CoverageError = MemError::EmptyMemory.into();
+        assert!(err.source().is_some());
+        let err: CoverageError = BistError::EmptyWindowModel.into();
+        assert!(err.to_string().contains("bist error"));
+        assert!(!CoverageError::EmptyUniverse.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoverageError>();
+    }
+}

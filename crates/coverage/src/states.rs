@@ -1,0 +1,415 @@
+//! State-traversal analysis behind the paper's Figure 1.
+//!
+//! * **Figure 1(a)** — two arbitrary cells (or words) `i < j`: a march test
+//!   detects 100 % of the coupling faults between them only if it drives the
+//!   pair through all states and excites every aggressor-transition /
+//!   victim-value combination, reading the victim before rewriting it.
+//!   [`analyze_cell_pair`] measures exactly which of those excitation
+//!   conditions a bit-oriented march test covers.
+//! * **Figure 1(b)** — two bits inside a word: a word-oriented test covers
+//!   the intra-word coupling conditions when the pair is written to both
+//!   solid states and to a mixed state (and back), each write followed by a
+//!   read. [`analyze_intra_word_pair`] measures those four conditions for a
+//!   (possibly transparent) word-oriented test; they are what SMarch and
+//!   ATMarch/AMarch together provide.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::{MarchTest, OpKind};
+use twm_mem::{AddressSequence, Transition, Word};
+
+use crate::CoverageError;
+
+/// One coupling-fault excitation condition between two tracked cells: a
+/// transition of the aggressor while the victim holds a given value,
+/// followed by a read of the victim before it is rewritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairCondition {
+    /// Whether the aggressor is the lower-addressed cell of the pair.
+    pub aggressor_is_lower: bool,
+    /// Direction of the aggressor transition.
+    pub transition: Transition,
+    /// Value the victim held when the aggressor transitioned.
+    pub victim_value: bool,
+}
+
+impl PairCondition {
+    /// All eight conditions required for full coupling-fault detection
+    /// between an ordered pair of cells.
+    #[must_use]
+    pub fn all() -> Vec<PairCondition> {
+        let mut conditions = Vec::with_capacity(8);
+        for aggressor_is_lower in [true, false] {
+            for transition in [Transition::Rising, Transition::Falling] {
+                for victim_value in [false, true] {
+                    conditions.push(PairCondition {
+                        aggressor_is_lower,
+                        transition,
+                        victim_value,
+                    });
+                }
+            }
+        }
+        conditions
+    }
+}
+
+/// Coverage of the two-cell state diagram of Figure 1(a) by a bit-oriented
+/// march test.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStateCoverage {
+    /// Value states `(lower, higher)` the pair visited.
+    pub states_visited: BTreeSet<(bool, bool)>,
+    /// Excitation conditions that were covered (transition observed and the
+    /// victim read before being rewritten).
+    pub conditions_covered: BTreeSet<PairCondition>,
+}
+
+impl PairStateCoverage {
+    /// Whether all four value states were visited.
+    #[must_use]
+    pub fn all_states_visited(&self) -> bool {
+        self.states_visited.len() == 4
+    }
+
+    /// Whether all eight coupling-fault excitation conditions were covered.
+    #[must_use]
+    pub fn all_conditions_covered(&self) -> bool {
+        self.conditions_covered.len() == 8
+    }
+
+    /// Conditions that were not covered.
+    #[must_use]
+    pub fn missing_conditions(&self) -> Vec<PairCondition> {
+        PairCondition::all()
+            .into_iter()
+            .filter(|c| !self.conditions_covered.contains(c))
+            .collect()
+    }
+}
+
+/// Analyses which two-cell states and coupling-fault excitation conditions a
+/// bit-oriented march test covers for the cell pair `(lower, higher)` in a
+/// `cells`-cell memory.
+///
+/// # Errors
+///
+/// Returns [`CoverageError::UnsupportedTest`] if the test is not a
+/// bit-oriented march test or if the pair/cell indices are invalid.
+pub fn analyze_cell_pair(
+    test: &MarchTest,
+    lower: usize,
+    higher: usize,
+    cells: usize,
+) -> Result<PairStateCoverage, CoverageError> {
+    if !test.is_bit_oriented() {
+        return Err(CoverageError::UnsupportedTest {
+            detail: format!("{} is not a bit-oriented march test", test.name()),
+        });
+    }
+    if lower >= higher || higher >= cells {
+        return Err(CoverageError::UnsupportedTest {
+            detail: format!("invalid cell pair ({lower}, {higher}) for {cells} cells"),
+        });
+    }
+
+    let mut values = vec![false; cells];
+    let mut coverage = PairStateCoverage::default();
+    coverage.states_visited.insert((false, false));
+
+    // Conditions excited but not yet confirmed by a read of the victim.
+    let mut pending_for_lower: Vec<PairCondition> = Vec::new();
+    let mut pending_for_higher: Vec<PairCondition> = Vec::new();
+
+    for element in test.elements() {
+        for address in AddressSequence::new(cells, element.order) {
+            for op in &element.ops {
+                let one = op
+                    .data
+                    .pattern()
+                    .resolve(1)
+                    .map_err(|e| CoverageError::UnsupportedTest {
+                        detail: format!("unresolvable data: {e}"),
+                    })?
+                    .bit(0);
+                match op.kind {
+                    OpKind::Write => {
+                        let old = values[address];
+                        values[address] = one;
+                        if address == lower || address == higher {
+                            // A write to the victim masks pending conditions
+                            // targeting it.
+                            if address == lower {
+                                pending_for_lower.clear();
+                            } else {
+                                pending_for_higher.clear();
+                            }
+                            if let Some(transition) = Transition::between(old, one) {
+                                let aggressor_is_lower = address == lower;
+                                let victim = if aggressor_is_lower { higher } else { lower };
+                                let condition = PairCondition {
+                                    aggressor_is_lower,
+                                    transition,
+                                    victim_value: values[victim],
+                                };
+                                if aggressor_is_lower {
+                                    pending_for_higher.push(condition);
+                                } else {
+                                    pending_for_lower.push(condition);
+                                }
+                            }
+                            coverage.states_visited.insert((values[lower], values[higher]));
+                        }
+                    }
+                    OpKind::Read => {
+                        if address == lower {
+                            coverage.conditions_covered.extend(pending_for_lower.drain(..));
+                        } else if address == higher {
+                            coverage.conditions_covered.extend(pending_for_higher.drain(..));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(coverage)
+}
+
+/// The four intra-word pair conditions of Figure 1(b), relative to a pair of
+/// bit positions inside a word and the word's initial content.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntraWordPairCoverage {
+    /// The pair was written with both bits complemented and then read.
+    pub both_complemented_read: bool,
+    /// The pair was written back to both initial values (coming from the
+    /// fully complemented state) and then read.
+    pub restored_from_complement_read: bool,
+    /// The pair was written to a mixed state (exactly one bit complemented)
+    /// and then read.
+    pub mixed_read: bool,
+    /// The pair was written back to both initial values (coming from a mixed
+    /// state) and then read.
+    pub restored_from_mixed_read: bool,
+}
+
+impl IntraWordPairCoverage {
+    /// Whether all four conditions are covered.
+    #[must_use]
+    pub fn all_covered(&self) -> bool {
+        self.both_complemented_read
+            && self.restored_from_complement_read
+            && self.mixed_read
+            && self.restored_from_mixed_read
+    }
+
+    /// Number of covered conditions (0–4).
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        usize::from(self.both_complemented_read)
+            + usize::from(self.restored_from_complement_read)
+            + usize::from(self.mixed_read)
+            + usize::from(self.restored_from_mixed_read)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairEvent {
+    BothComplemented,
+    RestoredFromComplement,
+    Mixed,
+    RestoredFromMixed,
+}
+
+/// Analyses the intra-word pair conditions a word-oriented march test covers
+/// for bit positions `bit_a` and `bit_b` of a `width`-bit word with the given
+/// initial content.
+///
+/// The test is simulated on a single-word fault-free memory.
+///
+/// # Errors
+///
+/// Returns [`CoverageError::UnsupportedTest`] for invalid bit positions or
+/// data that cannot be resolved for the width.
+pub fn analyze_intra_word_pair(
+    test: &MarchTest,
+    bit_a: usize,
+    bit_b: usize,
+    initial: Word,
+) -> Result<IntraWordPairCoverage, CoverageError> {
+    let width = initial.width();
+    if bit_a == bit_b || bit_a >= width || bit_b >= width {
+        return Err(CoverageError::UnsupportedTest {
+            detail: format!("invalid bit pair ({bit_a}, {bit_b}) for {width}-bit words"),
+        });
+    }
+    let initial_pair = (initial.bit(bit_a), initial.bit(bit_b));
+    let mut current = initial;
+    let mut coverage = IntraWordPairCoverage::default();
+    let mut pending: Option<PairEvent> = None;
+
+    for element in test.elements() {
+        for op in &element.ops {
+            let value = op
+                .data
+                .resolve(initial)
+                .map_err(|e| CoverageError::UnsupportedTest {
+                    detail: format!("unresolvable data: {e}"),
+                })?;
+            match op.kind {
+                OpKind::Write => {
+                    let previous_pair = (current.bit(bit_a), current.bit(bit_b));
+                    let new_pair = (value.bit(bit_a), value.bit(bit_b));
+                    current = value;
+                    pending = classify_pair_event(initial_pair, previous_pair, new_pair);
+                }
+                OpKind::Read => {
+                    if let Some(event) = pending {
+                        match event {
+                            PairEvent::BothComplemented => coverage.both_complemented_read = true,
+                            PairEvent::RestoredFromComplement => {
+                                coverage.restored_from_complement_read = true;
+                            }
+                            PairEvent::Mixed => coverage.mixed_read = true,
+                            PairEvent::RestoredFromMixed => {
+                                coverage.restored_from_mixed_read = true;
+                            }
+                        }
+                        pending = None;
+                    }
+                }
+            }
+        }
+    }
+    Ok(coverage)
+}
+
+fn classify_pair_event(
+    initial: (bool, bool),
+    previous: (bool, bool),
+    new: (bool, bool),
+) -> Option<PairEvent> {
+    let complemented = (!initial.0, !initial.1);
+    let is_mixed = |pair: (bool, bool)| {
+        (pair.0 == initial.0) != (pair.1 == initial.1)
+    };
+    if new == complemented {
+        Some(PairEvent::BothComplemented)
+    } else if new == initial && previous == complemented {
+        Some(PairEvent::RestoredFromComplement)
+    } else if is_mixed(new) {
+        Some(PairEvent::Mixed)
+    } else if new == initial && is_mixed(previous) {
+        Some(PairEvent::RestoredFromMixed)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_core::TwmTransformer;
+    use twm_march::algorithms::{march_c_minus, march_u, mats_plus};
+
+    #[test]
+    fn march_c_minus_covers_all_pair_states_and_conditions() {
+        // Figure 1(a): March C- drives any two cells through all states and
+        // excites every coupling-fault condition.
+        for (lower, higher) in [(0usize, 1usize), (2, 7), (0, 9)] {
+            let coverage = analyze_cell_pair(&march_c_minus(), lower, higher, 10).unwrap();
+            assert!(coverage.all_states_visited(), "states for ({lower},{higher})");
+            assert!(
+                coverage.all_conditions_covered(),
+                "conditions for ({lower},{higher}): missing {:?}",
+                coverage.missing_conditions()
+            );
+        }
+    }
+
+    #[test]
+    fn march_u_covers_all_pair_conditions() {
+        let coverage = analyze_cell_pair(&march_u(), 1, 5, 8).unwrap();
+        assert!(coverage.all_conditions_covered());
+    }
+
+    #[test]
+    fn mats_plus_misses_pair_conditions() {
+        let coverage = analyze_cell_pair(&mats_plus(), 0, 3, 8).unwrap();
+        assert!(!coverage.all_conditions_covered());
+        assert!(!coverage.missing_conditions().is_empty());
+    }
+
+    #[test]
+    fn pair_analysis_rejects_bad_inputs() {
+        assert!(analyze_cell_pair(&march_c_minus(), 3, 3, 8).is_err());
+        assert!(analyze_cell_pair(&march_c_minus(), 5, 2, 8).is_err());
+        assert!(analyze_cell_pair(&march_c_minus(), 0, 9, 8).is_err());
+        let transparent = TwmTransformer::new(4)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap()
+            .transparent_test()
+            .clone();
+        assert!(analyze_cell_pair(&transparent, 0, 1, 8).is_err());
+    }
+
+    #[test]
+    fn twmarch_covers_all_intra_word_pair_conditions() {
+        // Figure 1(b): TSMarch provides the two solid conditions, ATMarch the
+        // two mixed ones — together all four, for every bit pair and any
+        // initial content.
+        let width = 8;
+        let transformed = TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        for seed in [0u128, 0xAB, 0x5A, 0xFF] {
+            let initial = Word::from_bits(seed, width).unwrap();
+            for a in 0..width {
+                for b in 0..width {
+                    if a == b {
+                        continue;
+                    }
+                    let coverage = analyze_intra_word_pair(
+                        transformed.transparent_test(),
+                        a,
+                        b,
+                        initial,
+                    )
+                    .unwrap();
+                    assert!(
+                        coverage.all_covered(),
+                        "pair ({a},{b}) with content {initial}: {coverage:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tsmarch_alone_misses_the_mixed_conditions() {
+        let width = 8;
+        let transformed = TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let initial = Word::from_bits(0x3C, width).unwrap();
+        let coverage =
+            analyze_intra_word_pair(transformed.tsmarch(), 0, 5, initial).unwrap();
+        assert!(coverage.both_complemented_read);
+        assert!(coverage.restored_from_complement_read);
+        assert!(!coverage.mixed_read);
+        assert!(!coverage.restored_from_mixed_read);
+        assert_eq!(coverage.covered_count(), 2);
+    }
+
+    #[test]
+    fn intra_word_analysis_rejects_bad_pairs() {
+        let initial = Word::zeros(8);
+        let test = march_c_minus();
+        assert!(analyze_intra_word_pair(&test, 1, 1, initial).is_err());
+        assert!(analyze_intra_word_pair(&test, 0, 8, initial).is_err());
+    }
+}

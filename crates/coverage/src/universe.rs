@@ -1,0 +1,344 @@
+//! Enumeration and sampling of the functional fault universe.
+//!
+//! For an `N × W` memory the full coupling-fault universe is quadratic in
+//! the number of cells, so the builder supports restricting the aggressor /
+//! victim pairs to the scopes that matter for the paper's analysis (cells in
+//! the same word, cells in adjacent words) and down-sampling the result
+//! deterministically.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use twm_mem::{BitAddress, Fault, FaultClass, MemoryConfig, Transition};
+
+/// Which aggressor/victim cell pairs to enumerate for coupling faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CouplingScope {
+    /// Every ordered pair of distinct cells (quadratic — only for tiny
+    /// memories).
+    AllPairs,
+    /// Only pairs of distinct cells within the same word (intra-word
+    /// coupling faults).
+    SameWord,
+    /// Only pairs of cells in adjacent words (a representative subset of
+    /// inter-word coupling faults).
+    AdjacentWords,
+    /// Intra-word pairs plus adjacent-word pairs (the default: covers both
+    /// fault populations of the paper's Section 5 at manageable size).
+    #[default]
+    SameWordAndAdjacent,
+}
+
+impl CouplingScope {
+    fn pairs(self, config: MemoryConfig) -> Vec<(BitAddress, BitAddress)> {
+        let words = config.words();
+        let width = config.width();
+        let mut pairs = Vec::new();
+        match self {
+            CouplingScope::AllPairs => {
+                for aw in 0..words {
+                    for ab in 0..width {
+                        for vw in 0..words {
+                            for vb in 0..width {
+                                if (aw, ab) != (vw, vb) {
+                                    pairs.push((BitAddress::new(aw, ab), BitAddress::new(vw, vb)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            CouplingScope::SameWord => {
+                for w in 0..words {
+                    for ab in 0..width {
+                        for vb in 0..width {
+                            if ab != vb {
+                                pairs.push((BitAddress::new(w, ab), BitAddress::new(w, vb)));
+                            }
+                        }
+                    }
+                }
+            }
+            CouplingScope::AdjacentWords => {
+                for w in 0..words.saturating_sub(1) {
+                    for ab in 0..width {
+                        for vb in 0..width {
+                            pairs.push((BitAddress::new(w, ab), BitAddress::new(w + 1, vb)));
+                            pairs.push((BitAddress::new(w + 1, ab), BitAddress::new(w, vb)));
+                        }
+                    }
+                }
+            }
+            CouplingScope::SameWordAndAdjacent => {
+                pairs.extend(CouplingScope::SameWord.pairs(config));
+                pairs.extend(CouplingScope::AdjacentWords.pairs(config));
+            }
+        }
+        pairs
+    }
+}
+
+/// Builder for fault universes.
+///
+/// Chain the per-class methods to select which fault classes to enumerate,
+/// then call [`UniverseBuilder::build`]. With no class selected, every class
+/// is included.
+#[derive(Debug, Clone)]
+pub struct UniverseBuilder {
+    config: MemoryConfig,
+    classes: Vec<FaultClass>,
+    scope: CouplingScope,
+    sample: Option<(usize, u64)>,
+}
+
+impl UniverseBuilder {
+    /// Starts a builder for the given memory shape.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            config,
+            classes: Vec::new(),
+            scope: CouplingScope::default(),
+            sample: None,
+        }
+    }
+
+    /// Includes stuck-at faults.
+    #[must_use]
+    pub fn stuck_at(mut self) -> Self {
+        self.classes.push(FaultClass::Saf);
+        self
+    }
+
+    /// Includes transition faults.
+    #[must_use]
+    pub fn transition(mut self) -> Self {
+        self.classes.push(FaultClass::Tf);
+        self
+    }
+
+    /// Includes state coupling faults.
+    #[must_use]
+    pub fn coupling_state(mut self) -> Self {
+        self.classes.push(FaultClass::Cfst);
+        self
+    }
+
+    /// Includes idempotent coupling faults.
+    #[must_use]
+    pub fn coupling_idempotent(mut self) -> Self {
+        self.classes.push(FaultClass::Cfid);
+        self
+    }
+
+    /// Includes inversion coupling faults.
+    #[must_use]
+    pub fn coupling_inversion(mut self) -> Self {
+        self.classes.push(FaultClass::Cfin);
+        self
+    }
+
+    /// Includes every fault class.
+    #[must_use]
+    pub fn all_classes(mut self) -> Self {
+        self.classes = FaultClass::all().to_vec();
+        self
+    }
+
+    /// Restricts which aggressor/victim pairs coupling faults are built for.
+    #[must_use]
+    pub fn coupling_scope(mut self, scope: CouplingScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Deterministically down-samples the universe to at most `count` faults
+    /// per class.
+    #[must_use]
+    pub fn sample_per_class(mut self, count: usize, seed: u64) -> Self {
+        self.sample = Some((count, seed));
+        self
+    }
+
+    /// Builds the fault list.
+    #[must_use]
+    pub fn build(&self) -> Vec<Fault> {
+        let classes = if self.classes.is_empty() {
+            FaultClass::all().to_vec()
+        } else {
+            self.classes.clone()
+        };
+        let mut faults = Vec::new();
+        for class in classes {
+            let mut class_faults = self.build_class(class);
+            if let Some((count, seed)) = self.sample {
+                if class_faults.len() > count {
+                    let mut rng = StdRng::seed_from_u64(seed ^ class as u64);
+                    class_faults.shuffle(&mut rng);
+                    class_faults.truncate(count);
+                }
+            }
+            faults.extend(class_faults);
+        }
+        faults
+    }
+
+    fn build_class(&self, class: FaultClass) -> Vec<Fault> {
+        let words = self.config.words();
+        let width = self.config.width();
+        let mut faults = Vec::new();
+        match class {
+            FaultClass::Saf => {
+                for w in 0..words {
+                    for b in 0..width {
+                        let cell = BitAddress::new(w, b);
+                        faults.push(Fault::stuck_at(cell, false));
+                        faults.push(Fault::stuck_at(cell, true));
+                    }
+                }
+            }
+            FaultClass::Tf => {
+                for w in 0..words {
+                    for b in 0..width {
+                        let cell = BitAddress::new(w, b);
+                        faults.push(Fault::transition(cell, Transition::Rising));
+                        faults.push(Fault::transition(cell, Transition::Falling));
+                    }
+                }
+            }
+            FaultClass::Cfst => {
+                for (aggressor, victim) in self.scope.pairs(self.config) {
+                    for aggressor_value in [false, true] {
+                        for victim_value in [false, true] {
+                            faults.push(Fault::coupling_state(
+                                aggressor,
+                                victim,
+                                aggressor_value,
+                                victim_value,
+                            ));
+                        }
+                    }
+                }
+            }
+            FaultClass::Cfid => {
+                for (aggressor, victim) in self.scope.pairs(self.config) {
+                    for transition in [Transition::Rising, Transition::Falling] {
+                        for victim_value in [false, true] {
+                            faults.push(Fault::coupling_idempotent(
+                                aggressor,
+                                victim,
+                                transition,
+                                victim_value,
+                            ));
+                        }
+                    }
+                }
+            }
+            FaultClass::Cfin => {
+                for (aggressor, victim) in self.scope.pairs(self.config) {
+                    for transition in [Transition::Rising, Transition::Falling] {
+                        faults.push(Fault::coupling_inversion(aggressor, victim, transition));
+                    }
+                }
+            }
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(words: usize, width: usize) -> MemoryConfig {
+        MemoryConfig::new(words, width).unwrap()
+    }
+
+    #[test]
+    fn saf_and_tf_counts_are_two_per_cell() {
+        let c = config(4, 8);
+        let safs = UniverseBuilder::new(c).stuck_at().build();
+        assert_eq!(safs.len(), 2 * 32);
+        let tfs = UniverseBuilder::new(c).transition().build();
+        assert_eq!(tfs.len(), 2 * 32);
+    }
+
+    #[test]
+    fn same_word_coupling_counts() {
+        let c = config(3, 4);
+        // Ordered pairs within a word: 4*3 = 12 per word, 3 words = 36 pairs.
+        let cfin = UniverseBuilder::new(c)
+            .coupling_inversion()
+            .coupling_scope(CouplingScope::SameWord)
+            .build();
+        assert_eq!(cfin.len(), 36 * 2);
+        assert!(cfin.iter().all(Fault::is_intra_word));
+
+        let cfid = UniverseBuilder::new(c)
+            .coupling_idempotent()
+            .coupling_scope(CouplingScope::SameWord)
+            .build();
+        assert_eq!(cfid.len(), 36 * 4);
+
+        let cfst = UniverseBuilder::new(c)
+            .coupling_state()
+            .coupling_scope(CouplingScope::SameWord)
+            .build();
+        assert_eq!(cfst.len(), 36 * 4);
+    }
+
+    #[test]
+    fn adjacent_word_coupling_is_inter_word() {
+        let c = config(3, 2);
+        let faults = UniverseBuilder::new(c)
+            .coupling_inversion()
+            .coupling_scope(CouplingScope::AdjacentWords)
+            .build();
+        // 2 word boundaries * 2 directions * 2*2 bit pairs * 2 transitions.
+        assert_eq!(faults.len(), 2 * 2 * 4 * 2);
+        assert!(faults.iter().all(Fault::is_inter_word));
+    }
+
+    #[test]
+    fn all_pairs_scope_covers_everything_for_tiny_memories() {
+        let c = config(2, 2);
+        let pairs = CouplingScope::AllPairs.pairs(c);
+        assert_eq!(pairs.len(), 4 * 3);
+        let default_scope = CouplingScope::default().pairs(c);
+        assert!(default_scope.len() <= pairs.len());
+    }
+
+    #[test]
+    fn default_build_includes_every_class() {
+        let faults = UniverseBuilder::new(config(2, 2)).build();
+        for class in FaultClass::all() {
+            assert!(
+                faults.iter().any(|f| f.class() == class),
+                "class {class} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let c = config(8, 8);
+        let a = UniverseBuilder::new(c)
+            .all_classes()
+            .sample_per_class(50, 7)
+            .build();
+        let b = UniverseBuilder::new(c)
+            .all_classes()
+            .sample_per_class(50, 7)
+            .build();
+        assert_eq!(a, b);
+        for class in FaultClass::all() {
+            assert!(a.iter().filter(|f| f.class() == class).count() <= 50);
+        }
+        let larger = UniverseBuilder::new(c)
+            .all_classes()
+            .sample_per_class(100, 7)
+            .build();
+        assert!(larger.len() >= a.len());
+    }
+}

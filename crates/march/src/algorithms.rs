@@ -1,0 +1,301 @@
+//! Library of classical bit-oriented march test algorithms.
+//!
+//! Every algorithm is returned as a [`MarchTest`] built from the published
+//! element sequences (van de Goor's notation). March C− and March U are the
+//! worked examples of the DATE 2005 paper; the others are provided so the
+//! transparent transformation can be exercised over a representative corpus.
+//!
+//! | Test | Operations per cell | Detects |
+//! |------|--------------------:|---------|
+//! | MATS+ | 5 | SAF, some AF |
+//! | MATS++ | 6 | SAF, TF |
+//! | March X | 6 | SAF, TF, CFin |
+//! | March Y | 8 | SAF, TF, CFin, linked TF |
+//! | March C− | 10 | SAF, TF, unlinked CFs |
+//! | March C | 11 | SAF, TF, unlinked CFs |
+//! | March A | 15 | SAF, TF, linked CFid |
+//! | March B | 17 | SAF, TF, linked CFid/TF |
+//! | March U | 13 | SAF, TF, unlinked CFs, some linked |
+//! | March LR | 14 | realistic linked faults |
+//! | March SS | 22 | simple static faults |
+
+use crate::{MarchElement as El, MarchTest, Operation as Op};
+
+fn build(name: &str, elements: Vec<El>) -> MarchTest {
+    MarchTest::new(name, elements).expect("library algorithms are well formed")
+}
+
+/// MATS+ : `⇕(w0); ⇑(r0,w1); ⇓(r1,w0)`.
+#[must_use]
+pub fn mats_plus() -> MarchTest {
+    build(
+        "MATS+",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0()]),
+        ],
+    )
+}
+
+/// MATS++ : `⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)`.
+#[must_use]
+pub fn mats_plus_plus() -> MarchTest {
+    build(
+        "MATS++",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0(), Op::r0()]),
+        ],
+    )
+}
+
+/// March X : `⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)`.
+#[must_use]
+pub fn march_x() -> MarchTest {
+    build(
+        "March X",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0()]),
+            El::any_order(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// March Y : `⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)`.
+#[must_use]
+pub fn march_y() -> MarchTest {
+    build(
+        "March Y",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1(), Op::r1()]),
+            El::descending(vec![Op::r1(), Op::w0(), Op::r0()]),
+            El::any_order(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// March C− : `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)`.
+///
+/// The primary worked example of the paper (Sections 3 and 5).
+#[must_use]
+pub fn march_c_minus() -> MarchTest {
+    build(
+        "March C-",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0()]),
+            El::descending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0()]),
+            El::any_order(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// March C : `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇕(r0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)`.
+#[must_use]
+pub fn march_c() -> MarchTest {
+    build(
+        "March C",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0()]),
+            El::any_order(vec![Op::r0()]),
+            El::descending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0()]),
+            El::any_order(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// March A : `⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)`.
+#[must_use]
+pub fn march_a() -> MarchTest {
+    build(
+        "March A",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1(), Op::w0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0(), Op::w1(), Op::w0()]),
+            El::descending(vec![Op::r0(), Op::w1(), Op::w0()]),
+        ],
+    )
+}
+
+/// March B : `⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)`.
+#[must_use]
+pub fn march_b() -> MarchTest {
+    build(
+        "March B",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1(), Op::r1(), Op::w0(), Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0(), Op::w1(), Op::w0()]),
+            El::descending(vec![Op::r0(), Op::w1(), Op::w0()]),
+        ],
+    )
+}
+
+/// March U : `⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)`.
+///
+/// The second worked example of the paper (Section 4): its transparent
+/// word-oriented transformation for 8-bit words has 29 operations per word.
+#[must_use]
+pub fn march_u() -> MarchTest {
+    build(
+        "March U",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1(), Op::r1(), Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0(), Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::w0()]),
+        ],
+    )
+}
+
+/// March LR (without bit-decoder scrambling elements) :
+/// `⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0)`.
+#[must_use]
+pub fn march_lr() -> MarchTest {
+    build(
+        "March LR",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::descending(vec![Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0(), Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::w1(), Op::r1(), Op::w0()]),
+            El::ascending(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// March SS : `⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); ⇓(r0,r0,w0,r0,w1);
+/// ⇓(r1,r1,w1,r1,w0); ⇕(r0)`.
+#[must_use]
+pub fn march_ss() -> MarchTest {
+    build(
+        "March SS",
+        vec![
+            El::any_order(vec![Op::w0()]),
+            El::ascending(vec![Op::r0(), Op::r0(), Op::w0(), Op::r0(), Op::w1()]),
+            El::ascending(vec![Op::r1(), Op::r1(), Op::w1(), Op::r1(), Op::w0()]),
+            El::descending(vec![Op::r0(), Op::r0(), Op::w0(), Op::r0(), Op::w1()]),
+            El::descending(vec![Op::r1(), Op::r1(), Op::w1(), Op::r1(), Op::w0()]),
+            El::any_order(vec![Op::r0()]),
+        ],
+    )
+}
+
+/// Every algorithm in the library, in increasing length order.
+#[must_use]
+pub fn all() -> Vec<MarchTest> {
+    vec![
+        mats_plus(),
+        mats_plus_plus(),
+        march_x(),
+        march_y(),
+        march_c_minus(),
+        march_c(),
+        march_u(),
+        march_a(),
+        march_b(),
+        march_lr(),
+        march_ss(),
+    ]
+}
+
+/// Looks an algorithm up by (case-insensitive) name, ignoring spaces and
+/// punctuation, e.g. `"march c-"`, `"MarchC-"` or `"MARCH_C-"`.
+#[must_use]
+pub fn by_name(name: &str) -> Option<MarchTest> {
+    let normalize = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '+')
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = normalize(name);
+    all().into_iter().find(|t| normalize(t.name()) == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_operation_counts() {
+        let expected = [
+            ("MATS+", 5, 2),
+            ("MATS++", 6, 3),
+            ("March X", 6, 3),
+            ("March Y", 8, 5),
+            ("March C-", 10, 5),
+            ("March C", 11, 6),
+            ("March U", 13, 6),
+            ("March A", 15, 4),
+            ("March B", 17, 6),
+            ("March LR", 14, 7),
+            ("March SS", 22, 13),
+        ];
+        for (name, ops, reads) in expected {
+            let test = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(test.length().operations, ops, "{name} operation count");
+            assert_eq!(test.length().reads, reads, "{name} read count");
+        }
+    }
+
+    #[test]
+    fn all_are_bit_oriented_and_start_with_initialization() {
+        for test in all() {
+            assert!(test.is_bit_oriented(), "{} not bit oriented", test.name());
+            assert!(
+                test.elements()[0].is_write_only(),
+                "{} does not start with an initialization element",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn march_c_minus_matches_paper_notation() {
+        assert_eq!(
+            march_c_minus().to_string(),
+            "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)"
+        );
+    }
+
+    #[test]
+    fn march_u_matches_paper_notation() {
+        assert_eq!(
+            march_u().to_string(),
+            "⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_is_forgiving() {
+        assert_eq!(by_name("march c-").unwrap().name(), "March C-");
+        assert_eq!(by_name("MARCHC-").unwrap().name(), "March C-");
+        assert_eq!(by_name("mats+").unwrap().name(), "MATS+");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn library_has_unique_names() {
+        let names: Vec<String> = all().iter().map(|t| t.name().to_string()).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(names.len(), unique.len());
+    }
+}

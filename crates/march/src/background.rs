@@ -1,0 +1,173 @@
+//! Standard data backgrounds for word-oriented march testing.
+//!
+//! A word-oriented memory read or write transfers a whole *data background*
+//! at once. To excite coupling faults between every pair of bits inside a
+//! word, the classical choice is the `⌈log₂ W⌉ + 1` standard backgrounds
+//! (van de Goor): the all-0 background plus the patterns
+//! `D₁ = 0101…`, `D₂ = 0011…`, `D₃ = 00001111…`, and so on — `D_k` groups
+//! bits into runs of length `2^(k-1)`.
+//!
+//! The DATE 2005 paper uses exactly these `D_k` patterns in its ATMarch
+//! elements: for 8-bit words, `D₁ = 01010101`, `D₂ = 00110011`,
+//! `D₃ = 00001111` (Section 4).
+
+use twm_mem::Word;
+
+use crate::MarchError;
+
+/// Number of `D_k` backgrounds for a `width`-bit word: `⌈log₂ width⌉`.
+///
+/// A 1-bit (bit-oriented) word needs no background beyond all-0/all-1, so
+/// the count is zero.
+#[must_use]
+pub fn background_degree(width: usize) -> usize {
+    if width <= 1 {
+        0
+    } else {
+        (usize::BITS - (width - 1).leading_zeros()) as usize
+    }
+}
+
+/// Total number of standard backgrounds (all-0 plus every `D_k`).
+#[must_use]
+pub fn standard_background_count(width: usize) -> usize {
+    background_degree(width) + 1
+}
+
+/// The `D_k` data background for a `width`-bit word.
+///
+/// Bit `i` (0 = least-significant) of `D_k` is 1 exactly when
+/// `⌊i / 2^(k-1)⌋` is even, which produces the alternating run patterns
+/// `0101…`, `0011…`, `00001111…` used by the paper.
+///
+/// # Errors
+///
+/// Returns [`MarchError::InvalidBackground`] when `k` is zero or larger than
+/// [`background_degree`]`(width)`, and [`MarchError::InvalidWidth`] for an
+/// unsupported word width.
+///
+/// ```
+/// use twm_march::background::data_background;
+///
+/// # fn main() -> Result<(), twm_march::MarchError> {
+/// assert_eq!(data_background(8, 1)?.to_binary_string(), "01010101");
+/// assert_eq!(data_background(8, 2)?.to_binary_string(), "00110011");
+/// assert_eq!(data_background(8, 3)?.to_binary_string(), "00001111");
+/// # Ok(())
+/// # }
+/// ```
+pub fn data_background(width: usize, k: usize) -> Result<Word, MarchError> {
+    if width == 0 || width > twm_mem::MAX_WORD_WIDTH {
+        return Err(MarchError::InvalidWidth { width });
+    }
+    let degree = background_degree(width);
+    if k == 0 || k > degree {
+        return Err(MarchError::InvalidBackground { index: k, width });
+    }
+    let run = 1usize << (k - 1);
+    let bits = (0..width).map(|i| (i / run) % 2 == 0);
+    Word::from_bit_iter(bits).map_err(|_| MarchError::InvalidWidth { width })
+}
+
+/// All standard backgrounds for a `width`-bit word: the all-0 background
+/// followed by `D₁ … D_degree`.
+///
+/// # Errors
+///
+/// Returns [`MarchError::InvalidWidth`] for an unsupported word width.
+pub fn standard_backgrounds(width: usize) -> Result<Vec<Word>, MarchError> {
+    if width == 0 || width > twm_mem::MAX_WORD_WIDTH {
+        return Err(MarchError::InvalidWidth { width });
+    }
+    let mut backgrounds = vec![Word::zeros(width)];
+    for k in 1..=background_degree(width) {
+        backgrounds.push(data_background(width, k)?);
+    }
+    Ok(backgrounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_matches_log2() {
+        assert_eq!(background_degree(1), 0);
+        assert_eq!(background_degree(2), 1);
+        assert_eq!(background_degree(4), 2);
+        assert_eq!(background_degree(8), 3);
+        assert_eq!(background_degree(16), 4);
+        assert_eq!(background_degree(32), 5);
+        assert_eq!(background_degree(64), 6);
+        assert_eq!(background_degree(128), 7);
+        // Non-power-of-two widths round up.
+        assert_eq!(background_degree(6), 3);
+        assert_eq!(background_degree(12), 4);
+    }
+
+    #[test]
+    fn paper_example_backgrounds_for_8_bit_words() {
+        assert_eq!(data_background(8, 1).unwrap().to_bits(), 0b0101_0101);
+        assert_eq!(data_background(8, 2).unwrap().to_bits(), 0b0011_0011);
+        assert_eq!(data_background(8, 3).unwrap().to_bits(), 0b0000_1111);
+    }
+
+    #[test]
+    fn four_bit_words_match_section_3_example() {
+        // Section 3 of the paper uses backgrounds 0000, 0101, 0011 for 4-bit
+        // words.
+        let all = standard_backgrounds(4).unwrap();
+        let strings: Vec<String> = all.iter().map(|w| w.to_binary_string()).collect();
+        assert_eq!(strings, vec!["0000", "0101", "0011"]);
+    }
+
+    #[test]
+    fn every_pair_of_bits_is_separated_by_some_background() {
+        // The defining property of the standard backgrounds: for any two bit
+        // positions there exists a background in which they differ.
+        for width in [2usize, 4, 8, 16, 32, 64] {
+            let backgrounds = standard_backgrounds(width).unwrap();
+            for i in 0..width {
+                for j in 0..width {
+                    if i == j {
+                        continue;
+                    }
+                    let separated = backgrounds
+                        .iter()
+                        .any(|b| b.bit(i) != b.bit(j));
+                    assert!(separated, "bits {i} and {j} never separated at width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        assert!(matches!(
+            data_background(8, 0),
+            Err(MarchError::InvalidBackground { .. })
+        ));
+        assert!(matches!(
+            data_background(8, 4),
+            Err(MarchError::InvalidBackground { .. })
+        ));
+        assert!(matches!(
+            data_background(0, 1),
+            Err(MarchError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            data_background(1, 1),
+            Err(MarchError::InvalidBackground { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        for width in [1usize, 2, 8, 32, 128] {
+            assert_eq!(
+                standard_backgrounds(width).unwrap().len(),
+                standard_background_count(width)
+            );
+        }
+    }
+}

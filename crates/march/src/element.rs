@@ -1,0 +1,169 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AddressOrder, Operation, TestLength};
+
+/// A march element: a sequence of operations applied to every address in a
+/// prescribed order before moving to the next address.
+///
+/// In march notation an element is written, for example, `⇑(r0,w1)`: sweep
+/// all addresses ascending, and at each address read expecting 0 then
+/// write 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchElement {
+    /// Address sweep order.
+    pub order: AddressOrder,
+    /// Operations applied at each address, in order.
+    pub ops: Vec<Operation>,
+}
+
+impl MarchElement {
+    /// Creates a march element.
+    #[must_use]
+    pub fn new(order: AddressOrder, ops: Vec<Operation>) -> Self {
+        Self { order, ops }
+    }
+
+    /// Creates an ascending (`⇑`) element.
+    #[must_use]
+    pub fn ascending(ops: Vec<Operation>) -> Self {
+        Self::new(AddressOrder::Ascending, ops)
+    }
+
+    /// Creates a descending (`⇓`) element.
+    #[must_use]
+    pub fn descending(ops: Vec<Operation>) -> Self {
+        Self::new(AddressOrder::Descending, ops)
+    }
+
+    /// Creates an order-independent (`⇕`) element.
+    #[must_use]
+    pub fn any_order(ops: Vec<Operation>) -> Self {
+        Self::new(AddressOrder::Any, ops)
+    }
+
+    /// Number of operations per address.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the element has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The first operation, if any.
+    #[must_use]
+    pub fn first_op(&self) -> Option<&Operation> {
+        self.ops.first()
+    }
+
+    /// The last operation, if any.
+    #[must_use]
+    pub fn last_op(&self) -> Option<&Operation> {
+        self.ops.last()
+    }
+
+    /// Per-address operation counts of this element.
+    #[must_use]
+    pub fn length(&self) -> TestLength {
+        let reads = self.ops.iter().filter(|op| op.is_read()).count();
+        let writes = self.ops.iter().filter(|op| op.is_write()).count();
+        TestLength::new(reads, writes)
+    }
+
+    /// Whether every operation is a write (an initialization-style element).
+    #[must_use]
+    pub fn is_write_only(&self) -> bool {
+        !self.is_empty() && self.ops.iter().all(|op| op.is_write())
+    }
+
+    /// Whether every operation is a read.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        !self.is_empty() && self.ops.iter().all(|op| op.is_read())
+    }
+
+    /// A copy of the element containing only its read operations (used to
+    /// derive signature-prediction tests). Returns `None` if the element has
+    /// no reads.
+    #[must_use]
+    pub fn reads_only(&self) -> Option<Self> {
+        let reads: Vec<Operation> = self.ops.iter().copied().filter(|op| op.is_read()).collect();
+        if reads.is_empty() {
+            None
+        } else {
+            Some(Self::new(self.order, reads))
+        }
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.order.symbol())?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation as Op;
+
+    #[test]
+    fn length_counts_reads_and_writes() {
+        let element = MarchElement::ascending(vec![Op::r0(), Op::w1(), Op::r1(), Op::w0()]);
+        let len = element.length();
+        assert_eq!(len.reads, 2);
+        assert_eq!(len.writes, 2);
+        assert_eq!(len.operations, 4);
+        assert_eq!(element.len(), 4);
+        assert!(!element.is_empty());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let init = MarchElement::any_order(vec![Op::w0()]);
+        assert!(init.is_write_only());
+        assert!(!init.is_read_only());
+
+        let check = MarchElement::any_order(vec![Op::r0()]);
+        assert!(check.is_read_only());
+
+        let mixed = MarchElement::ascending(vec![Op::r0(), Op::w1()]);
+        assert!(!mixed.is_write_only());
+        assert!(!mixed.is_read_only());
+        assert_eq!(mixed.first_op(), Some(&Op::r0()));
+        assert_eq!(mixed.last_op(), Some(&Op::w1()));
+    }
+
+    #[test]
+    fn reads_only_projection() {
+        let element = MarchElement::descending(vec![Op::r1(), Op::w0(), Op::r0(), Op::w1()]);
+        let reads = element.reads_only().unwrap();
+        assert_eq!(reads.ops, vec![Op::r1(), Op::r0()]);
+        assert_eq!(reads.order, AddressOrder::Descending);
+
+        let writes = MarchElement::any_order(vec![Op::w0()]);
+        assert!(writes.reads_only().is_none());
+    }
+
+    #[test]
+    fn display_matches_notation() {
+        let element = MarchElement::ascending(vec![Op::r0(), Op::w1()]);
+        assert_eq!(element.to_string(), "⇑(r0,w1)");
+        let element = MarchElement::any_order(vec![Op::w0()]);
+        assert_eq!(element.to_string(), "⇕(w0)");
+        let element = MarchElement::descending(vec![Op::read_content_complement(), Op::write_content()]);
+        assert_eq!(element.to_string(), "⇓(r~c,wc)");
+    }
+}

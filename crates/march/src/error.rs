@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the march-test framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MarchError {
+    /// A march test must contain at least one element.
+    EmptyTest,
+    /// A march element must contain at least one operation.
+    EmptyElement {
+        /// Index of the offending element.
+        element: usize,
+    },
+    /// A background index is out of range for the word width.
+    InvalidBackground {
+        /// The requested background index `k`.
+        index: usize,
+        /// The word width the background was requested for.
+        width: usize,
+    },
+    /// The word width is invalid (zero or above the supported maximum).
+    InvalidWidth {
+        /// The requested width.
+        width: usize,
+    },
+    /// A march notation string could not be parsed.
+    Parse {
+        /// Byte offset in the input where parsing failed.
+        position: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// An operation mixes word-oriented data with a bit-oriented context.
+    NotBitOriented {
+        /// Description of the offending operation.
+        operation: String,
+    },
+}
+
+impl fmt::Display for MarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchError::EmptyTest => write!(f, "march test contains no elements"),
+            MarchError::EmptyElement { element } => {
+                write!(f, "march element {element} contains no operations")
+            }
+            MarchError::InvalidBackground { index, width } => write!(
+                f,
+                "background index {index} is out of range for {width}-bit words"
+            ),
+            MarchError::InvalidWidth { width } => write!(f, "invalid word width {width}"),
+            MarchError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            MarchError::NotBitOriented { operation } => {
+                write!(f, "operation {operation} is not bit-oriented")
+            }
+        }
+    }
+}
+
+impl Error for MarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errors = vec![
+            MarchError::EmptyTest,
+            MarchError::EmptyElement { element: 2 },
+            MarchError::InvalidBackground { index: 9, width: 8 },
+            MarchError::InvalidWidth { width: 0 },
+            MarchError::Parse {
+                position: 4,
+                message: "expected operation".into(),
+            },
+            MarchError::NotBitOriented {
+                operation: "wD1".into(),
+            },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MarchError>();
+    }
+}

@@ -1,0 +1,74 @@
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counts of a march test, per addressed word (or cell).
+///
+/// Multiplying by the number of words gives the total test length; the
+/// paper's complexity expressions (`TCM`, `TCP`) are exactly these per-word
+/// counts times `N`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestLength {
+    /// Total number of operations per word.
+    pub operations: usize,
+    /// Number of read operations per word.
+    pub reads: usize,
+    /// Number of write operations per word.
+    pub writes: usize,
+}
+
+impl TestLength {
+    /// Creates a length record; `operations` must equal `reads + writes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are inconsistent.
+    #[must_use]
+    pub fn new(reads: usize, writes: usize) -> Self {
+        Self {
+            operations: reads + writes,
+            reads,
+            writes,
+        }
+    }
+
+    /// Total operations over an `n`-word memory.
+    #[must_use]
+    pub fn total_operations(&self, n: usize) -> usize {
+        self.operations * n
+    }
+}
+
+impl Add for TestLength {
+    type Output = TestLength;
+
+    fn add(self, rhs: TestLength) -> TestLength {
+        TestLength {
+            operations: self.operations + rhs.operations,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sums_components() {
+        let len = TestLength::new(5, 5);
+        assert_eq!(len.operations, 10);
+        assert_eq!(len.total_operations(1024), 10 * 1024);
+    }
+
+    #[test]
+    fn addition_adds_componentwise() {
+        let a = TestLength::new(2, 3);
+        let b = TestLength::new(1, 1);
+        let sum = a + b;
+        assert_eq!(sum.reads, 3);
+        assert_eq!(sum.writes, 4);
+        assert_eq!(sum.operations, 7);
+    }
+}

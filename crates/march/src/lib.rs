@@ -1,0 +1,49 @@
+//! # twm-march — march memory-test framework
+//!
+//! March tests are the standard functional test algorithms for random-access
+//! memories: a finite sequence of *march elements*, each applying a fixed
+//! sequence of read/write operations to every address in a prescribed order.
+//! This crate provides:
+//!
+//! * the data model — [`Operation`], [`DataSpec`], [`DataPattern`],
+//!   [`MarchElement`], [`MarchTest`] — rich enough to express bit-oriented
+//!   tests, word-oriented tests with data backgrounds, and *transparent*
+//!   tests whose data are XOR combinations of each word's initial content;
+//! * the classical algorithm library ([`algorithms`]): MATS+, March X, Y,
+//!   C−, C, A, B, U, LR, SS — March C− and March U are the worked examples
+//!   of the DATE 2005 paper this workspace reproduces;
+//! * the standard *data backgrounds* `D_k` ([`background`]) used for
+//!   word-oriented testing (`0101…`, `0011…`, `00001111…`, …);
+//! * march notation formatting and a parser for bit-oriented march strings
+//!   ([`notation`]).
+//!
+//! ```
+//! use twm_march::algorithms::march_c_minus;
+//!
+//! let march = march_c_minus();
+//! assert_eq!(march.to_string(),
+//!     "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)");
+//! assert_eq!(march.length().operations, 10);
+//! assert_eq!(march.length().reads, 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod background;
+mod element;
+mod error;
+mod length;
+pub mod notation;
+mod op;
+mod test;
+
+pub use element::MarchElement;
+pub use error::MarchError;
+pub use length::TestLength;
+pub use op::{DataPattern, DataSpec, OpKind, Operation};
+pub use test::MarchTest;
+
+// The address order type is shared with the memory substrate.
+pub use twm_mem::AddressOrder;

@@ -1,0 +1,159 @@
+//! Parsing of bit-oriented march notation.
+//!
+//! The framework prints march tests with the conventional arrows
+//! (`⇑`, `⇓`, `⇕`); the parser additionally accepts the ASCII spellings
+//! `u` / `up`, `d` / `down` and `b` / `any`. Operations are the bit-oriented
+//! `r0`, `r1`, `w0`, `w1`. Elements are separated by `;`.
+//!
+//! ```
+//! use twm_march::notation::parse_march;
+//!
+//! # fn main() -> Result<(), twm_march::MarchError> {
+//! let march = parse_march("March C-", "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)")?;
+//! assert_eq!(march.length().operations, 10);
+//!
+//! // ASCII spelling of the same test.
+//! let ascii = parse_march("March C-", "b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)")?;
+//! assert_eq!(ascii, march);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{AddressOrder, MarchElement, MarchError, MarchTest, Operation};
+
+/// Parses a bit-oriented march test from its textual notation.
+///
+/// # Errors
+///
+/// Returns [`MarchError::Parse`] describing the first offending position if
+/// the input is not valid bit-oriented march notation, or the structural
+/// errors of [`MarchTest::new`] for empty tests/elements.
+pub fn parse_march(name: &str, input: &str) -> Result<MarchTest, MarchError> {
+    let mut elements = Vec::new();
+    for raw_element in input.split(';') {
+        let trimmed = raw_element.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let position = offset_of(input, raw_element);
+        elements.push(parse_element(trimmed, position)?);
+    }
+    MarchTest::new(name, elements)
+}
+
+fn offset_of(input: &str, part: &str) -> usize {
+    // `part` is a subslice of `input`, so pointer arithmetic is safe here.
+    (part.as_ptr() as usize).saturating_sub(input.as_ptr() as usize)
+}
+
+fn parse_element(text: &str, base: usize) -> Result<MarchElement, MarchError> {
+    let open = text.find('(').ok_or_else(|| MarchError::Parse {
+        position: base,
+        message: "expected '(' after address order".into(),
+    })?;
+    if !text.ends_with(')') {
+        return Err(MarchError::Parse {
+            position: base + text.len(),
+            message: "expected ')' at end of march element".into(),
+        });
+    }
+    let order = parse_order(text[..open].trim(), base)?;
+    let body = &text[open + 1..text.len() - 1];
+    let mut ops = Vec::new();
+    for raw_op in body.split(',') {
+        let op = raw_op.trim();
+        if op.is_empty() {
+            continue;
+        }
+        ops.push(parse_operation(op, base + open + 1)?);
+    }
+    Ok(MarchElement::new(order, ops))
+}
+
+fn parse_order(text: &str, position: usize) -> Result<AddressOrder, MarchError> {
+    match text {
+        "⇑" | "u" | "up" | "asc" | "^" => Ok(AddressOrder::Ascending),
+        "⇓" | "d" | "down" | "desc" | "v" => Ok(AddressOrder::Descending),
+        "⇕" | "b" | "any" | "*" | "" => Ok(AddressOrder::Any),
+        other => Err(MarchError::Parse {
+            position,
+            message: format!("unknown address order '{other}'"),
+        }),
+    }
+}
+
+fn parse_operation(text: &str, position: usize) -> Result<Operation, MarchError> {
+    match text {
+        "r0" => Ok(Operation::r0()),
+        "r1" => Ok(Operation::r1()),
+        "w0" => Ok(Operation::w0()),
+        "w1" => Ok(Operation::w1()),
+        other => Err(MarchError::Parse {
+            position,
+            message: format!("unknown operation '{other}' (expected r0, r1, w0 or w1)"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+
+    #[test]
+    fn parses_march_c_minus_in_unicode_notation() {
+        let parsed = parse_march(
+            "March C-",
+            "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)",
+        )
+        .unwrap();
+        assert_eq!(parsed, algorithms::march_c_minus());
+    }
+
+    #[test]
+    fn parses_ascii_notation_and_whitespace_variants() {
+        let parsed = parse_march(
+            "MATS+",
+            "  b ( w0 ) ;  up(r0, w1); down ( r1 , w0 ) ",
+        )
+        .unwrap();
+        assert_eq!(parsed, algorithms::mats_plus());
+    }
+
+    #[test]
+    fn round_trips_every_library_algorithm() {
+        for march in algorithms::all() {
+            let text = march.to_string();
+            let parsed = parse_march(march.name(), &text).unwrap();
+            assert_eq!(parsed, march, "round trip failed for {}", march.name());
+        }
+    }
+
+    #[test]
+    fn reports_unknown_order() {
+        let err = parse_march("x", "q(r0)").unwrap_err();
+        assert!(matches!(err, MarchError::Parse { .. }));
+        assert!(err.to_string().contains("unknown address order"));
+    }
+
+    #[test]
+    fn reports_unknown_operation_and_missing_parentheses() {
+        let err = parse_march("x", "⇑(r2)").unwrap_err();
+        assert!(err.to_string().contains("unknown operation"));
+
+        let err = parse_march("x", "⇑ r0").unwrap_err();
+        assert!(err.to_string().contains("expected '('"));
+
+        let err = parse_march("x", "⇑(r0").unwrap_err();
+        assert!(err.to_string().contains("expected ')'"));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_test() {
+        assert_eq!(parse_march("x", "  "), Err(MarchError::EmptyTest));
+        assert_eq!(
+            parse_march("x", "⇑()"),
+            Err(MarchError::EmptyElement { element: 0 })
+        );
+    }
+}

@@ -1,0 +1,357 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use twm_mem::Word;
+
+use crate::{background, MarchError};
+
+/// Whether a march operation reads or writes the addressed word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read the addressed word and compare against the expected data.
+    Read,
+    /// Write the specified data to the addressed word.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("r"),
+            OpKind::Write => f.write_str("w"),
+        }
+    }
+}
+
+/// A data pattern independent of any particular word's content.
+///
+/// Patterns are resolved to concrete [`Word`] values for a given word width
+/// at execution time, so the same march description can drive memories of
+/// different widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// The all-zero pattern (logical `0` for a bit-oriented test).
+    Zeros,
+    /// The all-one pattern (logical `1` for a bit-oriented test).
+    Ones,
+    /// The standard data background `D_k` (`0101…`, `0011…`, …).
+    Background(usize),
+    /// The complement of the standard data background `D_k`.
+    BackgroundComplement(usize),
+    /// A literal pattern; the low `width` bits are used.
+    Custom(u128),
+}
+
+impl DataPattern {
+    /// Resolves the pattern for the given word width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::InvalidBackground`] for an out-of-range
+    /// background index or [`MarchError::InvalidWidth`] for an unsupported
+    /// word width.
+    pub fn resolve(self, width: usize) -> Result<Word, MarchError> {
+        match self {
+            DataPattern::Zeros => {
+                Word::from_bits(0, width).map_err(|_| MarchError::InvalidWidth { width })
+            }
+            DataPattern::Ones => {
+                Word::from_bits(u128::MAX, width).map_err(|_| MarchError::InvalidWidth { width })
+            }
+            DataPattern::Background(k) => background::data_background(width, k),
+            DataPattern::BackgroundComplement(k) => {
+                background::data_background(width, k).map(Word::complement)
+            }
+            DataPattern::Custom(bits) => {
+                Word::from_bits(bits, width).map_err(|_| MarchError::InvalidWidth { width })
+            }
+        }
+    }
+
+    /// The complementary pattern, where a closed form exists.
+    ///
+    /// `Custom` patterns return `None` because their width is not known until
+    /// resolution.
+    #[must_use]
+    pub fn complemented(self) -> Option<Self> {
+        match self {
+            DataPattern::Zeros => Some(DataPattern::Ones),
+            DataPattern::Ones => Some(DataPattern::Zeros),
+            DataPattern::Background(k) => Some(DataPattern::BackgroundComplement(k)),
+            DataPattern::BackgroundComplement(k) => Some(DataPattern::Background(k)),
+            DataPattern::Custom(_) => None,
+        }
+    }
+
+    /// Whether the pattern is expressible in a bit-oriented march test
+    /// (only the all-0 and all-1 patterns are).
+    #[must_use]
+    pub fn is_bit_oriented(self) -> bool {
+        matches!(self, DataPattern::Zeros | DataPattern::Ones)
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataPattern::Zeros => f.write_str("0"),
+            DataPattern::Ones => f.write_str("1"),
+            DataPattern::Background(k) => write!(f, "D{k}"),
+            DataPattern::BackgroundComplement(k) => write!(f, "~D{k}"),
+            DataPattern::Custom(bits) => write!(f, "#{bits:x}"),
+        }
+    }
+}
+
+/// The data carried by a march operation.
+///
+/// A *literal* specification is the ordinary (non-transparent) case: the
+/// pattern itself is written or expected. A *transparent* specification is
+/// interpreted relative to each word's initial content `c`: the operation
+/// writes or expects `c ⊕ pattern`, which is how transparent march tests
+/// preserve the memory content (Nicolaidis' notation `w c⊕a`, `r c⊕a`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// Ordinary data: the pattern itself.
+    Literal(DataPattern),
+    /// Transparent data: the word's initial content XOR the pattern.
+    TransparentXor(DataPattern),
+}
+
+impl DataSpec {
+    /// The underlying pattern.
+    #[must_use]
+    pub fn pattern(self) -> DataPattern {
+        match self {
+            DataSpec::Literal(p) | DataSpec::TransparentXor(p) => p,
+        }
+    }
+
+    /// Whether the specification is transparent (relative to initial
+    /// content).
+    #[must_use]
+    pub fn is_transparent(self) -> bool {
+        matches!(self, DataSpec::TransparentXor(_))
+    }
+
+    /// Resolves the specification to a concrete word value.
+    ///
+    /// `initial` is the word's initial content, used only by transparent
+    /// specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern cannot be resolved for the width of
+    /// `initial`.
+    pub fn resolve(self, initial: Word) -> Result<Word, MarchError> {
+        let width = initial.width();
+        match self {
+            DataSpec::Literal(p) => p.resolve(width),
+            DataSpec::TransparentXor(p) => Ok(initial ^ p.resolve(width)?),
+        }
+    }
+
+    /// The complementary data specification (literal stays literal,
+    /// transparent stays transparent), where a closed form exists.
+    #[must_use]
+    pub fn complemented(self) -> Option<Self> {
+        match self {
+            DataSpec::Literal(p) => p.complemented().map(DataSpec::Literal),
+            DataSpec::TransparentXor(p) => p.complemented().map(DataSpec::TransparentXor),
+        }
+    }
+}
+
+impl fmt::Display for DataSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataSpec::Literal(p) => write!(f, "{p}"),
+            DataSpec::TransparentXor(DataPattern::Zeros) => f.write_str("c"),
+            DataSpec::TransparentXor(DataPattern::Ones) => f.write_str("~c"),
+            DataSpec::TransparentXor(p) => write!(f, "c^{p}"),
+        }
+    }
+}
+
+/// A single march operation: a read or write with its data specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operation {
+    /// Whether the operation reads or writes.
+    pub kind: OpKind,
+    /// The data written, or expected on a read.
+    pub data: DataSpec,
+}
+
+impl Operation {
+    /// Creates a read operation expecting `data`.
+    #[must_use]
+    pub fn read(data: DataSpec) -> Self {
+        Self {
+            kind: OpKind::Read,
+            data,
+        }
+    }
+
+    /// Creates a write operation writing `data`.
+    #[must_use]
+    pub fn write(data: DataSpec) -> Self {
+        Self {
+            kind: OpKind::Write,
+            data,
+        }
+    }
+
+    /// Bit-oriented `r0`: read expecting 0.
+    #[must_use]
+    pub fn r0() -> Self {
+        Self::read(DataSpec::Literal(DataPattern::Zeros))
+    }
+
+    /// Bit-oriented `r1`: read expecting 1.
+    #[must_use]
+    pub fn r1() -> Self {
+        Self::read(DataSpec::Literal(DataPattern::Ones))
+    }
+
+    /// Bit-oriented `w0`: write 0.
+    #[must_use]
+    pub fn w0() -> Self {
+        Self::write(DataSpec::Literal(DataPattern::Zeros))
+    }
+
+    /// Bit-oriented `w1`: write 1.
+    #[must_use]
+    pub fn w1() -> Self {
+        Self::write(DataSpec::Literal(DataPattern::Ones))
+    }
+
+    /// Transparent `r c`: read expecting the word's initial content.
+    #[must_use]
+    pub fn read_content() -> Self {
+        Self::read(DataSpec::TransparentXor(DataPattern::Zeros))
+    }
+
+    /// Transparent `r ~c`: read expecting the complement of the initial
+    /// content.
+    #[must_use]
+    pub fn read_content_complement() -> Self {
+        Self::read(DataSpec::TransparentXor(DataPattern::Ones))
+    }
+
+    /// Transparent `w c`: write back the word's initial content.
+    #[must_use]
+    pub fn write_content() -> Self {
+        Self::write(DataSpec::TransparentXor(DataPattern::Zeros))
+    }
+
+    /// Transparent `w ~c`: write the complement of the initial content.
+    #[must_use]
+    pub fn write_content_complement() -> Self {
+        Self::write(DataSpec::TransparentXor(DataPattern::Ones))
+    }
+
+    /// Whether this is a read.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        self.kind == OpKind::Read
+    }
+
+    /// Whether this is a write.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        self.kind == OpKind::Write
+    }
+
+    /// Whether the operation belongs to a plain bit-oriented march test
+    /// (literal all-0/all-1 data).
+    #[must_use]
+    pub fn is_bit_oriented(self) -> bool {
+        matches!(self.data, DataSpec::Literal(p) if p.is_bit_oriented())
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_resolution_for_common_cases() {
+        assert!(DataPattern::Zeros.resolve(8).unwrap().is_zero());
+        assert!(DataPattern::Ones.resolve(8).unwrap().is_ones());
+        assert_eq!(
+            DataPattern::Background(1).resolve(8).unwrap().to_bits(),
+            0b0101_0101
+        );
+        assert_eq!(
+            DataPattern::BackgroundComplement(1).resolve(8).unwrap().to_bits(),
+            0b1010_1010
+        );
+        assert_eq!(DataPattern::Custom(0xAB).resolve(8).unwrap().to_bits(), 0xAB);
+        assert!(DataPattern::Background(5).resolve(8).is_err());
+    }
+
+    #[test]
+    fn pattern_complementation() {
+        assert_eq!(DataPattern::Zeros.complemented(), Some(DataPattern::Ones));
+        assert_eq!(
+            DataPattern::Background(2).complemented(),
+            Some(DataPattern::BackgroundComplement(2))
+        );
+        assert_eq!(DataPattern::Custom(3).complemented(), None);
+    }
+
+    #[test]
+    fn literal_and_transparent_resolution() {
+        let initial = Word::from_bits(0b1100_1010, 8).unwrap();
+        let literal = DataSpec::Literal(DataPattern::Ones);
+        assert!(literal.resolve(initial).unwrap().is_ones());
+
+        let content = DataSpec::TransparentXor(DataPattern::Zeros);
+        assert_eq!(content.resolve(initial).unwrap(), initial);
+
+        let complement = DataSpec::TransparentXor(DataPattern::Ones);
+        assert_eq!(complement.resolve(initial).unwrap(), !initial);
+
+        let xor_bg = DataSpec::TransparentXor(DataPattern::Background(1));
+        assert_eq!(
+            xor_bg.resolve(initial).unwrap().to_bits(),
+            0b1100_1010 ^ 0b0101_0101
+        );
+    }
+
+    #[test]
+    fn operation_constructors_and_predicates() {
+        assert!(Operation::r0().is_read());
+        assert!(Operation::w1().is_write());
+        assert!(Operation::r0().is_bit_oriented());
+        assert!(Operation::w1().is_bit_oriented());
+        assert!(!Operation::read_content().is_bit_oriented());
+        assert!(Operation::read_content().data.is_transparent());
+        assert!(!Operation::r0().data.is_transparent());
+    }
+
+    #[test]
+    fn display_matches_march_notation() {
+        assert_eq!(Operation::r0().to_string(), "r0");
+        assert_eq!(Operation::w1().to_string(), "w1");
+        assert_eq!(Operation::read_content().to_string(), "rc");
+        assert_eq!(Operation::write_content_complement().to_string(), "w~c");
+        let op = Operation::write(DataSpec::TransparentXor(DataPattern::Background(2)));
+        assert_eq!(op.to_string(), "wc^D2");
+        let op = Operation::read(DataSpec::Literal(DataPattern::Background(3)));
+        assert_eq!(op.to_string(), "rD3");
+    }
+
+    #[test]
+    fn spec_complement_round_trip() {
+        let spec = DataSpec::TransparentXor(DataPattern::Background(1));
+        assert_eq!(spec.complemented().unwrap().complemented().unwrap(), spec);
+    }
+}

@@ -1,0 +1,262 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MarchElement, MarchError, TestLength};
+
+/// A complete march test: a named, ordered sequence of march elements.
+///
+/// ```
+/// use twm_march::{MarchTest, MarchElement, Operation};
+///
+/// # fn main() -> Result<(), twm_march::MarchError> {
+/// let mats_plus = MarchTest::new(
+///     "MATS+",
+///     vec![
+///         MarchElement::any_order(vec![Operation::w0()]),
+///         MarchElement::ascending(vec![Operation::r0(), Operation::w1()]),
+///         MarchElement::descending(vec![Operation::r1(), Operation::w0()]),
+///     ],
+/// )?;
+/// assert_eq!(mats_plus.length().operations, 5);
+/// assert_eq!(mats_plus.to_string(), "⇕(w0); ⇑(r0,w1); ⇓(r1,w0)");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchTest {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// Creates a march test from its elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::EmptyTest`] if no elements are given, or
+    /// [`MarchError::EmptyElement`] if any element has no operations.
+    pub fn new<S: Into<String>>(name: S, elements: Vec<MarchElement>) -> Result<Self, MarchError> {
+        if elements.is_empty() {
+            return Err(MarchError::EmptyTest);
+        }
+        for (index, element) in elements.iter().enumerate() {
+            if element.is_empty() {
+                return Err(MarchError::EmptyElement { element: index });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            elements,
+        })
+    }
+
+    /// The test name (for example `"March C-"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy of the test under a different name.
+    #[must_use]
+    pub fn renamed<S: Into<String>>(&self, name: S) -> Self {
+        Self {
+            name: name.into(),
+            elements: self.elements.clone(),
+        }
+    }
+
+    /// The march elements, in order.
+    #[must_use]
+    pub fn elements(&self) -> &[MarchElement] {
+        &self.elements
+    }
+
+    /// Number of march elements.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Per-word operation counts (the paper's `M` operations and `Q` reads
+    /// are `length().operations` and `length().reads`).
+    #[must_use]
+    pub fn length(&self) -> TestLength {
+        self.elements
+            .iter()
+            .map(MarchElement::length)
+            .fold(TestLength::default(), |acc, len| acc + len)
+    }
+
+    /// Operations applied per addressed word — the per-word test complexity.
+    #[must_use]
+    pub fn operations_per_word(&self) -> usize {
+        self.length().operations
+    }
+
+    /// Total operations over an `n`-word memory.
+    #[must_use]
+    pub fn total_operations(&self, n: usize) -> usize {
+        self.length().total_operations(n)
+    }
+
+    /// Whether every operation uses plain bit-oriented data (literal all-0 /
+    /// all-1), i.e. the test is a classical bit-oriented march test.
+    #[must_use]
+    pub fn is_bit_oriented(&self) -> bool {
+        self.elements
+            .iter()
+            .flat_map(|e| e.ops.iter())
+            .all(|op| op.is_bit_oriented())
+    }
+
+    /// Whether every operation's data is transparent (relative to initial
+    /// content), i.e. the test never destroys memory content permanently.
+    #[must_use]
+    pub fn is_transparent(&self) -> bool {
+        self.elements
+            .iter()
+            .flat_map(|e| e.ops.iter())
+            .all(|op| op.data.is_transparent())
+    }
+
+    /// The read-only projection of the test: every write operation removed
+    /// and write-only elements dropped. This is how a signature-prediction
+    /// test is derived from a transparent march test (Step 4 of the
+    /// transformation rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::EmptyTest`] if the test contains no read
+    /// operations at all.
+    pub fn reads_only(&self, name: &str) -> Result<Self, MarchError> {
+        let elements: Vec<MarchElement> = self
+            .elements
+            .iter()
+            .filter_map(MarchElement::reads_only)
+            .collect();
+        Self::new(name, elements)
+    }
+
+    /// Appends an element, returning the extended test.
+    #[must_use]
+    pub fn with_element(mut self, element: MarchElement) -> Self {
+        self.elements.push(element);
+        self
+    }
+
+    /// Concatenates another test's elements after this one's.
+    #[must_use]
+    pub fn concatenated<S: Into<String>>(&self, other: &MarchTest, name: S) -> Self {
+        let mut elements = self.elements.clone();
+        elements.extend(other.elements.iter().cloned());
+        Self {
+            name: name.into(),
+            elements,
+        }
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, element) in self.elements.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{element}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MarchElement as El, Operation as Op};
+
+    fn sample() -> MarchTest {
+        MarchTest::new(
+            "sample",
+            vec![
+                El::any_order(vec![Op::w0()]),
+                El::ascending(vec![Op::r0(), Op::w1()]),
+                El::descending(vec![Op::r1(), Op::w0()]),
+                El::any_order(vec![Op::r0()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert_eq!(MarchTest::new("x", vec![]), Err(MarchError::EmptyTest));
+        assert_eq!(
+            MarchTest::new("x", vec![El::ascending(vec![])]),
+            Err(MarchError::EmptyElement { element: 0 })
+        );
+    }
+
+    #[test]
+    fn lengths_and_counts() {
+        let test = sample();
+        assert_eq!(test.element_count(), 4);
+        let len = test.length();
+        assert_eq!(len.operations, 6);
+        assert_eq!(len.reads, 3);
+        assert_eq!(len.writes, 3);
+        assert_eq!(test.operations_per_word(), 6);
+        assert_eq!(test.total_operations(100), 600);
+    }
+
+    #[test]
+    fn orientation_predicates() {
+        let test = sample();
+        assert!(test.is_bit_oriented());
+        assert!(!test.is_transparent());
+
+        let transparent = MarchTest::new(
+            "t",
+            vec![El::ascending(vec![
+                Op::read_content(),
+                Op::write_content_complement(),
+            ])],
+        )
+        .unwrap();
+        assert!(transparent.is_transparent());
+        assert!(!transparent.is_bit_oriented());
+    }
+
+    #[test]
+    fn reads_only_projection_drops_writes_and_empty_elements() {
+        let test = sample();
+        let reads = test.reads_only("sample reads").unwrap();
+        // The write-only initialization element disappears entirely.
+        assert_eq!(reads.element_count(), 3);
+        assert_eq!(reads.length().writes, 0);
+        assert_eq!(reads.length().reads, 3);
+
+        let writes_only = MarchTest::new("w", vec![El::any_order(vec![Op::w0()])]).unwrap();
+        assert_eq!(writes_only.reads_only("r"), Err(MarchError::EmptyTest));
+    }
+
+    #[test]
+    fn display_and_rename() {
+        let test = sample();
+        assert_eq!(
+            test.to_string(),
+            "⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)"
+        );
+        assert_eq!(test.renamed("other").name(), "other");
+    }
+
+    #[test]
+    fn concatenation_appends_elements() {
+        let a = sample();
+        let b = MarchTest::new("b", vec![El::any_order(vec![Op::r0()])]).unwrap();
+        let joined = a.concatenated(&b, "a+b");
+        assert_eq!(joined.element_count(), a.element_count() + 1);
+        assert_eq!(joined.name(), "a+b");
+        let extended = b.clone().with_element(El::any_order(vec![Op::w1()]));
+        assert_eq!(extended.element_count(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the march-test framework.
+
+use proptest::prelude::*;
+
+use twm_march::background::{background_degree, data_background, standard_backgrounds};
+use twm_march::notation::parse_march;
+use twm_march::{AddressOrder, MarchElement, MarchTest, Operation};
+
+fn arb_bit_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        Just(Operation::r0()),
+        Just(Operation::r1()),
+        Just(Operation::w0()),
+        Just(Operation::w1()),
+    ]
+}
+
+fn arb_order() -> impl Strategy<Value = AddressOrder> {
+    prop_oneof![
+        Just(AddressOrder::Ascending),
+        Just(AddressOrder::Descending),
+        Just(AddressOrder::Any),
+    ]
+}
+
+fn arb_march() -> impl Strategy<Value = MarchTest> {
+    prop::collection::vec(
+        (arb_order(), prop::collection::vec(arb_bit_op(), 1..6)),
+        1..8,
+    )
+    .prop_map(|elements| {
+        let elements = elements
+            .into_iter()
+            .map(|(order, ops)| MarchElement::new(order, ops))
+            .collect();
+        MarchTest::new("generated", elements).expect("non-empty elements")
+    })
+}
+
+proptest! {
+    /// Printing a bit-oriented march test and parsing it back yields the
+    /// same test (notation round trip).
+    #[test]
+    fn notation_round_trip(march in arb_march()) {
+        let text = march.to_string();
+        let parsed = parse_march("generated", &text).expect("parse printed notation");
+        prop_assert_eq!(parsed, march);
+    }
+
+    /// Operation counts always satisfy reads + writes = operations, and the
+    /// total over a memory scales linearly.
+    #[test]
+    fn lengths_are_consistent(march in arb_march(), words in 1usize..10_000) {
+        let length = march.length();
+        prop_assert_eq!(length.reads + length.writes, length.operations);
+        prop_assert_eq!(march.total_operations(words), length.operations * words);
+    }
+
+    /// The read-only projection never contains writes, preserves the read
+    /// count, and fails exactly when the test has no reads.
+    #[test]
+    fn reads_only_projection_properties(march in arb_march()) {
+        let length = march.length();
+        match march.reads_only("projection") {
+            Ok(projection) => {
+                prop_assert!(length.reads > 0);
+                prop_assert_eq!(projection.length().writes, 0);
+                prop_assert_eq!(projection.length().reads, length.reads);
+            }
+            Err(_) => prop_assert_eq!(length.reads, 0),
+        }
+    }
+
+    /// Every data background is self-inverse under double complement and
+    /// has exactly half of its bits set for power-of-two widths.
+    #[test]
+    fn background_bit_balance(width_exp in 1usize..8, k in 1usize..8) {
+        let width = 1usize << width_exp;
+        prop_assume!(k <= background_degree(width));
+        let background = data_background(width, k).unwrap();
+        prop_assert_eq!(background.count_ones(), width / 2);
+        prop_assert_eq!(!!background, background);
+    }
+
+    /// The standard background set separates every pair of bit positions.
+    #[test]
+    fn standard_backgrounds_separate_all_pairs(width_exp in 1usize..8) {
+        let width = 1usize << width_exp;
+        let backgrounds = standard_backgrounds(width).unwrap();
+        for i in 0..width {
+            for j in (i + 1)..width {
+                prop_assert!(
+                    backgrounds.iter().any(|b| b.bit(i) != b.bit(j)),
+                    "bits {} and {} never separated", i, j
+                );
+            }
+        }
+    }
+}

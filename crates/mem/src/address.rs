@@ -1,0 +1,206 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Address of a single memory cell: a word index plus a bit position within
+/// the word.
+///
+/// Bit 0 is the least-significant bit of the word. For bit-oriented memories
+/// (word width 1) the bit position is always 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitAddress {
+    /// Word index within the memory.
+    pub word: usize,
+    /// Bit position within the word (0 = least-significant).
+    pub bit: usize,
+}
+
+impl BitAddress {
+    /// Creates a cell address from a word index and bit position.
+    #[must_use]
+    pub fn new(word: usize, bit: usize) -> Self {
+        Self { word, bit }
+    }
+
+    /// Linear cell index for a memory with `width`-bit words.
+    #[must_use]
+    pub fn cell_index(self, width: usize) -> CellIndex {
+        CellIndex(self.word * width + self.bit)
+    }
+
+    /// Whether two cells lie in the same word.
+    #[must_use]
+    pub fn same_word(self, other: Self) -> bool {
+        self.word == other.word
+    }
+}
+
+impl fmt::Display for BitAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}b{}", self.word, self.bit)
+    }
+}
+
+/// Linear index of a cell within the whole memory (word-major order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellIndex(pub usize);
+
+impl CellIndex {
+    /// Converts a linear cell index back into a word/bit address for a memory
+    /// with `width`-bit words.
+    #[must_use]
+    pub fn to_bit_address(self, width: usize) -> BitAddress {
+        BitAddress::new(self.0 / width, self.0 % width)
+    }
+}
+
+impl fmt::Display for CellIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Address sweep direction of a march element.
+///
+/// March notation writes these as `⇑` (ascending), `⇓` (descending) and `⇕`
+/// (either order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AddressOrder {
+    /// Ascending address order (`⇑`).
+    #[default]
+    Ascending,
+    /// Descending address order (`⇓`).
+    Descending,
+    /// Either order is acceptable (`⇕`); executors use ascending order.
+    Any,
+}
+
+impl AddressOrder {
+    /// The arrow symbol used in march notation.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AddressOrder::Ascending => "⇑",
+            AddressOrder::Descending => "⇓",
+            AddressOrder::Any => "⇕",
+        }
+    }
+
+    /// The reverse sweep direction (`Any` stays `Any`).
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            AddressOrder::Ascending => AddressOrder::Descending,
+            AddressOrder::Descending => AddressOrder::Ascending,
+            AddressOrder::Any => AddressOrder::Any,
+        }
+    }
+}
+
+impl fmt::Display for AddressOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Iterator over word addresses in a given sweep order.
+#[derive(Debug, Clone)]
+pub struct AddressSequence {
+    next_up: usize,
+    next_down: isize,
+    order: AddressOrder,
+}
+
+impl AddressSequence {
+    /// Creates a sweep over `words` addresses in the given order.
+    ///
+    /// [`AddressOrder::Any`] is executed as an ascending sweep, matching the
+    /// common BIST implementation choice.
+    #[must_use]
+    pub fn new(words: usize, order: AddressOrder) -> Self {
+        Self {
+            next_up: 0,
+            next_down: words as isize - 1,
+            order,
+        }
+    }
+}
+
+impl Iterator for AddressSequence {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self.order {
+            AddressOrder::Ascending | AddressOrder::Any => {
+                if self.next_up as isize > self.next_down {
+                    None
+                } else {
+                    let addr = self.next_up;
+                    self.next_up += 1;
+                    Some(addr)
+                }
+            }
+            AddressOrder::Descending => {
+                if (self.next_up as isize) > self.next_down {
+                    None
+                } else {
+                    let addr = self.next_down as usize;
+                    self.next_down -= 1;
+                    Some(addr)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_index_round_trips() {
+        let addr = BitAddress::new(5, 3);
+        let idx = addr.cell_index(8);
+        assert_eq!(idx, CellIndex(43));
+        assert_eq!(idx.to_bit_address(8), addr);
+    }
+
+    #[test]
+    fn same_word_detection() {
+        assert!(BitAddress::new(2, 0).same_word(BitAddress::new(2, 7)));
+        assert!(!BitAddress::new(2, 0).same_word(BitAddress::new(3, 0)));
+    }
+
+    #[test]
+    fn ascending_sequence_visits_all_addresses_in_order() {
+        let seq: Vec<usize> = AddressSequence::new(4, AddressOrder::Ascending).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn descending_sequence_is_reversed() {
+        let seq: Vec<usize> = AddressSequence::new(4, AddressOrder::Descending).collect();
+        assert_eq!(seq, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn any_order_runs_ascending() {
+        let seq: Vec<usize> = AddressSequence::new(3, AddressOrder::Any).collect();
+        assert_eq!(seq, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_memory_yields_no_addresses() {
+        assert_eq!(AddressSequence::new(0, AddressOrder::Ascending).count(), 0);
+        assert_eq!(AddressSequence::new(0, AddressOrder::Descending).count(), 0);
+    }
+
+    #[test]
+    fn order_symbols_and_reverse() {
+        assert_eq!(AddressOrder::Ascending.symbol(), "⇑");
+        assert_eq!(AddressOrder::Descending.symbol(), "⇓");
+        assert_eq!(AddressOrder::Any.symbol(), "⇕");
+        assert_eq!(AddressOrder::Ascending.reversed(), AddressOrder::Descending);
+        assert_eq!(AddressOrder::Any.reversed(), AddressOrder::Any);
+    }
+}

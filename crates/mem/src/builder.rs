@@ -1,0 +1,155 @@
+use crate::{Fault, FaultSet, FaultyMemory, MemError, MemoryConfig, Word};
+
+/// Builder for [`FaultyMemory`] instances.
+///
+/// The builder gathers shape, initial content and injected faults and
+/// produces a ready-to-use memory, which is convenient in tests and examples
+/// where several aspects vary independently.
+///
+/// ```
+/// use twm_mem::{MemoryBuilder, Fault, BitAddress, Word};
+///
+/// # fn main() -> Result<(), twm_mem::MemError> {
+/// let mem = MemoryBuilder::new(64, 8)
+///     .random_content(0xC0FFEE)
+///     .fault(Fault::stuck_at(BitAddress::new(10, 2), false))
+///     .build()?;
+/// assert_eq!(mem.words(), 64);
+/// assert_eq!(mem.faults().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBuilder {
+    words: usize,
+    width: usize,
+    faults: FaultSet,
+    content: InitialContent,
+}
+
+#[derive(Debug, Clone)]
+enum InitialContent {
+    Zeros,
+    Fill(Word),
+    Random(u64),
+    Explicit(Vec<Word>),
+}
+
+impl MemoryBuilder {
+    /// Starts a builder for a memory with `words` words of `width` bits.
+    #[must_use]
+    pub fn new(words: usize, width: usize) -> Self {
+        Self {
+            words,
+            width,
+            faults: FaultSet::new(),
+            content: InitialContent::Zeros,
+        }
+    }
+
+    /// Adds a fault to inject.
+    #[must_use]
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.faults.insert(fault);
+        self
+    }
+
+    /// Adds several faults to inject.
+    #[must_use]
+    pub fn faults<I: IntoIterator<Item = Fault>>(mut self, faults: I) -> Self {
+        self.faults.extend(faults);
+        self
+    }
+
+    /// Initialises every word to the given value.
+    #[must_use]
+    pub fn filled_with(mut self, word: Word) -> Self {
+        self.content = InitialContent::Fill(word);
+        self
+    }
+
+    /// Initialises the memory with deterministic pseudo-random content.
+    #[must_use]
+    pub fn random_content(mut self, seed: u64) -> Self {
+        self.content = InitialContent::Random(seed);
+        self
+    }
+
+    /// Initialises the memory with explicit word values.
+    #[must_use]
+    pub fn content(mut self, words: Vec<Word>) -> Self {
+        self.content = InitialContent::Explicit(words);
+        self
+    }
+
+    /// Builds the memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is invalid, a fault references a cell
+    /// outside the memory, or explicit content has the wrong shape.
+    pub fn build(self) -> Result<FaultyMemory, MemError> {
+        let config = MemoryConfig::new(self.words, self.width)?;
+        let mut mem = FaultyMemory::with_faults(config, self.faults)?;
+        match self.content {
+            InitialContent::Zeros => {}
+            InitialContent::Fill(word) => mem.fill(word)?,
+            InitialContent::Random(seed) => mem.fill_random(seed),
+            InitialContent::Explicit(words) => mem.load(&words)?,
+        }
+        Ok(mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitAddress;
+
+    #[test]
+    fn builds_zeroed_memory_by_default() {
+        let mem = MemoryBuilder::new(8, 4).build().unwrap();
+        assert!(mem.content().iter().all(|w| w.is_zero()));
+    }
+
+    #[test]
+    fn builds_filled_and_random_memories() {
+        let filled = MemoryBuilder::new(8, 4)
+            .filled_with(Word::ones(4))
+            .build()
+            .unwrap();
+        assert!(filled.content().iter().all(|w| w.is_ones()));
+
+        let a = MemoryBuilder::new(8, 4).random_content(5).build().unwrap();
+        let b = MemoryBuilder::new(8, 4).random_content(5).build().unwrap();
+        assert_eq!(a.content(), b.content());
+    }
+
+    #[test]
+    fn builds_with_explicit_content_and_faults() {
+        let contents = vec![Word::zeros(2), Word::ones(2), Word::from_bits(0b01, 2).unwrap()];
+        let mem = MemoryBuilder::new(3, 2)
+            .content(contents.clone())
+            .fault(Fault::stuck_at(BitAddress::new(0, 0), true))
+            .build()
+            .unwrap();
+        // Stuck-at is enforced over the loaded content.
+        assert!(mem.peek_bit(BitAddress::new(0, 0)).unwrap());
+        assert_eq!(mem.content()[1], contents[1]);
+        assert_eq!(mem.faults().len(), 1);
+    }
+
+    #[test]
+    fn propagates_shape_errors() {
+        assert!(MemoryBuilder::new(0, 4).build().is_err());
+        assert!(MemoryBuilder::new(4, 0).build().is_err());
+        assert!(MemoryBuilder::new(4, 4)
+            .content(vec![Word::zeros(4)])
+            .build()
+            .is_err());
+        assert!(MemoryBuilder::new(4, 4)
+            .fault(Fault::stuck_at(BitAddress::new(99, 0), true))
+            .build()
+            .is_err());
+    }
+}

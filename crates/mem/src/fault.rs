@@ -1,0 +1,405 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::BitAddress;
+
+/// Direction of a cell transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Transition {
+    /// A 0 → 1 transition.
+    Rising,
+    /// A 1 → 0 transition.
+    Falling,
+}
+
+impl Transition {
+    /// The transition performed when a cell changes from `from` to `to`, if
+    /// any.
+    #[must_use]
+    pub fn between(from: bool, to: bool) -> Option<Self> {
+        match (from, to) {
+            (false, true) => Some(Transition::Rising),
+            (true, false) => Some(Transition::Falling),
+            _ => None,
+        }
+    }
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            Transition::Rising => Transition::Falling,
+            Transition::Falling => Transition::Rising,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transition::Rising => f.write_str("0->1"),
+            Transition::Falling => f.write_str("1->0"),
+        }
+    }
+}
+
+/// High-level fault classification used for coverage reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Stuck-at fault.
+    Saf,
+    /// Transition fault.
+    Tf,
+    /// State coupling fault.
+    Cfst,
+    /// Idempotent coupling fault.
+    Cfid,
+    /// Inversion coupling fault.
+    Cfin,
+}
+
+impl FaultClass {
+    /// All classes, in reporting order.
+    #[must_use]
+    pub fn all() -> [FaultClass; 5] {
+        [
+            FaultClass::Saf,
+            FaultClass::Tf,
+            FaultClass::Cfst,
+            FaultClass::Cfid,
+            FaultClass::Cfin,
+        ]
+    }
+
+    /// Whether the class involves two cells.
+    #[must_use]
+    pub fn is_coupling(self) -> bool {
+        matches!(self, FaultClass::Cfst | FaultClass::Cfid | FaultClass::Cfin)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultClass::Saf => "SAF",
+            FaultClass::Tf => "TF",
+            FaultClass::Cfst => "CFst",
+            FaultClass::Cfid => "CFid",
+            FaultClass::Cfin => "CFin",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single functional memory fault.
+///
+/// The variants follow the fault models of Section 2 of the paper. Coupling
+/// faults distinguish an *aggressor* (coupling) cell and a *victim* (coupled)
+/// cell; when both lie in the same word the fault is an intra-word coupling
+/// fault, otherwise an inter-word one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fault {
+    /// Stuck-at fault: the cell permanently holds `value`.
+    StuckAt {
+        /// The defective cell.
+        cell: BitAddress,
+        /// The value the cell is stuck at.
+        value: bool,
+    },
+    /// Transition fault: the cell fails to perform the given transition.
+    TransitionFault {
+        /// The defective cell.
+        cell: BitAddress,
+        /// The transition the cell cannot make.
+        direction: Transition,
+    },
+    /// State coupling fault: while the aggressor holds `aggressor_value`, the
+    /// victim is forced to `victim_value`.
+    CouplingState {
+        /// The coupling (aggressor) cell.
+        aggressor: BitAddress,
+        /// The coupled (victim) cell.
+        victim: BitAddress,
+        /// Aggressor state that activates the fault.
+        aggressor_value: bool,
+        /// Value the victim is forced to while activated.
+        victim_value: bool,
+    },
+    /// Idempotent coupling fault: when the aggressor performs `transition`,
+    /// the victim is forced to `victim_value`.
+    CouplingIdempotent {
+        /// The coupling (aggressor) cell.
+        aggressor: BitAddress,
+        /// The coupled (victim) cell.
+        victim: BitAddress,
+        /// Aggressor transition that activates the fault.
+        transition: Transition,
+        /// Value the victim is forced to when activated.
+        victim_value: bool,
+    },
+    /// Inversion coupling fault: when the aggressor performs `transition`,
+    /// the victim's content is inverted.
+    CouplingInversion {
+        /// The coupling (aggressor) cell.
+        aggressor: BitAddress,
+        /// The coupled (victim) cell.
+        victim: BitAddress,
+        /// Aggressor transition that activates the fault.
+        transition: Transition,
+    },
+}
+
+impl Fault {
+    /// Convenience constructor for a stuck-at fault.
+    #[must_use]
+    pub fn stuck_at(cell: BitAddress, value: bool) -> Self {
+        Fault::StuckAt { cell, value }
+    }
+
+    /// Convenience constructor for a transition fault.
+    #[must_use]
+    pub fn transition(cell: BitAddress, direction: Transition) -> Self {
+        Fault::TransitionFault { cell, direction }
+    }
+
+    /// Convenience constructor for a state coupling fault.
+    #[must_use]
+    pub fn coupling_state(
+        aggressor: BitAddress,
+        victim: BitAddress,
+        aggressor_value: bool,
+        victim_value: bool,
+    ) -> Self {
+        Fault::CouplingState {
+            aggressor,
+            victim,
+            aggressor_value,
+            victim_value,
+        }
+    }
+
+    /// Convenience constructor for an idempotent coupling fault.
+    #[must_use]
+    pub fn coupling_idempotent(
+        aggressor: BitAddress,
+        victim: BitAddress,
+        transition: Transition,
+        victim_value: bool,
+    ) -> Self {
+        Fault::CouplingIdempotent {
+            aggressor,
+            victim,
+            transition,
+            victim_value,
+        }
+    }
+
+    /// Convenience constructor for an inversion coupling fault.
+    #[must_use]
+    pub fn coupling_inversion(
+        aggressor: BitAddress,
+        victim: BitAddress,
+        transition: Transition,
+    ) -> Self {
+        Fault::CouplingInversion {
+            aggressor,
+            victim,
+            transition,
+        }
+    }
+
+    /// The fault class of this fault.
+    #[must_use]
+    pub fn class(&self) -> FaultClass {
+        match self {
+            Fault::StuckAt { .. } => FaultClass::Saf,
+            Fault::TransitionFault { .. } => FaultClass::Tf,
+            Fault::CouplingState { .. } => FaultClass::Cfst,
+            Fault::CouplingIdempotent { .. } => FaultClass::Cfid,
+            Fault::CouplingInversion { .. } => FaultClass::Cfin,
+        }
+    }
+
+    /// The victim (defective / coupled) cell of the fault.
+    #[must_use]
+    pub fn victim(&self) -> BitAddress {
+        match *self {
+            Fault::StuckAt { cell, .. } | Fault::TransitionFault { cell, .. } => cell,
+            Fault::CouplingState { victim, .. }
+            | Fault::CouplingIdempotent { victim, .. }
+            | Fault::CouplingInversion { victim, .. } => victim,
+        }
+    }
+
+    /// The aggressor (coupling) cell, if the fault is a coupling fault.
+    #[must_use]
+    pub fn aggressor(&self) -> Option<BitAddress> {
+        match *self {
+            Fault::StuckAt { .. } | Fault::TransitionFault { .. } => None,
+            Fault::CouplingState { aggressor, .. }
+            | Fault::CouplingIdempotent { aggressor, .. }
+            | Fault::CouplingInversion { aggressor, .. } => Some(aggressor),
+        }
+    }
+
+    /// All cells referenced by the fault.
+    #[must_use]
+    pub fn cells(&self) -> Vec<BitAddress> {
+        match self.aggressor() {
+            Some(a) => vec![a, self.victim()],
+            None => vec![self.victim()],
+        }
+    }
+
+    /// Whether this is a coupling fault whose aggressor and victim lie in the
+    /// same word (an *intra-word* coupling fault).
+    #[must_use]
+    pub fn is_intra_word(&self) -> bool {
+        match self.aggressor() {
+            Some(aggressor) => aggressor.same_word(self.victim()),
+            None => false,
+        }
+    }
+
+    /// Whether this is a coupling fault whose aggressor and victim lie in
+    /// different words (an *inter-word* coupling fault).
+    #[must_use]
+    pub fn is_inter_word(&self) -> bool {
+        match self.aggressor() {
+            Some(aggressor) => !aggressor.same_word(self.victim()),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::StuckAt { cell, value } => {
+                write!(f, "SAF({}) at {cell}", u8::from(value))
+            }
+            Fault::TransitionFault { cell, direction } => {
+                write!(f, "TF({direction}) at {cell}")
+            }
+            Fault::CouplingState {
+                aggressor,
+                victim,
+                aggressor_value,
+                victim_value,
+            } => write!(
+                f,
+                "CFst<{};{}> {aggressor} -> {victim}",
+                u8::from(aggressor_value),
+                u8::from(victim_value)
+            ),
+            Fault::CouplingIdempotent {
+                aggressor,
+                victim,
+                transition,
+                victim_value,
+            } => write!(
+                f,
+                "CFid<{transition};{}> {aggressor} -> {victim}",
+                u8::from(victim_value)
+            ),
+            Fault::CouplingInversion {
+                aggressor,
+                victim,
+                transition,
+            } => write!(f, "CFin<{transition}> {aggressor} -> {victim}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> BitAddress {
+        BitAddress::new(1, 2)
+    }
+
+    fn v() -> BitAddress {
+        BitAddress::new(1, 5)
+    }
+
+    fn v_other_word() -> BitAddress {
+        BitAddress::new(3, 5)
+    }
+
+    #[test]
+    fn transition_between_values() {
+        assert_eq!(Transition::between(false, true), Some(Transition::Rising));
+        assert_eq!(Transition::between(true, false), Some(Transition::Falling));
+        assert_eq!(Transition::between(true, true), None);
+        assert_eq!(Transition::between(false, false), None);
+        assert_eq!(Transition::Rising.reversed(), Transition::Falling);
+    }
+
+    #[test]
+    fn classes_are_reported_correctly() {
+        assert_eq!(Fault::stuck_at(a(), true).class(), FaultClass::Saf);
+        assert_eq!(Fault::transition(a(), Transition::Rising).class(), FaultClass::Tf);
+        assert_eq!(
+            Fault::coupling_state(a(), v(), true, false).class(),
+            FaultClass::Cfst
+        );
+        assert_eq!(
+            Fault::coupling_idempotent(a(), v(), Transition::Rising, true).class(),
+            FaultClass::Cfid
+        );
+        assert_eq!(
+            Fault::coupling_inversion(a(), v(), Transition::Falling).class(),
+            FaultClass::Cfin
+        );
+    }
+
+    #[test]
+    fn coupling_classification_intra_vs_inter_word() {
+        let intra = Fault::coupling_inversion(a(), v(), Transition::Rising);
+        let inter = Fault::coupling_inversion(a(), v_other_word(), Transition::Rising);
+        assert!(intra.is_intra_word());
+        assert!(!intra.is_inter_word());
+        assert!(inter.is_inter_word());
+        assert!(!inter.is_intra_word());
+
+        let simple = Fault::stuck_at(a(), false);
+        assert!(!simple.is_intra_word());
+        assert!(!simple.is_inter_word());
+    }
+
+    #[test]
+    fn victim_aggressor_and_cells() {
+        let f = Fault::coupling_idempotent(a(), v(), Transition::Rising, true);
+        assert_eq!(f.victim(), v());
+        assert_eq!(f.aggressor(), Some(a()));
+        assert_eq!(f.cells(), vec![a(), v()]);
+
+        let s = Fault::stuck_at(a(), true);
+        assert_eq!(s.victim(), a());
+        assert_eq!(s.aggressor(), None);
+        assert_eq!(s.cells(), vec![a()]);
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let faults = vec![
+            Fault::stuck_at(a(), true),
+            Fault::transition(a(), Transition::Falling),
+            Fault::coupling_state(a(), v(), true, false),
+            Fault::coupling_idempotent(a(), v(), Transition::Rising, true),
+            Fault::coupling_inversion(a(), v(), Transition::Falling),
+        ];
+        for f in faults {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_class_helpers() {
+        assert!(FaultClass::Cfid.is_coupling());
+        assert!(!FaultClass::Saf.is_coupling());
+        assert_eq!(FaultClass::all().len(), 5);
+    }
+}

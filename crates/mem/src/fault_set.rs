@@ -1,0 +1,224 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{BitAddress, Fault, FaultClass, MemError};
+
+/// A collection of faults injected into a memory.
+///
+/// The set keeps faults in insertion order and offers per-cell lookups used
+/// by the simulator on every write. A [`FaultSet`] is validated against a
+/// memory shape when the [`crate::FaultyMemory`] is constructed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    faults: Vec<Fault>,
+}
+
+impl FaultSet {
+    /// Creates an empty fault set (a fault-free memory).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fault set from an iterator of faults.
+    pub fn from_faults<I: IntoIterator<Item = Fault>>(faults: I) -> Self {
+        Self {
+            faults: faults.into_iter().collect(),
+        }
+    }
+
+    /// Adds a fault to the set.
+    pub fn insert(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Number of faults in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the set contains no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over the faults in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fault> {
+        self.faults.iter()
+    }
+
+    /// All faults of a given class.
+    #[must_use]
+    pub fn of_class(&self, class: FaultClass) -> Vec<&Fault> {
+        self.faults.iter().filter(|f| f.class() == class).collect()
+    }
+
+    /// Stuck-at value for a cell, if the cell has a stuck-at fault.
+    #[must_use]
+    pub fn stuck_at(&self, cell: BitAddress) -> Option<bool> {
+        self.faults.iter().find_map(|f| match *f {
+            Fault::StuckAt { cell: c, value } if c == cell => Some(value),
+            _ => None,
+        })
+    }
+
+    /// Transition faults affecting a cell.
+    #[must_use]
+    pub fn transition_faults(&self, cell: BitAddress) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f, Fault::TransitionFault { cell: c, .. } if *c == cell))
+            .collect()
+    }
+
+    /// Coupling faults whose aggressor is the given cell.
+    #[must_use]
+    pub fn coupled_by(&self, aggressor: BitAddress) -> Vec<&Fault> {
+        self.faults
+            .iter()
+            .filter(|f| f.aggressor() == Some(aggressor))
+            .collect()
+    }
+
+    /// Validates every fault against a memory shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::FaultCellOutOfRange`] if a fault references a cell
+    /// outside an `words × width` memory, or [`MemError::SelfCoupling`] if a
+    /// coupling fault uses the same cell for aggressor and victim.
+    pub fn validate(&self, words: usize, width: usize) -> Result<(), MemError> {
+        for fault in &self.faults {
+            for cell in fault.cells() {
+                if cell.word >= words || cell.bit >= width {
+                    return Err(MemError::FaultCellOutOfRange { cell });
+                }
+            }
+            if let Some(aggressor) = fault.aggressor() {
+                if aggressor == fault.victim() {
+                    return Err(MemError::SelfCoupling { cell: aggressor });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the set and returns the underlying faults.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<Fault> {
+        self.faults
+    }
+}
+
+impl FromIterator<Fault> for FaultSet {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        Self::from_faults(iter)
+    }
+}
+
+impl Extend<Fault> for FaultSet {
+    fn extend<I: IntoIterator<Item = Fault>>(&mut self, iter: I) {
+        self.faults.extend(iter);
+    }
+}
+
+impl From<Vec<Fault>> for FaultSet {
+    fn from(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+}
+
+impl IntoIterator for FaultSet {
+    type Item = Fault;
+    type IntoIter = std::vec::IntoIter<Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultSet {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    fn cell(word: usize, bit: usize) -> BitAddress {
+        BitAddress::new(word, bit)
+    }
+
+    #[test]
+    fn empty_set_is_fault_free() {
+        let set = FaultSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(set.validate(4, 8).is_ok());
+    }
+
+    #[test]
+    fn lookup_by_cell_and_class() {
+        let set = FaultSet::from_faults(vec![
+            Fault::stuck_at(cell(0, 1), true),
+            Fault::transition(cell(0, 1), Transition::Rising),
+            Fault::coupling_inversion(cell(0, 1), cell(2, 3), Transition::Falling),
+            Fault::coupling_state(cell(1, 0), cell(0, 1), false, true),
+        ]);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.stuck_at(cell(0, 1)), Some(true));
+        assert_eq!(set.stuck_at(cell(2, 3)), None);
+        assert_eq!(set.transition_faults(cell(0, 1)).len(), 1);
+        assert_eq!(set.coupled_by(cell(0, 1)).len(), 1);
+        assert_eq!(set.coupled_by(cell(1, 0)).len(), 1);
+        assert_eq!(set.of_class(FaultClass::Cfst).len(), 1);
+        assert_eq!(set.of_class(FaultClass::Saf).len(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_cells() {
+        let set = FaultSet::from_faults(vec![Fault::stuck_at(cell(9, 0), true)]);
+        assert!(matches!(
+            set.validate(4, 8),
+            Err(MemError::FaultCellOutOfRange { .. })
+        ));
+
+        let set = FaultSet::from_faults(vec![Fault::stuck_at(cell(0, 8), true)]);
+        assert!(matches!(
+            set.validate(4, 8),
+            Err(MemError::FaultCellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_self_coupling() {
+        let set = FaultSet::from_faults(vec![Fault::coupling_inversion(
+            cell(1, 1),
+            cell(1, 1),
+            Transition::Rising,
+        )]);
+        assert!(matches!(set.validate(4, 8), Err(MemError::SelfCoupling { .. })));
+    }
+
+    #[test]
+    fn collection_traits_work() {
+        let faults = vec![
+            Fault::stuck_at(cell(0, 0), false),
+            Fault::stuck_at(cell(1, 0), true),
+        ];
+        let set: FaultSet = faults.clone().into_iter().collect();
+        assert_eq!(set.len(), 2);
+        let mut extended = set.clone();
+        extended.extend(vec![Fault::stuck_at(cell(2, 0), true)]);
+        assert_eq!(extended.len(), 3);
+        let back: Vec<Fault> = set.into_iter().collect();
+        assert_eq!(back, faults);
+    }
+}

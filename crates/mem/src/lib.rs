@@ -1,0 +1,57 @@
+//! # twm-mem — word-oriented memory functional simulator with fault injection
+//!
+//! This crate is the substrate of the TWM (transparent word-oriented march
+//! test) reproduction: a functional model of an embedded word-oriented RAM
+//! together with the classical functional fault models used by the paper
+//! (Li, Tseng, Wey, *"An Efficient Transparent Test Scheme for Embedded
+//! Word-Oriented Memories"*, DATE 2005):
+//!
+//! * stuck-at faults (SAF),
+//! * transition faults (TF),
+//! * state, idempotent and inversion coupling faults (CFst, CFid, CFin),
+//!   both *intra-word* (aggressor and victim in the same word) and
+//!   *inter-word*.
+//!
+//! The central type is [`FaultyMemory`]: a bit-accurate storage array plus a
+//! [`FaultSet`] whose effects are applied on every write. A memory with an
+//! empty fault set behaves as a fault-free golden model.
+//!
+//! ```
+//! use twm_mem::{FaultyMemory, MemoryConfig, Fault, BitAddress, Word};
+//!
+//! # fn main() -> Result<(), twm_mem::MemError> {
+//! let config = MemoryConfig::new(16, 8)?;            // 16 words of 8 bits
+//! let saf = Fault::stuck_at(BitAddress::new(3, 0), true);
+//! let mut mem = FaultyMemory::with_faults(config, vec![saf])?;
+//!
+//! mem.write_word(3, Word::zeros(8))?;                // write all-0
+//! let read = mem.read_word(3)?;
+//! assert_eq!(read.bit(0), true);                     // bit 0 is stuck at 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod address;
+mod builder;
+mod error;
+mod fault;
+mod fault_set;
+mod prng;
+mod sim;
+mod storage;
+mod trace;
+mod word;
+
+pub use address::{AddressOrder, AddressSequence, BitAddress, CellIndex};
+pub use builder::MemoryBuilder;
+pub use error::MemError;
+pub use fault::{Fault, FaultClass, Transition};
+pub use fault_set::FaultSet;
+pub use prng::SplitMix64;
+pub use sim::{AccessStats, FaultyMemory, MemoryConfig};
+pub use storage::BitStorage;
+pub use trace::{Trace, TraceEntry, TraceOp};
+pub use word::{Word, MAX_WORD_WIDTH};

@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+
+/// Small deterministic pseudo-random number generator (SplitMix64).
+///
+/// The simulator needs reproducible "arbitrary" memory contents for
+/// transparent-test experiments without pulling a full RNG dependency into
+/// the substrate crate. SplitMix64 is statistically adequate for generating
+/// memory backgrounds and fault samples and is fully deterministic from its
+/// seed.
+///
+/// ```
+/// use twm_mem::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128-bit pseudo-random value.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Pseudo-random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pseudo-random value in `0..bound` (`bound` must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be non-zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bools_are_not_constant() {
+        let mut rng = SplitMix64::new(3);
+        let trues = (0..256).filter(|_| rng.next_bool()).count();
+        assert!(trues > 64 && trues < 192, "trues = {trues}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(1).next_below(0);
+    }
+}

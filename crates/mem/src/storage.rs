@@ -1,0 +1,278 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{MemError, Word};
+
+/// Dense bit-level backing store for a word-oriented memory.
+///
+/// Bits are stored word-major: cell `(word, bit)` lives at linear index
+/// `word * width + bit`. The store itself is fault-free; fault behaviour is
+/// layered on top by [`crate::FaultyMemory`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitStorage {
+    blocks: Vec<u64>,
+    words: usize,
+    width: usize,
+}
+
+impl BitStorage {
+    /// Creates an all-zero store for `words` words of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyMemory`] if `words` is zero and
+    /// [`MemError::InvalidWidth`] if the width is unsupported.
+    pub fn new(words: usize, width: usize) -> Result<Self, MemError> {
+        if words == 0 {
+            return Err(MemError::EmptyMemory);
+        }
+        if width == 0 || width > crate::MAX_WORD_WIDTH {
+            return Err(MemError::InvalidWidth { width });
+        }
+        let total_bits = words * width;
+        let blocks = vec![0u64; total_bits.div_ceil(64)];
+        Ok(Self { blocks, words, width })
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of bits in the store.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.words * self.width
+    }
+
+    fn check_cell(&self, word: usize, bit: usize) -> Result<(), MemError> {
+        if word >= self.words {
+            return Err(MemError::AddressOutOfRange {
+                address: word,
+                words: self.words,
+            });
+        }
+        if bit >= self.width {
+            return Err(MemError::BitOutOfRange {
+                bit,
+                width: self.width,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an address or bit range error if the cell does not exist.
+    pub fn bit(&self, word: usize, bit: usize) -> Result<bool, MemError> {
+        self.check_cell(word, bit)?;
+        let index = word * self.width + bit;
+        Ok((self.blocks[index / 64] >> (index % 64)) & 1 == 1)
+    }
+
+    /// Writes a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an address or bit range error if the cell does not exist.
+    pub fn set_bit(&mut self, word: usize, bit: usize, value: bool) -> Result<(), MemError> {
+        self.check_cell(word, bit)?;
+        let index = word * self.width + bit;
+        let block = &mut self.blocks[index / 64];
+        if value {
+            *block |= 1 << (index % 64);
+        } else {
+            *block &= !(1 << (index % 64));
+        }
+        Ok(())
+    }
+
+    /// Reads a full word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] if `word` does not exist.
+    pub fn word(&self, word: usize) -> Result<Word, MemError> {
+        if word >= self.words {
+            return Err(MemError::AddressOutOfRange {
+                address: word,
+                words: self.words,
+            });
+        }
+        let mut bits = 0u128;
+        for bit in 0..self.width {
+            let index = word * self.width + bit;
+            if (self.blocks[index / 64] >> (index % 64)) & 1 == 1 {
+                bits |= 1 << bit;
+            }
+        }
+        Word::from_bits(bits, self.width)
+    }
+
+    /// Writes a full word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] for a bad address and
+    /// [`MemError::WidthMismatch`] if the word width differs from the store
+    /// width.
+    pub fn set_word(&mut self, word: usize, value: Word) -> Result<(), MemError> {
+        if word >= self.words {
+            return Err(MemError::AddressOutOfRange {
+                address: word,
+                words: self.words,
+            });
+        }
+        if value.width() != self.width {
+            return Err(MemError::WidthMismatch {
+                found: value.width(),
+                expected: self.width,
+            });
+        }
+        for bit in 0..self.width {
+            self.set_bit(word, bit, value.bit(bit))?;
+        }
+        Ok(())
+    }
+
+    /// Copies the whole contents out as a vector of words.
+    #[must_use]
+    pub fn to_words(&self) -> Vec<Word> {
+        (0..self.words)
+            .map(|w| self.word(w).expect("word index in range"))
+            .collect()
+    }
+
+    /// Fills every word with the same value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WidthMismatch`] if the word width differs from the
+    /// store width.
+    pub fn fill(&mut self, value: Word) -> Result<(), MemError> {
+        for w in 0..self.words {
+            self.set_word(w, value)?;
+        }
+        Ok(())
+    }
+
+    /// Loads the whole contents from a slice of words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LoadLengthMismatch`] if the slice length differs
+    /// from the number of words, or [`MemError::WidthMismatch`] for a width
+    /// mismatch.
+    pub fn load(&mut self, values: &[Word]) -> Result<(), MemError> {
+        if values.len() != self.words {
+            return Err(MemError::LoadLengthMismatch {
+                found: values.len(),
+                expected: self.words,
+            });
+        }
+        for (w, value) in values.iter().enumerate() {
+            self.set_word(w, *value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_storage_is_all_zero() {
+        let s = BitStorage::new(4, 8).unwrap();
+        assert_eq!(s.total_bits(), 32);
+        for w in 0..4 {
+            assert!(s.word(w).unwrap().is_zero());
+        }
+    }
+
+    #[test]
+    fn rejects_empty_or_invalid_shapes() {
+        assert_eq!(BitStorage::new(0, 8), Err(MemError::EmptyMemory));
+        assert_eq!(BitStorage::new(4, 0), Err(MemError::InvalidWidth { width: 0 }));
+        assert_eq!(
+            BitStorage::new(4, 129),
+            Err(MemError::InvalidWidth { width: 129 })
+        );
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut s = BitStorage::new(3, 8).unwrap();
+        let v = Word::from_bits(0b1010_0110, 8).unwrap();
+        s.set_word(1, v).unwrap();
+        assert_eq!(s.word(1).unwrap(), v);
+        assert!(s.word(0).unwrap().is_zero());
+        assert!(s.word(2).unwrap().is_zero());
+    }
+
+    #[test]
+    fn bit_round_trip_across_block_boundary() {
+        // 3 words * 40 bits = 120 bits spans two u64 blocks.
+        let mut s = BitStorage::new(3, 40).unwrap();
+        s.set_bit(1, 30, true).unwrap();
+        s.set_bit(2, 39, true).unwrap();
+        assert!(s.bit(1, 30).unwrap());
+        assert!(s.bit(2, 39).unwrap());
+        assert!(!s.bit(1, 29).unwrap());
+        s.set_bit(1, 30, false).unwrap();
+        assert!(!s.bit(1, 30).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_access_is_rejected() {
+        let s = BitStorage::new(2, 8).unwrap();
+        assert!(matches!(s.bit(2, 0), Err(MemError::AddressOutOfRange { .. })));
+        assert!(matches!(s.bit(0, 8), Err(MemError::BitOutOfRange { .. })));
+        assert!(matches!(s.word(5), Err(MemError::AddressOutOfRange { .. })));
+    }
+
+    #[test]
+    fn set_word_rejects_width_mismatch() {
+        let mut s = BitStorage::new(2, 8).unwrap();
+        assert!(matches!(
+            s.set_word(0, Word::zeros(4)),
+            Err(MemError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_and_load_round_trip() {
+        let mut s = BitStorage::new(3, 4).unwrap();
+        s.fill(Word::from_bits(0b0101, 4).unwrap()).unwrap();
+        assert!(s.to_words().iter().all(|w| w.to_bits() == 0b0101));
+
+        let new_contents = vec![
+            Word::from_bits(0b0001, 4).unwrap(),
+            Word::from_bits(0b0010, 4).unwrap(),
+            Word::from_bits(0b0100, 4).unwrap(),
+        ];
+        s.load(&new_contents).unwrap();
+        assert_eq!(s.to_words(), new_contents);
+
+        assert!(matches!(
+            s.load(&new_contents[..2]),
+            Err(MemError::LoadLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_words_round_trip() {
+        let mut s = BitStorage::new(2, 128).unwrap();
+        let v = Word::from_bits(u128::MAX - 12345, 128).unwrap();
+        s.set_word(1, v).unwrap();
+        assert_eq!(s.word(1).unwrap(), v);
+    }
+}

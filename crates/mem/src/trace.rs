@@ -1,0 +1,164 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Word;
+
+/// The kind of access recorded in a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// A word read.
+    Read,
+    /// A word write.
+    Write,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOp::Read => f.write_str("r"),
+            TraceOp::Write => f.write_str("w"),
+        }
+    }
+}
+
+/// One recorded memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Whether the access was a read or a write.
+    pub op: TraceOp,
+    /// Word address accessed.
+    pub address: usize,
+    /// Data read from or written to the memory (post-fault value for writes).
+    pub data: Word,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]={}", self.op, self.address, self.data)
+    }
+}
+
+/// A recorded sequence of memory accesses.
+///
+/// Traces are produced by [`crate::FaultyMemory`] when tracing is enabled and
+/// are used by the BIST crate to reconstruct read streams (for example when
+/// rendering the paper's Table 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of recorded accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the recorded accesses in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Only the read accesses, in order.
+    #[must_use]
+    pub fn reads(&self) -> Vec<TraceEntry> {
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| e.op == TraceOp::Read)
+            .collect()
+    }
+
+    /// Only the write accesses, in order.
+    #[must_use]
+    pub fn writes(&self) -> Vec<TraceEntry> {
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| e.op == TraceOp::Write)
+            .collect()
+    }
+
+    /// Clears all recorded accesses.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEntry;
+    type IntoIter = std::vec::IntoIter<TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: TraceOp, address: usize, bits: u128) -> TraceEntry {
+        TraceEntry {
+            op,
+            address,
+            data: Word::from_bits(bits, 8).unwrap(),
+        }
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.push(entry(TraceOp::Write, 0, 0x00));
+        trace.push(entry(TraceOp::Read, 0, 0x00));
+        trace.push(entry(TraceOp::Read, 1, 0xFF));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.reads().len(), 2);
+        assert_eq!(trace.writes().len(), 1);
+        assert_eq!(trace.reads()[1].address, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = entry(TraceOp::Read, 3, 0b0101_0101);
+        assert_eq!(e.to_string(), "r[3]=01010101");
+    }
+
+    #[test]
+    fn clear_and_collect() {
+        let mut trace: Trace = vec![entry(TraceOp::Read, 0, 1), entry(TraceOp::Write, 1, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(trace.len(), 2);
+        trace.clear();
+        assert!(trace.is_empty());
+    }
+}

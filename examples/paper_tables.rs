@@ -1,0 +1,146 @@
+//! Regenerates every table and worked example of the paper's evaluation:
+//!
+//! * the Section 4 worked example (March U, 8-bit words, 29 operations),
+//! * Table 1 (word content while the first ATMarch elements execute),
+//! * Table 2 (closed-form complexity of the three schemes),
+//! * Table 3 (complexity for March C− / March U over word sizes 16–128),
+//! * the Section 1/5/6 headline comparison (≈56 % / ≈19 % for 32-bit words).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example paper_tables
+//! ```
+
+use twm::core::complexity::{
+    headline, proposed_exact, proposed_formula, scheme1_formula, scheme2_formula, table3_rows,
+};
+use twm::core::TwmTransformer;
+use twm::march::algorithms::{march_c_minus, march_u};
+use twm::march::{DataSpec, MarchTest, OpKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    section_4_worked_example()?;
+    table_1()?;
+    table_2();
+    table_3()?;
+    headline_comparison();
+    Ok(())
+}
+
+fn section_4_worked_example() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Section 4 worked example: March U on 8-bit words ==");
+    let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
+    println!("March U   : {}", march_u());
+    println!("TSMarch U : {}", transformed.tsmarch());
+    println!("ATMarch   : {}", transformed.atmarch());
+    println!(
+        "TWMarch complexity: {} operations per word (paper: 29)",
+        transformed.transparent_test().operations_per_word()
+    );
+    println!();
+    Ok(())
+}
+
+/// Renders a transparent word-content trace: after every operation of the
+/// first three ATMarch elements, print the word content as a function of the
+/// initial bits `c7 … c0` (a prime marks a complemented bit), exactly the
+/// information of the paper's Table 1.
+fn table_1() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Table 1: word content during the first three ATMarch elements (W = 8) ==");
+    let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
+    let atmarch: &MarchTest = transformed.atmarch();
+    let width = 8usize;
+
+    println!("{:<12} {}", "operation", "word content afterwards");
+    let mut offset = vec![false; width]; // which bits are currently complemented
+    for element in atmarch.elements().iter().take(3) {
+        for op in &element.ops {
+            if op.kind == OpKind::Write {
+                if let DataSpec::TransparentXor(pattern) = op.data {
+                    let value = pattern.resolve(width)?;
+                    for (bit, flag) in offset.iter_mut().enumerate() {
+                        *flag = value.bit(bit);
+                    }
+                }
+            }
+            let rendered: Vec<String> = (0..width)
+                .rev()
+                .map(|bit| {
+                    if offset[bit] {
+                        format!("c{bit}'")
+                    } else {
+                        format!("c{bit}")
+                    }
+                })
+                .collect();
+            println!("{:<12} {}", op.to_string(), rendered.join(" "));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn table_2() {
+    println!("== Table 2: closed-form complexity of the transparent test schemes ==");
+    println!("(per word; N words, W-bit words, M operations, Q reads, L = ceil(log2 W))");
+    println!("{:<22} {:<18} {:<18}", "scheme", "TCM", "TCP");
+    println!("{:<22} {:<18} {:<18}", "Scheme 1 [12]", "M*(L+1)*N", "Q*(L+1)*N");
+    println!("{:<22} {:<18} {:<18}", "Scheme 2 [13] TOMT", "(8W+2)*N", "-");
+    println!("{:<22} {:<18} {:<18}", "This work (TWM_TA)", "(M+5L)*N", "(Q+2L)*N");
+    let length = march_c_minus().length();
+    println!(
+        "\nexample (March C-, W = 32): scheme1 = {}+{}, scheme2 = {}, proposed = {}+{}\n",
+        scheme1_formula(length, 32).tcm,
+        scheme1_formula(length, 32).tcp,
+        scheme2_formula(32).tcm,
+        proposed_formula(length, 32).tcm,
+        proposed_formula(length, 32).tcp,
+    );
+}
+
+fn table_3() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Table 3: per-word complexity (TCM+TCP) for different word sizes ==");
+    let tests = vec![march_c_minus(), march_u()];
+    let widths = [16usize, 32, 64, 128];
+    let rows = table3_rows(&tests, &widths)?;
+    println!(
+        "{:<10} {:>6} {:>14} {:>14} {:>12} {:>16}",
+        "test", "W", "[12] scheme1", "[13] scheme2", "this work", "this work exact"
+    );
+    for row in rows {
+        println!(
+            "{:<10} {:>6} {:>14} {:>14} {:>12} {:>16}",
+            row.test_name,
+            row.width,
+            row.scheme1.total(),
+            row.scheme2.total(),
+            row.proposed.total(),
+            row.proposed_exact.total(),
+        );
+    }
+    // Also report the exact generated-test numbers of the worked examples.
+    let exact = proposed_exact(&march_u(), 8)?;
+    println!(
+        "\nexact March U, W=8: TCM = {}, TCP(reads) = {}\n",
+        exact.tcm, exact.tcp
+    );
+    Ok(())
+}
+
+fn headline_comparison() {
+    println!("== Headline comparison (March C-, 32-bit words) ==");
+    let comparison = headline(&march_c_minus(), 32);
+    println!(
+        "proposed total = {} ops/word, scheme 1 = {}, scheme 2 = {}",
+        comparison.proposed_total, comparison.scheme1_total, comparison.scheme2_total
+    );
+    println!(
+        "proposed / scheme1 = {:.1}%  (paper: ~56%)",
+        comparison.ratio_vs_scheme1 * 100.0
+    );
+    println!(
+        "proposed / scheme2 = {:.1}%  (paper: ~19%)",
+        comparison.ratio_vs_scheme2 * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Periodic on-line testing in idle windows — the deployment scenario the
+//! paper optimises for. A shorter transparent test fits into more of the
+//! system's idle windows, so it interferes less with normal operation and
+//! detects life-time faults (for example a transition fault that appears
+//! after months in the field) sooner.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example periodic_online_test
+//! ```
+
+use twm::bist::controller::{schedule, IdleWindowModel, PeriodicController};
+use twm::core::{Scheme1Transformer, TwmTransformer};
+use twm::march::algorithms::march_c_minus;
+use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width = 32;
+    let words = 128;
+    let bmarch = march_c_minus();
+
+    // Transparent tests of the two schemes.
+    let proposed = TwmTransformer::new(width)?.transform(&bmarch)?;
+    let scheme1 = Scheme1Transformer::new(width)?.transform(&bmarch)?;
+
+    let proposed_ops = proposed.transparent_test().total_operations(words);
+    let scheme1_ops = scheme1.transparent_test().total_operations(words);
+    println!("memory: {words} words x {width} bits");
+    println!("proposed TWMarch : {proposed_ops} operations per pass");
+    println!("Scheme 1         : {scheme1_ops} operations per pass");
+
+    // The system offers idle windows of varying length between bursts of
+    // normal activity.
+    let windows = IdleWindowModel::random(500, words * 10, words * 45, 0x1D1E)?;
+    let report_proposed = schedule(proposed_ops, &windows);
+    let report_scheme1 = schedule(scheme1_ops, &windows);
+    println!("\nidle-window model: 500 windows of {}..{} operations", words * 10, words * 45);
+    println!(
+        "proposed fits in a single idle window {:.1}% of the time (scheme 1: {:.1}%)",
+        report_proposed.single_window_fit_fraction * 100.0,
+        report_scheme1.single_window_fit_fraction * 100.0
+    );
+    println!(
+        "windows needed for one full pass: proposed {:?}, scheme 1 {:?}",
+        report_proposed.windows_used, report_scheme1.windows_used
+    );
+
+    // Life-time fault detection: the memory develops a transition fault in
+    // the field; the periodic transparent test finds it while preserving the
+    // application's data.
+    let mut field_memory = MemoryBuilder::new(words, width)
+        .random_content(0xA11)
+        .fault(Fault::transition(BitAddress::new(77, 13), Transition::Falling))
+        .build()?;
+    let controller = PeriodicController::new(proposed.transparent_test().clone());
+    let run = controller.run(&mut field_memory, &windows)?;
+    println!(
+        "\nperiodic run over the faulty field memory: {} windows, {} operations, {} mismatching reads",
+        run.windows_used, run.operations, run.mismatches
+    );
+    assert!(run.mismatches > 0, "the life-time fault must be detected");
+    Ok(())
+}

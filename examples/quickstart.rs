@@ -1,0 +1,87 @@
+//! Quickstart: transform a bit-oriented march test into a transparent
+//! word-oriented march test, run it on a simulated embedded memory, and see
+//! both the fault-free pass and the detection of an injected fault.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use twm::bist::flow::run_transparent_session;
+use twm::bist::{diagnose, execute, Misr};
+use twm::core::TwmTransformer;
+use twm::march::algorithms::march_c_minus;
+use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a bit-oriented march test and a word width.
+    let bmarch = march_c_minus();
+    let width = 16;
+    println!("bit-oriented input  : {} = {bmarch}", bmarch.name());
+
+    // 2. Transform it with the paper's TWM_TA algorithm.
+    let transformed = TwmTransformer::new(width)?.transform(&bmarch)?;
+    println!("\nTSMarch             : {}", transformed.tsmarch());
+    println!("ATMarch             : {}", transformed.atmarch());
+    println!(
+        "TWMarch             : {} operations per word ({} reads, {} writes)",
+        transformed.transparent_test().length().operations,
+        transformed.transparent_test().length().reads,
+        transformed.transparent_test().length().writes,
+    );
+    println!(
+        "signature prediction: {} operations per word",
+        transformed.signature_prediction().length().operations
+    );
+
+    // 3. Run the transparent BIST session on a fault-free memory holding
+    //    arbitrary data: nothing is detected and the content is preserved.
+    let mut healthy = MemoryBuilder::new(256, width).random_content(0xFEED).build()?;
+    let before = healthy.content();
+    let outcome = run_transparent_session(
+        transformed.transparent_test(),
+        transformed.signature_prediction(),
+        &mut healthy,
+        Misr::standard(width),
+    )?;
+    println!("\nfault-free memory   : detected = {}", outcome.fault_detected());
+    println!("content preserved   : {}", outcome.content_preserved);
+    assert!(!outcome.fault_detected());
+    assert_eq!(healthy.content(), before);
+
+    // 4. Inject a transition fault that appeared during the product's life
+    //    and run the same periodic test again.
+    let mut aged = MemoryBuilder::new(256, width)
+        .random_content(0xFEED)
+        .fault(Fault::transition(BitAddress::new(97, 5), Transition::Rising))
+        .build()?;
+    let outcome = run_transparent_session(
+        transformed.transparent_test(),
+        transformed.signature_prediction(),
+        &mut aged,
+        Misr::standard(width),
+    )?;
+    println!("\naged memory         : detected = {}", outcome.fault_detected());
+    println!(
+        "signatures          : predicted {} vs observed {}",
+        outcome.predicted_signature, outcome.test_signature
+    );
+    assert!(outcome.fault_detected());
+
+    // 5. Localise the defect from the read log of a diagnostic re-run.
+    let mut diagnostic_run = MemoryBuilder::new(256, width)
+        .random_content(0xFEED)
+        .fault(Fault::transition(BitAddress::new(97, 5), Transition::Rising))
+        .build()?;
+    let log = execute(transformed.transparent_test(), &mut diagnostic_run)?;
+    let diagnosis = diagnose(&log);
+    let suspect = diagnosis.primary_suspect().expect("fault was detected");
+    println!(
+        "diagnosis           : word {}, bit {} ({} mismatching reads)",
+        suspect.cell.word, suspect.cell.bit, suspect.mismatches
+    );
+    assert_eq!(suspect.cell, BitAddress::new(97, 5));
+
+    Ok(())
+}

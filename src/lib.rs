@@ -1,0 +1,54 @@
+//! # twm — transparent word-oriented march tests for embedded memories
+//!
+//! Facade crate re-exporting the whole TWM workspace, a reproduction of
+//! *"An Efficient Transparent Test Scheme for Embedded Word-Oriented
+//! Memories"* (Li, Tseng, Wey — DATE 2005).
+//!
+//! The workspace is organised in focused crates, all re-exported here:
+//!
+//! * [`mem`] — word-oriented memory functional simulator with fault
+//!   injection (SAF, TF, CFst, CFid, CFin).
+//! * [`march`] — march-test framework: operations, elements, notation,
+//!   standard algorithms (March C−, March U, …) and data backgrounds.
+//! * [`core`] — the paper's contribution: the TWM_TA transformation that
+//!   turns a bit-oriented march test into an efficient transparent
+//!   word-oriented march test, plus the baseline schemes it is compared
+//!   against and the complexity model behind the paper's tables.
+//! * [`bist`] — transparent BIST engine: march executor, MISR signature
+//!   analyzer, signature-prediction flow and periodic idle-window
+//!   controller.
+//! * [`coverage`] — fault-universe enumeration and fault-coverage
+//!   evaluation, including the two-cell state analysis of the paper's
+//!   Figure 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::core::{complexity, TwmTransformer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Transform bit-oriented March C− for a memory with 32-bit words.
+//! let bmarch = march_c_minus();
+//! let transformed = TwmTransformer::new(32)?.transform(&bmarch)?;
+//!
+//! // Operations per word of the transparent test: the paper's
+//! // TCM = M + 5·log2(W) = 10 + 25 = 35.
+//! assert_eq!(transformed.transparent_test().operations_per_word(), 35);
+//!
+//! // The paper's headline comparison: ≈56% of Scheme 1 and ≈19% of
+//! // Scheme 2 (TOMT) for March C− on 32-bit words.
+//! let headline = complexity::headline(&bmarch, 32);
+//! assert!((headline.ratio_vs_scheme1 - 0.56).abs() < 0.01);
+//! assert!((headline.ratio_vs_scheme2 - 0.19).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use twm_bist as bist;
+pub use twm_core as core;
+pub use twm_coverage as coverage;
+pub use twm_march as march;
+pub use twm_mem as mem;

@@ -1,0 +1,79 @@
+//! Integration test for the paper's Section 5 coverage theorem, run across
+//! two word widths and two march tests: the transparent word-oriented test
+//! preserves the coverage of the non-transparent word-oriented test for the
+//! operation-driven fault classes, and inter-word coupling faults are fully
+//! covered by both.
+
+use twm::core::atmarch::amarch;
+use twm::core::TwmTransformer;
+use twm::coverage::evaluator::{ContentPolicy, EvaluationOptions};
+use twm::coverage::{coverage_equivalence, CouplingScope, UniverseBuilder};
+use twm::march::algorithms::{march_c_minus, march_u};
+use twm::mem::{FaultClass, MemoryConfig};
+
+fn run_case(bmarch: &twm::march::MarchTest, words: usize, width: usize, seed: u64) {
+    let config = MemoryConfig::new(words, width).unwrap();
+    let transformed = TwmTransformer::new(width).unwrap().transform(bmarch).unwrap();
+    let counterpart = bmarch.concatenated(
+        &amarch(width).unwrap(),
+        format!("{} + AMarch", bmarch.name()),
+    );
+    let faults = UniverseBuilder::new(config)
+        .all_classes()
+        .coupling_scope(CouplingScope::SameWordAndAdjacent)
+        .build();
+    let report = coverage_equivalence(
+        transformed.transparent_test(),
+        &counterpart,
+        &faults,
+        config,
+        EvaluationOptions {
+            content: ContentPolicy::Random { seed },
+            contents_per_fault: 1,
+        },
+        EvaluationOptions {
+            content: ContentPolicy::Zeros,
+            contents_per_fault: 1,
+        },
+    )
+    .unwrap();
+
+    assert!(
+        report.class_counts_equal_for(&[
+            FaultClass::Saf,
+            FaultClass::Tf,
+            FaultClass::Cfid,
+            FaultClass::Cfin
+        ]),
+        "{} W={width}: counts differ\n{}\n{}",
+        bmarch.name(),
+        report.first,
+        report.second
+    );
+    assert!(
+        report.class_coverage_gap(FaultClass::Cfst) < 0.05,
+        "{} W={width}: CFst gap {:.3}",
+        bmarch.name(),
+        report.class_coverage_gap(FaultClass::Cfst)
+    );
+    assert_eq!(report.first.inter_word.fraction(), 1.0);
+    assert_eq!(report.second.inter_word.fraction(), 1.0);
+    assert_eq!(report.first.class_coverage(FaultClass::Saf), 1.0);
+    assert_eq!(report.first.class_coverage(FaultClass::Tf), 1.0);
+    assert_eq!(report.first.class_coverage(FaultClass::Cfin), 1.0);
+}
+
+#[test]
+fn march_c_minus_width_4() {
+    run_case(&march_c_minus(), 5, 4, 0xAA01);
+}
+
+#[test]
+fn march_c_minus_width_8() {
+    run_case(&march_c_minus(), 4, 8, 0xAA02);
+}
+
+#[test]
+fn march_u_width_4() {
+    run_case(&march_u(), 5, 4, 0xAA03);
+}

@@ -1,0 +1,123 @@
+//! End-to-end fault detection: every modelled fault class, injected into a
+//! word-oriented memory holding arbitrary data, is caught by the full
+//! transparent BIST session (prediction phase, test phase, signature
+//! comparison) built from March C−.
+
+use twm::bist::flow::run_transparent_session;
+use twm::bist::Misr;
+use twm::core::TwmTransformer;
+use twm::march::algorithms::march_c_minus;
+use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
+
+const WIDTH: usize = 8;
+const WORDS: usize = 32;
+
+fn detects(fault: Fault, seed: u64) -> bool {
+    let transformed = TwmTransformer::new(WIDTH)
+        .expect("width")
+        .transform(&march_c_minus())
+        .expect("transform");
+    let mut memory = MemoryBuilder::new(WORDS, WIDTH)
+        .random_content(seed)
+        .fault(fault)
+        .build()
+        .expect("memory");
+    let outcome = run_transparent_session(
+        transformed.transparent_test(),
+        transformed.signature_prediction(),
+        &mut memory,
+        Misr::standard(WIDTH),
+    )
+    .expect("session");
+    outcome.fault_detected()
+}
+
+#[test]
+fn stuck_at_faults_are_detected_by_the_signature_flow() {
+    for value in [false, true] {
+        for seed in [1u64, 2, 3] {
+            assert!(
+                detects(Fault::stuck_at(BitAddress::new(11, 3), value), seed),
+                "SAF({value}) escaped with seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn transition_faults_are_detected_by_the_signature_flow() {
+    for direction in [Transition::Rising, Transition::Falling] {
+        for seed in [7u64, 8] {
+            assert!(
+                detects(Fault::transition(BitAddress::new(20, 6), direction), seed),
+                "TF({direction}) escaped with seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn inter_word_coupling_faults_are_detected_by_the_signature_flow() {
+    let aggressor = BitAddress::new(5, 1);
+    let victim = BitAddress::new(19, 4);
+    let faults = vec![
+        Fault::coupling_inversion(aggressor, victim, Transition::Rising),
+        Fault::coupling_inversion(aggressor, victim, Transition::Falling),
+        Fault::coupling_idempotent(aggressor, victim, Transition::Rising, true),
+        Fault::coupling_idempotent(aggressor, victim, Transition::Falling, false),
+        Fault::coupling_state(aggressor, victim, true, false),
+        Fault::coupling_state(aggressor, victim, false, true),
+    ];
+    for fault in faults {
+        for seed in [11u64, 12] {
+            assert!(detects(fault, seed), "{fault} escaped with seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn intra_word_inversion_coupling_is_detected() {
+    // CFin detection is content-independent (the victim is inverted, so the
+    // following read always disagrees), which makes it a stable end-to-end
+    // check for the intra-word path through ATMarch.
+    let aggressor = BitAddress::new(9, 2);
+    let victim = BitAddress::new(9, 5);
+    for direction in [Transition::Rising, Transition::Falling] {
+        for seed in [21u64, 22, 23] {
+            assert!(
+                detects(Fault::coupling_inversion(aggressor, victim, direction), seed),
+                "intra-word CFin({direction}) escaped with seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_simultaneous_faults_are_still_flagged() {
+    let transformed = TwmTransformer::new(WIDTH)
+        .unwrap()
+        .transform(&march_c_minus())
+        .unwrap();
+    let mut memory = MemoryBuilder::new(WORDS, WIDTH)
+        .random_content(99)
+        .faults(vec![
+            Fault::stuck_at(BitAddress::new(0, 0), true),
+            Fault::transition(BitAddress::new(15, 7), Transition::Rising),
+            Fault::coupling_inversion(
+                BitAddress::new(3, 3),
+                BitAddress::new(4, 3),
+                Transition::Falling,
+            ),
+        ])
+        .build()
+        .unwrap();
+    let outcome = run_transparent_session(
+        transformed.transparent_test(),
+        transformed.signature_prediction(),
+        &mut memory,
+        Misr::standard(WIDTH),
+    )
+    .unwrap();
+    assert!(outcome.fault_detected_exact());
+    assert!(outcome.fault_detected());
+}

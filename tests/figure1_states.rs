@@ -1,0 +1,71 @@
+//! Integration test for the analysis behind Figure 1: state and excitation
+//! coverage for two arbitrary cells (bit-oriented) and for two bits inside a
+//! word (word-oriented).
+
+use twm::core::TwmTransformer;
+use twm::coverage::states::{analyze_cell_pair, analyze_intra_word_pair};
+use twm::march::algorithms::{march_b, march_c_minus, march_u, march_x, mats_plus};
+use twm::mem::Word;
+
+#[test]
+fn coupling_capable_marches_cover_all_pair_conditions() {
+    // March C-, March U and March B are published as coupling-fault tests:
+    // they must excite every aggressor-transition / victim-value condition
+    // for any cell pair (Figure 1(a)).
+    for march in [march_c_minus(), march_u(), march_b()] {
+        for (lower, higher) in [(0usize, 1usize), (3, 11), (7, 14)] {
+            let coverage = analyze_cell_pair(&march, lower, higher, 16).unwrap();
+            assert!(
+                coverage.all_states_visited(),
+                "{} misses pair states for ({lower},{higher})",
+                march.name()
+            );
+            assert!(
+                coverage.all_conditions_covered(),
+                "{} misses conditions {:?} for ({lower},{higher})",
+                march.name(),
+                coverage.missing_conditions()
+            );
+        }
+    }
+}
+
+#[test]
+fn simple_marches_do_not_cover_all_pair_conditions() {
+    for march in [mats_plus(), march_x()] {
+        let coverage = analyze_cell_pair(&march, 2, 9, 16).unwrap();
+        assert!(
+            !coverage.all_conditions_covered(),
+            "{} unexpectedly covers every condition",
+            march.name()
+        );
+    }
+}
+
+#[test]
+fn twmarch_covers_intra_word_conditions_for_every_pair_and_content() {
+    // Figure 1(b): the transparent word-oriented test covers the four
+    // intra-word pair conditions for every bit pair, regardless of the
+    // initial content; the solid-background part alone covers only two.
+    let width = 16;
+    let transformed = TwmTransformer::new(width)
+        .unwrap()
+        .transform(&march_u())
+        .unwrap();
+    for content in [0u128, 0xA5A5, 0x0F0F, 0xFFFF, 0x1234] {
+        let initial = Word::from_bits(content, width).unwrap();
+        for a in 0..width {
+            for b in (a + 1)..width {
+                let full =
+                    analyze_intra_word_pair(transformed.transparent_test(), a, b, initial).unwrap();
+                assert!(
+                    full.all_covered(),
+                    "pair ({a},{b}) content {initial}: {full:?}"
+                );
+                let partial =
+                    analyze_intra_word_pair(transformed.tsmarch(), a, b, initial).unwrap();
+                assert_eq!(partial.covered_count(), 2, "TSMarch alone for pair ({a},{b})");
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Integration test for the paper's Table 1: the word content while the
+//! first three ATMarch elements execute, expressed as an XOR offset from the
+//! initial content.
+
+use twm::core::TwmTransformer;
+use twm::march::algorithms::march_u;
+use twm::march::{DataSpec, OpKind};
+use twm::mem::{MemoryBuilder, Word};
+
+/// Structural check: the sequence of write offsets in the k-th ATMarch
+/// element is `D_k, 0` (write the background over the content, then restore)
+/// and every element is bracketed by reads of the restored content.
+#[test]
+fn atmarch_offset_sequence_matches_table1() {
+    let transformed = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+    let atmarch = transformed.atmarch();
+    let expected_backgrounds = [0b0101_0101u128, 0b0011_0011, 0b0000_1111];
+
+    for (k, element) in atmarch.elements().iter().take(3).enumerate() {
+        assert_eq!(element.len(), 5, "ATMarch elements have five operations");
+        let offsets: Vec<u128> = element
+            .ops
+            .iter()
+            .map(|op| match op.data {
+                DataSpec::TransparentXor(p) => p.resolve(8).unwrap().to_bits(),
+                DataSpec::Literal(_) => panic!("ATMarch must be transparent"),
+            })
+            .collect();
+        // r_c, w_{c^Dk}, r_{c^Dk}, w_c, r_c
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[1], expected_backgrounds[k]);
+        assert_eq!(offsets[2], expected_backgrounds[k]);
+        assert_eq!(offsets[3], 0);
+        assert_eq!(offsets[4], 0);
+        assert_eq!(element.ops[0].kind, OpKind::Read);
+        assert_eq!(element.ops[1].kind, OpKind::Write);
+        assert_eq!(element.ops[2].kind, OpKind::Read);
+        assert_eq!(element.ops[3].kind, OpKind::Write);
+        assert_eq!(element.ops[4].kind, OpKind::Read);
+    }
+}
+
+/// Dynamic check: executing ATMarch on a single-word memory with an
+/// arbitrary content walks the content through `c, c^Dk, c` for every k and
+/// ends with the content restored — exactly the column of Table 1.
+#[test]
+fn atmarch_execution_walks_the_table1_contents() {
+    let width = 8;
+    let initial = Word::from_bits(0b1011_0110, width).unwrap();
+    let transformed = TwmTransformer::new(width).unwrap().transform(&march_u()).unwrap();
+    let mut memory = MemoryBuilder::new(1, width)
+        .content(vec![initial])
+        .build()
+        .unwrap();
+    memory.set_tracing(true);
+
+    let result = twm::bist::execute(transformed.atmarch(), &mut memory).unwrap();
+    assert!(!result.detected());
+    assert!(result.content_preserved());
+
+    let trace = memory.take_trace();
+    let backgrounds = [0b0101_0101u128, 0b0011_0011, 0b0000_1111];
+    // Per element: write c^Dk then write c; collect the write data in order.
+    let writes: Vec<u128> = trace.writes().iter().map(|w| w.data.to_bits()).collect();
+    assert_eq!(writes.len(), 6);
+    for (k, chunk) in writes.chunks(2).enumerate() {
+        assert_eq!(chunk[0], initial.to_bits() ^ backgrounds[k]);
+        assert_eq!(chunk[1], initial.to_bits());
+    }
+}

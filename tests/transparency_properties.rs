@@ -1,0 +1,101 @@
+//! Property-based integration tests: the transparency guarantee of the
+//! generated tests must hold for any library algorithm, any supported word
+//! width and any initial memory content.
+
+use proptest::prelude::*;
+
+use twm::bist::{execute, flow::run_transparent_session, Misr};
+use twm::core::verify::check_transparent;
+use twm::core::{Scheme1Transformer, TwmTransformer};
+use twm::march::algorithms;
+use twm::mem::MemoryBuilder;
+
+fn arb_algorithm() -> impl Strategy<Value = twm::march::MarchTest> {
+    let all = algorithms::all();
+    let count = all.len();
+    (0..count).prop_map(move |i| algorithms::all().swap_remove(i))
+}
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32), Just(64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TWMarch preserves arbitrary memory content and reports no mismatch on
+    /// a fault-free memory, for every algorithm, width and content.
+    #[test]
+    fn twmarch_is_transparent_for_any_content(
+        march in arb_algorithm(),
+        width in arb_width(),
+        words in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
+
+        let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
+        let before = memory.content();
+        let result = execute(transformed.transparent_test(), &mut memory).unwrap();
+        prop_assert!(!result.detected());
+        prop_assert!(result.content_preserved());
+        prop_assert_eq!(memory.content(), before);
+    }
+
+    /// The two-phase signature flow produces matching signatures on a
+    /// fault-free memory for every algorithm, width and content.
+    #[test]
+    fn signature_prediction_matches_on_fault_free_memory(
+        march in arb_algorithm(),
+        width in prop_oneof![Just(4usize), Just(8), Just(16)],
+        words in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
+        let outcome = run_transparent_session(
+            transformed.transparent_test(),
+            transformed.signature_prediction(),
+            &mut memory,
+            Misr::standard(width),
+        )
+        .unwrap();
+        prop_assert!(!outcome.fault_detected());
+        prop_assert!(!outcome.fault_detected_exact());
+        prop_assert!(outcome.content_preserved);
+    }
+
+    /// Scheme 1's transparent test is also content-preserving (it is the
+    /// baseline the paper improves on, not a broken strawman).
+    #[test]
+    fn scheme1_is_transparent_for_any_content(
+        march in arb_algorithm(),
+        width in prop_oneof![Just(4usize), Just(8), Just(16)],
+        words in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let transformed = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
+        prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
+        let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
+        let before = memory.content();
+        let result = execute(transformed.transparent_test(), &mut memory).unwrap();
+        prop_assert!(!result.detected());
+        prop_assert_eq!(memory.content(), before);
+    }
+
+    /// The proposed scheme is never longer than Scheme 1 and the advantage
+    /// grows with the word width.
+    #[test]
+    fn proposed_is_always_shorter_than_scheme1(
+        march in arb_algorithm(),
+        width in arb_width(),
+    ) {
+        let proposed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let scheme1 = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
+        prop_assert!(
+            proposed.transparent_test().operations_per_word()
+                < scheme1.transparent_test().operations_per_word()
+        );
+    }
+}
