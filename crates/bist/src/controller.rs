@@ -198,10 +198,11 @@ impl PeriodicController {
             // Guard against windows too small for even one burst: skip ahead
             // to the next window (counted, but no progress) — if every window
             // is too small the loop would never terminate, so give up.
-            if budget == window && window < self.max_burst_len() {
-                if model.windows.iter().all(|&w| w < self.max_burst_len()) {
-                    break;
-                }
+            if budget == window
+                && window < self.max_burst_len()
+                && model.windows.iter().all(|&w| w < self.max_burst_len())
+            {
+                break;
             }
         }
 
@@ -273,8 +274,7 @@ mod tests {
         let report_proposed = schedule(proposed, &model);
         let report_scheme1 = schedule(scheme1, &model);
         assert!(
-            report_proposed.single_window_fit_fraction
-                > report_scheme1.single_window_fit_fraction
+            report_proposed.single_window_fit_fraction > report_scheme1.single_window_fit_fraction
         );
     }
 

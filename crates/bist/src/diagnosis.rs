@@ -209,7 +209,11 @@ mod tests {
         let victim = BitAddress::new(9, 3);
         let mut memory = MemoryBuilder::new(16, 8)
             .random_content(23)
-            .fault(Fault::coupling_inversion(aggressor, victim, Transition::Rising))
+            .fault(Fault::coupling_inversion(
+                aggressor,
+                victim,
+                Transition::Rising,
+            ))
             .build()
             .unwrap();
         let result = execute(&transparent_test(8), &mut memory).unwrap();

@@ -20,6 +20,14 @@ pub enum BistError {
         /// Memory word width in bits.
         memory: usize,
     },
+    /// A pre-lowered test was executed on a memory of a different word
+    /// width than it was lowered for.
+    LoweredWidthMismatch {
+        /// Width the test was lowered for.
+        lowered: usize,
+        /// Memory word width in bits.
+        memory: usize,
+    },
     /// An invalid MISR configuration (zero width or zero polynomial).
     InvalidMisr {
         /// Description of the problem.
@@ -35,7 +43,16 @@ impl fmt::Display for BistError {
             BistError::March(err) => write!(f, "march error: {err}"),
             BistError::Mem(err) => write!(f, "memory error: {err}"),
             BistError::WidthMismatch { misr, memory } => {
-                write!(f, "misr width {misr} does not match memory word width {memory}")
+                write!(
+                    f,
+                    "misr width {misr} does not match memory word width {memory}"
+                )
+            }
+            BistError::LoweredWidthMismatch { lowered, memory } => {
+                write!(
+                    f,
+                    "test lowered for width {lowered} executed on memory of word width {memory}"
+                )
             }
             BistError::InvalidMisr { detail } => write!(f, "invalid misr configuration: {detail}"),
             BistError::EmptyWindowModel => write!(f, "idle-window model contains no windows"),
@@ -75,7 +92,10 @@ mod tests {
         assert!(err.source().is_some());
         let err: BistError = MemError::EmptyMemory.into();
         assert!(err.source().is_some());
-        let err = BistError::WidthMismatch { misr: 8, memory: 16 };
+        let err = BistError::WidthMismatch {
+            misr: 8,
+            memory: 16,
+        };
         assert!(err.source().is_none());
         assert!(!err.to_string().is_empty());
     }

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use twm_march::{MarchTest, OpKind};
 use twm_mem::{AddressSequence, FaultyMemory, Word};
 
-use crate::BistError;
+use crate::{BistError, LoweredTest};
 
 /// One executed read operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +129,32 @@ pub fn execute_with(
     memory: &mut FaultyMemory,
     options: ExecutionOptions,
 ) -> Result<ExecutionResult, BistError> {
+    let lowered = LoweredTest::new(test, memory.width())?;
+    execute_lowered(&lowered, memory, options)
+}
+
+/// Executes a pre-lowered march test on the given memory.
+///
+/// Lower a test once with [`LoweredTest::new`] and call this for every
+/// execution to amortise pattern resolution — the coverage evaluator uses
+/// this to run the same test over thousands of fault-injected memories.
+///
+/// # Errors
+///
+/// Returns [`BistError::LoweredWidthMismatch`] if the test was lowered for
+/// a different word width than the memory's, or [`BistError::Mem`] for
+/// address errors.
+pub fn execute_lowered(
+    test: &LoweredTest,
+    memory: &mut FaultyMemory,
+    options: ExecutionOptions,
+) -> Result<ExecutionResult, BistError> {
+    if test.width() != memory.width() {
+        return Err(BistError::LoweredWidthMismatch {
+            lowered: test.width(),
+            memory: memory.width(),
+        });
+    }
     let initial_content = memory.content();
     let words = memory.words();
 
@@ -141,7 +167,7 @@ pub fn execute_with(
         for address in AddressSequence::new(words, element.order) {
             let initial = initial_content[address];
             for op in &element.ops {
-                let value = op.data.resolve(initial)?;
+                let value = op.value(initial);
                 match op.kind {
                     OpKind::Write => {
                         memory.write_word(address, value)?;
@@ -150,12 +176,11 @@ pub fn execute_with(
                     OpKind::Read => {
                         let observed = memory.read_word(address)?;
                         reads_performed += 1;
-                        let offset = op.data.pattern().resolve(initial.width())?;
                         let record = ReadRecord {
                             address,
                             observed,
                             expected: value,
-                            offset,
+                            offset: op.pattern,
                         };
                         if record.is_mismatch() {
                             mismatches += 1;
@@ -221,8 +246,14 @@ mod tests {
 
     #[test]
     fn transparent_test_preserves_arbitrary_content_and_reports_clean() {
-        let transformed = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
-        let mut mem = MemoryBuilder::new(32, 8).random_content(99).build().unwrap();
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_u())
+            .unwrap();
+        let mut mem = MemoryBuilder::new(32, 8)
+            .random_content(99)
+            .build()
+            .unwrap();
         let before = mem.content();
         let result = execute(transformed.transparent_test(), &mut mem).unwrap();
         assert!(!result.detected());
@@ -296,7 +327,10 @@ mod tests {
 
     #[test]
     fn read_records_expose_offsets_for_misr_compensation() {
-        let transformed = TwmTransformer::new(4).unwrap().transform(&march_c_minus()).unwrap();
+        let transformed = TwmTransformer::new(4)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
         let mut mem = MemoryBuilder::new(4, 4).random_content(1).build().unwrap();
         let initial = mem.content();
         let result = execute(transformed.transparent_test(), &mut mem).unwrap();
@@ -312,7 +346,10 @@ mod tests {
     fn background_resolution_errors_are_reported() {
         // An ATMarch built for 8-bit words references D3, which does not
         // exist for 4-bit words.
-        let transformed = TwmTransformer::new(8).unwrap().transform(&march_c_minus()).unwrap();
+        let transformed = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
         let mut narrow = MemoryBuilder::new(4, 4).build().unwrap();
         let result = execute(transformed.transparent_test(), &mut narrow);
         assert!(matches!(result, Err(BistError::March(_))));

@@ -145,13 +145,19 @@ mod tests {
     use twm_mem::{BitAddress, Fault, MemoryBuilder, Transition};
 
     fn transformed(width: usize) -> twm_core::TwmTransformed {
-        TwmTransformer::new(width).unwrap().transform(&march_c_minus()).unwrap()
+        TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap()
     }
 
     #[test]
     fn fault_free_memory_passes_and_content_is_preserved() {
         let t = transformed(8);
-        let mut mem = MemoryBuilder::new(64, 8).random_content(1234).build().unwrap();
+        let mut mem = MemoryBuilder::new(64, 8)
+            .random_content(1234)
+            .build()
+            .unwrap();
         let before = mem.content();
         let outcome = run_transparent_session(
             t.transparent_test(),
@@ -191,12 +197,18 @@ mod tests {
         )
         .unwrap();
         assert!(outcome.fault_detected_exact());
-        assert!(outcome.fault_detected(), "signature comparison should flag the fault");
+        assert!(
+            outcome.fault_detected(),
+            "signature comparison should flag the fault"
+        );
     }
 
     #[test]
     fn coupling_fault_between_words_is_detected() {
-        let t = TwmTransformer::new(4).unwrap().transform(&march_u()).unwrap();
+        let t = TwmTransformer::new(4)
+            .unwrap()
+            .transform(&march_u())
+            .unwrap();
         let mut mem = MemoryBuilder::new(16, 4)
             .random_content(5)
             .fault(Fault::coupling_idempotent(
@@ -234,7 +246,10 @@ mod tests {
     fn signatures_are_reproducible_across_sessions() {
         let t = transformed(8);
         let run = || {
-            let mut mem = MemoryBuilder::new(16, 8).random_content(42).build().unwrap();
+            let mut mem = MemoryBuilder::new(16, 8)
+                .random_content(42)
+                .build()
+                .unwrap();
             run_transparent_session(
                 t.transparent_test(),
                 t.signature_prediction(),

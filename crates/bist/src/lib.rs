@@ -10,6 +10,9 @@
 //! * [`executor`] — runs a [`twm_march::MarchTest`] on a
 //!   [`twm_mem::FaultyMemory`], recording every read with its expected
 //!   fault-free value and its XOR offset from the initial content.
+//! * [`lowered`] — pre-lowered operation streams: a test's symbolic data
+//!   patterns resolved once per (test, width) pair, so repeated executions
+//!   (fault-coverage sweeps) skip per-address pattern resolution entirely.
 //! * [`misr`] — a multiple-input signature register (LFSR-based) with
 //!   configurable feedback polynomial.
 //! * [`flow`] — the transparent BIST session: prediction phase, test phase,
@@ -52,10 +55,14 @@ pub mod diagnosis;
 mod error;
 pub mod executor;
 pub mod flow;
+pub mod lowered;
 pub mod misr;
 
 pub use diagnosis::{diagnose, DiagnosisReport, SuspectCell};
 pub use error::BistError;
-pub use executor::{execute, execute_with, ExecutionOptions, ExecutionResult, ReadRecord};
+pub use executor::{
+    execute, execute_lowered, execute_with, ExecutionOptions, ExecutionResult, ReadRecord,
+};
 pub use flow::{run_transparent_session, SessionOutcome};
+pub use lowered::{LoweredElement, LoweredOp, LoweredTest};
 pub use misr::Misr;

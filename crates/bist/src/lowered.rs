@@ -1,0 +1,185 @@
+//! Pre-lowered march operation streams.
+//!
+//! A [`twm_march::MarchTest`] stores *symbolic* data specifications
+//! (`D_k`, `c ⊕ D_k`, …) that must be resolved against a word width — and,
+//! for transparent data, against each word's initial content. The
+//! interpreting executor used to re-resolve every operation's pattern for
+//! every address of every element, which made pattern resolution (an
+//! O(width) bit-building loop for backgrounds) the inner-loop hot spot of
+//! fault-coverage sweeps.
+//!
+//! A [`LoweredTest`] resolves every pattern exactly once per (test, width)
+//! pair: each operation becomes a concrete [`Word`] plus a transparency
+//! flag, so executing an operation at an address is a single XOR against the
+//! word's initial content. Lower once with [`LoweredTest::new`], execute any
+//! number of times with [`crate::executor::execute_lowered`] — which is how
+//! the coverage evaluator amortises lowering across thousands of
+//! fault-injection runs.
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::{MarchError, MarchTest, OpKind};
+use twm_mem::{AddressOrder, Word};
+
+/// One march operation with its data pattern resolved for a fixed width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredOp {
+    /// Whether the operation reads or writes.
+    pub kind: OpKind,
+    /// Whether the data is transparent (XORed with the word's initial
+    /// content) or literal.
+    pub transparent: bool,
+    /// The resolved data pattern. For a transparent operation this is the
+    /// XOR offset from the initial content; for a literal operation it is
+    /// the value itself.
+    pub pattern: Word,
+}
+
+impl LoweredOp {
+    /// The concrete data value for a word whose initial content is
+    /// `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` has a different width than the lowered pattern;
+    /// [`LoweredTest`] guarantees matching widths for its own memory.
+    #[must_use]
+    pub fn value(&self, initial: Word) -> Word {
+        if self.transparent {
+            initial ^ self.pattern
+        } else {
+            self.pattern
+        }
+    }
+}
+
+/// One march element with all operations lowered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredElement {
+    /// Address sweep order.
+    pub order: AddressOrder,
+    /// Lowered operations applied at each address, in order.
+    pub ops: Vec<LoweredOp>,
+}
+
+/// A march test lowered to a flat, width-resolved operation stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredTest {
+    name: String,
+    width: usize,
+    elements: Vec<LoweredElement>,
+}
+
+impl LoweredTest {
+    /// Lowers a march test for the given word width, resolving every data
+    /// pattern once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`MarchError`]s pattern resolution produces — an
+    /// out-of-range background index or an unsupported width. Lowering
+    /// errors up front replaces the historical behaviour of failing midway
+    /// through execution.
+    pub fn new(test: &MarchTest, width: usize) -> Result<Self, MarchError> {
+        let elements = test
+            .elements()
+            .iter()
+            .map(|element| {
+                let ops = element
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        Ok(LoweredOp {
+                            kind: op.kind,
+                            transparent: op.data.is_transparent(),
+                            pattern: op.data.pattern().resolve(width)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, MarchError>>()?;
+                Ok(LoweredElement {
+                    order: element.order,
+                    ops,
+                })
+            })
+            .collect::<Result<Vec<_>, MarchError>>()?;
+        Ok(Self {
+            name: test.name().to_string(),
+            width,
+            elements,
+        })
+    }
+
+    /// The name of the source test.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The word width the test was lowered for.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The lowered elements, in order.
+    #[must_use]
+    pub fn elements(&self) -> &[LoweredElement] {
+        &self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::march_c_minus;
+    use twm_march::{DataPattern, DataSpec, MarchElement, Operation};
+
+    #[test]
+    fn lowering_resolves_patterns_once() {
+        let test = MarchTest::new(
+            "t",
+            vec![MarchElement::ascending(vec![
+                Operation::write(DataSpec::TransparentXor(DataPattern::Background(1))),
+                Operation::read(DataSpec::Literal(DataPattern::Ones)),
+            ])],
+        )
+        .unwrap();
+        let lowered = LoweredTest::new(&test, 8).unwrap();
+        assert_eq!(lowered.width(), 8);
+        assert_eq!(lowered.name(), "t");
+        let ops = &lowered.elements()[0].ops;
+        assert!(ops[0].transparent);
+        assert_eq!(ops[0].pattern.to_bits(), 0b0101_0101);
+        assert!(!ops[1].transparent);
+        assert!(ops[1].pattern.is_ones());
+
+        let initial = Word::from_bits(0b1100_0011, 8).unwrap();
+        assert_eq!(ops[0].value(initial).to_bits(), 0b1100_0011 ^ 0b0101_0101);
+        assert_eq!(ops[1].value(initial), Word::ones(8));
+    }
+
+    #[test]
+    fn lowering_fails_on_unresolvable_backgrounds() {
+        let test = MarchTest::new(
+            "t",
+            vec![MarchElement::ascending(vec![Operation::read(
+                DataSpec::Literal(DataPattern::Background(3)),
+            )])],
+        )
+        .unwrap();
+        // D3 does not exist for 4-bit words.
+        assert!(LoweredTest::new(&test, 4).is_err());
+        assert!(LoweredTest::new(&test, 8).is_ok());
+    }
+
+    #[test]
+    fn lowering_preserves_element_structure() {
+        let test = march_c_minus();
+        let lowered = LoweredTest::new(&test, 1).unwrap();
+        assert_eq!(lowered.elements().len(), test.element_count());
+        for (lowered_el, el) in lowered.elements().iter().zip(test.elements()) {
+            assert_eq!(lowered_el.order, el.order);
+            assert_eq!(lowered_el.ops.len(), el.ops.len());
+        }
+    }
+}

@@ -63,7 +63,9 @@ impl Misr {
         }
         if polynomial & !mask != 0 {
             return Err(BistError::InvalidMisr {
-                detail: format!("feedback polynomial 0x{polynomial:x} has taps outside width {width}"),
+                detail: format!(
+                    "feedback polynomial 0x{polynomial:x} has taps outside width {width}"
+                ),
             });
         }
         Ok(Self {
@@ -90,9 +92,9 @@ impl Misr {
             1 => 0x1,
             2 => 0x3,
             3 => 0x3,
-            4 => 0x9,                  // x^4 + x + 1 (taps at 3 and 0)
-            8 => 0x8E,                 // x^8 + x^4 + x^3 + x^2 + 1
-            16 => 0xD008,              // CRC-16-ish taps
+            4 => 0x9,     // x^4 + x + 1 (taps at 3 and 0)
+            8 => 0x8E,    // x^8 + x^4 + x^3 + x^2 + 1
+            16 => 0xD008, // CRC-16-ish taps
             32 => 0x8020_0003,
             64 => 0x8000_0000_0000_001B,
             w => (1u128 << (w - 1)) | 0x3,

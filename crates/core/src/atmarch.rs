@@ -25,7 +25,7 @@ use crate::CoreError;
 pub const MIN_WORD_WIDTH: usize = 2;
 
 fn check_width(width: usize) -> Result<(), CoreError> {
-    if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+    if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
         return Err(CoreError::InvalidWidth { width });
     }
     Ok(())
@@ -213,8 +213,14 @@ mod tests {
 
     #[test]
     fn invalid_widths_and_backgrounds_are_rejected() {
-        assert!(matches!(atmarch(1, false), Err(CoreError::InvalidWidth { .. })));
-        assert!(matches!(atmarch(256, false), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(
+            atmarch(1, false),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            atmarch(256, false),
+            Err(CoreError::InvalidWidth { .. })
+        ));
         assert!(atmarch_element(8, 4, false).is_err());
         assert!(atmarch_element(8, 0, false).is_err());
     }

@@ -130,10 +130,7 @@ pub struct ComparisonRow {
 ///
 /// Returns transformation errors for inputs that are not valid bit-oriented
 /// march tests.
-pub fn table3_rows(
-    tests: &[MarchTest],
-    widths: &[usize],
-) -> Result<Vec<ComparisonRow>, CoreError> {
+pub fn table3_rows(tests: &[MarchTest], widths: &[usize]) -> Result<Vec<ComparisonRow>, CoreError> {
     let mut rows = Vec::with_capacity(tests.len() * widths.len());
     for test in tests {
         for &width in widths {
@@ -273,7 +270,10 @@ mod tests {
         for width in [4usize, 8, 16, 32, 64, 128] {
             let ratio = proposed_formula(length, width).total() as f64
                 / scheme1_formula(length, width).total() as f64;
-            assert!(ratio < previous_ratio, "ratio did not shrink at width {width}");
+            assert!(
+                ratio < previous_ratio,
+                "ratio did not shrink at width {width}"
+            );
             previous_ratio = ratio;
         }
     }

@@ -39,7 +39,10 @@ impl fmt::Display for CoreError {
                 write!(f, "march test '{test}' is not bit-oriented")
             }
             CoreError::InvalidWidth { width } => {
-                write!(f, "word width {width} is not usable for a word-oriented transformation")
+                write!(
+                    f,
+                    "word width {width} is not usable for a word-oriented transformation"
+                )
             }
             CoreError::InconsistentMarch {
                 element,

@@ -49,6 +49,6 @@ pub mod twm_ta;
 pub mod verify;
 
 pub use error::CoreError;
-pub use nicolaidis::{TransparentTransform, to_transparent};
+pub use nicolaidis::{to_transparent, TransparentTransform};
 pub use scheme1::{Scheme1Transform, Scheme1Transformer};
 pub use twm_ta::{TwmTransformed, TwmTransformer};

@@ -37,7 +37,9 @@ pub struct TransparentOptions {
 
 impl Default for TransparentOptions {
     fn default() -> Self {
-        Self { restore_content: true }
+        Self {
+            restore_content: true,
+        }
     }
 }
 
@@ -232,7 +234,9 @@ pub fn to_transparent_with(
         let mut ops = Vec::with_capacity(element.len() + 1);
         if element.first_op().map(|op| op.is_write()).unwrap_or(false) {
             let state = track.before_elements[index].unwrap_or(DataPattern::Zeros);
-            ops.push(Operation::read(DataSpec::TransparentXor(rebase.apply(state)?)));
+            ops.push(Operation::read(DataSpec::TransparentXor(
+                rebase.apply(state)?,
+            )));
             prepended_reads += 1;
         }
         for op in &element.ops {
@@ -241,7 +245,10 @@ pub fn to_transparent_with(
                 DataSpec::TransparentXor(_) => unreachable!("checked by track_states"),
             };
             let spec = DataSpec::TransparentXor(rebase.apply(pattern)?);
-            ops.push(Operation { kind: op.kind, data: spec });
+            ops.push(Operation {
+                kind: op.kind,
+                data: spec,
+            });
         }
         transparent_elements.push(MarchElement::new(element.order, ops));
     }
@@ -267,7 +274,11 @@ pub fn to_transparent_with(
         removed_initialization: drop_first,
         prepended_reads,
         appended_restore,
-        final_state: if appended_restore { DataPattern::Zeros } else { final_state },
+        final_state: if appended_restore {
+            DataPattern::Zeros
+        } else {
+            final_state
+        },
     })
 }
 
@@ -321,7 +332,11 @@ mod tests {
     fn transformation_is_transparent_for_all_library_tests() {
         for march in twm_march::algorithms::all() {
             let result = to_transparent(&march).unwrap();
-            assert!(result.transparent_test().is_transparent(), "{}", march.name());
+            assert!(
+                result.transparent_test().is_transparent(),
+                "{}",
+                march.name()
+            );
             assert_eq!(result.final_state(), DataPattern::Zeros, "{}", march.name());
         }
     }
@@ -346,8 +361,13 @@ mod tests {
             "⇑(rc,w~c); ⇕(r~c,wc)"
         );
 
-        let unrestored =
-            to_transparent_with(&march, TransparentOptions { restore_content: false }).unwrap();
+        let unrestored = to_transparent_with(
+            &march,
+            TransparentOptions {
+                restore_content: false,
+            },
+        )
+        .unwrap();
         assert!(!unrestored.appended_restore());
         assert_eq!(unrestored.final_state(), DataPattern::Ones);
         assert_eq!(unrestored.transparent_test().to_string(), "⇑(rc,w~c)");
@@ -414,11 +434,8 @@ mod tests {
 
     #[test]
     fn transparent_input_is_rejected() {
-        let march = MarchTest::new(
-            "already",
-            vec![El::ascending(vec![Op::read_content()])],
-        )
-        .unwrap();
+        let march =
+            MarchTest::new("already", vec![El::ascending(vec![Op::read_content()])]).unwrap();
         assert!(matches!(
             to_transparent(&march),
             Err(CoreError::NotBitOriented { .. })

@@ -32,7 +32,7 @@ impl Scheme1Transformer {
     /// Returns [`CoreError::InvalidWidth`] for widths below 2 or above the
     /// supported maximum.
     pub fn new(width: usize) -> Result<Self, CoreError> {
-        if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+        if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
             return Err(CoreError::InvalidWidth { width });
         }
         Ok(Self { width })

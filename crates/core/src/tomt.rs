@@ -45,7 +45,7 @@ pub fn tomt_tcp_per_word(_width: usize) -> usize {
 ///
 /// Returns [`CoreError::InvalidWidth`] for unsupported word widths.
 pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
-    if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+    if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
         return Err(CoreError::InvalidWidth { width });
     }
     let mut elements = Vec::with_capacity(width + 1);
@@ -68,7 +68,10 @@ pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
         Operation::read(DataSpec::TransparentXor(DataPattern::Zeros)),
         Operation::read(DataSpec::TransparentXor(DataPattern::Zeros)),
     ]));
-    Ok(MarchTest::new(format!("TOMT-like walk (W={width})"), elements)?)
+    Ok(MarchTest::new(
+        format!("TOMT-like walk (W={width})"),
+        elements,
+    )?)
 }
 
 #[cfg(test)]
@@ -97,8 +100,14 @@ mod tests {
     fn test_is_transparent_and_width_checked() {
         let test = tomt_like_test(8).unwrap();
         assert!(test.is_transparent());
-        assert!(matches!(tomt_like_test(1), Err(CoreError::InvalidWidth { .. })));
-        assert!(matches!(tomt_like_test(999), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(
+            tomt_like_test(1),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            tomt_like_test(999),
+            Err(CoreError::InvalidWidth { .. })
+        ));
     }
 
     #[test]

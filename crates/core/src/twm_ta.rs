@@ -51,7 +51,7 @@ impl TwmTransformer {
     /// Returns [`CoreError::InvalidWidth`] if `width` is below 2 or above the
     /// supported maximum word width.
     pub fn new(width: usize) -> Result<Self, CoreError> {
-        if width < MIN_WORD_WIDTH || width > twm_mem::MAX_WORD_WIDTH {
+        if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
             return Err(CoreError::InvalidWidth { width });
         }
         Ok(Self { width })
@@ -223,7 +223,10 @@ mod tests {
     fn march_u_8_bit_matches_paper_worked_example() {
         // Section 4: the transparent word-oriented March U for 8-bit words
         // has complexity 29 operations per word.
-        let result = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+        let result = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_u())
+            .unwrap();
         assert_eq!(result.tsmarch().length().operations, 13);
         assert_eq!(result.atmarch().length().operations, 16);
         assert_eq!(result.transparent_test().operations_per_word(), 29);
@@ -243,10 +246,7 @@ mod tests {
             .unwrap();
         assert_eq!(result.transparent_test().operations_per_word(), 35);
         // The prediction test is the read-only projection.
-        assert_eq!(
-            result.signature_prediction().length().writes,
-            0
-        );
+        assert_eq!(result.signature_prediction().length().writes, 0);
         assert_eq!(
             result.signature_prediction().length().reads,
             result.transparent_test().length().reads
@@ -254,18 +254,29 @@ mod tests {
     }
 
     #[test]
-    fn transformation_outputs_are_transparent(){
+    fn transformation_outputs_are_transparent() {
         for march in twm_march::algorithms::all() {
             let result = TwmTransformer::new(16).unwrap().transform(&march).unwrap();
-            assert!(result.transparent_test().is_transparent(), "{}", march.name());
-            assert!(result.signature_prediction().is_transparent(), "{}", march.name());
+            assert!(
+                result.transparent_test().is_transparent(),
+                "{}",
+                march.name()
+            );
+            assert!(
+                result.signature_prediction().is_transparent(),
+                "{}",
+                march.name()
+            );
         }
     }
 
     #[test]
     fn smarch_appends_read_only_when_needed() {
         // March U ends with a write: one read appended.
-        let result = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+        let result = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&march_u())
+            .unwrap();
         assert_eq!(
             result.smarch().length().operations,
             march_u().length().operations + 1
@@ -280,7 +291,10 @@ mod tests {
             march_c_minus().length().operations
         );
         // MATS+ ends with a write as well.
-        let result = TwmTransformer::new(8).unwrap().transform(&mats_plus()).unwrap();
+        let result = TwmTransformer::new(8)
+            .unwrap()
+            .transform(&mats_plus())
+            .unwrap();
         assert_eq!(
             result.smarch().length().operations,
             mats_plus().length().operations + 1
@@ -294,7 +308,10 @@ mod tests {
         for width in [4usize, 8, 16, 32, 64, 128] {
             let log2w = twm_march::background::background_degree(width);
             for march in [march_c_minus(), march_lr()] {
-                let result = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+                let result = TwmTransformer::new(width)
+                    .unwrap()
+                    .transform(&march)
+                    .unwrap();
                 assert_eq!(
                     result.transparent_test().operations_per_word(),
                     march.length().operations + 5 * log2w,
@@ -307,8 +324,14 @@ mod tests {
 
     #[test]
     fn rejects_invalid_widths_and_non_bit_oriented_inputs() {
-        assert!(matches!(TwmTransformer::new(1), Err(CoreError::InvalidWidth { .. })));
-        assert!(matches!(TwmTransformer::new(129), Err(CoreError::InvalidWidth { .. })));
+        assert!(matches!(
+            TwmTransformer::new(1),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            TwmTransformer::new(129),
+            Err(CoreError::InvalidWidth { .. })
+        ));
 
         let transformer = TwmTransformer::new(8).unwrap();
         let transparent = crate::nicolaidis::to_transparent(&march_c_minus())
@@ -323,7 +346,10 @@ mod tests {
 
     #[test]
     fn accessors_expose_all_stages() {
-        let result = TwmTransformer::new(16).unwrap().transform(&march_u()).unwrap();
+        let result = TwmTransformer::new(16)
+            .unwrap()
+            .transform(&march_u())
+            .unwrap();
         assert_eq!(result.width(), 16);
         assert_eq!(result.source_name(), "March U");
         assert!(result.smarch().name().starts_with("SMarch"));

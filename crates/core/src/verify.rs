@@ -95,7 +95,10 @@ mod tests {
     fn twm_outputs_pass_the_structural_check() {
         for march in all() {
             for width in [4usize, 8, 32] {
-                let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+                let transformed = TwmTransformer::new(width)
+                    .unwrap()
+                    .transform(&march)
+                    .unwrap();
                 check_transparent(transformed.transparent_test())
                     .unwrap_or_else(|e| panic!("{} W={width}: {e}", march.name()));
             }
@@ -105,7 +108,10 @@ mod tests {
     #[test]
     fn scheme1_outputs_pass_the_structural_check() {
         for march in all() {
-            let transformed = Scheme1Transformer::new(8).unwrap().transform(&march).unwrap();
+            let transformed = Scheme1Transformer::new(8)
+                .unwrap()
+                .transform(&march)
+                .unwrap();
             check_transparent(transformed.transparent_test())
                 .unwrap_or_else(|e| panic!("{}: {e}", march.name()));
         }

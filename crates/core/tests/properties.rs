@@ -19,10 +19,18 @@ fn arb_consistent_march() -> impl Strategy<Value = MarchTest> {
         let mut elements = vec![MarchElement::any_order(vec![Operation::w0()])];
         let mut state = false;
         for (descending, writes) in descriptors {
-            let mut ops = vec![if state { Operation::r1() } else { Operation::r0() }];
+            let mut ops = vec![if state {
+                Operation::r1()
+            } else {
+                Operation::r0()
+            }];
             for _ in 0..writes {
                 state = !state;
-                ops.push(if state { Operation::w1() } else { Operation::w0() });
+                ops.push(if state {
+                    Operation::w1()
+                } else {
+                    Operation::w0()
+                });
             }
             let element = if descending {
                 MarchElement::descending(ops)
@@ -36,7 +44,15 @@ fn arb_consistent_march() -> impl Strategy<Value = MarchTest> {
 }
 
 fn arb_width() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32), Just(64), Just(128)]
+    prop_oneof![
+        Just(2usize),
+        Just(4),
+        Just(8),
+        Just(16),
+        Just(32),
+        Just(64),
+        Just(128)
+    ]
 }
 
 proptest! {

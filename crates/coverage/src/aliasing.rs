@@ -73,12 +73,8 @@ pub fn aliasing_report(
         if let ContentPolicy::Random { seed } = options.content {
             memory.fill_random(seed);
         }
-        let outcome = run_transparent_session(
-            transparent_test,
-            prediction_test,
-            &mut memory,
-            misr.clone(),
-        )?;
+        let outcome =
+            run_transparent_session(transparent_test, prediction_test, &mut memory, misr.clone())?;
         report.total += 1;
         if outcome.fault_detected_exact() {
             report.detected_exact += 1;
@@ -131,7 +127,11 @@ mod tests {
         assert_eq!(report.detected_exact, faults.len());
         // The signature flow should lose at most a tiny fraction to aliasing
         // (typically none for single faults with a decent polynomial).
-        assert!(report.aliasing_rate() < 0.05, "rate = {}", report.aliasing_rate());
+        assert!(
+            report.aliasing_rate() < 0.05,
+            "rate = {}",
+            report.aliasing_rate()
+        );
         assert!(report.detected_signature >= report.detected_exact - report.aliased.len());
     }
 

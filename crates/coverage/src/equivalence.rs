@@ -23,10 +23,11 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+use twm_bist::LoweredTest;
 use twm_march::MarchTest;
 use twm_mem::{Fault, FaultClass, MemoryConfig};
 
-use crate::evaluator::{fault_detected, EvaluationOptions};
+use crate::evaluator::{fault_detected_prepared, prepared_contents, EvaluationOptions};
 use crate::{CoverageError, CoverageReport};
 
 /// Per-fault disagreement between two tests.
@@ -73,7 +74,12 @@ impl EquivalenceReport {
     pub fn class_counts_equal_for(&self, classes: &[FaultClass]) -> bool {
         classes.iter().all(|class| {
             let first = self.first.per_class.get(class).copied().unwrap_or_default();
-            let second = self.second.per_class.get(class).copied().unwrap_or_default();
+            let second = self
+                .second
+                .per_class
+                .get(class)
+                .copied()
+                .unwrap_or_default();
             (first.total, first.detected) == (second.total, second.detected)
         })
     }
@@ -114,12 +120,21 @@ pub fn coverage_equivalence(
     if faults.is_empty() {
         return Err(CoverageError::EmptyUniverse);
     }
+    // Amortise the per-run setup exactly like the evaluator: both tests are
+    // lowered once and the initial contents generated once, shared across
+    // every fault-injection run.
+    let first_lowered =
+        LoweredTest::new(first, config.width()).map_err(twm_bist::BistError::from)?;
+    let second_lowered =
+        LoweredTest::new(second, config.width()).map_err(twm_bist::BistError::from)?;
+    let first_contents = prepared_contents(config, first_options);
+    let second_contents = prepared_contents(config, second_options);
     let mut first_report = CoverageReport::new(first.name());
     let mut second_report = CoverageReport::new(second.name());
     let mut disagreements = Vec::new();
     for &fault in faults {
-        let by_first = fault_detected(first, fault, config, first_options)?;
-        let by_second = fault_detected(second, fault, config, second_options)?;
+        let by_first = fault_detected_prepared(&first_lowered, fault, config, &first_contents)?;
+        let by_second = fault_detected_prepared(&second_lowered, fault, config, &second_contents)?;
         first_report.record(fault, by_first);
         second_report.record(fault, by_second);
         if by_first != by_second {

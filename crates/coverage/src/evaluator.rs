@@ -6,10 +6,24 @@
 //! executed, and the exact-compare oracle decides whether the fault was
 //! detected. Per-class results are aggregated into a
 //! [`crate::CoverageReport`].
+//!
+//! ## Execution strategy
+//!
+//! Every fault-injection run is independent, so the evaluator amortises the
+//! per-run setup once per evaluation — the march test is
+//! [pre-lowered](twm_bist::LoweredTest) for the memory width and the
+//! pseudo-random initial contents are generated once and shared — and then
+//! fans the fault universe across worker threads ([`evaluate_parallel`],
+//! enabled by the default `parallel` feature). Faults are partitioned into
+//! contiguous chunks and results merged back in universe order, so the
+//! produced [`crate::CoverageReport`] is **bit-identical** to the serial
+//! path ([`evaluate_serial`]) regardless of thread count. The worker count
+//! follows `std::thread::available_parallelism`, overridable with the
+//! `TWM_COVERAGE_THREADS` environment variable.
 
-use twm_bist::{execute_with, ExecutionOptions};
+use twm_bist::{execute_lowered, execute_with, ExecutionOptions, LoweredTest};
 use twm_march::MarchTest;
-use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
+use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig, Word};
 
 use crate::{CoverageError, CoverageReport};
 
@@ -73,6 +87,10 @@ pub fn evaluate(
 
 /// Evaluates the fault coverage of a march test over an explicit fault list.
 ///
+/// Routes to [`evaluate_parallel`] when the `parallel` feature is enabled
+/// (the default) and to [`evaluate_serial`] otherwise; both produce
+/// bit-identical reports.
+///
 /// # Errors
 ///
 /// * [`CoverageError::EmptyUniverse`] if `faults` is empty.
@@ -85,13 +103,186 @@ pub fn evaluate_with(
     config: MemoryConfig,
     options: EvaluationOptions,
 ) -> Result<CoverageReport, CoverageError> {
+    #[cfg(feature = "parallel")]
+    {
+        evaluate_parallel(test, faults, config, options)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        evaluate_serial(test, faults, config, options)
+    }
+}
+
+/// The initial contents every fault-injection run starts from: one content
+/// per round for the random policy, or none for the all-zero policy (a
+/// freshly built memory is already zeroed).
+///
+/// Generated through [`FaultyMemory::fill_random`] itself so shared
+/// contents can never drift from what a per-fault fill would produce.
+pub(crate) fn prepared_contents(
+    config: MemoryConfig,
+    options: EvaluationOptions,
+) -> Vec<Vec<Word>> {
+    match options.content {
+        ContentPolicy::Zeros => Vec::new(),
+        ContentPolicy::Random { seed } => {
+            let mut scratch = FaultyMemory::fault_free(config);
+            (0..options.contents_per_fault.max(1))
+                .map(|round| {
+                    scratch.fill_random(seed.wrapping_add(round as u64));
+                    scratch.content()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Whether a single fault is detected, using a pre-lowered test and shared
+/// pre-generated initial contents.
+pub(crate) fn fault_detected_prepared(
+    test: &LoweredTest,
+    fault: Fault,
+    config: MemoryConfig,
+    contents: &[Vec<Word>],
+) -> Result<bool, CoverageError> {
+    let options = ExecutionOptions {
+        record_reads: false,
+        stop_at_first_mismatch: true,
+    };
+    if contents.is_empty() {
+        let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault]))?;
+        let result = execute_lowered(test, &mut memory, options)?;
+        return Ok(result.detected());
+    }
+    for content in contents {
+        let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault]))?;
+        memory.load(content)?;
+        let result = execute_lowered(test, &mut memory, options)?;
+        if !result.detected() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluates the fault coverage on the calling thread only.
+///
+/// This is the reference implementation [`evaluate_parallel`] must agree
+/// with bit for bit; it still benefits from the pre-lowered test and the
+/// shared initial contents.
+///
+/// # Errors
+///
+/// See [`evaluate_with`].
+pub fn evaluate_serial(
+    test: &MarchTest,
+    faults: &[Fault],
+    config: MemoryConfig,
+    options: EvaluationOptions,
+) -> Result<CoverageReport, CoverageError> {
     if faults.is_empty() {
         return Err(CoverageError::EmptyUniverse);
     }
+    let lowered = LoweredTest::new(test, config.width()).map_err(twm_bist::BistError::from)?;
+    let contents = prepared_contents(config, options);
     let mut report = CoverageReport::new(test.name());
     for &fault in faults {
-        let detected = fault_detected(test, fault, config, options)?;
+        let detected = fault_detected_prepared(&lowered, fault, config, &contents)?;
         report.record(fault, detected);
+    }
+    Ok(report)
+}
+
+/// Number of worker threads to use: `TWM_COVERAGE_THREADS` when set,
+/// otherwise the machine's available parallelism.
+#[cfg(feature = "parallel")]
+fn worker_threads() -> usize {
+    std::env::var("TWM_COVERAGE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Evaluates the fault coverage by fanning the fault universe across worker
+/// threads.
+///
+/// The march test is lowered once and the pseudo-random initial contents
+/// are generated once; workers share both by reference and simulate
+/// contiguous chunks of the universe. Detection verdicts are merged back in
+/// universe order, so the report is bit-identical to [`evaluate_serial`]
+/// for any thread count.
+///
+/// # Errors
+///
+/// See [`evaluate_with`]. When several faults would error, the error of the
+/// earliest fault in universe order is returned, matching the serial path.
+#[cfg(feature = "parallel")]
+pub fn evaluate_parallel(
+    test: &MarchTest,
+    faults: &[Fault],
+    config: MemoryConfig,
+    options: EvaluationOptions,
+) -> Result<CoverageReport, CoverageError> {
+    evaluate_parallel_with_threads(test, faults, config, options, worker_threads())
+}
+
+/// [`evaluate_parallel`] with an explicit worker-thread count, bypassing
+/// `TWM_COVERAGE_THREADS` and the available-parallelism probe. The report
+/// is bit-identical to [`evaluate_serial`] for any `threads` value.
+///
+/// # Errors
+///
+/// See [`evaluate_with`].
+#[cfg(feature = "parallel")]
+pub fn evaluate_parallel_with_threads(
+    test: &MarchTest,
+    faults: &[Fault],
+    config: MemoryConfig,
+    options: EvaluationOptions,
+    threads: usize,
+) -> Result<CoverageReport, CoverageError> {
+    if faults.is_empty() {
+        return Err(CoverageError::EmptyUniverse);
+    }
+    let threads = threads.max(1).min(faults.len());
+    if threads <= 1 {
+        return evaluate_serial(test, faults, config, options);
+    }
+
+    let lowered = LoweredTest::new(test, config.width()).map_err(twm_bist::BistError::from)?;
+    let contents = prepared_contents(config, options);
+    let chunk_size = faults.len().div_ceil(threads);
+
+    let chunk_results: Vec<Result<Vec<bool>, CoverageError>> = std::thread::scope(|scope| {
+        let lowered = &lowered;
+        let contents = &contents;
+        let handles: Vec<_> = faults
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&fault| fault_detected_prepared(lowered, fault, config, contents))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("coverage worker panicked"))
+            .collect()
+    });
+
+    let mut report = CoverageReport::new(test.name());
+    let mut fault_iter = faults.iter();
+    for chunk in chunk_results {
+        for detected in chunk? {
+            let &fault = fault_iter.next().expect("one verdict per fault");
+            report.record(fault, detected);
+        }
     }
     Ok(report)
 }

@@ -21,6 +21,21 @@
 //!   to aliasing compared with the exact-compare oracle (the motivation the
 //!   paper cites for signature-free schemes such as TOMT).
 //!
+//! ## The `parallel` feature
+//!
+//! Fault-injection runs are independent, so the evaluator fans the fault
+//! universe across worker threads when the `parallel` feature is enabled
+//! (it is on by default): [`evaluate`] and [`evaluate_with`] route through
+//! [`evaluator::evaluate_parallel`], which pre-lowers the march test once
+//! ([`twm_bist::LoweredTest`]), generates the pseudo-random initial
+//! contents once, shares both across workers by reference, and merges
+//! per-chunk verdicts back in universe order. The resulting
+//! [`CoverageReport`] is **bit-identical** to the single-threaded reference
+//! path [`evaluator::evaluate_serial`] for any thread count (property-tested
+//! in `tests/parallel_equivalence.rs`). The worker count follows
+//! `std::thread::available_parallelism` and can be pinned with the
+//! `TWM_COVERAGE_THREADS` environment variable.
+//!
 //! ```
 //! use twm_coverage::universe::UniverseBuilder;
 //! use twm_coverage::evaluator::evaluate;
@@ -52,6 +67,8 @@ pub mod universe;
 pub use aliasing::{aliasing_report, AliasingReport};
 pub use equivalence::{coverage_equivalence, EquivalenceReport};
 pub use error::CoverageError;
-pub use evaluator::{evaluate, evaluate_with, ContentPolicy, EvaluationOptions};
+pub use evaluator::{evaluate, evaluate_serial, evaluate_with, ContentPolicy, EvaluationOptions};
+#[cfg(feature = "parallel")]
+pub use evaluator::{evaluate_parallel, evaluate_parallel_with_threads};
 pub use report::{ClassCoverage, CoverageReport};
 pub use universe::{CouplingScope, UniverseBuilder};

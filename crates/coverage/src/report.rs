@@ -104,14 +104,22 @@ impl CoverageReport {
     /// Coverage of one class (1.0 when no fault of that class was evaluated).
     #[must_use]
     pub fn class_coverage(&self, class: FaultClass) -> f64 {
-        self.per_class.get(&class).copied().unwrap_or_default().fraction()
+        self.per_class
+            .get(&class)
+            .copied()
+            .unwrap_or_default()
+            .fraction()
     }
 }
 
 impl fmt::Display for CoverageReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "fault coverage of {}", self.test_name)?;
-        writeln!(f, "  {:<6} {:>8} {:>10} {:>9}", "class", "faults", "detected", "coverage")?;
+        writeln!(
+            f,
+            "  {:<6} {:>8} {:>10} {:>9}",
+            "class", "faults", "detected", "coverage"
+        )?;
         for (class, coverage) in &self.per_class {
             writeln!(
                 f,
@@ -161,11 +169,19 @@ mod tests {
         report.record(Fault::stuck_at(BitAddress::new(0, 0), true), true);
         report.record(Fault::stuck_at(BitAddress::new(0, 1), false), false);
         report.record(
-            Fault::coupling_inversion(BitAddress::new(0, 0), BitAddress::new(0, 1), Transition::Rising),
+            Fault::coupling_inversion(
+                BitAddress::new(0, 0),
+                BitAddress::new(0, 1),
+                Transition::Rising,
+            ),
             true,
         );
         report.record(
-            Fault::coupling_inversion(BitAddress::new(0, 0), BitAddress::new(1, 1), Transition::Rising),
+            Fault::coupling_inversion(
+                BitAddress::new(0, 0),
+                BitAddress::new(1, 1),
+                Transition::Rising,
+            ),
             false,
         );
 

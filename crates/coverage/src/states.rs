@@ -160,14 +160,20 @@ pub fn analyze_cell_pair(
                                     pending_for_lower.push(condition);
                                 }
                             }
-                            coverage.states_visited.insert((values[lower], values[higher]));
+                            coverage
+                                .states_visited
+                                .insert((values[lower], values[higher]));
                         }
                     }
                     OpKind::Read => {
                         if address == lower {
-                            coverage.conditions_covered.extend(pending_for_lower.drain(..));
+                            coverage
+                                .conditions_covered
+                                .extend(pending_for_lower.drain(..));
                         } else if address == higher {
-                            coverage.conditions_covered.extend(pending_for_higher.drain(..));
+                            coverage
+                                .conditions_covered
+                                .extend(pending_for_higher.drain(..));
                         }
                     }
                 }
@@ -291,9 +297,7 @@ fn classify_pair_event(
     new: (bool, bool),
 ) -> Option<PairEvent> {
     let complemented = (!initial.0, !initial.1);
-    let is_mixed = |pair: (bool, bool)| {
-        (pair.0 == initial.0) != (pair.1 == initial.1)
-    };
+    let is_mixed = |pair: (bool, bool)| (pair.0 == initial.0) != (pair.1 == initial.1);
     if new == complemented {
         Some(PairEvent::BothComplemented)
     } else if new == initial && previous == complemented {
@@ -319,7 +323,10 @@ mod tests {
         // excites every coupling-fault condition.
         for (lower, higher) in [(0usize, 1usize), (2, 7), (0, 9)] {
             let coverage = analyze_cell_pair(&march_c_minus(), lower, higher, 10).unwrap();
-            assert!(coverage.all_states_visited(), "states for ({lower},{higher})");
+            assert!(
+                coverage.all_states_visited(),
+                "states for ({lower},{higher})"
+            );
             assert!(
                 coverage.all_conditions_covered(),
                 "conditions for ({lower},{higher}): missing {:?}",
@@ -372,13 +379,9 @@ mod tests {
                     if a == b {
                         continue;
                     }
-                    let coverage = analyze_intra_word_pair(
-                        transformed.transparent_test(),
-                        a,
-                        b,
-                        initial,
-                    )
-                    .unwrap();
+                    let coverage =
+                        analyze_intra_word_pair(transformed.transparent_test(), a, b, initial)
+                            .unwrap();
                     assert!(
                         coverage.all_covered(),
                         "pair ({a},{b}) with content {initial}: {coverage:?}"
@@ -396,8 +399,7 @@ mod tests {
             .transform(&march_c_minus())
             .unwrap();
         let initial = Word::from_bits(0x3C, width).unwrap();
-        let coverage =
-            analyze_intra_word_pair(transformed.tsmarch(), 0, 5, initial).unwrap();
+        let coverage = analyze_intra_word_pair(transformed.tsmarch(), 0, 5, initial).unwrap();
         assert!(coverage.both_complemented_read);
         assert!(coverage.restored_from_complement_read);
         assert!(!coverage.mixed_read);

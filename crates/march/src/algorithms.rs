@@ -136,7 +136,14 @@ pub fn march_b() -> MarchTest {
         "March B",
         vec![
             El::any_order(vec![Op::w0()]),
-            El::ascending(vec![Op::r0(), Op::w1(), Op::r1(), Op::w0(), Op::r0(), Op::w1()]),
+            El::ascending(vec![
+                Op::r0(),
+                Op::w1(),
+                Op::r1(),
+                Op::w0(),
+                Op::r0(),
+                Op::w1(),
+            ]),
             El::ascending(vec![Op::r1(), Op::w0(), Op::w1()]),
             El::descending(vec![Op::r1(), Op::w0(), Op::w1(), Op::w0()]),
             El::descending(vec![Op::r0(), Op::w1(), Op::w0()]),

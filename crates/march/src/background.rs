@@ -65,7 +65,7 @@ pub fn data_background(width: usize, k: usize) -> Result<Word, MarchError> {
         return Err(MarchError::InvalidBackground { index: k, width });
     }
     let run = 1usize << (k - 1);
-    let bits = (0..width).map(|i| (i / run) % 2 == 0);
+    let bits = (0..width).map(|i| (i / run).is_multiple_of(2));
     Word::from_bit_iter(bits).map_err(|_| MarchError::InvalidWidth { width })
 }
 
@@ -132,10 +132,11 @@ mod tests {
                     if i == j {
                         continue;
                     }
-                    let separated = backgrounds
-                        .iter()
-                        .any(|b| b.bit(i) != b.bit(j));
-                    assert!(separated, "bits {i} and {j} never separated at width {width}");
+                    let separated = backgrounds.iter().any(|b| b.bit(i) != b.bit(j));
+                    assert!(
+                        separated,
+                        "bits {i} and {j} never separated at width {width}"
+                    );
                 }
             }
         }

@@ -163,7 +163,8 @@ mod tests {
         assert_eq!(element.to_string(), "⇑(r0,w1)");
         let element = MarchElement::any_order(vec![Op::w0()]);
         assert_eq!(element.to_string(), "⇕(w0)");
-        let element = MarchElement::descending(vec![Op::read_content_complement(), Op::write_content()]);
+        let element =
+            MarchElement::descending(vec![Op::read_content_complement(), Op::write_content()]);
         assert_eq!(element.to_string(), "⇓(r~c,wc)");
     }
 }

@@ -112,11 +112,7 @@ mod tests {
 
     #[test]
     fn parses_ascii_notation_and_whitespace_variants() {
-        let parsed = parse_march(
-            "MATS+",
-            "  b ( w0 ) ;  up(r0, w1); down ( r1 , w0 ) ",
-        )
-        .unwrap();
+        let parsed = parse_march("MATS+", "  b ( w0 ) ;  up(r0, w1); down ( r1 , w0 ) ").unwrap();
         assert_eq!(parsed, algorithms::mats_plus());
     }
 

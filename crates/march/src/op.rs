@@ -290,10 +290,16 @@ mod tests {
             0b0101_0101
         );
         assert_eq!(
-            DataPattern::BackgroundComplement(1).resolve(8).unwrap().to_bits(),
+            DataPattern::BackgroundComplement(1)
+                .resolve(8)
+                .unwrap()
+                .to_bits(),
             0b1010_1010
         );
-        assert_eq!(DataPattern::Custom(0xAB).resolve(8).unwrap().to_bits(), 0xAB);
+        assert_eq!(
+            DataPattern::Custom(0xAB).resolve(8).unwrap().to_bits(),
+            0xAB
+        );
         assert!(DataPattern::Background(5).resolve(8).is_err());
     }
 

@@ -242,10 +242,7 @@ mod tests {
     #[test]
     fn display_and_rename() {
         let test = sample();
-        assert_eq!(
-            test.to_string(),
-            "⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)"
-        );
+        assert_eq!(test.to_string(), "⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)");
         assert_eq!(test.renamed("other").name(), "other");
     }
 

@@ -127,7 +127,11 @@ mod tests {
 
     #[test]
     fn builds_with_explicit_content_and_faults() {
-        let contents = vec![Word::zeros(2), Word::ones(2), Word::from_bits(0b01, 2).unwrap()];
+        let contents = vec![
+            Word::zeros(2),
+            Word::ones(2),
+            Word::from_bits(0b01, 2).unwrap(),
+        ];
         let mem = MemoryBuilder::new(3, 2)
             .content(contents.clone())
             .fault(Fault::stuck_at(BitAddress::new(0, 0), true))

@@ -56,7 +56,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::AddressOutOfRange { address, words } => {
-                write!(f, "word address {address} out of range for {words}-word memory")
+                write!(
+                    f,
+                    "word address {address} out of range for {words}-word memory"
+                )
             }
             MemError::BitOutOfRange { bit, width } => {
                 write!(f, "bit position {bit} out of range for {width}-bit words")
@@ -73,13 +76,19 @@ impl fmt::Display for MemError {
             }
             MemError::EmptyMemory => write!(f, "memory must contain at least one word"),
             MemError::SelfCoupling { cell } => {
-                write!(f, "coupling fault uses cell {cell} as both aggressor and victim")
+                write!(
+                    f,
+                    "coupling fault uses cell {cell} as both aggressor and victim"
+                )
             }
             MemError::FaultCellOutOfRange { cell } => {
                 write!(f, "fault references cell {cell} outside the memory")
             }
             MemError::LoadLengthMismatch { found, expected } => {
-                write!(f, "load length mismatch: found {found} words, expected {expected}")
+                write!(
+                    f,
+                    "load length mismatch: found {found} words, expected {expected}"
+                )
             }
         }
     }
@@ -95,14 +104,27 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let samples: Vec<MemError> = vec![
-            MemError::AddressOutOfRange { address: 9, words: 4 },
+            MemError::AddressOutOfRange {
+                address: 9,
+                words: 4,
+            },
             MemError::BitOutOfRange { bit: 8, width: 8 },
-            MemError::WidthMismatch { found: 4, expected: 8 },
+            MemError::WidthMismatch {
+                found: 4,
+                expected: 8,
+            },
             MemError::InvalidWidth { width: 0 },
             MemError::EmptyMemory,
-            MemError::SelfCoupling { cell: BitAddress::new(1, 2) },
-            MemError::FaultCellOutOfRange { cell: BitAddress::new(7, 0) },
-            MemError::LoadLengthMismatch { found: 3, expected: 4 },
+            MemError::SelfCoupling {
+                cell: BitAddress::new(1, 2),
+            },
+            MemError::FaultCellOutOfRange {
+                cell: BitAddress::new(7, 0),
+            },
+            MemError::LoadLengthMismatch {
+                found: 3,
+                expected: 4,
+            },
         ];
         for err in samples {
             let msg = err.to_string();

@@ -340,7 +340,10 @@ mod tests {
     #[test]
     fn classes_are_reported_correctly() {
         assert_eq!(Fault::stuck_at(a(), true).class(), FaultClass::Saf);
-        assert_eq!(Fault::transition(a(), Transition::Rising).class(), FaultClass::Tf);
+        assert_eq!(
+            Fault::transition(a(), Transition::Rising).class(),
+            FaultClass::Tf
+        );
         assert_eq!(
             Fault::coupling_state(a(), v(), true, false).class(),
             FaultClass::Cfst

@@ -1,16 +1,46 @@
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
-use crate::{BitAddress, Fault, FaultClass, MemError};
+use crate::{BitAddress, Fault, FaultClass, FaultIndex, MemError};
 
 /// A collection of faults injected into a memory.
 ///
 /// The set keeps faults in insertion order and offers per-cell lookups used
 /// by the simulator on every write. A [`FaultSet`] is validated against a
 /// memory shape when the [`crate::FaultyMemory`] is constructed.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The set lazily maintains a [`FaultIndex`] — per-word stuck-at /
+/// transition bit masks plus an aggressor → victim adjacency map — which is
+/// what the simulator's write path actually queries. The index is built on
+/// first use and invalidated whenever the set is mutated; the per-cell
+/// linear lookups ([`FaultSet::stuck_at`] and friends) remain available for
+/// one-off queries.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct FaultSet {
     faults: Vec<Fault>,
+    #[serde(skip)]
+    index: OnceLock<FaultIndex>,
 }
+
+impl Clone for FaultSet {
+    fn clone(&self) -> Self {
+        // The cached index is cheap to rebuild and usually stale-prone in
+        // clones that are about to be mutated, so it is not carried over.
+        Self {
+            faults: self.faults.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.faults == other.faults
+    }
+}
+
+impl Eq for FaultSet {}
 
 impl FaultSet {
     /// Creates an empty fault set (a fault-free memory).
@@ -23,12 +53,23 @@ impl FaultSet {
     pub fn from_faults<I: IntoIterator<Item = Fault>>(faults: I) -> Self {
         Self {
             faults: faults.into_iter().collect(),
+            index: OnceLock::new(),
         }
     }
 
     /// Adds a fault to the set.
     pub fn insert(&mut self, fault: Fault) {
         self.faults.push(fault);
+        self.index = OnceLock::new();
+    }
+
+    /// The precomputed per-word / per-aggressor lookup index.
+    ///
+    /// Built on first call and cached until the set is mutated. This is the
+    /// structure the simulator's write path queries instead of scanning the
+    /// fault list per bit.
+    pub fn index(&self) -> &FaultIndex {
+        self.index.get_or_init(|| FaultIndex::build(&self.faults))
     }
 
     /// Number of faults in the set.
@@ -64,12 +105,13 @@ impl FaultSet {
     }
 
     /// Transition faults affecting a cell.
-    #[must_use]
-    pub fn transition_faults(&self, cell: BitAddress) -> Vec<&Fault> {
+    ///
+    /// Returns a lazy iterator — no allocation per call. Use `.count()` /
+    /// `.collect()` at call sites that need the old `Vec` behaviour.
+    pub fn transition_faults(&self, cell: BitAddress) -> impl Iterator<Item = &Fault> + '_ {
         self.faults
             .iter()
-            .filter(|f| matches!(f, Fault::TransitionFault { cell: c, .. } if *c == cell))
-            .collect()
+            .filter(move |f| matches!(f, Fault::TransitionFault { cell: c, .. } if *c == cell))
     }
 
     /// Coupling faults whose aggressor is the given cell.
@@ -120,12 +162,16 @@ impl FromIterator<Fault> for FaultSet {
 impl Extend<Fault> for FaultSet {
     fn extend<I: IntoIterator<Item = Fault>>(&mut self, iter: I) {
         self.faults.extend(iter);
+        self.index = OnceLock::new();
     }
 }
 
 impl From<Vec<Fault>> for FaultSet {
     fn from(faults: Vec<Fault>) -> Self {
-        Self { faults }
+        Self {
+            faults,
+            index: OnceLock::new(),
+        }
     }
 }
 
@@ -175,7 +221,7 @@ mod tests {
         assert_eq!(set.len(), 4);
         assert_eq!(set.stuck_at(cell(0, 1)), Some(true));
         assert_eq!(set.stuck_at(cell(2, 3)), None);
-        assert_eq!(set.transition_faults(cell(0, 1)).len(), 1);
+        assert_eq!(set.transition_faults(cell(0, 1)).count(), 1);
         assert_eq!(set.coupled_by(cell(0, 1)).len(), 1);
         assert_eq!(set.coupled_by(cell(1, 0)).len(), 1);
         assert_eq!(set.of_class(FaultClass::Cfst).len(), 1);
@@ -204,7 +250,10 @@ mod tests {
             cell(1, 1),
             Transition::Rising,
         )]);
-        assert!(matches!(set.validate(4, 8), Err(MemError::SelfCoupling { .. })));
+        assert!(matches!(
+            set.validate(4, 8),
+            Err(MemError::SelfCoupling { .. })
+        ));
     }
 
     #[test]

@@ -16,6 +16,19 @@
 //! [`FaultSet`] whose effects are applied on every write. A memory with an
 //! empty fault set behaves as a fault-free golden model.
 //!
+//! ## Simulation kernel
+//!
+//! Writes are simulated word-at-a-time, not bit-at-a-time. The [`FaultSet`]
+//! lazily maintains a [`FaultIndex`] — per-word stuck-at / transition-fault
+//! bit masks plus an aggressor → victim coupling adjacency map — so a write
+//! resolves every fault effect on its word with a handful of `u128` bitwise
+//! operations instead of scanning the fault list per bit. Words that no
+//! fault touches take a pure block-masked `u64` store through
+//! [`BitStorage::set_word_bits`], making the fault-free path O(1) in both
+//! the fault count and the word width. This is what lets the coverage
+//! evaluator in `twm-coverage` sweep fault universes of thousands of
+//! faults over memories of tens of thousands of words.
+//!
 //! ```
 //! use twm_mem::{FaultyMemory, MemoryConfig, Fault, BitAddress, Word};
 //!
@@ -39,6 +52,7 @@ mod builder;
 mod error;
 mod fault;
 mod fault_set;
+mod index;
 mod prng;
 mod sim;
 mod storage;
@@ -50,6 +64,7 @@ pub use builder::MemoryBuilder;
 pub use error::MemError;
 pub use fault::{Fault, FaultClass, Transition};
 pub use fault_set::FaultSet;
+pub use index::{FaultIndex, WordFaultMasks};
 pub use prng::SplitMix64;
 pub use sim::{AccessStats, FaultyMemory, MemoryConfig};
 pub use storage::BitStorage;

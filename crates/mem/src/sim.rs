@@ -111,9 +111,6 @@ pub struct FaultyMemory {
 }
 
 impl FaultyMemory {
-    /// Maximum depth of transitive coupling-fault propagation per write.
-    const MAX_PROPAGATION: usize = 64;
-
     /// Creates a fault-free memory (all cells initialised to 0).
     #[must_use]
     pub fn fault_free(config: MemoryConfig) -> Self {
@@ -126,7 +123,10 @@ impl FaultyMemory {
     ///
     /// Returns an error if any fault references a cell outside the memory or
     /// couples a cell with itself.
-    pub fn with_faults<F: Into<FaultSet>>(config: MemoryConfig, faults: F) -> Result<Self, MemError> {
+    pub fn with_faults<F: Into<FaultSet>>(
+        config: MemoryConfig,
+        faults: F,
+    ) -> Result<Self, MemError> {
         let faults = faults.into();
         faults.validate(config.words(), config.width())?;
         let storage = BitStorage::new(config.words(), config.width())?;
@@ -245,21 +245,46 @@ impl FaultyMemory {
             });
         }
 
-        let mut changed: Vec<(BitAddress, Transition)> = Vec::new();
-        for bit in 0..self.config.width() {
-            let cell = BitAddress::new(address, bit);
-            let old = self.storage.bit(address, bit)?;
-            let effective = self.effective_write_value(cell, old, data.bit(bit));
-            if effective != old {
-                self.storage.set_bit(address, bit, effective)?;
-                if let Some(transition) = Transition::between(old, effective) {
-                    changed.push((cell, transition));
+        let index = self.faults.index();
+        match index.word_masks(address) {
+            None => {
+                // No fault touches this word as victim or aggressor: the
+                // write cannot disturb (or be disturbed by) anything, so it
+                // is a pure block-masked store. State coupling elsewhere is
+                // untouched because no aggressor changed.
+                self.storage.set_word_bits(address, data.to_bits());
+            }
+            Some(masks) => {
+                let old = self.storage.word_bits(address);
+                let effective = masks.effective_write(old, data.to_bits());
+                self.storage.set_word_bits(address, effective);
+
+                // Collect aggressor transitions in ascending bit order (the
+                // propagation queue pops from the back, so the highest
+                // changed bit is processed first — same order as the
+                // historical per-bit loop).
+                let mut activated = (effective ^ old) & masks.aggressors;
+                let mut changed: Vec<(BitAddress, Transition)> =
+                    Vec::with_capacity(activated.count_ones() as usize);
+                while activated != 0 {
+                    let bit = activated.trailing_zeros() as usize;
+                    activated &= activated - 1;
+                    let transition = if (effective >> bit) & 1 == 1 {
+                        Transition::Rising
+                    } else {
+                        Transition::Falling
+                    };
+                    changed.push((BitAddress::new(address, bit), transition));
+                }
+
+                if !changed.is_empty() {
+                    index.propagate(&mut self.storage, changed);
+                }
+                if index.has_state_faults() {
+                    index.enforce_state_coupling(&mut self.storage);
                 }
             }
         }
-
-        self.propagate_transitions(changed);
-        self.enforce_state_coupling();
 
         self.stats.writes += 1;
         if self.tracing {
@@ -377,126 +402,10 @@ impl FaultyMemory {
         self.enforce_static_faults();
     }
 
-    fn effective_write_value(&self, cell: BitAddress, old: bool, intended: bool) -> bool {
-        if let Some(stuck) = self.faults.stuck_at(cell) {
-            return stuck;
-        }
-        if let Some(transition) = Transition::between(old, intended) {
-            let blocked = self.faults.transition_faults(cell).iter().any(|f| {
-                matches!(f, Fault::TransitionFault { direction, .. } if *direction == transition)
-            });
-            if blocked {
-                return old;
-            }
-        }
-        intended
-    }
-
-    /// Forces a victim cell to a value as the result of a coupling fault,
-    /// respecting a stuck-at fault on the victim. Returns the transition the
-    /// victim performed, if any.
-    fn force_cell(&mut self, cell: BitAddress, value: bool) -> Option<(BitAddress, Transition)> {
-        let old = self
-            .storage
-            .bit(cell.word, cell.bit)
-            .expect("validated fault cell is in range");
-        let effective = match self.faults.stuck_at(cell) {
-            Some(stuck) => stuck,
-            None => value,
-        };
-        if effective != old {
-            self.storage
-                .set_bit(cell.word, cell.bit, effective)
-                .expect("validated fault cell is in range");
-            Transition::between(old, effective).map(|t| (cell, t))
-        } else {
-            None
-        }
-    }
-
-    fn propagate_transitions(&mut self, initial: Vec<(BitAddress, Transition)>) {
-        let mut queue = initial;
-        let mut processed = 0usize;
-        while let Some((aggressor, transition)) = queue.pop() {
-            if processed >= Self::MAX_PROPAGATION {
-                break;
-            }
-            processed += 1;
-            let coupled: Vec<Fault> = self.faults.coupled_by(aggressor).into_iter().copied().collect();
-            for fault in coupled {
-                match fault {
-                    Fault::CouplingIdempotent {
-                        victim,
-                        transition: trigger,
-                        victim_value,
-                        ..
-                    } if trigger == transition => {
-                        if let Some(change) = self.force_cell(victim, victim_value) {
-                            queue.push(change);
-                        }
-                    }
-                    Fault::CouplingInversion {
-                        victim,
-                        transition: trigger,
-                        ..
-                    } if trigger == transition => {
-                        let current = self
-                            .storage
-                            .bit(victim.word, victim.bit)
-                            .expect("validated fault cell is in range");
-                        if let Some(change) = self.force_cell(victim, !current) {
-                            queue.push(change);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-
-    fn enforce_state_coupling(&mut self) {
-        let state_faults: Vec<Fault> = self
-            .faults
-            .iter()
-            .copied()
-            .filter(|f| matches!(f, Fault::CouplingState { .. }))
-            .collect();
-        for fault in state_faults {
-            if let Fault::CouplingState {
-                aggressor,
-                victim,
-                aggressor_value,
-                victim_value,
-            } = fault
-            {
-                let current = self
-                    .storage
-                    .bit(aggressor.word, aggressor.bit)
-                    .expect("validated fault cell is in range");
-                if current == aggressor_value {
-                    let _ = self.force_cell(victim, victim_value);
-                }
-            }
-        }
-    }
-
     /// Applies the faults that constrain static state (stuck-at values and
     /// activated state coupling) to the current content.
     fn enforce_static_faults(&mut self) {
-        let stuck: Vec<(BitAddress, bool)> = self
-            .faults
-            .iter()
-            .filter_map(|f| match *f {
-                Fault::StuckAt { cell, value } => Some((cell, value)),
-                _ => None,
-            })
-            .collect();
-        for (cell, value) in stuck {
-            self.storage
-                .set_bit(cell.word, cell.bit, value)
-                .expect("validated fault cell is in range");
-        }
-        self.enforce_state_coupling();
+        self.faults.index().enforce_static(&mut self.storage);
     }
 }
 
@@ -564,12 +473,17 @@ mod tests {
         let cfid = Fault::coupling_idempotent(aggressor, victim, Transition::Rising, true);
         let mut mem = FaultyMemory::with_faults(config(4, 4), vec![cfid]).unwrap();
         // Rising write on the aggressor forces the victim to 1.
-        mem.write_word(0, Word::from_bits(0b0001, 4).unwrap()).unwrap();
+        mem.write_word(0, Word::from_bits(0b0001, 4).unwrap())
+            .unwrap();
         assert!(mem.peek_bit(victim).unwrap());
         // A second rising transition cannot occur without first falling.
         mem.write_bit(victim, false).unwrap();
-        mem.write_word(0, Word::from_bits(0b0001, 4).unwrap()).unwrap();
-        assert!(!mem.peek_bit(victim).unwrap(), "no new transition, no activation");
+        mem.write_word(0, Word::from_bits(0b0001, 4).unwrap())
+            .unwrap();
+        assert!(
+            !mem.peek_bit(victim).unwrap(),
+            "no new transition, no activation"
+        );
     }
 
     #[test]
@@ -580,7 +494,8 @@ mod tests {
         let mut mem = FaultyMemory::with_faults(config(4, 4), vec![cfin]).unwrap();
         mem.fill(Word::ones(4)).unwrap();
         // Falling write on the aggressor inverts the victim (1 -> 0).
-        mem.write_word(3, Word::from_bits(0b1011, 4).unwrap()).unwrap();
+        mem.write_word(3, Word::from_bits(0b1011, 4).unwrap())
+            .unwrap();
         let read = mem.peek_word(3).unwrap();
         assert!(!read.bit(0), "victim inverted");
         assert!(!read.bit(2), "aggressor written");
@@ -593,7 +508,8 @@ mod tests {
         let cfst = Fault::coupling_state(aggressor, victim, true, false);
         let mut mem = FaultyMemory::with_faults(config(2, 4), vec![cfst]).unwrap();
         // Activate the aggressor.
-        mem.write_word(0, Word::from_bits(0b0010, 4).unwrap()).unwrap();
+        mem.write_word(0, Word::from_bits(0b0010, 4).unwrap())
+            .unwrap();
         // Any attempt to set the victim to 1 is overridden while active.
         mem.write_word(1, Word::ones(4)).unwrap();
         assert!(!mem.peek_bit(victim).unwrap());
@@ -611,7 +527,8 @@ mod tests {
         let cfid = Fault::coupling_idempotent(aggressor, victim, Transition::Rising, false);
         let mut mem = FaultyMemory::with_faults(config(2, 4), vec![cfid]).unwrap();
         // Write 1 to both bits in one word write: aggressor rises, victim forced back to 0.
-        mem.write_word(0, Word::from_bits(0b1001, 4).unwrap()).unwrap();
+        mem.write_word(0, Word::from_bits(0b1001, 4).unwrap())
+            .unwrap();
         let read = mem.peek_word(0).unwrap();
         assert!(read.bit(0));
         assert!(!read.bit(3));
@@ -639,7 +556,7 @@ mod tests {
         let a = BitAddress::new(0, 0);
         let b = BitAddress::new(1, 0);
         let faults = vec![
-            Fault::coupling_inversion(a, b, Transition::Rising, ),
+            Fault::coupling_inversion(a, b, Transition::Rising),
             Fault::coupling_inversion(b, a, Transition::Rising),
         ];
         let mut mem = FaultyMemory::with_faults(config(2, 1), faults).unwrap();
@@ -692,7 +609,8 @@ mod tests {
     #[test]
     fn inject_and_clear_faults() {
         let mut mem = FaultyMemory::fault_free(config(2, 4));
-        mem.inject(Fault::stuck_at(BitAddress::new(0, 0), true)).unwrap();
+        mem.inject(Fault::stuck_at(BitAddress::new(0, 0), true))
+            .unwrap();
         assert_eq!(mem.faults().len(), 1);
         assert!(mem.peek_bit(BitAddress::new(0, 0)).unwrap());
         assert!(mem

@@ -30,7 +30,11 @@ impl BitStorage {
         }
         let total_bits = words * width;
         let blocks = vec![0u64; total_bits.div_ceil(64)];
-        Ok(Self { blocks, words, width })
+        Ok(Self {
+            blocks,
+            words,
+            width,
+        })
     }
 
     /// Number of words.
@@ -107,14 +111,66 @@ impl BitStorage {
                 words: self.words,
             });
         }
+        Word::from_bits(self.word_bits(word), self.width)
+    }
+
+    /// Raw bits of a word, assembled with block-masked `u64` operations
+    /// instead of per-bit probing. A word of width ≤ 128 spans at most three
+    /// consecutive blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range; use [`BitStorage::word`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn word_bits(&self, word: usize) -> u128 {
+        assert!(
+            word < self.words,
+            "word {word} out of range for {}-word store",
+            self.words
+        );
+        let start = word * self.width;
         let mut bits = 0u128;
-        for bit in 0..self.width {
-            let index = word * self.width + bit;
-            if (self.blocks[index / 64] >> (index % 64)) & 1 == 1 {
-                bits |= 1 << bit;
-            }
+        let mut got = 0usize;
+        let mut block = start / 64;
+        let mut offset = start % 64;
+        while got < self.width {
+            let take = (64 - offset).min(self.width - got);
+            let chunk = (self.blocks[block] >> offset) as u128 & mask128(take);
+            bits |= chunk << got;
+            got += take;
+            block += 1;
+            offset = 0;
         }
-        Word::from_bits(bits, self.width)
+        bits
+    }
+
+    /// Overwrites the raw bits of a word with block-masked `u64` operations.
+    /// Bits above the store width are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range; use [`BitStorage::set_word`] for a
+    /// fallible variant.
+    pub fn set_word_bits(&mut self, word: usize, bits: u128) {
+        assert!(
+            word < self.words,
+            "word {word} out of range for {}-word store",
+            self.words
+        );
+        let start = word * self.width;
+        let mut put = 0usize;
+        let mut block = start / 64;
+        let mut offset = start % 64;
+        while put < self.width {
+            let take = (64 - offset).min(self.width - put);
+            let chunk = ((bits >> put) as u64) & mask64(take);
+            let slot = &mut self.blocks[block];
+            *slot = (*slot & !(mask64(take) << offset)) | (chunk << offset);
+            put += take;
+            block += 1;
+            offset = 0;
+        }
     }
 
     /// Writes a full word.
@@ -137,9 +193,7 @@ impl BitStorage {
                 expected: self.width,
             });
         }
-        for bit in 0..self.width {
-            self.set_bit(word, bit, value.bit(bit))?;
-        }
+        self.set_word_bits(word, value.to_bits());
         Ok(())
     }
 
@@ -185,6 +239,22 @@ impl BitStorage {
     }
 }
 
+fn mask128(bits: usize) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+fn mask64(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +271,10 @@ mod tests {
     #[test]
     fn rejects_empty_or_invalid_shapes() {
         assert_eq!(BitStorage::new(0, 8), Err(MemError::EmptyMemory));
-        assert_eq!(BitStorage::new(4, 0), Err(MemError::InvalidWidth { width: 0 }));
+        assert_eq!(
+            BitStorage::new(4, 0),
+            Err(MemError::InvalidWidth { width: 0 })
+        );
         assert_eq!(
             BitStorage::new(4, 129),
             Err(MemError::InvalidWidth { width: 129 })
@@ -234,9 +307,29 @@ mod tests {
     #[test]
     fn out_of_range_access_is_rejected() {
         let s = BitStorage::new(2, 8).unwrap();
-        assert!(matches!(s.bit(2, 0), Err(MemError::AddressOutOfRange { .. })));
+        assert!(matches!(
+            s.bit(2, 0),
+            Err(MemError::AddressOutOfRange { .. })
+        ));
         assert!(matches!(s.bit(0, 8), Err(MemError::BitOutOfRange { .. })));
         assert!(matches!(s.word(5), Err(MemError::AddressOutOfRange { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn raw_word_read_out_of_range_panics() {
+        // Address 5 of a 2x3 store still lands inside the first allocated
+        // block, so without an explicit check it would silently misread
+        // padding instead of panicking.
+        let s = BitStorage::new(2, 3).unwrap();
+        let _ = s.word_bits(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn raw_word_write_out_of_range_panics() {
+        let mut s = BitStorage::new(2, 3).unwrap();
+        s.set_word_bits(5, 0b111);
     }
 
     #[test]
@@ -266,6 +359,49 @@ mod tests {
             s.load(&new_contents[..2]),
             Err(MemError::LoadLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn block_masked_word_ops_agree_with_per_bit_ops() {
+        // Odd widths make words straddle u64 block boundaries at varying
+        // offsets; the block-masked path must agree with per-bit access for
+        // every word and every bit.
+        for width in [1usize, 3, 7, 13, 40, 63, 64, 65, 100, 127, 128] {
+            let words = 9;
+            let mut s = BitStorage::new(words, width).unwrap();
+            let mut reference = vec![0u128; words];
+            let mut state = 0x1234_5678_9ABC_DEF0u128;
+            for (w, slot) in reference.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add(w as u128);
+                let value = state
+                    & if width >= 128 {
+                        u128::MAX
+                    } else {
+                        (1 << width) - 1
+                    };
+                s.set_word_bits(w, value);
+                *slot = value;
+            }
+            for (w, &expected) in reference.iter().enumerate() {
+                assert_eq!(s.word_bits(w), expected, "width {width}, word {w}");
+                for b in 0..width {
+                    assert_eq!(
+                        s.bit(w, b).unwrap(),
+                        (expected >> b) & 1 == 1,
+                        "width {width}, word {w}, bit {b}"
+                    );
+                }
+            }
+            // Per-bit writes are observed by the block-masked reader too.
+            s.set_bit(words - 1, width - 1, !s.bit(words - 1, width - 1).unwrap())
+                .unwrap();
+            assert_eq!(
+                s.word_bits(words - 1) >> (width - 1) & 1 == 1,
+                s.bit(words - 1, width - 1).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -155,7 +155,10 @@ impl Word {
         } else {
             self.bits & !(1 << bit)
         };
-        Self { bits, width: self.width }
+        Self {
+            bits,
+            width: self.width,
+        }
     }
 
     /// Number of bits set to one.
@@ -307,7 +310,10 @@ mod tests {
 
     #[test]
     fn from_bits_rejects_bad_widths() {
-        assert_eq!(Word::from_bits(0, 0), Err(MemError::InvalidWidth { width: 0 }));
+        assert_eq!(
+            Word::from_bits(0, 0),
+            Err(MemError::InvalidWidth { width: 0 })
+        );
         assert_eq!(
             Word::from_bits(0, 129),
             Err(MemError::InvalidWidth { width: 129 })
@@ -351,7 +357,10 @@ mod tests {
         let b = Word::zeros(4);
         assert_eq!(
             a.checked_xor(b),
-            Err(MemError::WidthMismatch { found: 4, expected: 8 })
+            Err(MemError::WidthMismatch {
+                found: 4,
+                expected: 8
+            })
         );
     }
 

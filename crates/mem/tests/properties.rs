@@ -2,12 +2,19 @@
 
 use proptest::prelude::*;
 
-use twm_mem::{
-    BitAddress, Fault, FaultyMemory, MemoryBuilder, MemoryConfig, Transition, Word,
-};
+use twm_mem::{BitAddress, Fault, FaultyMemory, MemoryBuilder, MemoryConfig, Transition, Word};
 
 fn arb_width() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16), Just(32), Just(64), Just(128)]
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(4),
+        Just(8),
+        Just(16),
+        Just(32),
+        Just(64),
+        Just(128)
+    ]
 }
 
 proptest! {

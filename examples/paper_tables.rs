@@ -52,7 +52,7 @@ fn table_1() -> Result<(), Box<dyn std::error::Error>> {
     let atmarch: &MarchTest = transformed.atmarch();
     let width = 8usize;
 
-    println!("{:<12} {}", "operation", "word content afterwards");
+    println!("{:<12} word content afterwards", "operation");
     let mut offset = vec![false; width]; // which bits are currently complemented
     for element in atmarch.elements().iter().take(3) {
         for op in &element.ops {
@@ -85,9 +85,18 @@ fn table_2() {
     println!("== Table 2: closed-form complexity of the transparent test schemes ==");
     println!("(per word; N words, W-bit words, M operations, Q reads, L = ceil(log2 W))");
     println!("{:<22} {:<18} {:<18}", "scheme", "TCM", "TCP");
-    println!("{:<22} {:<18} {:<18}", "Scheme 1 [12]", "M*(L+1)*N", "Q*(L+1)*N");
-    println!("{:<22} {:<18} {:<18}", "Scheme 2 [13] TOMT", "(8W+2)*N", "-");
-    println!("{:<22} {:<18} {:<18}", "This work (TWM_TA)", "(M+5L)*N", "(Q+2L)*N");
+    println!(
+        "{:<22} {:<18} {:<18}",
+        "Scheme 1 [12]", "M*(L+1)*N", "Q*(L+1)*N"
+    );
+    println!(
+        "{:<22} {:<18} {:<18}",
+        "Scheme 2 [13] TOMT", "(8W+2)*N", "-"
+    );
+    println!(
+        "{:<22} {:<18} {:<18}",
+        "This work (TWM_TA)", "(M+5L)*N", "(Q+2L)*N"
+    );
     let length = march_c_minus().length();
     println!(
         "\nexample (March C-, W = 32): scheme1 = {}+{}, scheme2 = {}, proposed = {}+{}\n",

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let windows = IdleWindowModel::random(500, words * 10, words * 45, 0x1D1E)?;
     let report_proposed = schedule(proposed_ops, &windows);
     let report_scheme1 = schedule(scheme1_ops, &windows);
-    println!("\nidle-window model: 500 windows of {}..{} operations", words * 10, words * 45);
+    println!(
+        "\nidle-window model: 500 windows of {}..{} operations",
+        words * 10,
+        words * 45
+    );
     println!(
         "proposed fits in a single idle window {:.1}% of the time (scheme 1: {:.1}%)",
         report_proposed.single_window_fit_fraction * 100.0,
@@ -51,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // application's data.
     let mut field_memory = MemoryBuilder::new(words, width)
         .random_content(0xA11)
-        .fault(Fault::transition(BitAddress::new(77, 13), Transition::Falling))
+        .fault(Fault::transition(
+            BitAddress::new(77, 13),
+            Transition::Falling,
+        ))
         .build()?;
     let controller = PeriodicController::new(proposed.transparent_test().clone());
     let run = controller.run(&mut field_memory, &windows)?;

@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run the transparent BIST session on a fault-free memory holding
     //    arbitrary data: nothing is detected and the content is preserved.
-    let mut healthy = MemoryBuilder::new(256, width).random_content(0xFEED).build()?;
+    let mut healthy = MemoryBuilder::new(256, width)
+        .random_content(0xFEED)
+        .build()?;
     let before = healthy.content();
     let outcome = run_transparent_session(
         transformed.transparent_test(),
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut healthy,
         Misr::standard(width),
     )?;
-    println!("\nfault-free memory   : detected = {}", outcome.fault_detected());
+    println!(
+        "\nfault-free memory   : detected = {}",
+        outcome.fault_detected()
+    );
     println!("content preserved   : {}", outcome.content_preserved);
     assert!(!outcome.fault_detected());
     assert_eq!(healthy.content(), before);
@@ -54,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    and run the same periodic test again.
     let mut aged = MemoryBuilder::new(256, width)
         .random_content(0xFEED)
-        .fault(Fault::transition(BitAddress::new(97, 5), Transition::Rising))
+        .fault(Fault::transition(
+            BitAddress::new(97, 5),
+            Transition::Rising,
+        ))
         .build()?;
     let outcome = run_transparent_session(
         transformed.transparent_test(),
@@ -62,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut aged,
         Misr::standard(width),
     )?;
-    println!("\naged memory         : detected = {}", outcome.fault_detected());
+    println!(
+        "\naged memory         : detected = {}",
+        outcome.fault_detected()
+    );
     println!(
         "signatures          : predicted {} vs observed {}",
         outcome.predicted_signature, outcome.test_signature
@@ -72,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Localise the defect from the read log of a diagnostic re-run.
     let mut diagnostic_run = MemoryBuilder::new(256, width)
         .random_content(0xFEED)
-        .fault(Fault::transition(BitAddress::new(97, 5), Transition::Rising))
+        .fault(Fault::transition(
+            BitAddress::new(97, 5),
+            Transition::Rising,
+        ))
         .build()?;
     let log = execute(transformed.transparent_test(), &mut diagnostic_run)?;
     let diagnosis = diagnose(&log);

@@ -24,8 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("== {} ==", bmarch.name());
         println!(
             "{:>6} {:>16} {:>16} {:>16} | {:>14} {:>14} {:>14}",
-            "W", "scheme1 (form)", "scheme2 (form)", "proposed (form)",
-            "scheme1 (run)", "scheme2 (run)", "proposed (run)"
+            "W",
+            "scheme1 (form)",
+            "scheme2 (form)",
+            "proposed (form)",
+            "scheme1 (run)",
+            "scheme2 (run)",
+            "proposed (run)"
         );
         for width in [8usize, 16, 32, 64] {
             let length = bmarch.length();

@@ -13,7 +13,10 @@ use twm::mem::{FaultClass, MemoryConfig};
 
 fn run_case(bmarch: &twm::march::MarchTest, words: usize, width: usize, seed: u64) {
     let config = MemoryConfig::new(words, width).unwrap();
-    let transformed = TwmTransformer::new(width).unwrap().transform(bmarch).unwrap();
+    let transformed = TwmTransformer::new(width)
+        .unwrap()
+        .transform(bmarch)
+        .unwrap();
     let counterpart = bmarch.concatenated(
         &amarch(width).unwrap(),
         format!("{} + AMarch", bmarch.name()),

@@ -85,7 +85,10 @@ fn intra_word_inversion_coupling_is_detected() {
     for direction in [Transition::Rising, Transition::Falling] {
         for seed in [21u64, 22, 23] {
             assert!(
-                detects(Fault::coupling_inversion(aggressor, victim, direction), seed),
+                detects(
+                    Fault::coupling_inversion(aggressor, victim, direction),
+                    seed
+                ),
                 "intra-word CFin({direction}) escaped with seed {seed}"
             );
         }

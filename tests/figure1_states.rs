@@ -64,7 +64,11 @@ fn twmarch_covers_intra_word_conditions_for_every_pair_and_content() {
                 );
                 let partial =
                     analyze_intra_word_pair(transformed.tsmarch(), a, b, initial).unwrap();
-                assert_eq!(partial.covered_count(), 2, "TSMarch alone for pair ({a},{b})");
+                assert_eq!(
+                    partial.covered_count(),
+                    2,
+                    "TSMarch alone for pair ({a},{b})"
+                );
             }
         }
     }

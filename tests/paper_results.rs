@@ -99,10 +99,10 @@ fn proposed_complexity_is_only_weakly_coupled_to_the_bit_oriented_test() {
     let c_minus = march_c_minus().length();
     let u = march_u().length();
     for width in [16usize, 32, 64, 128] {
-        let gap_proposed =
-            proposed_formula(u, width).total() as isize - proposed_formula(c_minus, width).total() as isize;
-        let gap_scheme1 =
-            scheme1_formula(u, width).total() as isize - scheme1_formula(c_minus, width).total() as isize;
+        let gap_proposed = proposed_formula(u, width).total() as isize
+            - proposed_formula(c_minus, width).total() as isize;
+        let gap_scheme1 = scheme1_formula(u, width).total() as isize
+            - scheme1_formula(c_minus, width).total() as isize;
         // The gap between the two tests stays constant (M and Q difference)
         // for the proposed scheme but grows with log2(W)+1 for Scheme 1.
         assert_eq!(gap_proposed, 4);

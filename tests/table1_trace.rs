@@ -12,7 +12,10 @@ use twm::mem::{MemoryBuilder, Word};
 /// and every element is bracketed by reads of the restored content.
 #[test]
 fn atmarch_offset_sequence_matches_table1() {
-    let transformed = TwmTransformer::new(8).unwrap().transform(&march_u()).unwrap();
+    let transformed = TwmTransformer::new(8)
+        .unwrap()
+        .transform(&march_u())
+        .unwrap();
     let atmarch = transformed.atmarch();
     let expected_backgrounds = [0b0101_0101u128, 0b0011_0011, 0b0000_1111];
 
@@ -47,7 +50,10 @@ fn atmarch_offset_sequence_matches_table1() {
 fn atmarch_execution_walks_the_table1_contents() {
     let width = 8;
     let initial = Word::from_bits(0b1011_0110, width).unwrap();
-    let transformed = TwmTransformer::new(width).unwrap().transform(&march_u()).unwrap();
+    let transformed = TwmTransformer::new(width)
+        .unwrap()
+        .transform(&march_u())
+        .unwrap();
     let mut memory = MemoryBuilder::new(1, width)
         .content(vec![initial])
         .build()

@@ -1,0 +1,71 @@
+//! Offline shim for `rand`: the subset used by this workspace —
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `seq::SliceRandom::shuffle` — backed by a SplitMix64 generator.
+//!
+//! The shim is **not** statistically equivalent to the real `StdRng`
+//! (ChaCha12): sampled fault universes differ from the ones the real crate
+//! would pick for the same seed. That is acceptable here because the
+//! workspace only uses `rand` for deterministic *down-sampling* of fault
+//! universes, never for golden expectations. See `vendor/README.md`.
+
+/// Core generator interface: a source of 64-bit pseudo-random values.
+pub trait RngCore {
+    /// Next 64-bit pseudo-random value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`, backed by SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related random operations.
+
+    use super::RngCore;
+
+    /// Stand-in for `rand::seq::SliceRandom`: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                // Modulo bias is irrelevant for down-sampling purposes.
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros, enough
+//! for `#[derive(Serialize, Deserialize)]` annotations to compile unchanged.
+//! Nothing in this workspace performs actual serialization today; when it
+//! does, swap this shim for the real crates.io `serde` (see
+//! `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// never implements it, it only keeps the annotation compiling).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
