@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use twm_core::TwmTransformer;
-use twm_coverage::evaluator::evaluate;
 use twm_coverage::universe::UniverseBuilder;
+use twm_coverage::{ContentPolicy, CoverageEngine};
 use twm_march::algorithms::march_c_minus;
 use twm_mem::MemoryConfig;
 
@@ -25,19 +25,16 @@ fn bench_coverage(c: &mut Criterion) {
             .sample_per_class(200, 7)
             .build();
         group.throughput(Throughput::Elements(faults.len() as u64));
+        let engine = CoverageEngine::builder(config)
+            .test(transformed.transparent_test())
+            .content(ContentPolicy::Random { seed: 11 })
+            .build()
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::new("twmarch", format!("{words}x{width}")),
             &config,
-            |b, &config| {
-                b.iter(|| {
-                    evaluate(
-                        black_box(transformed.transparent_test()),
-                        black_box(&faults),
-                        config,
-                        11,
-                    )
-                    .unwrap()
-                });
+            |b, _| {
+                b.iter(|| engine.report(black_box(&faults)).unwrap());
             },
         );
     }

@@ -8,16 +8,18 @@
 //! * serial versus parallel fault-coverage evaluation throughput
 //!   (faults/second) across the word widths of Table 3, on a ≥ 2000-fault
 //!   universe — the experiment behind the paper's Section 5 at production
-//!   scale.
+//!   scale;
+//! * arena reuse versus fresh-per-fault memories on the 64K-word sweep —
+//!   the A/B behind the `CoverageEngine`'s pooled
+//!   [`twm_mem::FaultyMemory`] arenas and block-copy content restore.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use twm_bench::{bench_memory, proposed_test, WIDTHS};
 use twm_bist::{execute_with, ExecutionOptions};
-use twm_coverage::evaluator::{evaluate_parallel, evaluate_serial};
 use twm_coverage::universe::UniverseBuilder;
-use twm_coverage::{ContentPolicy, EvaluationOptions};
+use twm_coverage::{ContentPolicy, CoverageEngine, EvaluationOptions, Strategy};
 use twm_march::algorithms::march_c_minus;
 use twm_mem::{BitAddress, Fault, MemoryConfig, SplitMix64, Transition, Word};
 
@@ -135,25 +137,91 @@ fn bench_evaluator(c: &mut Criterion) {
             contents_per_fault: 1,
         };
         group.throughput(Throughput::Elements(faults.len() as u64));
+        // Engines are built once per configuration — lowering, content
+        // generation and the arena pool are amortised across iterations,
+        // which is the intended deployment shape.
+        let serial = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Serial)
+            .build()
+            .unwrap();
+        let parallel = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Auto)
+            .build()
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::new("serial", format!("{words}x{width}x{}", faults.len())),
             &config,
-            |b, &config| {
-                b.iter(|| {
-                    evaluate_serial(black_box(&test), black_box(&faults), config, options).unwrap()
-                });
+            |b, _| {
+                b.iter(|| serial.report(black_box(&faults)).unwrap());
             },
         );
         group.bench_with_input(
             BenchmarkId::new("parallel", format!("{words}x{width}x{}", faults.len())),
             &config,
-            |b, &config| {
-                b.iter(|| {
-                    evaluate_parallel(black_box(&test), black_box(&faults), config, options)
-                        .unwrap()
-                });
+            |b, _| {
+                b.iter(|| parallel.report(black_box(&faults)).unwrap());
             },
         );
+    }
+    group.finish();
+}
+
+/// Engine-redesign A/B on the 64K-word sweep: the arena path (pooled
+/// memories re-armed per fault, block-copy content restore, fault-local
+/// footprint sweeps via `detect_lowered_at`) versus the complete
+/// historical PR 1 evaluation path (`memory_reuse(false)`: fresh
+/// `FaultyMemory` per fault, word-by-word restore, full-address sweep).
+/// The footprint sweep dominates the gap at large memories; the arena
+/// eliminates the per-fault allocation on top. Reports are bit-identical;
+/// only the faults/second differ.
+fn bench_engine_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_reuse");
+    group.sample_size(10);
+    let test = march_c_minus();
+    for &words in &[1usize << 12, 1 << 14, 1 << 16] {
+        let config = MemoryConfig::new(words, WIDTH).unwrap();
+        // A modest universe keeps one iteration tractable at 64K words while
+        // still exercising one full re-arm + restore per fault.
+        let faults = UniverseBuilder::new(config)
+            .stuck_at()
+            .transition()
+            .sample_per_class(16, 5)
+            .build();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed: 11 },
+            contents_per_fault: 1,
+        };
+        let arena = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .build()
+            .unwrap();
+        let fresh = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .memory_reuse(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            arena.report(&faults).unwrap(),
+            fresh.report(&faults).unwrap(),
+            "modes must stay bit-identical"
+        );
+        group.throughput(Throughput::Elements(faults.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("fresh_per_fault", words),
+            &config,
+            |b, _| {
+                b.iter(|| fresh.report(black_box(&faults)).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("arena", words), &config, |b, _| {
+            b.iter(|| arena.report(black_box(&faults)).unwrap());
+        });
     }
     group.finish();
 }
@@ -162,6 +230,7 @@ criterion_group!(
     benches,
     bench_single_write,
     bench_execution_scaling,
-    bench_evaluator
+    bench_evaluator,
+    bench_engine_reuse
 );
 criterion_main!(benches);

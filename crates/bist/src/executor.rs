@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use twm_march::{MarchTest, OpKind};
-use twm_mem::{AddressSequence, FaultyMemory, Word};
+use twm_mem::{AddressOrder, AddressSequence, FaultyMemory, Word};
 
 use crate::{BistError, LoweredTest};
 
@@ -207,6 +207,77 @@ pub fn execute_lowered(
     })
 }
 
+/// Fault-local detection: executes a pre-lowered march test visiting only
+/// the given addresses and reports whether any read mismatches the
+/// fault-free expectation.
+///
+/// The exact-compare verdict of a full execution only depends on the words
+/// a fault can touch: a word that hosts neither a faulty cell nor a
+/// coupling aggressor (no [`twm_mem::FaultIndex`] entry) stores exactly
+/// what the test writes, so its reads can never mismatch — and writing it
+/// cannot disturb any other word. Restricting the sweep to the fault's
+/// footprint therefore yields the **same detection verdict** as
+/// [`execute_lowered`] with `stop_at_first_mismatch`, at
+/// O(ops-per-word × footprint) instead of O(ops-per-word × memory) cost.
+/// This is what lets the coverage engine evaluate single-fault injections
+/// on production-sized memories at small-memory speed.
+///
+/// `addresses` must be sorted ascending and cover every word the memory's
+/// fault set touches as victim or aggressor (debug-asserted); each march
+/// element visits them in its prescribed sweep direction.
+///
+/// # Errors
+///
+/// Returns [`BistError::LoweredWidthMismatch`] if the test was lowered for
+/// a different word width than the memory's, or [`BistError::Mem`] for
+/// address errors.
+pub fn detect_lowered_at(
+    test: &LoweredTest,
+    memory: &mut FaultyMemory,
+    addresses: &[usize],
+) -> Result<bool, BistError> {
+    if test.width() != memory.width() {
+        return Err(BistError::LoweredWidthMismatch {
+            lowered: test.width(),
+            memory: memory.width(),
+        });
+    }
+    debug_assert!(addresses.windows(2).all(|pair| pair[0] < pair[1]));
+    debug_assert!(memory.faults().iter().all(|fault| {
+        fault
+            .cells()
+            .iter()
+            .all(|cell| addresses.binary_search(&cell.word).is_ok())
+    }));
+    let initials = addresses
+        .iter()
+        .map(|&address| memory.peek_word(address))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    for element in test.elements() {
+        let sweep: &mut dyn Iterator<Item = (&usize, &Word)> = match element.order {
+            AddressOrder::Ascending | AddressOrder::Any => {
+                &mut addresses.iter().zip(initials.iter())
+            }
+            AddressOrder::Descending => &mut addresses.iter().zip(initials.iter()).rev(),
+        };
+        for (&address, &initial) in sweep {
+            for op in &element.ops {
+                let value = op.value(initial);
+                match op.kind {
+                    OpKind::Write => memory.write_word(address, value)?,
+                    OpKind::Read => {
+                        if memory.read_word(address)? != value {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +394,62 @@ mod tests {
         assert!(full.detected() && short.detected());
         assert!(short.operations() <= full.operations());
         assert!(short.reads.is_empty());
+    }
+
+    #[test]
+    fn fault_local_detection_matches_full_execution() {
+        // Every fault class, intra-word and inter-word, transparent and
+        // literal tests: restricting the sweep to the fault's footprint
+        // words must produce the same detection verdict as the full sweep.
+        let width = 4;
+        let transformed = TwmTransformer::new(width)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let tests = [march_c_minus(), transformed.transparent_test().clone()];
+        let a = BitAddress::new(3, 1);
+        let b = BitAddress::new(7, 2);
+        let same_word = BitAddress::new(3, 3);
+        let faults = [
+            Fault::stuck_at(a, true),
+            Fault::stuck_at(b, false),
+            Fault::transition(a, Transition::Rising),
+            Fault::transition(b, Transition::Falling),
+            Fault::coupling_idempotent(a, b, Transition::Rising, true),
+            Fault::coupling_inversion(b, a, Transition::Falling),
+            Fault::coupling_state(a, b, true, false),
+            Fault::coupling_idempotent(a, same_word, Transition::Falling, false),
+        ];
+        for test in &tests {
+            let lowered = LoweredTest::new(test, width).unwrap();
+            for (seed, &fault) in faults.iter().enumerate() {
+                let build = || {
+                    let mut memory = MemoryBuilder::new(12, width).fault(fault).build().unwrap();
+                    memory.fill_random(seed as u64);
+                    memory
+                };
+                let mut footprint: Vec<usize> =
+                    fault.cells().iter().map(|cell| cell.word).collect();
+                footprint.sort_unstable();
+                footprint.dedup();
+                let full = execute_lowered(
+                    &lowered,
+                    &mut build(),
+                    ExecutionOptions {
+                        record_reads: false,
+                        stop_at_first_mismatch: true,
+                    },
+                )
+                .unwrap();
+                let local = detect_lowered_at(&lowered, &mut build(), &footprint).unwrap();
+                assert_eq!(
+                    full.detected(),
+                    local,
+                    "verdicts diverge for {fault:?} under {}",
+                    test.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub mod misr;
 pub use diagnosis::{diagnose, DiagnosisReport, SuspectCell};
 pub use error::BistError;
 pub use executor::{
-    execute, execute_lowered, execute_with, ExecutionOptions, ExecutionResult, ReadRecord,
+    detect_lowered_at, execute, execute_lowered, execute_with, ExecutionOptions, ExecutionResult,
+    ReadRecord,
 };
 pub use flow::{run_transparent_session, SessionOutcome};
 pub use lowered::{LoweredElement, LoweredOp, LoweredTest};

@@ -126,6 +126,20 @@ impl LoweredTest {
     pub fn elements(&self) -> &[LoweredElement] {
         &self.elements
     }
+
+    /// Number of operations applied per address across all elements — the
+    /// lowered counterpart of [`MarchTest::operations_per_word`].
+    #[must_use]
+    pub fn operations_per_word(&self) -> usize {
+        self.elements.iter().map(|element| element.ops.len()).sum()
+    }
+
+    /// Total number of operations when executed over a memory with `words`
+    /// addresses.
+    #[must_use]
+    pub fn total_operations(&self, words: usize) -> usize {
+        self.operations_per_word() * words
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +191,8 @@ mod tests {
         let test = march_c_minus();
         let lowered = LoweredTest::new(&test, 1).unwrap();
         assert_eq!(lowered.elements().len(), test.element_count());
+        assert_eq!(lowered.operations_per_word(), test.operations_per_word());
+        assert_eq!(lowered.total_operations(16), test.total_operations(16));
         for (lowered_el, el) in lowered.elements().iter().zip(test.elements()) {
             assert_eq!(lowered_el.order, el.order);
             assert_eq!(lowered_el.ops.len(), el.ops.len());

@@ -11,13 +11,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use twm_bist::flow::run_transparent_session;
 use twm_bist::Misr;
 use twm_march::MarchTest;
-use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
+use twm_mem::{Fault, MemoryConfig};
 
-use crate::evaluator::{ContentPolicy, EvaluationOptions};
-use crate::CoverageError;
+use crate::evaluator::EvaluationOptions;
+use crate::{CoverageEngine, CoverageError, Strategy};
 
 /// Result of comparing exact-compare detection with signature detection over
 /// a fault universe.
@@ -48,9 +47,13 @@ impl AliasingReport {
 
 /// Evaluates signature aliasing of a transparent test over a fault list.
 ///
-/// For every fault, a fresh memory is initialised according to `options`,
+/// For every fault, an arena memory is initialised according to `options`,
 /// the fault is injected, and the full two-phase session (prediction test,
 /// transparent test, MISR comparison) is run with a copy of `misr`.
+///
+/// Convenience wrapper over [`CoverageEngine::aliasing`]: a throwaway
+/// engine is built per call, so repeated scans should construct the engine
+/// once and call its verb directly.
 ///
 /// # Errors
 ///
@@ -64,35 +67,19 @@ pub fn aliasing_report(
     misr: &Misr,
     options: EvaluationOptions,
 ) -> Result<AliasingReport, CoverageError> {
-    if faults.is_empty() {
-        return Err(CoverageError::EmptyUniverse);
-    }
-    let mut report = AliasingReport::default();
-    for &fault in faults {
-        let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault]))?;
-        if let ContentPolicy::Random { seed } = options.content {
-            memory.fill_random(seed);
-        }
-        let outcome =
-            run_transparent_session(transparent_test, prediction_test, &mut memory, misr.clone())?;
-        report.total += 1;
-        if outcome.fault_detected_exact() {
-            report.detected_exact += 1;
-        }
-        if outcome.fault_detected() {
-            report.detected_signature += 1;
-        }
-        if outcome.aliased() {
-            report.aliased.push(fault);
-        }
-    }
-    Ok(report)
+    CoverageEngine::builder(config)
+        .test(transparent_test)
+        .options(options)
+        .strategy(Strategy::Serial)
+        .build()?
+        .aliasing(prediction_test, misr, faults)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::universe::UniverseBuilder;
+    use crate::ContentPolicy;
     use twm_core::TwmTransformer;
     use twm_march::algorithms::march_c_minus;
 

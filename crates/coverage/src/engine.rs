@@ -1,0 +1,775 @@
+//! The reusable, streaming fault-coverage engine.
+//!
+//! [`CoverageEngine`] is the single evaluation surface of this crate: built
+//! once per `(memory shape, march test)` pair, it owns everything that can
+//! be amortised across fault-injection runs —
+//!
+//! * the [pre-lowered](twm_bist::LoweredTest) operation stream of the test,
+//! * the pre-generated pseudo-random initial contents,
+//! * and a pool of reusable [`FaultyMemory`] arenas, re-armed per fault via
+//!   [`FaultyMemory::reset_with_fault`] so repeated evaluations allocate no
+//!   per-fault memories.
+//!
+//! The engine exposes three verbs:
+//!
+//! * [`CoverageEngine::report`] — evaluate a fault universe into a
+//!   [`CoverageReport`], bit-identical to the historical
+//!   `evaluate_parallel` / `evaluate_serial` output for any thread count;
+//! * [`CoverageEngine::verdicts`] — a streaming iterator of per-fault
+//!   [`FaultVerdict`]s with bounded memory, for universes that do not fit
+//!   in memory (the universe is consumed lazily, a bounded window at a
+//!   time, and verdicts are yielded in universe order);
+//! * [`CoverageEngine::compare`] — fault-by-fault comparison against a
+//!   second engine, producing an [`EquivalenceReport`] (the paper's
+//!   Section 5 theorem check).
+//!
+//! Signature-aliasing analysis ([`CoverageEngine::aliasing`]) and the
+//! Figure 1 state-traversal analyses ([`CoverageEngine::cell_pair_states`],
+//! [`CoverageEngine::intra_word_pair_states`]) are routed through the same
+//! engine, so every experiment in the workspace shares one amortised setup.
+//!
+//! # Example
+//!
+//! ```
+//! use twm_coverage::{ContentPolicy, CoverageEngine, Strategy, UniverseBuilder};
+//! use twm_march::algorithms::march_c_minus;
+//! use twm_mem::MemoryConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(16, 1)?;
+//! let engine = CoverageEngine::builder(config)
+//!     .test(&march_c_minus())
+//!     .content(ContentPolicy::Random { seed: 7 })
+//!     .strategy(Strategy::Parallel { threads: 2 })
+//!     .build()?;
+//! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
+//! let report = engine.report(&faults)?;
+//! assert_eq!(report.total_coverage(), 1.0);
+//! // The same engine instance evaluates any number of universes.
+//! let more = UniverseBuilder::new(config).coupling_inversion().build();
+//! assert_eq!(engine.report(&more)?.total_coverage(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::borrow::Borrow;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use twm_bist::flow::run_transparent_session;
+use twm_bist::{detect_lowered_at, execute_lowered, ExecutionOptions, LoweredTest, Misr};
+use twm_march::MarchTest;
+use twm_mem::{BitStorage, Fault, FaultSet, FaultyMemory, MemoryConfig, Word};
+
+use crate::equivalence::Disagreement;
+use crate::states::{
+    analyze_cell_pair, analyze_intra_word_pair, IntraWordPairCoverage, PairStateCoverage,
+};
+use crate::{
+    AliasingReport, ContentPolicy, CoverageError, CoverageReport, EquivalenceReport,
+    EvaluationOptions,
+};
+
+/// How the engine schedules fault-injection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Evaluate on the calling thread only — the bit-exact reference path.
+    Serial,
+    /// Fan out across worker threads, probing
+    /// `std::thread::available_parallelism` for the count. The
+    /// `TWM_COVERAGE_THREADS` environment variable remains supported as a
+    /// documented deployment fallback and overrides the probe when set to a
+    /// positive integer; an explicit [`Strategy::Parallel`] beats both.
+    ///
+    /// Without the `parallel` crate feature this resolves to one worker
+    /// (serial execution) at build time.
+    #[default]
+    Auto,
+    /// Fan out across exactly `threads` worker threads.
+    ///
+    /// `threads == 0` is rejected by [`CoverageEngineBuilder::build`] with
+    /// [`CoverageError::ZeroThreads`] — there is no silent clamp. Without
+    /// the `parallel` crate feature the engine executes serially regardless
+    /// (the feature is a compile-time capability, not a runtime setting).
+    Parallel {
+        /// Number of worker threads; must be non-zero.
+        threads: usize,
+    },
+}
+
+/// The verdict of one fault-injection run: was the fault detected?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultVerdict {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Whether the test detected it (under every tried initial content).
+    pub detected: bool,
+}
+
+/// Builder for [`CoverageEngine`] — see [`CoverageEngine::builder`].
+#[derive(Debug, Clone)]
+pub struct CoverageEngineBuilder {
+    config: MemoryConfig,
+    test: Option<MarchTest>,
+    options: EvaluationOptions,
+    strategy: Strategy,
+    reuse_memory: bool,
+}
+
+impl CoverageEngineBuilder {
+    /// The march test to evaluate. Required; the test is lowered for the
+    /// memory width once, at [`CoverageEngineBuilder::build`] time.
+    #[must_use]
+    pub fn test(mut self, test: &MarchTest) -> Self {
+        self.test = Some(test.clone());
+        self
+    }
+
+    /// Initial-content policy for every fault-injection run (default:
+    /// deterministic pseudo-random, see [`EvaluationOptions::default`]).
+    #[must_use]
+    pub fn content(mut self, content: ContentPolicy) -> Self {
+        self.options.content = content;
+        self
+    }
+
+    /// Number of different initial contents to try per fault (a fault
+    /// counts as detected only if it is detected for **every** content).
+    /// Only meaningful for [`ContentPolicy::Random`].
+    #[must_use]
+    pub fn contents_per_fault(mut self, contents_per_fault: usize) -> Self {
+        self.options.contents_per_fault = contents_per_fault;
+        self
+    }
+
+    /// Sets both content options at once from an [`EvaluationOptions`].
+    #[must_use]
+    pub fn options(mut self, options: EvaluationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Execution strategy (default: [`Strategy::Auto`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Whether workers re-arm pooled [`FaultyMemory`] arenas instead of
+    /// building a fresh memory per fault (default: `true`).
+    ///
+    /// Disabling this restores the **complete** historical (pre-engine)
+    /// evaluation path, not just the allocation behaviour: a fresh memory
+    /// per fault, word-by-word content restore, and a full-address sweep
+    /// per run (the arena path sweeps only the fault's footprint words via
+    /// [`twm_bist::detect_lowered_at`], which is the dominant saving on
+    /// large memories). It exists as the A/B baseline for the
+    /// `engine_reuse` benchmark and produces bit-identical reports either
+    /// way (property-tested).
+    #[must_use]
+    pub fn memory_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_memory = reuse;
+        self
+    }
+
+    /// Finalises the engine: lowers the test, pre-generates the initial
+    /// contents and resolves the worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::MissingTest`] if no test was supplied.
+    /// * [`CoverageError::ZeroThreads`] for
+    ///   [`Strategy::Parallel`]` { threads: 0 }`.
+    /// * [`CoverageError::Bist`] if the test cannot be lowered for the
+    ///   memory width (for example a background index out of range).
+    pub fn build(self) -> Result<CoverageEngine, CoverageError> {
+        let test = self.test.ok_or(CoverageError::MissingTest)?;
+        let threads = resolve_threads(self.strategy)?;
+        let lowered =
+            LoweredTest::new(&test, self.config.width()).map_err(twm_bist::BistError::from)?;
+        let (content_words, content_images) =
+            prepared_contents(self.config, self.options, self.reuse_memory);
+        Ok(CoverageEngine {
+            config: self.config,
+            test,
+            lowered,
+            options: self.options,
+            content_words,
+            content_images,
+            threads,
+            reuse_memory: self.reuse_memory,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// Resolves a [`Strategy`] to a concrete worker count (1 = serial).
+fn resolve_threads(strategy: Strategy) -> Result<usize, CoverageError> {
+    match strategy {
+        Strategy::Serial => Ok(1),
+        Strategy::Parallel { threads: 0 } => Err(CoverageError::ZeroThreads),
+        #[cfg(feature = "parallel")]
+        Strategy::Parallel { threads } => Ok(threads),
+        #[cfg(feature = "parallel")]
+        Strategy::Auto => Ok(std::env::var("TWM_COVERAGE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })),
+        #[cfg(not(feature = "parallel"))]
+        Strategy::Parallel { .. } | Strategy::Auto => Ok(1),
+    }
+}
+
+/// The initial contents every fault-injection run starts from: one content
+/// per round for the random policy, or none for the all-zero policy (a
+/// reset memory is already zeroed). A content is kept in the form its
+/// engine mode restores from — raw [`BitStorage`] images for the arena
+/// path (O(blocks) copies via [`FaultyMemory::load_image`]) or word
+/// vectors for the historical fresh-per-fault path (word-by-word
+/// [`FaultyMemory::load`]); the unused form is never materialised.
+///
+/// Generated through [`FaultyMemory::fill_random`] itself so shared
+/// contents can never drift from what a per-fault fill would produce.
+pub(crate) fn prepared_contents(
+    config: MemoryConfig,
+    options: EvaluationOptions,
+    as_images: bool,
+) -> (Vec<Vec<Word>>, Vec<BitStorage>) {
+    let mut words = Vec::new();
+    let mut images = Vec::new();
+    if let ContentPolicy::Random { seed } = options.content {
+        let mut scratch = FaultyMemory::fault_free(config);
+        for round in 0..options.contents_per_fault.max(1) {
+            scratch.fill_random(seed.wrapping_add(round as u64));
+            if as_images {
+                images.push(scratch.snapshot());
+            } else {
+                words.push(scratch.content());
+            }
+        }
+    }
+    (words, images)
+}
+
+/// Number of faults pulled from the universe per worker thread per
+/// streaming window: large enough to amortise fan-out, small enough that
+/// [`CoverageEngine::verdicts`] stays bounded-memory.
+const STREAM_CHUNK: usize = 32;
+
+/// A reusable fault-coverage evaluation engine for one
+/// `(memory shape, march test)` pair.
+///
+/// See the [module docs](self) for the design and an example. The engine is
+/// `Sync`: one instance may serve concurrent evaluations, sharing its arena
+/// pool.
+#[derive(Debug)]
+pub struct CoverageEngine {
+    config: MemoryConfig,
+    test: MarchTest,
+    lowered: LoweredTest,
+    options: EvaluationOptions,
+    /// Initial contents as word vectors — populated only in the historical
+    /// fresh-per-fault mode, which restores word by word.
+    content_words: Vec<Vec<Word>>,
+    /// Initial contents as raw storage images — populated in arena mode,
+    /// restored with block copies.
+    content_images: Vec<BitStorage>,
+    threads: usize,
+    reuse_memory: bool,
+    /// Checked-in arena memories, re-armed per fault by workers. Bounded by
+    /// the maximum number of concurrent checkouts (≤ worker threads).
+    pool: Mutex<Vec<FaultyMemory>>,
+}
+
+impl CoverageEngine {
+    /// Starts a builder for the given memory shape.
+    #[must_use]
+    pub fn builder(config: MemoryConfig) -> CoverageEngineBuilder {
+        CoverageEngineBuilder {
+            config,
+            test: None,
+            options: EvaluationOptions::default(),
+            strategy: Strategy::default(),
+            reuse_memory: true,
+        }
+    }
+
+    /// The memory shape the engine evaluates against.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// The march test under evaluation.
+    #[must_use]
+    pub fn test(&self) -> &MarchTest {
+        &self.test
+    }
+
+    /// The pre-lowered operation stream shared by every run.
+    #[must_use]
+    pub fn lowered(&self) -> &LoweredTest {
+        &self.lowered
+    }
+
+    /// The content options every run uses.
+    #[must_use]
+    pub fn options(&self) -> EvaluationOptions {
+        self.options
+    }
+
+    /// The resolved worker-thread count (1 = serial).
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates the fault coverage of the engine's test over a universe.
+    ///
+    /// The produced report is **bit-identical** to the single-threaded
+    /// reference for any worker-thread count — verdicts are merged back in
+    /// universe order (property-tested in `tests/engine_streaming.rs`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::EmptyUniverse`] if `universe` is empty.
+    /// * [`CoverageError::Mem`] if a fault does not fit the memory shape
+    ///   (the error of the earliest offending fault in universe order).
+    /// * [`CoverageError::Bist`] if the test cannot be executed on the
+    ///   memory.
+    pub fn report(&self, universe: &[Fault]) -> Result<CoverageReport, CoverageError> {
+        if universe.is_empty() {
+            return Err(CoverageError::EmptyUniverse);
+        }
+        let mut report = CoverageReport::new(self.test.name());
+        for verdict in self.verdicts(universe) {
+            let verdict = verdict?;
+            report.record(verdict.fault, verdict.detected);
+        }
+        Ok(report)
+    }
+
+    /// Streams per-fault verdicts over a universe without materialising a
+    /// report — the bounded-memory path for universes that do not fit in
+    /// memory.
+    ///
+    /// The universe may be any iterator of faults (owned or borrowed); it
+    /// is consumed lazily, one bounded window at a time (serial strategy:
+    /// one fault at a time; parallel: `threads ×` [a small constant] faults
+    /// per window), and verdicts are yielded **in universe order**. An
+    /// empty universe yields an empty stream — only [`CoverageEngine::report`]
+    /// treats emptiness as an error.
+    ///
+    /// Each item is a `Result`: a fault that cannot be injected or executed
+    /// yields an `Err` at its position in the stream, and the stream ends
+    /// after the first error.
+    pub fn verdicts<I>(&self, universe: I) -> Verdicts<'_, I::IntoIter>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<Fault>,
+    {
+        Verdicts {
+            engine: self,
+            universe: universe.into_iter(),
+            buffer: VecDeque::new(),
+            arena: None,
+            poisoned: false,
+        }
+    }
+
+    /// Compares the engine's test against a second engine fault by fault
+    /// over the same universe — the coverage-equivalence experiment of the
+    /// paper's Section 5.
+    ///
+    /// Each engine evaluates under its own content policy; the theorem is
+    /// stated for a transparent test under arbitrary content
+    /// ([`ContentPolicy::Random`]) against a non-transparent test that
+    /// initialises the memory itself ([`ContentPolicy::Zeros`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::ConfigMismatch`] if the engines evaluate against
+    ///   different memory shapes.
+    /// * [`CoverageError::EmptyUniverse`] for an empty universe, and the
+    ///   per-fault errors of [`CoverageEngine::report`] otherwise.
+    pub fn compare(
+        &self,
+        second: &CoverageEngine,
+        universe: &[Fault],
+    ) -> Result<EquivalenceReport, CoverageError> {
+        if self.config != second.config {
+            return Err(CoverageError::ConfigMismatch);
+        }
+        if universe.is_empty() {
+            return Err(CoverageError::EmptyUniverse);
+        }
+        let mut first_report = CoverageReport::new(self.test.name());
+        let mut second_report = CoverageReport::new(second.test.name());
+        let mut disagreements = Vec::new();
+        for (by_first, by_second) in self.verdicts(universe).zip(second.verdicts(universe)) {
+            let by_first = by_first?;
+            let by_second = by_second?;
+            first_report.record(by_first.fault, by_first.detected);
+            second_report.record(by_second.fault, by_second.detected);
+            if by_first.detected != by_second.detected {
+                disagreements.push(Disagreement {
+                    fault: by_first.fault,
+                    detected_by_first: by_first.detected,
+                    detected_by_second: by_second.detected,
+                });
+            }
+        }
+        Ok(EquivalenceReport {
+            first: first_report,
+            second: second_report,
+            disagreements,
+        })
+    }
+
+    /// Evaluates MISR-signature aliasing of the engine's (transparent) test
+    /// over a universe: every fault is run through the full two-phase
+    /// session (prediction test, transparent test, MISR comparison) with a
+    /// copy of `misr`, on an arena memory initialised under the engine's
+    /// content policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::EmptyUniverse`] for an empty universe and
+    /// the underlying memory/BIST errors otherwise.
+    pub fn aliasing(
+        &self,
+        prediction_test: &MarchTest,
+        misr: &Misr,
+        universe: &[Fault],
+    ) -> Result<AliasingReport, CoverageError> {
+        if universe.is_empty() {
+            return Err(CoverageError::EmptyUniverse);
+        }
+        let mut report = AliasingReport::default();
+        let mut arena = self.checkout();
+        let result = (|| {
+            for &fault in universe {
+                let memory = self.arm(&mut arena, fault)?;
+                if let Some(image) = self.content_images.first() {
+                    memory.load_image(image)?;
+                } else if let Some(words) = self.content_words.first() {
+                    memory.load(words)?;
+                }
+                let outcome =
+                    run_transparent_session(&self.test, prediction_test, memory, misr.clone())?;
+                report.total += 1;
+                if outcome.fault_detected_exact() {
+                    report.detected_exact += 1;
+                }
+                if outcome.fault_detected() {
+                    report.detected_signature += 1;
+                }
+                if outcome.aliased() {
+                    report.aliased.push(fault);
+                }
+                if !self.reuse_memory {
+                    arena = None;
+                }
+            }
+            Ok(report)
+        })();
+        self.checkin(arena);
+        result
+    }
+
+    /// The Figure 1(a) state-traversal analysis for a pair of cells of the
+    /// engine's memory, run over the engine's (bit-oriented) test.
+    ///
+    /// # Errors
+    ///
+    /// See [`analyze_cell_pair`]; the engine supplies its own test and cell
+    /// count.
+    pub fn cell_pair_states(
+        &self,
+        lower: usize,
+        higher: usize,
+    ) -> Result<PairStateCoverage, CoverageError> {
+        analyze_cell_pair(&self.test, lower, higher, self.config.cells())
+    }
+
+    /// The Figure 1(b) intra-word pair analysis for two bits of a word,
+    /// starting from `initial` content, run over the engine's word-oriented
+    /// test.
+    ///
+    /// # Errors
+    ///
+    /// See [`analyze_intra_word_pair`].
+    pub fn intra_word_pair_states(
+        &self,
+        bit_a: usize,
+        bit_b: usize,
+        initial: Word,
+    ) -> Result<IntraWordPairCoverage, CoverageError> {
+        analyze_intra_word_pair(&self.test, bit_a, bit_b, initial)
+    }
+
+    /// Checks an arena memory out of the pool (or decides to run in the
+    /// historical fresh-per-fault mode when reuse is disabled).
+    fn checkout(&self) -> Option<FaultyMemory> {
+        if !self.reuse_memory {
+            return None;
+        }
+        Some(
+            self.pool
+                .lock()
+                .expect("arena pool lock poisoned")
+                .pop()
+                .unwrap_or_else(|| FaultyMemory::fault_free(self.config)),
+        )
+    }
+
+    /// Returns an arena memory to the pool.
+    fn checkin(&self, arena: Option<FaultyMemory>) {
+        if let Some(memory) = arena {
+            self.pool
+                .lock()
+                .expect("arena pool lock poisoned")
+                .push(memory);
+        }
+    }
+
+    /// Produces a memory carrying exactly `fault` on zeroed content: the
+    /// arena is re-armed in place, or a fresh memory is built when reuse is
+    /// disabled. Either way the result is indistinguishable from
+    /// [`FaultyMemory::with_faults`] over the same fault.
+    fn arm<'a>(
+        &self,
+        arena: &'a mut Option<FaultyMemory>,
+        fault: Fault,
+    ) -> Result<&'a mut FaultyMemory, CoverageError> {
+        match arena {
+            Some(memory) => {
+                memory.reset_with_fault(fault)?;
+                Ok(memory)
+            }
+            None => {
+                *arena = Some(FaultyMemory::with_faults(
+                    self.config,
+                    FaultSet::from_faults([fault]),
+                )?);
+                Ok(arena.as_mut().expect("just inserted"))
+            }
+        }
+    }
+
+    /// Whether one fault is detected (under every tried initial content),
+    /// using the engine's lowered test, shared contents and the given arena
+    /// slot.
+    fn fault_detected(
+        &self,
+        arena: &mut Option<FaultyMemory>,
+        fault: Fault,
+    ) -> Result<bool, CoverageError> {
+        match arena {
+            Some(memory) => self.detected_arena(memory, fault),
+            None => self.detected_fresh(fault),
+        }
+    }
+
+    /// Arena-mode detection: the pooled memory is re-armed per fault, the
+    /// shared content restored with a block copy, and only the fault's
+    /// footprint words are swept ([`twm_bist::detect_lowered_at`] — a word
+    /// no fault touches can neither misread nor disturb anything, so the
+    /// verdict equals a full sweep's at a fraction of the cost).
+    fn detected_arena(
+        &self,
+        memory: &mut FaultyMemory,
+        fault: Fault,
+    ) -> Result<bool, CoverageError> {
+        // The footprint is at most two words: the victim's and, for
+        // coupling faults, the aggressor's — sorted, deduplicated, and
+        // built without per-fault allocation.
+        let victim = fault.victim().word;
+        let mut footprint = [victim; 2];
+        let words = match fault.aggressor() {
+            Some(aggressor) if aggressor.word != victim => {
+                footprint = [victim.min(aggressor.word), victim.max(aggressor.word)];
+                2
+            }
+            _ => 1,
+        };
+        let footprint = &footprint[..words];
+
+        if self.content_images.is_empty() {
+            memory.reset_with_fault(fault)?;
+            return Ok(detect_lowered_at(&self.lowered, memory, footprint)?);
+        }
+        for image in &self.content_images {
+            memory.reset_with_fault(fault)?;
+            memory.load_image(image)?;
+            if !detect_lowered_at(&self.lowered, memory, footprint)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The historical fresh-per-fault detection path: a new memory is built
+    /// per run, the content rebuilt word by word, and the full address
+    /// space swept. Kept behind [`CoverageEngineBuilder::memory_reuse`]
+    /// `(false)` as the A/B baseline; bit-identical verdicts to
+    /// [`CoverageEngine::report`]'s arena path are property-tested.
+    fn detected_fresh(&self, fault: Fault) -> Result<bool, CoverageError> {
+        let exec = ExecutionOptions {
+            record_reads: false,
+            stop_at_first_mismatch: true,
+        };
+        if self.content_words.is_empty() {
+            let mut memory =
+                FaultyMemory::with_faults(self.config, FaultSet::from_faults([fault]))?;
+            let result = execute_lowered(&self.lowered, &mut memory, exec)?;
+            return Ok(result.detected());
+        }
+        for words in &self.content_words {
+            let mut memory =
+                FaultyMemory::with_faults(self.config, FaultSet::from_faults([fault]))?;
+            memory.load(words)?;
+            let result = execute_lowered(&self.lowered, &mut memory, exec)?;
+            if !result.detected() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Evaluates one bounded window of faults, fanning across the worker
+    /// threads when the engine is parallel. Verdicts come back in window
+    /// order.
+    fn evaluate_window(&self, window: &[Fault]) -> Vec<Result<bool, CoverageError>> {
+        let threads = self.threads.min(window.len()).max(1);
+        if threads <= 1 {
+            let mut arena = self.checkout();
+            let results = window
+                .iter()
+                .map(|&fault| self.fault_detected(&mut arena, fault))
+                .collect();
+            self.checkin(arena);
+            return results;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let chunk_size = window.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = window
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut arena = self.checkout();
+                            let results: Vec<_> = chunk
+                                .iter()
+                                .map(|&fault| self.fault_detected(&mut arena, fault))
+                                .collect();
+                            self.checkin(arena);
+                            results
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("coverage worker panicked"))
+                    .collect()
+            })
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            unreachable!("threads resolve to 1 without the parallel feature")
+        }
+    }
+}
+
+/// Streaming per-fault verdict iterator — see [`CoverageEngine::verdicts`].
+///
+/// Holds at most one bounded window of pending verdicts; dropping the
+/// iterator mid-stream returns its arena memory to the engine's pool.
+#[derive(Debug)]
+pub struct Verdicts<'e, I> {
+    engine: &'e CoverageEngine,
+    universe: I,
+    buffer: VecDeque<Result<FaultVerdict, CoverageError>>,
+    /// Arena held across `next()` calls on the serial path, so one-at-a-time
+    /// streaming still reuses a single memory.
+    arena: Option<FaultyMemory>,
+    /// Set after yielding an error; the stream is over.
+    poisoned: bool,
+}
+
+impl<I> Verdicts<'_, I>
+where
+    I: Iterator,
+    I::Item: Borrow<Fault>,
+{
+    /// Pulls and evaluates the next window of faults from the universe.
+    fn refill(&mut self) {
+        if self.engine.threads <= 1 {
+            // Serial: stream strictly one fault at a time with a held arena.
+            if let Some(fault) = self.universe.next() {
+                let fault = *fault.borrow();
+                if self.arena.is_none() {
+                    self.arena = self.engine.checkout();
+                }
+                let verdict = self
+                    .engine
+                    .fault_detected(&mut self.arena, fault)
+                    .map(|detected| FaultVerdict { fault, detected });
+                self.buffer.push_back(verdict);
+            }
+            return;
+        }
+        let window: Vec<Fault> = self
+            .universe
+            .by_ref()
+            .take(self.engine.threads * STREAM_CHUNK)
+            .map(|fault| *fault.borrow())
+            .collect();
+        if window.is_empty() {
+            return;
+        }
+        let results = self.engine.evaluate_window(&window);
+        self.buffer.extend(
+            window
+                .iter()
+                .zip(results)
+                .map(|(&fault, result)| result.map(|detected| FaultVerdict { fault, detected })),
+        );
+    }
+}
+
+impl<I> Iterator for Verdicts<'_, I>
+where
+    I: Iterator,
+    I::Item: Borrow<Fault>,
+{
+    type Item = Result<FaultVerdict, CoverageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned {
+            return None;
+        }
+        if self.buffer.is_empty() {
+            self.refill();
+        }
+        let item = self.buffer.pop_front();
+        if matches!(item, Some(Err(_))) {
+            self.poisoned = true;
+            self.buffer.clear();
+        }
+        item
+    }
+}
+
+impl<I> Drop for Verdicts<'_, I> {
+    fn drop(&mut self) {
+        self.engine.checkin(self.arena.take());
+    }
+}

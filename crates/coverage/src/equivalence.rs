@@ -23,12 +23,11 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use twm_bist::LoweredTest;
 use twm_march::MarchTest;
 use twm_mem::{Fault, FaultClass, MemoryConfig};
 
-use crate::evaluator::{fault_detected_prepared, prepared_contents, EvaluationOptions};
-use crate::{CoverageError, CoverageReport};
+use crate::evaluator::EvaluationOptions;
+use crate::{CoverageEngine, CoverageError, CoverageReport, Strategy};
 
 /// Per-fault disagreement between two tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -120,36 +119,22 @@ pub fn coverage_equivalence(
     if faults.is_empty() {
         return Err(CoverageError::EmptyUniverse);
     }
-    // Amortise the per-run setup exactly like the evaluator: both tests are
-    // lowered once and the initial contents generated once, shared across
-    // every fault-injection run.
-    let first_lowered =
-        LoweredTest::new(first, config.width()).map_err(twm_bist::BistError::from)?;
-    let second_lowered =
-        LoweredTest::new(second, config.width()).map_err(twm_bist::BistError::from)?;
-    let first_contents = prepared_contents(config, first_options);
-    let second_contents = prepared_contents(config, second_options);
-    let mut first_report = CoverageReport::new(first.name());
-    let mut second_report = CoverageReport::new(second.name());
-    let mut disagreements = Vec::new();
-    for &fault in faults {
-        let by_first = fault_detected_prepared(&first_lowered, fault, config, &first_contents)?;
-        let by_second = fault_detected_prepared(&second_lowered, fault, config, &second_contents)?;
-        first_report.record(fault, by_first);
-        second_report.record(fault, by_second);
-        if by_first != by_second {
-            disagreements.push(Disagreement {
-                fault,
-                detected_by_first: by_first,
-                detected_by_second: by_second,
-            });
-        }
-    }
-    Ok(EquivalenceReport {
-        first: first_report,
-        second: second_report,
-        disagreements,
-    })
+    // One engine per test amortises the per-run setup: each test is lowered
+    // once and its initial contents generated once, shared across every
+    // fault-injection run. The serial strategy keeps this convenience
+    // wrapper deterministic and dependency-light; build the engines with an
+    // explicit parallel strategy to fan the comparison out.
+    let first_engine = CoverageEngine::builder(config)
+        .test(first)
+        .options(first_options)
+        .strategy(Strategy::Serial)
+        .build()?;
+    let second_engine = CoverageEngine::builder(config)
+        .test(second)
+        .options(second_options)
+        .strategy(Strategy::Serial)
+        .build()?;
+    first_engine.compare(&second_engine, faults)
 }
 
 #[cfg(test)]

@@ -19,6 +19,13 @@ pub enum CoverageError {
         /// Description of the problem.
         detail: String,
     },
+    /// A [`crate::CoverageEngine`] builder was finalised without a test.
+    MissingTest,
+    /// An explicit worker-thread count of zero was requested
+    /// ([`crate::Strategy::Parallel`] with `threads == 0`).
+    ZeroThreads,
+    /// Two engines over different memory shapes were asked to compare.
+    ConfigMismatch,
 }
 
 impl fmt::Display for CoverageError {
@@ -29,6 +36,15 @@ impl fmt::Display for CoverageError {
             CoverageError::Mem(err) => write!(f, "memory error: {err}"),
             CoverageError::UnsupportedTest { detail } => {
                 write!(f, "unsupported test for this analysis: {detail}")
+            }
+            CoverageError::MissingTest => {
+                write!(f, "coverage engine built without a march test")
+            }
+            CoverageError::ZeroThreads => {
+                write!(f, "explicit worker-thread count must be non-zero")
+            }
+            CoverageError::ConfigMismatch => {
+                write!(f, "engines evaluate against different memory shapes")
             }
         }
     }

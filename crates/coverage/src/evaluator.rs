@@ -1,31 +1,32 @@
 //! Fault-coverage evaluation by fault injection and test execution.
 //!
-//! Each fault is injected into a fresh memory with deterministic
-//! pseudo-random content (transparent tests must work for *any* initial
-//! content, so the content is part of the experiment), the march test is
-//! executed, and the exact-compare oracle decides whether the fault was
-//! detected. Per-class results are aggregated into a
-//! [`crate::CoverageReport`].
+//! Each fault is injected into a memory with deterministic pseudo-random
+//! content (transparent tests must work for *any* initial content, so the
+//! content is part of the experiment), the march test is executed, and the
+//! exact-compare oracle decides whether the fault was detected. Per-class
+//! results are aggregated into a [`crate::CoverageReport`].
 //!
-//! ## Execution strategy
+//! ## This module is the compatibility layer
 //!
-//! Every fault-injection run is independent, so the evaluator amortises the
-//! per-run setup once per evaluation — the march test is
-//! [pre-lowered](twm_bist::LoweredTest) for the memory width and the
-//! pseudo-random initial contents are generated once and shared — and then
-//! fans the fault universe across worker threads ([`evaluate_parallel`],
-//! enabled by the default `parallel` feature). Faults are partitioned into
-//! contiguous chunks and results merged back in universe order, so the
-//! produced [`crate::CoverageReport`] is **bit-identical** to the serial
-//! path ([`evaluate_serial`]) regardless of thread count. The worker count
-//! follows `std::thread::available_parallelism`, overridable with the
-//! `TWM_COVERAGE_THREADS` environment variable.
+//! Evaluation lives in [`crate::CoverageEngine`] (see [`crate::engine`]):
+//! built once per `(memory shape, march test)`, the engine owns the
+//! pre-lowered operation stream, the pre-generated initial contents and a
+//! pool of reusable memory arenas, and exposes
+//! [`report`](crate::CoverageEngine::report) /
+//! [`verdicts`](crate::CoverageEngine::verdicts) /
+//! [`compare`](crate::CoverageEngine::compare). The free functions here are
+//! thin deprecated wrappers kept for source compatibility; each one builds
+//! a throwaway engine, so hot paths should construct the engine directly
+//! and reuse it.
+//!
+//! This module still defines the option types the engine consumes:
+//! [`ContentPolicy`] and [`EvaluationOptions`].
 
-use twm_bist::{execute_lowered, execute_with, ExecutionOptions, LoweredTest};
+use twm_bist::{execute_with, ExecutionOptions};
 use twm_march::MarchTest;
-use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig, Word};
+use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
 
-use crate::{CoverageError, CoverageReport};
+use crate::{CoverageEngine, CoverageError, CoverageReport, Strategy};
 
 /// How the memory is initialised before each fault-injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,18 +64,41 @@ impl Default for EvaluationOptions {
     }
 }
 
+/// Builds a throwaway engine and evaluates one universe with it —
+/// the shared body of the deprecated wrappers.
+fn evaluate_once(
+    test: &MarchTest,
+    faults: &[Fault],
+    config: MemoryConfig,
+    options: EvaluationOptions,
+    strategy: Strategy,
+) -> Result<CoverageReport, CoverageError> {
+    // The historical functions checked for an empty universe before
+    // lowering the test; preserve that error precedence.
+    if faults.is_empty() {
+        return Err(CoverageError::EmptyUniverse);
+    }
+    CoverageEngine::builder(config)
+        .test(test)
+        .options(options)
+        .strategy(strategy)
+        .build()?
+        .report(faults)
+}
+
 /// Evaluates the fault coverage of a march test with default options.
 ///
 /// # Errors
 ///
-/// See [`evaluate_with`].
+/// See [`CoverageEngine::report`].
+#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
 pub fn evaluate(
     test: &MarchTest,
     faults: &[Fault],
     config: MemoryConfig,
     content_seed: u64,
 ) -> Result<CoverageReport, CoverageError> {
-    evaluate_with(
+    evaluate_once(
         test,
         faults,
         config,
@@ -82,161 +106,74 @@ pub fn evaluate(
             content: ContentPolicy::Random { seed: content_seed },
             ..EvaluationOptions::default()
         },
+        Strategy::Auto,
     )
 }
 
 /// Evaluates the fault coverage of a march test over an explicit fault list.
 ///
-/// Routes to [`evaluate_parallel`] when the `parallel` feature is enabled
-/// (the default) and to [`evaluate_serial`] otherwise; both produce
+/// Routes to the parallel engine when the `parallel` feature is enabled
+/// (the default) and to the serial engine otherwise; both produce
 /// bit-identical reports.
 ///
 /// # Errors
 ///
-/// * [`CoverageError::EmptyUniverse`] if `faults` is empty.
-/// * [`CoverageError::Mem`] if a fault does not fit the memory shape.
-/// * [`CoverageError::Bist`] if the test cannot be executed on the memory
-///   (for example a background index out of range for the word width).
+/// See [`CoverageEngine::report`].
+#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
 pub fn evaluate_with(
     test: &MarchTest,
     faults: &[Fault],
     config: MemoryConfig,
     options: EvaluationOptions,
 ) -> Result<CoverageReport, CoverageError> {
-    #[cfg(feature = "parallel")]
-    {
-        evaluate_parallel(test, faults, config, options)
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        evaluate_serial(test, faults, config, options)
-    }
-}
-
-/// The initial contents every fault-injection run starts from: one content
-/// per round for the random policy, or none for the all-zero policy (a
-/// freshly built memory is already zeroed).
-///
-/// Generated through [`FaultyMemory::fill_random`] itself so shared
-/// contents can never drift from what a per-fault fill would produce.
-pub(crate) fn prepared_contents(
-    config: MemoryConfig,
-    options: EvaluationOptions,
-) -> Vec<Vec<Word>> {
-    match options.content {
-        ContentPolicy::Zeros => Vec::new(),
-        ContentPolicy::Random { seed } => {
-            let mut scratch = FaultyMemory::fault_free(config);
-            (0..options.contents_per_fault.max(1))
-                .map(|round| {
-                    scratch.fill_random(seed.wrapping_add(round as u64));
-                    scratch.content()
-                })
-                .collect()
-        }
-    }
-}
-
-/// Whether a single fault is detected, using a pre-lowered test and shared
-/// pre-generated initial contents.
-pub(crate) fn fault_detected_prepared(
-    test: &LoweredTest,
-    fault: Fault,
-    config: MemoryConfig,
-    contents: &[Vec<Word>],
-) -> Result<bool, CoverageError> {
-    let options = ExecutionOptions {
-        record_reads: false,
-        stop_at_first_mismatch: true,
-    };
-    if contents.is_empty() {
-        let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault]))?;
-        let result = execute_lowered(test, &mut memory, options)?;
-        return Ok(result.detected());
-    }
-    for content in contents {
-        let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault]))?;
-        memory.load(content)?;
-        let result = execute_lowered(test, &mut memory, options)?;
-        if !result.detected() {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+    evaluate_once(test, faults, config, options, Strategy::Auto)
 }
 
 /// Evaluates the fault coverage on the calling thread only.
 ///
-/// This is the reference implementation [`evaluate_parallel`] must agree
-/// with bit for bit; it still benefits from the pre-lowered test and the
-/// shared initial contents.
-///
 /// # Errors
 ///
-/// See [`evaluate_with`].
+/// See [`CoverageEngine::report`].
+#[deprecated(note = "build a `CoverageEngine` with `Strategy::Serial` and call `report` instead")]
 pub fn evaluate_serial(
     test: &MarchTest,
     faults: &[Fault],
     config: MemoryConfig,
     options: EvaluationOptions,
 ) -> Result<CoverageReport, CoverageError> {
-    if faults.is_empty() {
-        return Err(CoverageError::EmptyUniverse);
-    }
-    let lowered = LoweredTest::new(test, config.width()).map_err(twm_bist::BistError::from)?;
-    let contents = prepared_contents(config, options);
-    let mut report = CoverageReport::new(test.name());
-    for &fault in faults {
-        let detected = fault_detected_prepared(&lowered, fault, config, &contents)?;
-        report.record(fault, detected);
-    }
-    Ok(report)
-}
-
-/// Number of worker threads to use: `TWM_COVERAGE_THREADS` when set,
-/// otherwise the machine's available parallelism.
-#[cfg(feature = "parallel")]
-fn worker_threads() -> usize {
-    std::env::var("TWM_COVERAGE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
+    evaluate_once(test, faults, config, options, Strategy::Serial)
 }
 
 /// Evaluates the fault coverage by fanning the fault universe across worker
-/// threads.
-///
-/// The march test is lowered once and the pseudo-random initial contents
-/// are generated once; workers share both by reference and simulate
-/// contiguous chunks of the universe. Detection verdicts are merged back in
-/// universe order, so the report is bit-identical to [`evaluate_serial`]
-/// for any thread count.
+/// threads ([`Strategy::Auto`] resolution: `TWM_COVERAGE_THREADS` when set,
+/// available parallelism otherwise).
 ///
 /// # Errors
 ///
-/// See [`evaluate_with`]. When several faults would error, the error of the
-/// earliest fault in universe order is returned, matching the serial path.
+/// See [`CoverageEngine::report`].
 #[cfg(feature = "parallel")]
+#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
 pub fn evaluate_parallel(
     test: &MarchTest,
     faults: &[Fault],
     config: MemoryConfig,
     options: EvaluationOptions,
 ) -> Result<CoverageReport, CoverageError> {
-    evaluate_parallel_with_threads(test, faults, config, options, worker_threads())
+    evaluate_once(test, faults, config, options, Strategy::Auto)
 }
 
-/// [`evaluate_parallel`] with an explicit worker-thread count, bypassing
-/// `TWM_COVERAGE_THREADS` and the available-parallelism probe. The report
-/// is bit-identical to [`evaluate_serial`] for any `threads` value.
+/// [`evaluate_parallel`] with an explicit worker-thread count.
+///
+/// Unlike [`crate::Strategy::Parallel`] (which rejects zero), this wrapper
+/// keeps the historical behaviour of silently clamping `threads == 0` to 1.
 ///
 /// # Errors
 ///
-/// See [`evaluate_with`].
+/// See [`CoverageEngine::report`].
 #[cfg(feature = "parallel")]
+#[deprecated(
+    note = "build a `CoverageEngine` with `Strategy::Parallel { threads }` and call `report` instead"
+)]
 pub fn evaluate_parallel_with_threads(
     test: &MarchTest,
     faults: &[Fault],
@@ -244,55 +181,27 @@ pub fn evaluate_parallel_with_threads(
     options: EvaluationOptions,
     threads: usize,
 ) -> Result<CoverageReport, CoverageError> {
-    if faults.is_empty() {
-        return Err(CoverageError::EmptyUniverse);
-    }
-    let threads = threads.max(1).min(faults.len());
-    if threads <= 1 {
-        return evaluate_serial(test, faults, config, options);
-    }
-
-    let lowered = LoweredTest::new(test, config.width()).map_err(twm_bist::BistError::from)?;
-    let contents = prepared_contents(config, options);
-    let chunk_size = faults.len().div_ceil(threads);
-
-    let chunk_results: Vec<Result<Vec<bool>, CoverageError>> = std::thread::scope(|scope| {
-        let lowered = &lowered;
-        let contents = &contents;
-        let handles: Vec<_> = faults
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&fault| fault_detected_prepared(lowered, fault, config, contents))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("coverage worker panicked"))
-            .collect()
-    });
-
-    let mut report = CoverageReport::new(test.name());
-    let mut fault_iter = faults.iter();
-    for chunk in chunk_results {
-        for detected in chunk? {
-            let &fault = fault_iter.next().expect("one verdict per fault");
-            report.record(fault, detected);
-        }
-    }
-    Ok(report)
+    evaluate_once(
+        test,
+        faults,
+        config,
+        options,
+        Strategy::Parallel {
+            threads: threads.max(1),
+        },
+    )
 }
 
 /// Whether a single fault is detected by the test (under every tried initial
 /// content).
 ///
+/// A one-off query that interprets the symbolic test directly; for sweeps
+/// over many faults, build a [`CoverageEngine`] and stream
+/// [`verdicts`](CoverageEngine::verdicts) instead.
+///
 /// # Errors
 ///
-/// Same as [`evaluate_with`].
+/// Same as [`CoverageEngine::report`].
 pub fn fault_detected(
     test: &MarchTest,
     fault: Fault,
@@ -335,9 +244,17 @@ mod tests {
         MemoryConfig::new(words, width).unwrap()
     }
 
+    fn engine(test: &MarchTest, c: MemoryConfig, seed: u64) -> CoverageEngine {
+        CoverageEngine::builder(c)
+            .test(test)
+            .content(ContentPolicy::Random { seed })
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn empty_universe_is_rejected() {
-        let result = evaluate(&march_c_minus(), &[], config(4, 1), 1);
+        let result = engine(&march_c_minus(), config(4, 1), 1).report(&[]);
         assert!(matches!(result, Err(CoverageError::EmptyUniverse)));
     }
 
@@ -349,7 +266,7 @@ mod tests {
             .coupling_scope(CouplingScope::AllPairs)
             .sample_per_class(120, 3)
             .build();
-        let report = evaluate(&march_c_minus(), &faults, c, 5).unwrap();
+        let report = engine(&march_c_minus(), c, 5).report(&faults).unwrap();
         for class in FaultClass::all() {
             assert_eq!(
                 report.class_coverage(class),
@@ -368,8 +285,8 @@ mod tests {
             .coupling_scope(CouplingScope::AllPairs)
             .sample_per_class(150, 11)
             .build();
-        let mats = evaluate(&mats_plus(), &faults, c, 5).unwrap();
-        let march_c = evaluate(&march_c_minus(), &faults, c, 5).unwrap();
+        let mats = engine(&mats_plus(), c, 5).report(&faults).unwrap();
+        let march_c = engine(&march_c_minus(), c, 5).report(&faults).unwrap();
         assert!(mats.class_coverage(FaultClass::Cfid) < 1.0);
         assert_eq!(march_c.class_coverage(FaultClass::Cfid), 1.0);
     }
@@ -386,16 +303,14 @@ mod tests {
             .all_classes()
             .sample_per_class(80, 21)
             .build();
-        let report = evaluate_with(
-            transformed.transparent_test(),
-            &faults,
-            c,
-            EvaluationOptions {
-                content: ContentPolicy::Random { seed: 17 },
-                contents_per_fault: 2,
-            },
-        )
-        .unwrap();
+        let report = CoverageEngine::builder(c)
+            .test(transformed.transparent_test())
+            .content(ContentPolicy::Random { seed: 17 })
+            .contents_per_fault(2)
+            .build()
+            .unwrap()
+            .report(&faults)
+            .unwrap();
         assert_eq!(report.class_coverage(FaultClass::Saf), 1.0, "{report}");
         assert_eq!(report.class_coverage(FaultClass::Tf), 1.0, "{report}");
         // Inter-word coupling faults behave exactly like the bit-oriented
@@ -423,8 +338,12 @@ mod tests {
             .coupling_scope(CouplingScope::SameWord)
             .sample_per_class(60, 9)
             .build();
-        let tsmarch_only = evaluate(transformed.tsmarch(), &faults, c, 23).unwrap();
-        let full = evaluate(transformed.transparent_test(), &faults, c, 23).unwrap();
+        let tsmarch_only = engine(transformed.tsmarch(), c, 23)
+            .report(&faults)
+            .unwrap();
+        let full = engine(transformed.transparent_test(), c, 23)
+            .report(&faults)
+            .unwrap();
         assert!(tsmarch_only.intra_word.fraction() < 1.0);
         assert!(
             full.intra_word.fraction() > tsmarch_only.intra_word.fraction(),
@@ -432,5 +351,52 @@ mod tests {
             full.intra_word.fraction(),
             tsmarch_only.intra_word.fraction()
         );
+    }
+
+    /// The deprecated wrappers stay drop-in: they produce the same report
+    /// as the engine they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_engine_reports() {
+        let c = config(6, 4);
+        let faults = UniverseBuilder::new(c)
+            .all_classes()
+            .sample_per_class(20, 7)
+            .build();
+        let test = march_c_minus();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed: 99 },
+            contents_per_fault: 1,
+        };
+        let reference = CoverageEngine::builder(c)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Serial)
+            .build()
+            .unwrap()
+            .report(&faults)
+            .unwrap();
+        assert_eq!(
+            evaluate_serial(&test, &faults, c, options).unwrap(),
+            reference
+        );
+        assert_eq!(
+            evaluate_with(&test, &faults, c, options).unwrap(),
+            reference
+        );
+        assert_eq!(evaluate(&test, &faults, c, 99).unwrap(), reference);
+        #[cfg(feature = "parallel")]
+        {
+            assert_eq!(
+                evaluate_parallel(&test, &faults, c, options).unwrap(),
+                reference
+            );
+            for threads in [0, 1, 3, 64] {
+                assert_eq!(
+                    evaluate_parallel_with_threads(&test, &faults, c, options, threads).unwrap(),
+                    reference
+                );
+            }
+        }
     }
 }

@@ -9,10 +9,11 @@
 //!
 //! * [`universe`] — enumerate (or sample) the fault universe of a memory
 //!   configuration, class by class;
-//! * [`evaluator`] — run a march test against every fault and report the
-//!   per-class coverage;
-//! * [`equivalence`] — compare two tests fault by fault (the coverage
-//!   theorem check);
+//! * [`engine`] — the [`CoverageEngine`]: run a march test against every
+//!   fault of a universe and report the per-class coverage, stream
+//!   per-fault verdicts, or compare two tests fault by fault;
+//! * [`equivalence`] — the coverage-equivalence report types (the coverage
+//!   theorem check, produced by [`CoverageEngine::compare`]);
 //! * [`states`] — the state-traversal analysis behind Figure 1: which
 //!   two-cell states and coupling-fault excitation conditions a test covers,
 //!   and which intra-word bit-pair write/read combinations a word-oriented
@@ -21,42 +22,69 @@
 //!   to aliasing compared with the exact-compare oracle (the motivation the
 //!   paper cites for signature-free schemes such as TOMT).
 //!
-//! ## The `parallel` feature
+//! ## The `CoverageEngine`
 //!
-//! Fault-injection runs are independent, so the evaluator fans the fault
-//! universe across worker threads when the `parallel` feature is enabled
-//! (it is on by default): [`evaluate`] and [`evaluate_with`] route through
-//! [`evaluator::evaluate_parallel`], which pre-lowers the march test once
-//! ([`twm_bist::LoweredTest`]), generates the pseudo-random initial
-//! contents once, shares both across workers by reference, and merges
-//! per-chunk verdicts back in universe order. The resulting
-//! [`CoverageReport`] is **bit-identical** to the single-threaded reference
-//! path [`evaluator::evaluate_serial`] for any thread count (property-tested
-//! in `tests/parallel_equivalence.rs`). The worker count follows
-//! `std::thread::available_parallelism` and can be pinned with the
-//! `TWM_COVERAGE_THREADS` environment variable.
+//! All evaluation flows through one reusable object. Build it once per
+//! `(memory shape, march test)` pair; it owns the pre-lowered operation
+//! stream, the pre-generated pseudo-random initial contents, and a pool of
+//! reusable [`twm_mem::FaultyMemory`] arenas re-armed per fault — so
+//! repeated evaluations over different universes allocate no per-fault
+//! memories:
 //!
 //! ```
-//! use twm_coverage::universe::UniverseBuilder;
-//! use twm_coverage::evaluator::evaluate;
+//! use twm_coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
 //! use twm_core::TwmTransformer;
 //! use twm_march::algorithms::march_c_minus;
 //! use twm_mem::MemoryConfig;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = MemoryConfig::new(16, 4)?;
-//! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
 //! let test = TwmTransformer::new(4)?.transform(&march_c_minus())?;
-//! let report = evaluate(test.transparent_test(), &faults, config, 1)?;
+//! let engine = CoverageEngine::builder(config)
+//!     .test(test.transparent_test())
+//!     .content(ContentPolicy::Random { seed: 1 })
+//!     .build()?;
+//!
+//! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
+//! let report = engine.report(&faults)?;
 //! assert_eq!(report.total_coverage(), 1.0);     // all SAFs and TFs detected
+//!
+//! // Streaming verdicts: bounded memory for universes that do not fit RAM.
+//! let escaped = engine
+//!     .verdicts(&faults)
+//!     .filter(|v| v.as_ref().is_ok_and(|v| !v.detected))
+//!     .count();
+//! assert_eq!(escaped, 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Execution strategy and the `parallel` feature
+//!
+//! Fault-injection runs are independent, so the engine fans the universe
+//! across worker threads when the `parallel` feature is enabled (it is on
+//! by default). The strategy is explicit on the builder:
+//! [`Strategy::Serial`], [`Strategy::Parallel`]` { threads }` (zero is
+//! rejected with [`CoverageError::ZeroThreads`], never clamped), or the
+//! default [`Strategy::Auto`] — available parallelism, overridable with the
+//! documented `TWM_COVERAGE_THREADS` environment-variable fallback.
+//! Verdicts are merged back in universe order, so the produced
+//! [`CoverageReport`] is **bit-identical** to the serial reference for any
+//! thread count (property-tested in `tests/engine_streaming.rs`).
+//!
+//! ## Migrating from the free-function API
+//!
+//! The historical free functions (`evaluate`, `evaluate_with`,
+//! `evaluate_serial`, `evaluate_parallel`,
+//! `evaluate_parallel_with_threads`) are deprecated thin wrappers now; see
+//! the MIGRATION table in the repository's `CHANGES.md` for the one-line
+//! replacements.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aliasing;
+pub mod engine;
 pub mod equivalence;
 mod error;
 pub mod evaluator;
@@ -65,10 +93,14 @@ pub mod states;
 pub mod universe;
 
 pub use aliasing::{aliasing_report, AliasingReport};
+pub use engine::{CoverageEngine, CoverageEngineBuilder, FaultVerdict, Strategy, Verdicts};
 pub use equivalence::{coverage_equivalence, EquivalenceReport};
 pub use error::CoverageError;
-pub use evaluator::{evaluate, evaluate_serial, evaluate_with, ContentPolicy, EvaluationOptions};
+#[allow(deprecated)]
+pub use evaluator::{evaluate, evaluate_serial, evaluate_with};
 #[cfg(feature = "parallel")]
+#[allow(deprecated)]
 pub use evaluator::{evaluate_parallel, evaluate_parallel_with_threads};
+pub use evaluator::{fault_detected, ContentPolicy, EvaluationOptions};
 pub use report::{ClassCoverage, CoverageReport};
 pub use universe::{CouplingScope, UniverseBuilder};

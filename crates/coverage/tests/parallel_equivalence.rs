@@ -1,10 +1,10 @@
-//! Property tests: `evaluate_parallel` must produce **bit-identical**
+//! Property tests: the parallel engine must produce **bit-identical**
 //! [`twm_coverage::CoverageReport`]s to the serial reference path for any
 //! universe, seed, width and thread count — including the order of the
 //! `undetected` fault list.
 //!
 //! Thread counts are passed explicitly through
-//! `evaluate_parallel_with_threads` (not the `TWM_COVERAGE_THREADS`
+//! `Strategy::Parallel { threads }` (not the `TWM_COVERAGE_THREADS`
 //! environment variable) so concurrently-running tests cannot race on
 //! process-global state and every drawn thread count is really exercised.
 
@@ -13,14 +13,28 @@
 use proptest::prelude::*;
 
 use twm_core::TwmTransformer;
-use twm_coverage::evaluator::{evaluate_parallel_with_threads, evaluate_serial};
 use twm_coverage::universe::{CouplingScope, UniverseBuilder};
-use twm_coverage::{ContentPolicy, EvaluationOptions};
+use twm_coverage::{ContentPolicy, CoverageEngine, EvaluationOptions, Strategy as Exec};
 use twm_march::algorithms::{march_c_minus, mats_plus};
+use twm_march::MarchTest;
 use twm_mem::MemoryConfig;
 
 fn arb_width() -> impl Strategy<Value = usize> {
     prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]
+}
+
+fn engine(
+    test: &MarchTest,
+    config: MemoryConfig,
+    options: EvaluationOptions,
+    strategy: Exec,
+) -> CoverageEngine {
+    CoverageEngine::builder(config)
+        .test(test)
+        .options(options)
+        .strategy(strategy)
+        .build()
+        .unwrap()
 }
 
 proptest! {
@@ -48,9 +62,10 @@ proptest! {
             content: ContentPolicy::Random { seed: content_seed },
             contents_per_fault: 1,
         };
-        let serial = evaluate_serial(&test, &faults, config, options).unwrap();
-        let parallel =
-            evaluate_parallel_with_threads(&test, &faults, config, options, threads).unwrap();
+        let serial = engine(&test, config, options, Exec::Serial)
+            .report(&faults).unwrap();
+        let parallel = engine(&test, config, options, Exec::Parallel { threads })
+            .report(&faults).unwrap();
         prop_assert_eq!(serial, parallel);
     }
 
@@ -76,9 +91,10 @@ proptest! {
             contents_per_fault,
         };
         let test = transformed.transparent_test();
-        let serial = evaluate_serial(test, &faults, config, options).unwrap();
-        let parallel =
-            evaluate_parallel_with_threads(test, &faults, config, options, threads).unwrap();
+        let serial = engine(test, config, options, Exec::Serial)
+            .report(&faults).unwrap();
+        let parallel = engine(test, config, options, Exec::Parallel { threads })
+            .report(&faults).unwrap();
         prop_assert_eq!(serial, parallel);
     }
 
@@ -102,13 +118,14 @@ proptest! {
             contents_per_fault: 1,
         };
         let test = march_c_minus();
-        let serial = evaluate_serial(&test, &faults, config, options).unwrap();
-        let parallel =
-            evaluate_parallel_with_threads(&test, &faults, config, options, threads).unwrap();
+        let serial = engine(&test, config, options, Exec::Serial)
+            .report(&faults).unwrap();
+        let parallel = engine(&test, config, options, Exec::Parallel { threads })
+            .report(&faults).unwrap();
         prop_assert_eq!(serial, parallel);
     }
 
-    /// Degenerate thread counts (1 = serial fallback; more threads than
+    /// Degenerate thread counts (1 = serial execution; more threads than
     /// faults) are handled and still bit-identical.
     #[test]
     fn degenerate_thread_counts_are_handled(
@@ -122,17 +139,42 @@ proptest! {
             .build();
         let options = EvaluationOptions::default();
         let test = march_c_minus();
-        let serial = evaluate_serial(&test, &faults, config, options).unwrap();
-        let parallel =
-            evaluate_parallel_with_threads(&test, &faults, config, options, threads).unwrap();
+        let serial = engine(&test, config, options, Exec::Serial)
+            .report(&faults).unwrap();
+        let parallel = engine(&test, config, options, Exec::Parallel { threads })
+            .report(&faults).unwrap();
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// One engine instance reused across several universes produces exactly
+    /// what fresh engines produce — the arena pool leaks no state between
+    /// evaluations.
+    #[test]
+    fn engine_reuse_across_universes_is_stateless(
+        universe_seeds in prop::collection::vec(0u64..1_000, 2..5),
+        threads in 1usize..5,
+    ) {
+        let config = MemoryConfig::new(5, 4).unwrap();
+        let test = march_c_minus();
+        let options = EvaluationOptions::default();
+        let reused = engine(&test, config, options, Exec::Parallel { threads });
+        for seed in universe_seeds {
+            let faults = UniverseBuilder::new(config)
+                .all_classes()
+                .sample_per_class(12, seed)
+                .build();
+            let fresh = engine(&test, config, options, Exec::Serial)
+                .report(&faults).unwrap();
+            prop_assert_eq!(reused.report(&faults).unwrap(), fresh);
+        }
     }
 }
 
-/// The routed entry points (`evaluate`, `evaluate_with`) agree with the
-/// serial reference as well — they are what downstream code calls.
+/// The deprecated routed entry points (`evaluate`, `evaluate_with`) agree
+/// with the serial engine — they are what historical downstream code calls.
 #[test]
-fn routed_entry_points_match_serial_reference() {
+#[allow(deprecated)]
+fn deprecated_routed_entry_points_match_serial_reference() {
     let config = MemoryConfig::new(6, 4).unwrap();
     let faults = UniverseBuilder::new(config)
         .all_classes()
@@ -143,7 +185,9 @@ fn routed_entry_points_match_serial_reference() {
         content: ContentPolicy::Random { seed: 99 },
         contents_per_fault: 1,
     };
-    let serial = evaluate_serial(&test, &faults, config, options).unwrap();
+    let serial = engine(&test, config, options, Exec::Serial)
+        .report(&faults)
+        .unwrap();
     let routed = twm_coverage::evaluate_with(&test, &faults, config, options).unwrap();
     assert_eq!(serial, routed);
     let simple = twm_coverage::evaluate(&test, &faults, config, 99).unwrap();

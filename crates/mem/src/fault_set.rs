@@ -63,6 +63,17 @@ impl FaultSet {
         self.index = OnceLock::new();
     }
 
+    /// Removes every fault, keeping the underlying allocation.
+    ///
+    /// The cached [`FaultIndex`] is invalidated, so a cleared set behaves
+    /// exactly like [`FaultSet::new`] — this is what allows
+    /// [`crate::FaultyMemory`] arenas to be re-armed with a new fault
+    /// without allocating a fresh set per run.
+    pub fn clear(&mut self) {
+        self.faults.clear();
+        self.index = OnceLock::new();
+    }
+
     /// The precomputed per-word / per-aggressor lookup index.
     ///
     /// Built on first call and cached until the set is mutated. This is the
@@ -132,15 +143,26 @@ impl FaultSet {
     /// coupling fault uses the same cell for aggressor and victim.
     pub fn validate(&self, words: usize, width: usize) -> Result<(), MemError> {
         for fault in &self.faults {
-            for cell in fault.cells() {
-                if cell.word >= words || cell.bit >= width {
-                    return Err(MemError::FaultCellOutOfRange { cell });
-                }
+            Self::validate_fault(fault, words, width)?;
+        }
+        Ok(())
+    }
+
+    /// Validates a single fault against a memory shape, with the same rules
+    /// as [`FaultSet::validate`] but without constructing a set.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultSet::validate`].
+    pub fn validate_fault(fault: &Fault, words: usize, width: usize) -> Result<(), MemError> {
+        for cell in fault.cells() {
+            if cell.word >= words || cell.bit >= width {
+                return Err(MemError::FaultCellOutOfRange { cell });
             }
-            if let Some(aggressor) = fault.aggressor() {
-                if aggressor == fault.victim() {
-                    return Err(MemError::SelfCoupling { cell: aggressor });
-                }
+        }
+        if let Some(aggressor) = fault.aggressor() {
+            if aggressor == fault.victim() {
+                return Err(MemError::SelfCoupling { cell: aggressor });
             }
         }
         Ok(())
@@ -254,6 +276,20 @@ mod tests {
             set.validate(4, 8),
             Err(MemError::SelfCoupling { .. })
         ));
+    }
+
+    #[test]
+    fn clear_empties_and_invalidates_index() {
+        let mut set = FaultSet::from_faults(vec![Fault::stuck_at(cell(0, 1), true)]);
+        assert!(set.index().word_masks(0).is_some());
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set, FaultSet::new());
+        assert!(set.index().word_masks(0).is_none());
+        // A cleared set can be re-armed and indexes the new fault only.
+        set.insert(Fault::transition(cell(1, 0), Transition::Falling));
+        assert_eq!(set.stuck_at(cell(0, 1)), None);
+        assert_eq!(set.transition_faults(cell(1, 0)).count(), 1);
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl WordFaultMasks {
 
 /// Precomputed lookup structures over a fault list.
 ///
-/// See the [module docs](self) for what each part accelerates. The index
+/// See the module docs of `index` for what each part accelerates. The index
 /// preserves fault insertion order everywhere order is observable
 /// (propagation visits coupled faults in insertion order, state coupling is
 /// enforced in insertion order). One deliberate refinement over the

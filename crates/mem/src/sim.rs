@@ -182,7 +182,57 @@ impl FaultyMemory {
 
     /// Removes all injected faults (the array content is left unchanged).
     pub fn clear_faults(&mut self) {
-        self.faults = FaultSet::new();
+        self.faults.clear();
+    }
+
+    /// Resets the array content to all-zero and clears the access counters
+    /// and any recorded trace, keeping the injected faults and the storage
+    /// allocation.
+    ///
+    /// After the reset the memory is indistinguishable from one freshly
+    /// built with [`FaultyMemory::with_faults`] over the same fault set:
+    /// stuck-at values and activated state coupling are re-enforced on the
+    /// zeroed content, the counters read zero, and the trace is empty (the
+    /// tracing *switch* keeps its setting, as it is configuration rather
+    /// than run state).
+    pub fn reset_content(&mut self) {
+        self.storage.clear();
+        self.stats = AccessStats::default();
+        self.trace = Trace::new();
+        self.enforce_static_faults();
+    }
+
+    /// Re-arms the memory with a new fault set, resetting content, counters
+    /// and trace — the arena-reuse equivalent of dropping the memory and
+    /// building a fresh one with [`FaultyMemory::with_faults`], without
+    /// giving up the [`BitStorage`] allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`FaultyMemory::with_faults`];
+    /// on error the memory keeps its previous faults and content.
+    pub fn reset_with_faults<F: Into<FaultSet>>(&mut self, faults: F) -> Result<(), MemError> {
+        let faults = faults.into();
+        faults.validate(self.config.words(), self.config.width())?;
+        self.faults = faults;
+        self.reset_content();
+        Ok(())
+    }
+
+    /// [`FaultyMemory::reset_with_faults`] for the single-fault case, reusing
+    /// the existing [`FaultSet`] allocation — the hot path of fault-injection
+    /// sweeps, which re-arm one arena memory once per fault in the universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`FaultyMemory::with_faults`];
+    /// on error the memory keeps its previous faults and content.
+    pub fn reset_with_fault(&mut self, fault: Fault) -> Result<(), MemError> {
+        FaultSet::validate_fault(&fault, self.config.words(), self.config.width())?;
+        self.faults.clear();
+        self.faults.insert(fault);
+        self.reset_content();
+        Ok(())
     }
 
     /// Access counters accumulated so far.
@@ -383,6 +433,29 @@ impl FaultyMemory {
     /// for shape mismatches.
     pub fn load(&mut self, values: &[Word]) -> Result<(), MemError> {
         self.storage.load(values)?;
+        self.enforce_static_faults();
+        Ok(())
+    }
+
+    /// A copy of the raw bit-level storage — pair with
+    /// [`FaultyMemory::load_image`] to snapshot a content once and restore
+    /// it cheaply any number of times.
+    #[must_use]
+    pub fn snapshot(&self) -> BitStorage {
+        self.storage.clone()
+    }
+
+    /// Restores the entire content from a storage snapshot with block-level
+    /// copies (same fault semantics as [`FaultyMemory::load`], which
+    /// rebuilds word by word: the fault effects on the final state are
+    /// enforced, coupling transitions are not triggered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LoadLengthMismatch`] or [`MemError::WidthMismatch`]
+    /// for shape mismatches.
+    pub fn load_image(&mut self, image: &BitStorage) -> Result<(), MemError> {
+        self.storage.copy_from(image)?;
         self.enforce_static_faults();
         Ok(())
     }
@@ -604,6 +677,120 @@ mod tests {
         let mut c = FaultyMemory::fault_free(config(16, 8));
         c.fill_random(100);
         assert_ne!(a.content(), c.content());
+    }
+
+    /// Drives a memory through a representative access mix so reuse tests
+    /// can compare observable behaviour, not just the initial state.
+    fn exercise(mem: &mut FaultyMemory) -> (Vec<Word>, Vec<Word>) {
+        let width = mem.width();
+        let mut reads = Vec::new();
+        for address in 0..mem.words() {
+            mem.write_word(address, Word::ones(width)).unwrap();
+            reads.push(mem.read_word(address).unwrap());
+            mem.write_word(address, Word::zeros(width)).unwrap();
+            reads.push(mem.read_word(address).unwrap());
+        }
+        (reads, mem.content())
+    }
+
+    #[test]
+    fn reused_memory_is_indistinguishable_from_fresh() {
+        let c = config(6, 4);
+        let first = vec![
+            Fault::stuck_at(BitAddress::new(1, 2), true),
+            Fault::coupling_state(BitAddress::new(0, 0), BitAddress::new(3, 1), false, true),
+        ];
+        let second = Fault::coupling_idempotent(
+            BitAddress::new(2, 0),
+            BitAddress::new(4, 3),
+            Transition::Rising,
+            true,
+        );
+
+        // Dirty the arena memory thoroughly: faults, content, stats, trace.
+        let mut arena = FaultyMemory::with_faults(c, first).unwrap();
+        arena.set_tracing(true);
+        arena.fill_random(77);
+        let _ = exercise(&mut arena);
+        assert!(arena.stats().total() > 0);
+        assert!(!arena.take_trace().is_empty());
+        let _ = exercise(&mut arena);
+
+        // Re-arm with a different fault; compare against a fresh build.
+        arena.reset_with_fault(second).unwrap();
+        let mut fresh = FaultyMemory::with_faults(c, vec![second]).unwrap();
+        fresh.set_tracing(true);
+        assert_eq!(arena.content(), fresh.content());
+        assert_eq!(arena.stats(), AccessStats::default());
+        assert_eq!(arena.faults(), fresh.faults());
+        assert!(arena.take_trace().is_empty());
+        let (arena_reads, arena_content) = exercise(&mut arena);
+        let (fresh_reads, fresh_content) = exercise(&mut fresh);
+        assert_eq!(arena_reads, fresh_reads);
+        assert_eq!(arena_content, fresh_content);
+        assert_eq!(arena.stats(), fresh.stats());
+        assert_eq!(arena.take_trace(), fresh.take_trace());
+    }
+
+    #[test]
+    fn load_image_agrees_with_word_level_load() {
+        let c = config(9, 13);
+        let saf = Fault::stuck_at(BitAddress::new(4, 7), true);
+        // Snapshot a pseudo-random content from a fault-free scratch memory.
+        let mut scratch = FaultyMemory::fault_free(c);
+        scratch.fill_random(55);
+        let image = scratch.snapshot();
+        let content = scratch.content();
+        // Restoring via the image equals rebuilding word by word.
+        let mut by_image = FaultyMemory::with_faults(c, vec![saf]).unwrap();
+        by_image.load_image(&image).unwrap();
+        let mut by_words = FaultyMemory::with_faults(c, vec![saf]).unwrap();
+        by_words.load(&content).unwrap();
+        assert_eq!(by_image.content(), by_words.content());
+        // Shape mismatches are rejected.
+        let other = FaultyMemory::fault_free(config(4, 13)).snapshot();
+        assert!(by_image.load_image(&other).is_err());
+    }
+
+    #[test]
+    fn reset_with_faults_accepts_sets_and_rejects_bad_faults() {
+        let c = config(4, 4);
+        let mut mem = FaultyMemory::fault_free(c);
+        mem.fill_random(3);
+        mem.reset_with_faults(vec![Fault::stuck_at(BitAddress::new(0, 0), true)])
+            .unwrap();
+        assert_eq!(mem.faults().len(), 1);
+        assert!(mem.peek_bit(BitAddress::new(0, 0)).unwrap());
+
+        // Invalid faults are rejected and leave the previous state in place.
+        assert!(mem
+            .reset_with_fault(Fault::stuck_at(BitAddress::new(9, 0), true))
+            .is_err());
+        assert_eq!(mem.faults().len(), 1);
+        assert!(mem
+            .reset_with_faults(vec![Fault::coupling_inversion(
+                BitAddress::new(1, 1),
+                BitAddress::new(1, 1),
+                Transition::Rising,
+            )])
+            .is_err());
+        assert_eq!(mem.faults().len(), 1);
+    }
+
+    #[test]
+    fn reset_content_clears_stats_and_trace_but_keeps_faults() {
+        let saf = Fault::stuck_at(BitAddress::new(0, 1), true);
+        let mut mem = FaultyMemory::with_faults(config(3, 4), vec![saf]).unwrap();
+        mem.set_tracing(true);
+        mem.fill_random(9);
+        let _ = exercise(&mut mem);
+        mem.reset_content();
+        assert_eq!(mem.stats(), AccessStats::default());
+        assert!(mem.take_trace().is_empty());
+        assert_eq!(mem.faults().len(), 1);
+        // Zeroed content with the stuck-at re-enforced.
+        let fresh = FaultyMemory::with_faults(config(3, 4), vec![saf]).unwrap();
+        assert_eq!(mem.content(), fresh.content());
     }
 
     #[test]

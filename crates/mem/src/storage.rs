@@ -218,6 +218,42 @@ impl BitStorage {
         Ok(())
     }
 
+    /// Overwrites this store's bits with another store's, block by block —
+    /// a restore that is O(blocks) `u64` copies instead of O(words)
+    /// word-rebuild operations, which is what makes shared-content restore
+    /// cheap for fault-injection arenas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LoadLengthMismatch`] /
+    /// [`MemError::WidthMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, other: &BitStorage) -> Result<(), MemError> {
+        if other.words != self.words {
+            return Err(MemError::LoadLengthMismatch {
+                found: other.words,
+                expected: self.words,
+            });
+        }
+        if other.width != self.width {
+            return Err(MemError::WidthMismatch {
+                found: other.width,
+                expected: self.width,
+            });
+        }
+        self.blocks.copy_from_slice(&other.blocks);
+        Ok(())
+    }
+
+    /// Resets every bit to zero without touching the allocation.
+    ///
+    /// This is the arena-reuse primitive behind
+    /// [`crate::FaultyMemory::reset_content`]: a cleared store is
+    /// indistinguishable from a freshly constructed one, but the block
+    /// vector (and therefore the heap allocation) is retained.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
     /// Loads the whole contents from a slice of words.
     ///
     /// # Errors
@@ -402,6 +438,36 @@ mod tests {
                 s.bit(words - 1, width - 1).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn copy_from_restores_content_and_rejects_shape_mismatch() {
+        let mut source = BitStorage::new(3, 40).unwrap();
+        source.set_word_bits(1, 0xAB_CDEF);
+        let mut target = BitStorage::new(3, 40).unwrap();
+        target.set_word_bits(0, 0xFF);
+        target.copy_from(&source).unwrap();
+        assert_eq!(target, source);
+
+        let mut short = BitStorage::new(2, 40).unwrap();
+        assert!(matches!(
+            short.copy_from(&source),
+            Err(MemError::LoadLengthMismatch { .. })
+        ));
+        let mut narrow = BitStorage::new(3, 20).unwrap();
+        assert!(matches!(
+            narrow.copy_from(&source),
+            Err(MemError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_zeroes_without_reallocating() {
+        let mut s = BitStorage::new(3, 40).unwrap();
+        s.set_word_bits(0, 0xFF_FFFF_FFFF);
+        s.set_word_bits(2, 0xAB);
+        s.clear();
+        assert_eq!(s, BitStorage::new(3, 40).unwrap());
     }
 
     #[test]

@@ -127,6 +127,54 @@ proptest! {
         prop_assert_eq!(mem.content(), before);
     }
 
+    /// A memory re-armed through `reset_with_fault` behaves bit-for-bit like
+    /// a freshly constructed one for any dirtying history and any subsequent
+    /// operation sequence — the contract arena reuse in the coverage engine
+    /// relies on.
+    #[test]
+    fn rearmed_memory_matches_fresh_memory(
+        words in 2usize..8,
+        width in prop_oneof![Just(1usize), Just(4), Just(8)],
+        dirty_seed in any::<u64>(),
+        dirty_ops in prop::collection::vec((any::<usize>(), any::<u128>()), 0..24),
+        ops in prop::collection::vec((any::<usize>(), any::<u128>()), 1..24),
+        fault_bit in any::<usize>(),
+    ) {
+        let config = MemoryConfig::new(words, width).unwrap();
+        let fault = Fault::transition(
+            BitAddress::new(fault_bit % words, fault_bit % width),
+            Transition::Rising,
+        );
+
+        // Dirty an arena memory with a different fault and random traffic.
+        let mut arena = FaultyMemory::with_faults(
+            config,
+            vec![Fault::stuck_at(BitAddress::new(0, 0), true)],
+        ).unwrap();
+        arena.fill_random(dirty_seed);
+        for &(addr, bits) in &dirty_ops {
+            let value = Word::from_bits(bits, width).unwrap();
+            arena.write_word(addr % words, value).unwrap();
+            arena.read_word(addr % words).unwrap();
+        }
+
+        arena.reset_with_fault(fault).unwrap();
+        let mut fresh = FaultyMemory::with_faults(config, vec![fault]).unwrap();
+        prop_assert_eq!(arena.content(), fresh.content());
+
+        for &(addr, bits) in &ops {
+            let value = Word::from_bits(bits, width).unwrap();
+            arena.write_word(addr % words, value).unwrap();
+            fresh.write_word(addr % words, value).unwrap();
+            prop_assert_eq!(
+                arena.read_word(addr % words).unwrap(),
+                fresh.read_word(addr % words).unwrap()
+            );
+        }
+        prop_assert_eq!(arena.content(), fresh.content());
+        prop_assert_eq!(arena.stats(), fresh.stats());
+    }
+
     /// Access statistics count every read and write exactly once.
     #[test]
     fn stats_count_accesses(

@@ -11,8 +11,7 @@
 
 use twm::core::atmarch::amarch;
 use twm::core::TwmTransformer;
-use twm::coverage::evaluator::{ContentPolicy, EvaluationOptions};
-use twm::coverage::{coverage_equivalence, UniverseBuilder};
+use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{FaultClass, MemoryConfig};
 
@@ -29,6 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{} + AMarch (W={width})", bmarch.name()),
     );
 
+    // One engine per test: the transparent test runs on arbitrary content,
+    // the non-transparent counterpart initialises the memory itself and is
+    // evaluated from all-zero content. Each engine lowers its test and
+    // generates its initial contents exactly once.
+    let transparent = CoverageEngine::builder(config)
+        .test(transformed.transparent_test())
+        .content(ContentPolicy::Random { seed: 2025 })
+        .build()?;
+    let nontransparent = CoverageEngine::builder(config)
+        .test(&counterpart)
+        .content(ContentPolicy::Zeros)
+        .build()?;
+
     // A translation-closed fault universe: every SAF/TF on every cell and
     // every coupling variant for every intra-word pair and adjacent-word
     // pair. Closure under content translation is what makes the per-class
@@ -41,20 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         width
     );
 
-    let report = coverage_equivalence(
-        transformed.transparent_test(),
-        &counterpart,
-        &faults,
-        config,
-        EvaluationOptions {
-            content: ContentPolicy::Random { seed: 2025 },
-            contents_per_fault: 1,
-        },
-        EvaluationOptions {
-            content: ContentPolicy::Zeros,
-            contents_per_fault: 1,
-        },
-    )?;
+    let report = transparent.compare(&nontransparent, &faults)?;
 
     println!("{}", report.first);
     println!();

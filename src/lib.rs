@@ -17,9 +17,11 @@
 //! * [`bist`] — transparent BIST engine: march executor, MISR signature
 //!   analyzer, signature-prediction flow and periodic idle-window
 //!   controller.
-//! * [`coverage`] — fault-universe enumeration and fault-coverage
-//!   evaluation, including the two-cell state analysis of the paper's
-//!   Figure 1.
+//! * [`coverage`] — fault-universe enumeration and the
+//!   [`CoverageEngine`](coverage::CoverageEngine): one reusable, streaming
+//!   evaluation surface for coverage reports, per-fault verdict streams and
+//!   test-vs-test comparisons, including the two-cell state analysis of the
+//!   paper's Figure 1.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,31 @@
 //! let headline = complexity::headline(&bmarch, 32);
 //! assert!((headline.ratio_vs_scheme1 - 0.56).abs() < 0.01);
 //! assert!((headline.ratio_vs_scheme2 - 0.19).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Measuring fault coverage
+//!
+//! Simulation experiments go through one reusable
+//! [`CoverageEngine`](coverage::CoverageEngine), built once per
+//! `(memory shape, march test)` pair and reused across universes:
+//!
+//! ```
+//! use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+//! use twm::core::TwmTransformer;
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::mem::MemoryConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(16, 4)?;
+//! let test = TwmTransformer::new(4)?.transform(&march_c_minus())?;
+//! let engine = CoverageEngine::builder(config)
+//!     .test(test.transparent_test())
+//!     .content(ContentPolicy::Random { seed: 1 })
+//!     .build()?;
+//! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
+//! assert_eq!(engine.report(&faults)?.total_coverage(), 1.0);
 //! # Ok(())
 //! # }
 //! ```

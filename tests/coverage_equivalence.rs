@@ -6,8 +6,7 @@
 
 use twm::core::atmarch::amarch;
 use twm::core::TwmTransformer;
-use twm::coverage::evaluator::{ContentPolicy, EvaluationOptions};
-use twm::coverage::{coverage_equivalence, CouplingScope, UniverseBuilder};
+use twm::coverage::{ContentPolicy, CouplingScope, CoverageEngine, UniverseBuilder};
 use twm::march::algorithms::{march_c_minus, march_u};
 use twm::mem::{FaultClass, MemoryConfig};
 
@@ -25,21 +24,17 @@ fn run_case(bmarch: &twm::march::MarchTest, words: usize, width: usize, seed: u6
         .all_classes()
         .coupling_scope(CouplingScope::SameWordAndAdjacent)
         .build();
-    let report = coverage_equivalence(
-        transformed.transparent_test(),
-        &counterpart,
-        &faults,
-        config,
-        EvaluationOptions {
-            content: ContentPolicy::Random { seed },
-            contents_per_fault: 1,
-        },
-        EvaluationOptions {
-            content: ContentPolicy::Zeros,
-            contents_per_fault: 1,
-        },
-    )
-    .unwrap();
+    let transparent = CoverageEngine::builder(config)
+        .test(transformed.transparent_test())
+        .content(ContentPolicy::Random { seed })
+        .build()
+        .unwrap();
+    let nontransparent = CoverageEngine::builder(config)
+        .test(&counterpart)
+        .content(ContentPolicy::Zeros)
+        .build()
+        .unwrap();
+    let report = transparent.compare(&nontransparent, &faults).unwrap();
 
     assert!(
         report.class_counts_equal_for(&[
