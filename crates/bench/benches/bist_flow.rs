@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use twm_bench::bench_memory;
-use twm_bist::flow::run_transparent_session;
+use twm_bist::flow::run_scheme_session;
 use twm_bist::Misr;
-use twm_core::TwmTransformer;
+use twm_core::{TransparentScheme, TwmTa};
 use twm_march::algorithms::march_c_minus;
 
 const WIDTH: usize = 32;
@@ -17,21 +17,19 @@ const SIZES: [usize; 4] = [64, 256, 1024, 4096];
 
 fn bench_bist_flow(c: &mut Criterion) {
     let mut group = c.benchmark_group("bist_flow");
-    let transformed = TwmTransformer::new(WIDTH)
+    let transformed = TwmTa::new(WIDTH)
         .unwrap()
         .transform(&march_c_minus())
         .unwrap();
     for &words in &SIZES {
-        let total_ops = transformed.transparent_test().total_operations(words)
-            + transformed.signature_prediction().total_operations(words);
+        let total_ops = transformed.total_operations(words);
         group.throughput(Throughput::Elements(total_ops as u64));
         group.bench_with_input(BenchmarkId::new("session", words), &words, |b, &words| {
             b.iter_batched(
                 || bench_memory(words, WIDTH, 42),
                 |mut memory| {
-                    let outcome = run_transparent_session(
-                        black_box(transformed.transparent_test()),
-                        black_box(transformed.signature_prediction()),
+                    let outcome = run_scheme_session(
+                        black_box(&transformed),
                         &mut memory,
                         Misr::standard(WIDTH),
                     )

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use twm_core::TwmTransformer;
+use twm_core::{TransparentScheme, TwmTa};
 use twm_coverage::universe::UniverseBuilder;
 use twm_coverage::{ContentPolicy, CoverageEngine};
 use twm_march::algorithms::march_c_minus;
@@ -16,7 +16,7 @@ fn bench_coverage(c: &mut Criterion) {
     group.sample_size(20);
     for &(words, width) in &[(8usize, 4usize), (8, 8)] {
         let config = MemoryConfig::new(words, width).unwrap();
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();

@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 use twm_bench::{bench_memory, proposed_test, scheme1_test};
 use twm_bist::execute;
-use twm_core::tomt::tomt_like_test;
+use twm_core::{TomtScheme, TransparentScheme};
 use twm_march::algorithms::march_c_minus;
 
 const WORDS: usize = 256;
@@ -23,7 +23,15 @@ fn bench_execution(c: &mut Criterion) {
         let schemes: Vec<(&str, twm_march::MarchTest)> = vec![
             ("proposed", proposed_test(&bmarch, width)),
             ("scheme1", scheme1_test(&bmarch, width)),
-            ("scheme2_tomt", tomt_like_test(width).unwrap()),
+            (
+                "scheme2_tomt",
+                TomtScheme::new(width)
+                    .unwrap()
+                    .transform(&bmarch)
+                    .unwrap()
+                    .transparent_test()
+                    .clone(),
+            ),
         ];
         for (name, test) in schemes {
             group.throughput(Throughput::Elements(test.total_operations(WORDS) as u64));

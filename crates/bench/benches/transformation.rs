@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use twm_bench::WIDTHS;
-use twm_core::{Scheme1Transformer, TwmTransformer};
+use twm_core::{Scheme1, TransparentScheme, TwmTa};
 use twm_march::algorithms::{march_c_minus, march_u};
 
 fn bench_transformation(c: &mut Criterion) {
@@ -17,16 +17,16 @@ fn bench_transformation(c: &mut Criterion) {
                 BenchmarkId::new(format!("twm_ta/{}", bmarch.name()), width),
                 &width,
                 |b, &width| {
-                    let transformer = TwmTransformer::new(width).unwrap();
-                    b.iter(|| transformer.transform(black_box(&bmarch)).unwrap());
+                    let scheme = TwmTa::new(width).unwrap();
+                    b.iter(|| scheme.transform(black_box(&bmarch)).unwrap());
                 },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("scheme1/{}", bmarch.name()), width),
                 &width,
                 |b, &width| {
-                    let transformer = Scheme1Transformer::new(width).unwrap();
-                    b.iter(|| transformer.transform(black_box(&bmarch)).unwrap());
+                    let scheme = Scheme1::new(width).unwrap();
+                    b.iter(|| scheme.transform(black_box(&bmarch)).unwrap());
                 },
             );
         }

@@ -227,7 +227,7 @@ impl PeriodicController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::march_c_minus;
     use twm_mem::MemoryBuilder;
 
@@ -258,13 +258,13 @@ mod tests {
         // The paper's motivation: the proposed scheme's shorter test fits in
         // idle windows that Scheme 1's longer test cannot use.
         let n = 64usize;
-        let proposed = TwmTransformer::new(32)
+        let proposed = TwmTa::new(32)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap()
             .transparent_test()
             .total_operations(n);
-        let scheme1 = twm_core::Scheme1Transformer::new(32)
+        let scheme1 = twm_core::Scheme1::new(32)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap()
@@ -280,10 +280,7 @@ mod tests {
 
     #[test]
     fn periodic_run_completes_and_preserves_content() {
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_c_minus()).unwrap();
         let controller = PeriodicController::new(transformed.transparent_test().clone());
         let mut mem = MemoryBuilder::new(16, 8).random_content(9).build().unwrap();
         let model = IdleWindowModel::new(vec![37, 11, 64]).unwrap();
@@ -299,10 +296,7 @@ mod tests {
 
     #[test]
     fn windows_smaller_than_a_burst_terminate_gracefully() {
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_c_minus()).unwrap();
         let controller = PeriodicController::new(transformed.transparent_test().clone());
         let mut mem = MemoryBuilder::new(4, 8).build().unwrap();
         let model = IdleWindowModel::new(vec![1, 2]).unwrap();

@@ -144,12 +144,12 @@ pub fn diagnose(result: &ExecutionResult) -> DiagnosisReport {
 mod tests {
     use super::*;
     use crate::executor::execute;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::march_c_minus;
     use twm_mem::{Fault, MemoryBuilder, Transition};
 
     fn transparent_test(width: usize) -> twm_march::MarchTest {
-        TwmTransformer::new(width)
+        TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap()

@@ -222,6 +222,14 @@ pub fn execute_lowered(
 /// This is what lets the coverage engine evaluate single-fault injections
 /// on production-sized memories at small-memory speed.
 ///
+/// The argument extends to **multi-fault injections**: with several
+/// simultaneous faults, the union of their word footprints
+/// ([`twm_mem::FaultSet::word_footprint`]) still covers every word that can
+/// misread or disturb another, so the union sweep is verdict-equivalent to
+/// the full sweep (property-tested in `tests/multi_fault_local.rs`) — the
+/// basis of the coverage engine's diagnosis-style `injection_detected`
+/// queries.
+///
 /// `addresses` must be sorted ascending and cover every word the memory's
 /// fault set touches as victim or aggressor (debug-asserted); each march
 /// element visits them in its prescribed sweep direction.
@@ -281,7 +289,7 @@ pub fn detect_lowered_at(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, march_u};
     use twm_mem::{BitAddress, Fault, MemoryBuilder, MemoryConfig, Transition};
 
@@ -317,10 +325,7 @@ mod tests {
 
     #[test]
     fn transparent_test_preserves_arbitrary_content_and_reports_clean() {
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_u())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_u()).unwrap();
         let mut mem = MemoryBuilder::new(32, 8)
             .random_content(99)
             .build()
@@ -338,10 +343,7 @@ mod tests {
 
     #[test]
     fn stuck_at_fault_is_detected_by_the_exact_oracle() {
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_c_minus()).unwrap();
         let mut mem = MemoryBuilder::new(16, 8)
             .random_content(3)
             .fault(Fault::stuck_at(BitAddress::new(5, 2), true))
@@ -353,10 +355,7 @@ mod tests {
 
     #[test]
     fn transition_fault_is_detected_by_transparent_march() {
-        let transformed = TwmTransformer::new(4)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(4).unwrap().transform(&march_c_minus()).unwrap();
         let mut mem = MemoryBuilder::new(8, 4)
             .random_content(11)
             .fault(Fault::transition(BitAddress::new(3, 1), Transition::Rising))
@@ -368,10 +367,7 @@ mod tests {
 
     #[test]
     fn stop_at_first_mismatch_short_circuits() {
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_c_minus()).unwrap();
         let build = || {
             MemoryBuilder::new(64, 8)
                 .random_content(5)
@@ -402,7 +398,7 @@ mod tests {
         // literal tests: restricting the sweep to the fault's footprint
         // words must produce the same detection verdict as the full sweep.
         let width = 4;
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
@@ -454,10 +450,7 @@ mod tests {
 
     #[test]
     fn read_records_expose_offsets_for_misr_compensation() {
-        let transformed = TwmTransformer::new(4)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(4).unwrap().transform(&march_c_minus()).unwrap();
         let mut mem = MemoryBuilder::new(4, 4).random_content(1).build().unwrap();
         let initial = mem.content();
         let result = execute(transformed.transparent_test(), &mut mem).unwrap();
@@ -473,10 +466,7 @@ mod tests {
     fn background_resolution_errors_are_reported() {
         // An ATMarch built for 8-bit words references D3, which does not
         // exist for 4-bit words.
-        let transformed = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(8).unwrap().transform(&march_c_minus()).unwrap();
         let mut narrow = MemoryBuilder::new(4, 4).build().unwrap();
         let result = execute(transformed.transparent_test(), &mut narrow);
         assert!(matches!(result, Err(BistError::March(_))));

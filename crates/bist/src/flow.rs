@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use twm_core::scheme::SchemeTransform;
 use twm_march::MarchTest;
 use twm_mem::{FaultyMemory, Word};
 
@@ -137,15 +138,76 @@ pub fn run_transparent_session(
     })
 }
 
+/// Runs the BIST session described by any [`SchemeTransform`] on the given
+/// memory — the scheme-generic entry point of the flow.
+///
+/// For schemes with a signature-prediction test this is exactly
+/// [`run_transparent_session`] over the transform's two tests. For schemes
+/// with concurrent (code-based) checking and no prediction phase — TOMT —
+/// the transparent test is executed once and the *predicted* signature is
+/// compacted from the fault-free expected data of every read (what the code
+/// checker would accept), so [`SessionOutcome::fault_detected`] still
+/// models the checker flagging a corrupted word;
+/// [`SessionOutcome::prediction_operations`] is 0 because no prediction
+/// pass touches the memory.
+///
+/// # Errors
+///
+/// Same as [`run_transparent_session`].
+pub fn run_scheme_session(
+    transform: &SchemeTransform,
+    memory: &mut FaultyMemory,
+    misr: Misr,
+) -> Result<SessionOutcome, BistError> {
+    if let Some(prediction) = transform.signature_prediction() {
+        return run_transparent_session(transform.transparent_test(), prediction, memory, misr);
+    }
+    if misr.width() != memory.width() {
+        return Err(BistError::WidthMismatch {
+            misr: misr.width(),
+            memory: memory.width(),
+        });
+    }
+    let content_before = memory.content();
+    let mut predicted_misr = misr.clone();
+    predicted_misr.reset();
+    let mut test_misr = misr;
+    test_misr.reset();
+    let test = execute_with(
+        transform.transparent_test(),
+        memory,
+        ExecutionOptions {
+            record_reads: true,
+            stop_at_first_mismatch: false,
+        },
+    )?;
+    for record in &test.reads {
+        // The concurrent checker knows the fault-free expected word for
+        // every read; compensate both streams identically so a fault-free
+        // memory produces matching signatures.
+        predicted_misr.absorb(record.expected ^ record.offset);
+        test_misr.absorb(record.compensated());
+    }
+    let content_after = memory.content();
+    Ok(SessionOutcome {
+        predicted_signature: predicted_misr.signature(),
+        test_signature: test_misr.signature(),
+        mismatches: test.mismatches,
+        content_preserved: content_before == content_after,
+        prediction_operations: 0,
+        test_operations: test.operations(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twm_core::TwmTransformer;
+    use twm_core::scheme::{SchemeId, SchemeRegistry, TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, march_u};
     use twm_mem::{BitAddress, Fault, MemoryBuilder, Transition};
 
-    fn transformed(width: usize) -> twm_core::TwmTransformed {
-        TwmTransformer::new(width)
+    fn transformed(width: usize) -> SchemeTransform {
+        TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap()
@@ -159,13 +221,7 @@ mod tests {
             .build()
             .unwrap();
         let before = mem.content();
-        let outcome = run_transparent_session(
-            t.transparent_test(),
-            t.signature_prediction(),
-            &mut mem,
-            Misr::standard(8),
-        )
-        .unwrap();
+        let outcome = run_scheme_session(&t, &mut mem, Misr::standard(8)).unwrap();
         assert!(!outcome.fault_detected());
         assert!(!outcome.fault_detected_exact());
         assert!(outcome.content_preserved);
@@ -177,7 +233,7 @@ mod tests {
         );
         assert_eq!(
             outcome.prediction_operations,
-            t.signature_prediction().total_operations(64)
+            t.signature_prediction().unwrap().total_operations(64)
         );
     }
 
@@ -189,13 +245,7 @@ mod tests {
             .fault(Fault::stuck_at(BitAddress::new(9, 4), false))
             .build()
             .unwrap();
-        let outcome = run_transparent_session(
-            t.transparent_test(),
-            t.signature_prediction(),
-            &mut mem,
-            Misr::standard(8),
-        )
-        .unwrap();
+        let outcome = run_scheme_session(&t, &mut mem, Misr::standard(8)).unwrap();
         assert!(outcome.fault_detected_exact());
         assert!(
             outcome.fault_detected(),
@@ -205,10 +255,7 @@ mod tests {
 
     #[test]
     fn coupling_fault_between_words_is_detected() {
-        let t = TwmTransformer::new(4)
-            .unwrap()
-            .transform(&march_u())
-            .unwrap();
+        let t = TwmTa::new(4).unwrap().transform(&march_u()).unwrap();
         let mut mem = MemoryBuilder::new(16, 4)
             .random_content(5)
             .fault(Fault::coupling_idempotent(
@@ -219,13 +266,7 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let outcome = run_transparent_session(
-            t.transparent_test(),
-            t.signature_prediction(),
-            &mut mem,
-            Misr::standard(4),
-        )
-        .unwrap();
+        let outcome = run_scheme_session(&t, &mut mem, Misr::standard(4)).unwrap();
         assert!(outcome.fault_detected_exact());
     }
 
@@ -233,12 +274,7 @@ mod tests {
     fn misr_width_must_match_memory_width() {
         let t = transformed(8);
         let mut mem = MemoryBuilder::new(8, 8).build().unwrap();
-        let result = run_transparent_session(
-            t.transparent_test(),
-            t.signature_prediction(),
-            &mut mem,
-            Misr::standard(16),
-        );
+        let result = run_scheme_session(&t, &mut mem, Misr::standard(16));
         assert!(matches!(result, Err(BistError::WidthMismatch { .. })));
     }
 
@@ -250,17 +286,60 @@ mod tests {
                 .random_content(42)
                 .build()
                 .unwrap();
-            run_transparent_session(
-                t.transparent_test(),
-                t.signature_prediction(),
-                &mut mem,
-                Misr::standard(8),
-            )
-            .unwrap()
+            run_scheme_session(&t, &mut mem, Misr::standard(8)).unwrap()
         };
         let first = run();
         let second = run();
         assert_eq!(first.predicted_signature, second.predicted_signature);
         assert_eq!(first.test_signature, second.test_signature);
+    }
+
+    #[test]
+    fn concurrent_checking_scheme_runs_without_a_prediction_phase() {
+        let registry = SchemeRegistry::all(8).unwrap();
+        let tomt = registry
+            .get(SchemeId::Tomt)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        assert!(tomt.signature_prediction().is_none());
+
+        let mut healthy = MemoryBuilder::new(16, 8).random_content(3).build().unwrap();
+        let before = healthy.content();
+        let outcome = run_scheme_session(&tomt, &mut healthy, Misr::standard(8)).unwrap();
+        assert!(!outcome.fault_detected());
+        assert!(!outcome.fault_detected_exact());
+        assert!(outcome.content_preserved);
+        assert_eq!(outcome.prediction_operations, 0);
+        assert_eq!(
+            outcome.test_operations,
+            tomt.transparent_test().total_operations(16)
+        );
+        assert_eq!(healthy.content(), before);
+
+        let mut faulty = MemoryBuilder::new(16, 8)
+            .random_content(3)
+            .fault(Fault::stuck_at(BitAddress::new(4, 2), true))
+            .build()
+            .unwrap();
+        let outcome = run_scheme_session(&tomt, &mut faulty, Misr::standard(8)).unwrap();
+        assert!(outcome.fault_detected_exact());
+        assert!(outcome.fault_detected());
+    }
+
+    #[test]
+    fn scheme_session_matches_the_two_phase_flow_for_predicting_schemes() {
+        let t = transformed(8);
+        let mut via_scheme = MemoryBuilder::new(16, 8).random_content(9).build().unwrap();
+        let mut via_pair = MemoryBuilder::new(16, 8).random_content(9).build().unwrap();
+        let a = run_scheme_session(&t, &mut via_scheme, Misr::standard(8)).unwrap();
+        let b = run_transparent_session(
+            t.transparent_test(),
+            t.signature_prediction().unwrap(),
+            &mut via_pair,
+            Misr::standard(8),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 }

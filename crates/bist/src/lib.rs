@@ -24,23 +24,20 @@
 //!   read records of a failing run.
 //!
 //! ```
-//! use twm_bist::flow::run_transparent_session;
+//! use twm_bist::flow::run_scheme_session;
 //! use twm_bist::misr::Misr;
-//! use twm_core::TwmTransformer;
+//! use twm_core::scheme::{SchemeId, SchemeRegistry};
 //! use twm_march::algorithms::march_c_minus;
 //! use twm_mem::{FaultyMemory, MemoryConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let transformed = TwmTransformer::new(8)?.transform(&march_c_minus())?;
+//! // Any registered scheme's transform runs through the same session API.
+//! let registry = SchemeRegistry::all(8)?;
+//! let transformed = registry.transform(SchemeId::TwmTa, &march_c_minus())?;
 //! let mut memory = FaultyMemory::fault_free(MemoryConfig::new(64, 8)?);
 //! memory.fill_random(42);
 //!
-//! let outcome = run_transparent_session(
-//!     transformed.transparent_test(),
-//!     transformed.signature_prediction(),
-//!     &mut memory,
-//!     Misr::standard(8),
-//! )?;
+//! let outcome = run_scheme_session(&transformed, &mut memory, Misr::standard(8))?;
 //! assert!(!outcome.fault_detected());          // fault-free memory
 //! assert!(outcome.content_preserved);          // transparent test restored content
 //! # Ok(())
@@ -64,6 +61,6 @@ pub use executor::{
     detect_lowered_at, execute, execute_lowered, execute_with, ExecutionOptions, ExecutionResult,
     ReadRecord,
 };
-pub use flow::{run_transparent_session, SessionOutcome};
+pub use flow::{run_scheme_session, run_transparent_session, SessionOutcome};
 pub use lowered::{LoweredElement, LoweredOp, LoweredTest};
 pub use misr::Misr;

@@ -1,0 +1,114 @@
+//! Property test for multi-fault fault-local detection: for a memory
+//! carrying *several* simultaneous faults, sweeping only the union of the
+//! faults' word footprints ([`twm_mem::FaultSet::word_footprint`]) must
+//! produce the same detection verdict as a full-address sweep — the
+//! diagnosis-style generalisation of the single-fault property the coverage
+//! engine relies on.
+
+use proptest::prelude::*;
+
+use twm_bist::{detect_lowered_at, execute_lowered, ExecutionOptions, LoweredTest};
+use twm_core::{TransparentScheme, TwmTa};
+use twm_march::algorithms::{march_c_minus, march_u, mats_plus};
+use twm_mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig, Transition};
+
+const WORDS: usize = 12;
+const WIDTH: usize = 4;
+
+fn arb_cell() -> impl Strategy<Value = BitAddress> {
+    (0..WORDS, 0..WIDTH).prop_map(|(word, bit)| BitAddress::new(word, bit))
+}
+
+/// Forces the victim apart from the aggressor (coupling faults need two
+/// distinct cells) while keeping the pair deterministic in the inputs.
+fn apart(aggressor: BitAddress, victim: BitAddress) -> BitAddress {
+    if aggressor == victim {
+        BitAddress::new(victim.word, (victim.bit + 1) % WIDTH)
+    } else {
+        victim
+    }
+}
+
+fn transition(rising: bool) -> Transition {
+    if rising {
+        Transition::Rising
+    } else {
+        Transition::Falling
+    }
+}
+
+/// One fault drawn from every modelled class, anywhere in the memory.
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (arb_cell(), any::<bool>()).prop_map(|(c, v)| Fault::stuck_at(c, v)),
+        (arb_cell(), any::<bool>()).prop_map(|(c, r)| Fault::transition(c, transition(r))),
+        (arb_cell(), arb_cell(), any::<bool>(), any::<bool>()).prop_map(|(a, v, r, val)| {
+            Fault::coupling_idempotent(a, apart(a, v), transition(r), val)
+        }),
+        (arb_cell(), arb_cell(), any::<bool>()).prop_map(|(a, v, r)| Fault::coupling_inversion(
+            a,
+            apart(a, v),
+            transition(r)
+        )),
+        (arb_cell(), arb_cell(), any::<bool>(), any::<bool>())
+            .prop_map(|(a, v, av, vv)| Fault::coupling_state(a, apart(a, v), av, vv)),
+    ]
+}
+
+fn arb_test() -> impl Strategy<Value = twm_march::MarchTest> {
+    prop_oneof![
+        Just(march_c_minus()),
+        Just(mats_plus()),
+        Just(
+            TwmTa::new(WIDTH)
+                .unwrap()
+                .transform(&march_u())
+                .unwrap()
+                .transparent_test()
+                .clone()
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The union-footprint sweep is verdict-equivalent to the full sweep for
+    /// any multi-fault injection, test and content.
+    #[test]
+    fn union_footprint_sweep_matches_full_sweep(
+        faults in prop::collection::vec(arb_fault(), 1..5),
+        test in arb_test(),
+        seed in any::<u64>(),
+    ) {
+        let config = MemoryConfig::new(WORDS, WIDTH).unwrap();
+        let set = FaultSet::from_faults(faults.clone());
+        let footprint = set.word_footprint();
+        prop_assert!(!footprint.is_empty());
+
+        let lowered = LoweredTest::new(&test, WIDTH).unwrap();
+        let build = || {
+            let mut memory = FaultyMemory::with_faults(config, set.clone()).unwrap();
+            memory.fill_random(seed);
+            memory
+        };
+
+        let full = execute_lowered(
+            &lowered,
+            &mut build(),
+            ExecutionOptions {
+                record_reads: false,
+                stop_at_first_mismatch: true,
+            },
+        )
+        .unwrap();
+        let local = detect_lowered_at(&lowered, &mut build(), &footprint).unwrap();
+        prop_assert_eq!(
+            full.detected(),
+            local,
+            "verdicts diverge for {:?} under {}",
+            faults,
+            test.name()
+        );
+    }
+}

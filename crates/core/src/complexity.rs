@@ -15,15 +15,21 @@
 //! of the generated tests are reported alongside so any divergence is
 //! visible. All values returned here are *per word* — multiply by `N` for
 //! the totals the paper quotes.
+//!
+//! The table builders ([`table3_rows`], [`headline`]) are data-driven: they
+//! pull every scheme from a [`SchemeRegistry`] and ask it for its
+//! closed-form and exact complexity through the
+//! [`crate::scheme::TransparentScheme`] trait, so a newly registered scheme
+//! shows up in the comparison without touching this module. The `*_formula`
+//! free functions remain as the shared arithmetic the scheme
+//! implementations delegate to.
 
 use serde::{Deserialize, Serialize};
 
 use twm_march::background::background_degree;
 use twm_march::{MarchTest, TestLength};
 
-use crate::scheme1::Scheme1Transformer;
-use crate::tomt::{tomt_tcm_per_word, tomt_tcp_per_word};
-use crate::twm_ta::TwmTransformer;
+use crate::scheme::{SchemeId, SchemeRegistry, TransparentScheme, TwmTa};
 use crate::CoreError;
 
 /// Per-word complexity of one scheme: test length (TCM) and signature
@@ -44,6 +50,19 @@ impl SchemeComplexity {
     }
 }
 
+/// Closed-form complexity of the classical Nicolaidis transformation: the
+/// initialization write is absorbed by the arbitrary initial content
+/// (`TCM = M − 1` for tests with a one-operation initialization element and
+/// read-led elements), and the prediction is the read-only projection
+/// (`TCP = Q`).
+#[must_use]
+pub fn nicolaidis_formula(length: TestLength) -> SchemeComplexity {
+    SchemeComplexity {
+        tcm: length.operations.saturating_sub(1),
+        tcp: length.reads,
+    }
+}
+
 /// Closed-form complexity of Scheme 1 (reference \[12\]).
 #[must_use]
 pub fn scheme1_formula(length: TestLength, width: usize) -> SchemeComplexity {
@@ -58,8 +77,8 @@ pub fn scheme1_formula(length: TestLength, width: usize) -> SchemeComplexity {
 #[must_use]
 pub fn scheme2_formula(width: usize) -> SchemeComplexity {
     SchemeComplexity {
-        tcm: tomt_tcm_per_word(width),
-        tcp: tomt_tcp_per_word(width),
+        tcm: crate::tomt::tcm_per_word(width),
+        tcp: crate::tomt::tcp_per_word(width),
     }
 }
 
@@ -79,13 +98,9 @@ pub fn proposed_formula(length: TestLength, width: usize) -> SchemeComplexity {
 ///
 /// # Errors
 ///
-/// Returns the errors of [`TwmTransformer::transform`].
+/// Returns the errors of [`crate::scheme::TwmTa::transform`].
 pub fn proposed_exact(bmarch: &MarchTest, width: usize) -> Result<SchemeComplexity, CoreError> {
-    let transformed = TwmTransformer::new(width)?.transform(bmarch)?;
-    Ok(SchemeComplexity {
-        tcm: transformed.transparent_test().operations_per_word(),
-        tcp: transformed.signature_prediction().operations_per_word(),
-    })
+    Ok(TwmTa::new(width)?.transform(bmarch)?.exact_complexity())
 }
 
 /// Exact per-word complexity of Scheme 1, measured on the generated
@@ -93,59 +108,92 @@ pub fn proposed_exact(bmarch: &MarchTest, width: usize) -> Result<SchemeComplexi
 ///
 /// # Errors
 ///
-/// Returns the errors of [`Scheme1Transformer::transform`].
+/// Returns the errors of [`crate::scheme::Scheme1::transform`].
 pub fn scheme1_exact(bmarch: &MarchTest, width: usize) -> Result<SchemeComplexity, CoreError> {
-    let transformed = Scheme1Transformer::new(width)?.transform(bmarch)?;
-    Ok(SchemeComplexity {
-        tcm: transformed.transparent_test().operations_per_word(),
-        tcp: transformed.signature_prediction().operations_per_word(),
-    })
+    Ok(crate::scheme::Scheme1::new(width)?
+        .transform(bmarch)?
+        .exact_complexity())
+}
+
+/// One scheme's cell in a comparison row: the closed-form model next to the
+/// exact complexity measured on the generated tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemeCell {
+    /// The scheme this cell belongs to.
+    pub scheme: SchemeId,
+    /// Closed-form per-word complexity (the paper's Table 2 model).
+    pub closed_form: SchemeComplexity,
+    /// Exact per-word complexity of the generated tests.
+    pub exact: SchemeComplexity,
 }
 
 /// One row of the paper's Table 3: a march test at a given word width,
-/// compared across the three schemes.
+/// compared across every scheme of a registry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ComparisonRow {
     /// Name of the bit-oriented march test.
     pub test_name: String,
     /// Word width in bits.
     pub width: usize,
-    /// Closed-form complexity of Scheme 1 \[12\].
-    pub scheme1: SchemeComplexity,
-    /// Closed-form complexity of Scheme 2 (TOMT) \[13\].
-    pub scheme2: SchemeComplexity,
-    /// Closed-form complexity of the proposed scheme.
-    pub proposed: SchemeComplexity,
-    /// Exact complexity of the proposed scheme measured on the generated
-    /// test.
-    pub proposed_exact: SchemeComplexity,
-    /// Exact complexity of Scheme 1 measured on the generated test.
-    pub scheme1_exact: SchemeComplexity,
+    /// One cell per registered scheme, in registry order.
+    pub cells: Vec<SchemeCell>,
 }
 
-/// Builds the rows of the paper's Table 3 for the given tests and word
-/// widths.
+impl ComparisonRow {
+    /// The cell of a particular scheme, if it is part of the comparison.
+    #[must_use]
+    pub fn cell(&self, id: SchemeId) -> Option<&SchemeCell> {
+        self.cells.iter().find(|cell| cell.scheme == id)
+    }
+}
+
+/// Builds one comparison row per (test, width) cell of the paper's Table 3,
+/// using the [`SchemeRegistry::comparison`] registry (Scheme 1, TOMT,
+/// TWM_TA) at each width.
 ///
 /// # Errors
 ///
 /// Returns transformation errors for inputs that are not valid bit-oriented
-/// march tests.
+/// march tests, and [`CoreError::InvalidWidth`] for unsupported widths.
 pub fn table3_rows(tests: &[MarchTest], widths: &[usize]) -> Result<Vec<ComparisonRow>, CoreError> {
+    let registries = widths
+        .iter()
+        .map(|&width| SchemeRegistry::comparison(width))
+        .collect::<Result<Vec<_>, CoreError>>()?;
     let mut rows = Vec::with_capacity(tests.len() * widths.len());
     for test in tests {
-        for &width in widths {
-            rows.push(ComparisonRow {
-                test_name: test.name().to_string(),
-                width,
-                scheme1: scheme1_formula(test.length(), width),
-                scheme2: scheme2_formula(width),
-                proposed: proposed_formula(test.length(), width),
-                proposed_exact: proposed_exact(test, width)?,
-                scheme1_exact: scheme1_exact(test, width)?,
-            });
+        for registry in &registries {
+            rows.push(comparison_row(registry, test)?);
         }
     }
     Ok(rows)
+}
+
+/// Builds the comparison row of one source test across every scheme of a
+/// registry.
+///
+/// # Errors
+///
+/// Returns the schemes' transformation errors.
+pub fn comparison_row(
+    registry: &SchemeRegistry,
+    test: &MarchTest,
+) -> Result<ComparisonRow, CoreError> {
+    let cells = registry
+        .iter()
+        .map(|scheme| {
+            Ok(SchemeCell {
+                scheme: scheme.id(),
+                closed_form: scheme.closed_form(test.length()),
+                exact: scheme.transform(test)?.exact_complexity(),
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    Ok(ComparisonRow {
+        test_name: test.name().to_string(),
+        width: registry.width(),
+        cells,
+    })
 }
 
 /// The headline comparison of the paper (Sections 1, 5 and 6): total
@@ -166,22 +214,47 @@ pub struct HeadlineComparison {
     pub ratio_vs_scheme2: f64,
 }
 
-/// Computes the headline comparison for a bit-oriented march test and word
-/// width using the closed-form complexities.
-#[must_use]
-pub fn headline(bmarch: &MarchTest, width: usize) -> HeadlineComparison {
+/// Computes the headline comparison for a bit-oriented march test from the
+/// closed forms of a registry's [`SchemeId::Scheme1`], [`SchemeId::Tomt`]
+/// and [`SchemeId::TwmTa`] entries.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingScheme`] if the registry lacks one of the
+/// three compared schemes.
+pub fn headline(
+    registry: &SchemeRegistry,
+    bmarch: &MarchTest,
+) -> Result<HeadlineComparison, CoreError> {
     let length = bmarch.length();
-    let proposed = proposed_formula(length, width).total();
-    let scheme1 = scheme1_formula(length, width).total();
-    let scheme2 = scheme2_formula(width).total();
-    HeadlineComparison {
-        width,
+    let total = |id: SchemeId| -> Result<usize, CoreError> {
+        Ok(registry
+            .get(id)
+            .ok_or(CoreError::MissingScheme { id })?
+            .closed_form(length)
+            .total())
+    };
+    let proposed = total(SchemeId::TwmTa)?;
+    let scheme1 = total(SchemeId::Scheme1)?;
+    let scheme2 = total(SchemeId::Tomt)?;
+    Ok(HeadlineComparison {
+        width: registry.width(),
         proposed_total: proposed,
         scheme1_total: scheme1,
         scheme2_total: scheme2,
         ratio_vs_scheme1: proposed as f64 / scheme1 as f64,
         ratio_vs_scheme2: proposed as f64 / scheme2 as f64,
-    }
+    })
+}
+
+/// Convenience form of [`headline`]: builds the comparison registry for
+/// `width` internally.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for unsupported widths.
+pub fn headline_at(bmarch: &MarchTest, width: usize) -> Result<HeadlineComparison, CoreError> {
+    headline(&SchemeRegistry::comparison(width)?, bmarch)
 }
 
 #[cfg(test)]
@@ -206,18 +279,31 @@ mod tests {
         let proposed = proposed_formula(length, 32);
         assert_eq!(proposed.tcm, 35);
         assert_eq!(proposed.tcp, 15);
+
+        let nicolaidis = nicolaidis_formula(length);
+        assert_eq!(nicolaidis.tcm, 9);
+        assert_eq!(nicolaidis.tcp, 5);
     }
 
     #[test]
     fn headline_ratios_match_the_paper() {
         // "... only about 56% or 19% time complexity of the transparent
         // word-oriented test converted by the scheme [12] or [13]".
-        let comparison = headline(&march_c_minus(), 32);
+        let comparison = headline_at(&march_c_minus(), 32).unwrap();
         assert_eq!(comparison.proposed_total, 50);
         assert_eq!(comparison.scheme1_total, 90);
         assert_eq!(comparison.scheme2_total, 258);
         assert!((comparison.ratio_vs_scheme1 - 0.556).abs() < 0.01);
         assert!((comparison.ratio_vs_scheme2 - 0.194).abs() < 0.01);
+    }
+
+    #[test]
+    fn headline_requires_the_compared_schemes() {
+        let registry = SchemeRegistry::empty(32).unwrap();
+        assert!(matches!(
+            headline(&registry, &march_c_minus()),
+            Err(CoreError::MissingScheme { .. })
+        ));
     }
 
     #[test]
@@ -247,20 +333,42 @@ mod tests {
         let rows = table3_rows(&tests, &widths).unwrap();
         assert_eq!(rows.len(), 8);
         for row in &rows {
-            assert!(row.proposed.total() < row.scheme1.total());
-            assert!(row.proposed.total() < row.scheme2.total());
-            assert!(row.proposed_exact.tcm >= row.proposed.tcm);
+            let proposed = row.cell(SchemeId::TwmTa).unwrap();
+            let scheme1 = row.cell(SchemeId::Scheme1).unwrap();
+            let scheme2 = row.cell(SchemeId::Tomt).unwrap();
+            assert!(proposed.closed_form.total() < scheme1.closed_form.total());
+            assert!(proposed.closed_form.total() < scheme2.closed_form.total());
+            assert!(proposed.exact.tcm >= proposed.closed_form.tcm);
         }
         // Spot-check the March U / 64-bit cell: TCM = 13 + 30 = 43,
         // TCP = 6 + 12 = 18.
-        let cell = rows
+        let cell_row = rows
             .iter()
             .find(|r| r.test_name == "March U" && r.width == 64)
             .unwrap();
-        assert_eq!(cell.proposed.tcm, 43);
-        assert_eq!(cell.proposed.tcp, 18);
-        assert_eq!(cell.scheme1.tcm, 13 * 7);
-        assert_eq!(cell.scheme2.tcm, 8 * 64 + 2);
+        let proposed = cell_row.cell(SchemeId::TwmTa).unwrap();
+        assert_eq!(proposed.closed_form.tcm, 43);
+        assert_eq!(proposed.closed_form.tcp, 18);
+        assert_eq!(
+            cell_row.cell(SchemeId::Scheme1).unwrap().closed_form.tcm,
+            13 * 7
+        );
+        assert_eq!(
+            cell_row.cell(SchemeId::Tomt).unwrap().closed_form.tcm,
+            8 * 64 + 2
+        );
+    }
+
+    #[test]
+    fn comparison_rows_follow_registry_membership() {
+        let registry = SchemeRegistry::all(16).unwrap();
+        let row = comparison_row(&registry, &march_c_minus()).unwrap();
+        assert_eq!(row.cells.len(), 4);
+        assert_eq!(row.width, 16);
+        assert!(row.cell(SchemeId::Nicolaidis).is_some());
+        let registry = SchemeRegistry::comparison(16).unwrap();
+        let row = comparison_row(&registry, &march_c_minus()).unwrap();
+        assert!(row.cell(SchemeId::Nicolaidis).is_none());
     }
 
     #[test]

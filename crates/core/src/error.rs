@@ -30,6 +30,25 @@ pub enum CoreError {
     },
     /// An underlying march-framework error.
     March(MarchError),
+    /// A [`crate::scheme::SchemeRegistry`] lookup asked for a scheme that is
+    /// not registered.
+    MissingScheme {
+        /// The requested scheme identifier.
+        id: crate::scheme::SchemeId,
+    },
+    /// A scheme was registered into a [`crate::scheme::SchemeRegistry`] built
+    /// for a different word width.
+    SchemeWidthMismatch {
+        /// Word width of the registry.
+        registry: usize,
+        /// Word width of the offending scheme.
+        scheme: usize,
+    },
+    /// A scheme with the same identifier is already registered.
+    DuplicateScheme {
+        /// The duplicated scheme identifier.
+        id: crate::scheme::SchemeId,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +72,16 @@ impl fmt::Display for CoreError {
                 "march test is inconsistent at element {element}, operation {operation}: {detail}"
             ),
             CoreError::March(err) => write!(f, "march framework error: {err}"),
+            CoreError::MissingScheme { id } => {
+                write!(f, "scheme {id} is not registered in this registry")
+            }
+            CoreError::SchemeWidthMismatch { registry, scheme } => write!(
+                f,
+                "scheme targets {scheme}-bit words but the registry is built for {registry}-bit words"
+            ),
+            CoreError::DuplicateScheme { id } => {
+                write!(f, "scheme {id} is already registered")
+            }
         }
     }
 }

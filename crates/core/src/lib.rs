@@ -2,36 +2,45 @@
 //!
 //! This crate implements the contribution of *"An Efficient Transparent Test
 //! Scheme for Embedded Word-Oriented Memories"* (Li, Tseng, Wey — DATE 2005)
-//! together with the baseline schemes it is compared against:
+//! together with the baseline schemes it is compared against, behind **one
+//! transformation surface**: the [`scheme::TransparentScheme`] trait and the
+//! [`scheme::SchemeRegistry`].
 //!
-//! * [`nicolaidis`] — the classical transformation of a march test into a
-//!   *transparent* march test (Nicolaidis, ITC'92 / IEEE ToC'96): every
-//!   datum becomes an XOR combination of the word's initial content, reads
-//!   are inserted where needed, and the signature-prediction test is the
-//!   read-only projection.
-//! * [`scheme1`] — the word-oriented baseline of reference \[12\]: the
-//!   transparent bit-oriented test repeated over the `⌈log₂W⌉ + 1` standard
-//!   data backgrounds.
-//! * [`tomt`] — a complexity/behavioural stand-in for TOMT (reference
-//!   \[13\]), the second baseline of the paper's comparison tables.
-//! * [`twm_ta`] — **the paper's Algorithm 1 (TWM_TA)**: solid-background
-//!   SMarch, its transparent version TSMarch, the added ATMarch built from
-//!   the `D_k` data backgrounds, the complete transparent word-oriented
-//!   march test TWMarch, and its signature-prediction test.
+//! * [`scheme`] — the trait, the common [`scheme::SchemeTransform`]
+//!   artifact, the registry, and the four implementations:
+//!   [`scheme::NicolaidisScheme`] (ITC'92 / ToC'96),
+//!   [`scheme::Scheme1`] (reference \[12\]),
+//!   [`scheme::TomtScheme`] (reference \[13\]) and
+//!   [`scheme::TwmTa`] — **the paper's Algorithm 1**.
+//! * [`nicolaidis`] — the classical transparent-transformation rules the
+//!   schemes build on: every datum becomes an XOR combination of the word's
+//!   initial content, reads are inserted where needed, and the
+//!   signature-prediction test is the read-only projection.
+//! * [`atmarch`] — the added transparent march test of Algorithm 1 (one
+//!   element per standard data background `D_k`).
+//! * [`scheme1`], [`tomt`], [`twm_ta`] — the per-scheme construction
+//!   internals (their concrete transformer types are deprecated wrappers
+//!   now; use the registry).
 //! * [`complexity`] — closed-form and exact test-length accounting used to
 //!   regenerate the paper's Tables 2 and 3 and the 56 % / 19 % headline
-//!   comparison.
+//!   comparison, driven by registry entries.
 //! * [`verify`] — structural checks (transparency, content restoration).
 //!
 //! ```
+//! use twm_core::scheme::{SchemeId, SchemeRegistry};
 //! use twm_march::algorithms::march_u;
-//! use twm_core::TwmTransformer;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The paper's worked example: March U on a memory with 8-bit words has
 //! // a transparent word-oriented test of 29 operations per word.
-//! let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
+//! let registry = SchemeRegistry::all(8)?;
+//! let transformed = registry.transform(SchemeId::TwmTa, &march_u())?;
 //! assert_eq!(transformed.transparent_test().operations_per_word(), 29);
+//!
+//! // Every registered scheme is driven through the same surface.
+//! for scheme in registry.iter() {
+//!     assert!(scheme.transform(&march_u())?.transparent_test().is_transparent());
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -43,12 +52,32 @@ pub mod atmarch;
 pub mod complexity;
 mod error;
 pub mod nicolaidis;
+pub mod scheme;
 pub mod scheme1;
 pub mod tomt;
 pub mod twm_ta;
 pub mod verify;
 
+/// Shared transform-entry guard: every scheme consumes bit-oriented
+/// march tests only.
+pub(crate) fn require_bit_oriented(bmarch: &twm_march::MarchTest) -> Result<(), CoreError> {
+    if bmarch.is_bit_oriented() {
+        Ok(())
+    } else {
+        Err(CoreError::NotBitOriented {
+            test: bmarch.name().to_string(),
+        })
+    }
+}
+
+pub use complexity::SchemeComplexity;
 pub use error::CoreError;
 pub use nicolaidis::{to_transparent, TransparentTransform};
+pub use scheme::{
+    NicolaidisScheme, Restoration, Scheme1, SchemeId, SchemeRegistry, SchemeStage, SchemeTransform,
+    TomtScheme, TransparentScheme, TwmTa,
+};
+#[allow(deprecated)]
 pub use scheme1::{Scheme1Transform, Scheme1Transformer};
+#[allow(deprecated)]
 pub use twm_ta::{TwmTransformed, TwmTransformer};

@@ -9,6 +9,12 @@
 //! compares against in Tables 2 and 3; its complexity grows with
 //! `(⌈log₂W⌉ + 1)` whole passes of the original test, whereas the paper's
 //! TWM_TA only adds `5·⌈log₂W⌉ + 1` operations in total.
+//!
+//! The scheme-level entry point is [`crate::scheme::Scheme1`], which exposes
+//! this transformation through the common
+//! [`crate::scheme::TransparentScheme`] surface; the concrete
+//! [`Scheme1Transformer`] / [`Scheme1Transform`] pair is deprecated and kept
+//! as thin wrappers for source compatibility.
 
 use twm_march::background::{background_degree, standard_background_count};
 use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
@@ -17,13 +23,95 @@ use crate::atmarch::MIN_WORD_WIDTH;
 use crate::nicolaidis::to_transparent;
 use crate::CoreError;
 
+/// The intermediate and final artifacts of a Scheme 1 transformation —
+/// shared by the [`crate::scheme::Scheme1`] scheme and the deprecated
+/// wrapper types.
+pub(crate) struct Scheme1Parts {
+    pub word_test: MarchTest,
+    pub transparent: MarchTest,
+    pub prediction: MarchTest,
+    pub passes: usize,
+    pub appended_restore: bool,
+}
+
+pub(crate) fn check_width(width: usize) -> Result<(), CoreError> {
+    if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
+        return Err(CoreError::InvalidWidth { width });
+    }
+    Ok(())
+}
+
+/// Builds the (non-transparent) word-oriented march test: the source test
+/// repeated once per standard data background.
+pub(crate) fn word_oriented(width: usize, bmarch: &MarchTest) -> Result<MarchTest, CoreError> {
+    check_width(width)?;
+    crate::require_bit_oriented(bmarch)?;
+    let degree = background_degree(width);
+    let mut elements = Vec::new();
+    for pass in 0..=degree {
+        let (zero_pattern, one_pattern) = if pass == 0 {
+            (DataPattern::Zeros, DataPattern::Ones)
+        } else {
+            (
+                DataPattern::Background(pass),
+                DataPattern::BackgroundComplement(pass),
+            )
+        };
+        for element in bmarch.elements() {
+            let ops: Vec<Operation> = element
+                .ops
+                .iter()
+                .map(|op| {
+                    let pattern = match op.data {
+                        DataSpec::Literal(DataPattern::Zeros) => zero_pattern,
+                        DataSpec::Literal(DataPattern::Ones) => one_pattern,
+                        // `is_bit_oriented` guarantees only the two solid
+                        // patterns occur.
+                        _ => unreachable!("bit-oriented test"),
+                    };
+                    Operation {
+                        kind: op.kind,
+                        data: DataSpec::Literal(pattern),
+                    }
+                })
+                .collect();
+            elements.push(MarchElement::new(element.order, ops));
+        }
+    }
+    Ok(MarchTest::new(
+        format!("Word-oriented {} (W={})", bmarch.name(), width),
+        elements,
+    )?)
+}
+
+/// Applies the full Scheme 1 transformation: multi-background expansion,
+/// then the classical transparent transformation.
+pub(crate) fn transform_parts(width: usize, bmarch: &MarchTest) -> Result<Scheme1Parts, CoreError> {
+    let word_test = word_oriented(width, bmarch)?;
+    let transparent = to_transparent(&word_test)?;
+    let name = format!("Scheme 1 transparent {} (W={})", bmarch.name(), width);
+    let transparent_test = transparent.transparent_test().renamed(name.clone());
+    let prediction = transparent
+        .signature_prediction()
+        .renamed(format!("{name} (prediction)"));
+    Ok(Scheme1Parts {
+        word_test,
+        transparent: transparent_test,
+        prediction,
+        passes: standard_background_count(width),
+        appended_restore: transparent.appended_restore(),
+    })
+}
+
 /// Transformer implementing Scheme 1 (reference \[12\]) for a fixed word
 /// width.
+#[deprecated(note = "use `scheme::Scheme1` via the `TransparentScheme` trait / `SchemeRegistry`")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scheme1Transformer {
     width: usize,
 }
 
+#[allow(deprecated)]
 impl Scheme1Transformer {
     /// Creates a Scheme 1 transformer for `width`-bit words.
     ///
@@ -32,9 +120,7 @@ impl Scheme1Transformer {
     /// Returns [`CoreError::InvalidWidth`] for widths below 2 or above the
     /// supported maximum.
     pub fn new(width: usize) -> Result<Self, CoreError> {
-        if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
-            return Err(CoreError::InvalidWidth { width });
-        }
+        check_width(width)?;
         Ok(Self { width })
     }
 
@@ -51,47 +137,7 @@ impl Scheme1Transformer {
     ///
     /// Returns [`CoreError::NotBitOriented`] if the input is not bit-oriented.
     pub fn word_oriented(&self, bmarch: &MarchTest) -> Result<MarchTest, CoreError> {
-        if !bmarch.is_bit_oriented() {
-            return Err(CoreError::NotBitOriented {
-                test: bmarch.name().to_string(),
-            });
-        }
-        let degree = background_degree(self.width);
-        let mut elements = Vec::new();
-        for pass in 0..=degree {
-            let (zero_pattern, one_pattern) = if pass == 0 {
-                (DataPattern::Zeros, DataPattern::Ones)
-            } else {
-                (
-                    DataPattern::Background(pass),
-                    DataPattern::BackgroundComplement(pass),
-                )
-            };
-            for element in bmarch.elements() {
-                let ops: Vec<Operation> = element
-                    .ops
-                    .iter()
-                    .map(|op| {
-                        let pattern = match op.data {
-                            DataSpec::Literal(DataPattern::Zeros) => zero_pattern,
-                            DataSpec::Literal(DataPattern::Ones) => one_pattern,
-                            // `is_bit_oriented` guarantees only the two solid
-                            // patterns occur.
-                            _ => unreachable!("bit-oriented test"),
-                        };
-                        Operation {
-                            kind: op.kind,
-                            data: DataSpec::Literal(pattern),
-                        }
-                    })
-                    .collect();
-                elements.push(MarchElement::new(element.order, ops));
-            }
-        }
-        Ok(MarchTest::new(
-            format!("Word-oriented {} (W={})", bmarch.name(), self.width),
-            elements,
-        )?)
+        word_oriented(self.width, bmarch)
     }
 
     /// Transforms a bit-oriented march test into Scheme 1's transparent
@@ -102,25 +148,22 @@ impl Scheme1Transformer {
     /// Returns the errors of [`Scheme1Transformer::word_oriented`] and of the
     /// underlying transparent transformation.
     pub fn transform(&self, bmarch: &MarchTest) -> Result<Scheme1Transform, CoreError> {
-        let word_test = self.word_oriented(bmarch)?;
-        let transparent = to_transparent(&word_test)?;
-        let name = format!("Scheme 1 transparent {} (W={})", bmarch.name(), self.width);
-        let transparent_test = transparent.transparent_test().renamed(name.clone());
-        let prediction = transparent
-            .signature_prediction()
-            .renamed(format!("{name} (prediction)"));
+        let parts = transform_parts(self.width, bmarch)?;
         Ok(Scheme1Transform {
             width: self.width,
             source_name: bmarch.name().to_string(),
-            passes: standard_background_count(self.width),
-            word_test,
-            transparent: transparent_test,
-            prediction,
+            passes: parts.passes,
+            word_test: parts.word_test,
+            transparent: parts.transparent,
+            prediction: parts.prediction,
         })
     }
 }
 
 /// The result of applying Scheme 1 to a bit-oriented march test.
+#[deprecated(
+    note = "use `scheme::SchemeTransform` (returned by `TransparentScheme::transform`) instead"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scheme1Transform {
     width: usize,
@@ -131,6 +174,7 @@ pub struct Scheme1Transform {
     prediction: MarchTest,
 }
 
+#[allow(deprecated)]
 impl Scheme1Transform {
     /// The word width the transformation targets.
     #[must_use]
@@ -178,12 +222,11 @@ mod tests {
     fn four_bit_march_c_minus_uses_three_backgrounds() {
         // Section 3's example: March C- on 4-bit words runs with the
         // backgrounds 0000, 0101 and 0011.
-        let transformer = Scheme1Transformer::new(4).unwrap();
-        let result = transformer.transform(&march_c_minus()).unwrap();
-        assert_eq!(result.passes(), 3);
+        let parts = transform_parts(4, &march_c_minus()).unwrap();
+        assert_eq!(parts.passes, 3);
         // The word-oriented test repeats the 10-operation test three times.
-        assert_eq!(result.word_oriented_test().length().operations, 30);
-        assert!(result.transparent_test().is_transparent());
+        assert_eq!(parts.word_test.length().operations, 30);
+        assert!(parts.transparent.is_transparent());
     }
 
     #[test]
@@ -194,25 +237,23 @@ mod tests {
         // final 2-operation restore element brings the content back from the
         // last background. For March C- (1-op initialization, read-first
         // elements) the exact count is therefore M·passes + passes.
-        let transformer = Scheme1Transformer::new(32).unwrap();
-        let result = transformer.transform(&march_c_minus()).unwrap();
+        let parts = transform_parts(32, &march_c_minus()).unwrap();
         let m = march_c_minus().length().operations;
-        let passes = result.passes();
-        assert_eq!(passes, 6);
+        assert_eq!(parts.passes, 6);
+        assert!(parts.appended_restore);
         assert_eq!(
-            result.transparent_test().operations_per_word(),
-            m * passes + passes
+            parts.transparent.operations_per_word(),
+            m * parts.passes + parts.passes
         );
     }
 
     #[test]
     fn prediction_is_read_only_projection() {
-        let transformer = Scheme1Transformer::new(8).unwrap();
-        let result = transformer.transform(&march_u()).unwrap();
-        assert_eq!(result.signature_prediction().length().writes, 0);
+        let parts = transform_parts(8, &march_u()).unwrap();
+        assert_eq!(parts.prediction.length().writes, 0);
         assert_eq!(
-            result.signature_prediction().length().reads,
-            result.transparent_test().length().reads
+            parts.prediction.length().reads,
+            parts.transparent.length().reads
         );
     }
 
@@ -221,14 +262,11 @@ mod tests {
         // The whole point of the paper: TWM_TA produces shorter transparent
         // word-oriented tests than Scheme 1.
         for width in [8usize, 32, 128] {
-            let scheme1 = Scheme1Transformer::new(width).unwrap();
-            let proposed = crate::TwmTransformer::new(width).unwrap();
             for march in twm_march::algorithms::all() {
-                let s1 = scheme1.transform(&march).unwrap();
-                let twm = proposed.transform(&march).unwrap();
+                let s1 = transform_parts(width, &march).unwrap();
+                let twm = crate::twm_ta::transform_parts(width, &march).unwrap();
                 assert!(
-                    twm.transparent_test().operations_per_word()
-                        < s1.transparent_test().operations_per_word(),
+                    twm.twmarch.operations_per_word() < s1.transparent.operations_per_word(),
                     "{} at width {width}",
                     march.name()
                 );
@@ -238,15 +276,31 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
-        assert!(Scheme1Transformer::new(1).is_err());
-        let transformer = Scheme1Transformer::new(8).unwrap();
+        assert!(transform_parts(1, &march_c_minus()).is_err());
         let transparent = to_transparent(&march_c_minus())
             .unwrap()
             .transparent_test()
             .clone();
         assert!(matches!(
-            transformer.transform(&transparent),
+            transform_parts(8, &transparent),
             Err(CoreError::NotBitOriented { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_the_parts() {
+        let wrapper = Scheme1Transformer::new(8)
+            .unwrap()
+            .transform(&march_c_minus())
+            .unwrap();
+        let parts = transform_parts(8, &march_c_minus()).unwrap();
+        assert_eq!(wrapper.transparent_test(), &parts.transparent);
+        assert_eq!(wrapper.signature_prediction(), &parts.prediction);
+        assert_eq!(wrapper.word_oriented_test(), &parts.word_test);
+        assert_eq!(wrapper.passes(), parts.passes);
+        assert_eq!(wrapper.source_name(), "March C-");
+        assert_eq!(wrapper.width(), 8);
+        assert!(Scheme1Transformer::new(1).is_err());
     }
 }

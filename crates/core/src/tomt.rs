@@ -8,43 +8,33 @@
 //!
 //! The original hardware (code checkers, dedicated controller) is outside the
 //! scope of this reproduction; what the DATE 2005 paper compares against is
-//! TOMT's *test length*. This module therefore provides:
-//!
-//! * [`tomt_tcm_per_word`] — the per-word operation count `8·W + 2` used for
-//!   the paper's Tables 2/3 comparison (this constant reproduces the paper's
-//!   "≈19 % for March C−, W = 32" headline; the exact constant is not
-//!   legible in the source text and is recorded as an assumption in
-//!   EXPERIMENTS.md);
-//! * [`tomt_like_test`] — a synthetic transparent word-oriented march test
-//!   with exactly that operation count, walking each bit of the word in both
-//!   polarities, so the execution benches can run a Scheme-2-shaped workload
-//!   on the same simulator.
+//! TOMT's *test length*. The scheme-level entry point is
+//! [`crate::scheme::TomtScheme`], which exposes the walk test and the
+//! `8·W + 2` complexity through the common [`crate::scheme::TransparentScheme`]
+//! surface (this constant reproduces the paper's "≈19 % for March C−,
+//! W = 32" headline; the exact constant is not legible in the source text
+//! and is recorded as an assumption in EXPERIMENTS.md). The free functions
+//! of this module are deprecated wrappers kept for source compatibility.
 
 use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
 
 use crate::atmarch::MIN_WORD_WIDTH;
 use crate::CoreError;
 
-/// Per-word operation count of the TOMT baseline: `8·W + 2`.
-#[must_use]
-pub fn tomt_tcm_per_word(width: usize) -> usize {
+/// Per-word operation count of the TOMT walk: `8·W + 2`.
+pub(crate) fn tcm_per_word(width: usize) -> usize {
     8 * width + 2
 }
 
-/// TOMT needs no signature-prediction phase (concurrent error detection).
-#[must_use]
-pub fn tomt_tcp_per_word(_width: usize) -> usize {
+/// TOMT has no signature-prediction phase (concurrent error detection).
+pub(crate) fn tcp_per_word(_width: usize) -> usize {
     0
 }
 
-/// A synthetic transparent word-oriented test with TOMT's per-word operation
-/// count (`8·W + 2`): for every bit of the word, read–flip–read–restore in
-/// both polarities, plus a closing double read.
-///
-/// # Errors
-///
-/// Returns [`CoreError::InvalidWidth`] for unsupported word widths.
-pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
+/// Builds the synthetic transparent word-oriented walk test with TOMT's
+/// per-word operation count (`8·W + 2`): for every bit of the word,
+/// read–flip–read–restore in both polarities, plus a closing double read.
+pub(crate) fn walk_test(width: usize) -> Result<MarchTest, CoreError> {
     if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
         return Err(CoreError::InvalidWidth { width });
     }
@@ -74,6 +64,35 @@ pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
     )?)
 }
 
+/// Per-word operation count of the TOMT baseline: `8·W + 2`.
+#[deprecated(
+    note = "use `scheme::TomtScheme` (via `SchemeRegistry`) and its `closed_form` instead"
+)]
+#[must_use]
+pub fn tomt_tcm_per_word(width: usize) -> usize {
+    tcm_per_word(width)
+}
+
+/// TOMT needs no signature-prediction phase (concurrent error detection).
+#[deprecated(
+    note = "use `scheme::TomtScheme` (via `SchemeRegistry`) and its `closed_form` instead"
+)]
+#[must_use]
+pub fn tomt_tcp_per_word(width: usize) -> usize {
+    tcp_per_word(width)
+}
+
+/// A synthetic transparent word-oriented test with TOMT's per-word operation
+/// count (`8·W + 2`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWidth`] for unsupported word widths.
+#[deprecated(note = "use `scheme::TomtScheme::transform` (via `SchemeRegistry`) instead")]
+pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
+    walk_test(width)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,8 +100,8 @@ mod tests {
     #[test]
     fn per_word_length_matches_the_formula() {
         for width in [2usize, 4, 8, 16, 32, 64, 128] {
-            let test = tomt_like_test(width).unwrap();
-            assert_eq!(test.length().operations, tomt_tcm_per_word(width));
+            let test = walk_test(width).unwrap();
+            assert_eq!(test.length().operations, tcm_per_word(width));
         }
     }
 
@@ -91,27 +110,35 @@ mod tests {
         // The paper's headline: for March C- and 32-bit words the proposed
         // scheme needs about 19 % of Scheme 2's operations.
         let proposed_total = 35 + 15; // TCM + TCP closed forms
-        let tomt_total = tomt_tcm_per_word(32) + tomt_tcp_per_word(32);
+        let tomt_total = tcm_per_word(32) + tcp_per_word(32);
         let ratio = proposed_total as f64 / tomt_total as f64;
         assert!((ratio - 0.19).abs() < 0.01, "ratio = {ratio}");
     }
 
     #[test]
     fn test_is_transparent_and_width_checked() {
-        let test = tomt_like_test(8).unwrap();
+        let test = walk_test(8).unwrap();
         assert!(test.is_transparent());
+        assert!(matches!(walk_test(1), Err(CoreError::InvalidWidth { .. })));
         assert!(matches!(
-            tomt_like_test(1),
-            Err(CoreError::InvalidWidth { .. })
-        ));
-        assert!(matches!(
-            tomt_like_test(999),
+            walk_test(999),
             Err(CoreError::InvalidWidth { .. })
         ));
     }
 
     #[test]
     fn no_prediction_phase() {
-        assert_eq!(tomt_tcp_per_word(64), 0);
+        assert_eq!(tcp_per_word(64), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_stay_drop_in() {
+        assert_eq!(tomt_tcm_per_word(32), tcm_per_word(32));
+        assert_eq!(tomt_tcp_per_word(32), 0);
+        assert_eq!(
+            tomt_like_test(8).unwrap().length().operations,
+            walk_test(8).unwrap().length().operations
+        );
     }
 }

@@ -17,6 +17,13 @@
 //!    content when TSMarch left it complemented.
 //! 5. **TWMarch** = TSMarch ; ATMarch. The signature-prediction test is its
 //!    read-only projection.
+//!
+//! The scheme-level entry point is [`crate::scheme::TwmTa`], which exposes
+//! this algorithm through the common [`crate::scheme::TransparentScheme`]
+//! surface (the SMarch/TSMarch/ATMarch stages are published as
+//! [`crate::scheme::SchemeTransform`] stages). The concrete
+//! [`TwmTransformer`] / [`TwmTransformed`] pair is deprecated and kept as
+//! thin wrappers for source compatibility.
 
 use twm_march::{DataPattern, MarchElement, MarchTest, Operation};
 
@@ -24,25 +31,100 @@ use crate::atmarch::{atmarch, MIN_WORD_WIDTH};
 use crate::nicolaidis::{to_transparent_with, track_states, TransparentOptions};
 use crate::CoreError;
 
+/// The intermediate and final artifacts of Algorithm 1 — shared by the
+/// [`crate::scheme::TwmTa`] scheme and the deprecated wrapper types.
+pub(crate) struct TwmParts {
+    pub smarch: MarchTest,
+    pub tsmarch: MarchTest,
+    pub atmarch: MarchTest,
+    pub twmarch: MarchTest,
+    pub prediction: MarchTest,
+    pub content_inverted: bool,
+}
+
+/// Runs the paper's Algorithm 1 for a bit-oriented march test and word
+/// width.
+pub(crate) fn transform_parts(width: usize, bmarch: &MarchTest) -> Result<TwmParts, CoreError> {
+    if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
+        return Err(CoreError::InvalidWidth { width });
+    }
+    crate::require_bit_oriented(bmarch)?;
+
+    // Step 1: solid data backgrounds. The all-0/all-1 patterns of the
+    // bit-oriented test already denote solid word backgrounds, so SMarch
+    // is structurally the same test under a new name.
+    let track = track_states(bmarch)?;
+    let mut smarch = bmarch.renamed(format!("SMarch ({})", bmarch.name()));
+
+    // Step 2: if the last operation is a write, append a read of the
+    // value that write left behind.
+    if track.ends_with_write {
+        let final_pattern = track.final_state.unwrap_or(DataPattern::Zeros);
+        smarch = smarch.with_element(MarchElement::any_order(vec![Operation::read(
+            twm_march::DataSpec::Literal(final_pattern),
+        )]));
+    }
+
+    // Step 3: transparent transformation, without the restore element
+    // (ATMarch's closing element takes care of restoration).
+    let transparent = to_transparent_with(
+        &smarch,
+        TransparentOptions {
+            restore_content: false,
+        },
+    )?;
+    let tsmarch = transparent
+        .transparent_test()
+        .renamed(format!("TSMarch ({})", bmarch.name()));
+
+    // Step 4: the branch of Algorithm 1 depends on whether TSMarch left
+    // the content equal to the initial content or complemented.
+    let content_inverted = match transparent.final_state() {
+        DataPattern::Zeros => false,
+        DataPattern::Ones => true,
+        other => {
+            let detail = format!(
+                "TSMarch leaves the content XOR-shifted by {other}, which TWM_TA does not support"
+            );
+            return Err(CoreError::InconsistentMarch {
+                element: 0,
+                operation: 0,
+                detail,
+            });
+        }
+    };
+    let atmarch_test = atmarch(width, content_inverted)?;
+
+    // Step 5: TWMarch and its signature prediction.
+    let twmarch = tsmarch.concatenated(
+        &atmarch_test,
+        format!("TWMarch ({}, W={})", bmarch.name(), width),
+    );
+    let prediction = twmarch.reads_only(&format!(
+        "TWMarch prediction ({}, W={})",
+        bmarch.name(),
+        width
+    ))?;
+
+    Ok(TwmParts {
+        smarch,
+        tsmarch,
+        atmarch: atmarch_test,
+        twmarch,
+        prediction,
+        content_inverted,
+    })
+}
+
 /// Transformer from bit-oriented march tests to transparent word-oriented
 /// march tests for a fixed word width (the paper's TWM_TA).
-///
-/// ```
-/// use twm_core::TwmTransformer;
-/// use twm_march::algorithms::march_c_minus;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let transformer = TwmTransformer::new(32)?;
-/// let result = transformer.transform(&march_c_minus())?;
-/// assert_eq!(result.transparent_test().operations_per_word(), 35);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(note = "use `scheme::TwmTa` via the `TransparentScheme` trait / `SchemeRegistry`")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwmTransformer {
     width: usize,
 }
 
+#[allow(deprecated)]
 impl TwmTransformer {
     /// Creates a transformer for a memory with `width`-bit words.
     ///
@@ -74,81 +156,24 @@ impl TwmTransformer {
     ///   inconsistent with its own writes.
     /// * [`CoreError::March`] for structural errors.
     pub fn transform(&self, bmarch: &MarchTest) -> Result<TwmTransformed, CoreError> {
-        if !bmarch.is_bit_oriented() {
-            return Err(CoreError::NotBitOriented {
-                test: bmarch.name().to_string(),
-            });
-        }
-
-        // Step 1: solid data backgrounds. The all-0/all-1 patterns of the
-        // bit-oriented test already denote solid word backgrounds, so SMarch
-        // is structurally the same test under a new name.
-        let track = track_states(bmarch)?;
-        let mut smarch = bmarch.renamed(format!("SMarch ({})", bmarch.name()));
-
-        // Step 2: if the last operation is a write, append a read of the
-        // value that write left behind.
-        if track.ends_with_write {
-            let final_pattern = track.final_state.unwrap_or(DataPattern::Zeros);
-            smarch = smarch.with_element(MarchElement::any_order(vec![Operation::read(
-                twm_march::DataSpec::Literal(final_pattern),
-            )]));
-        }
-
-        // Step 3: transparent transformation, without the restore element
-        // (ATMarch's closing element takes care of restoration).
-        let transparent = to_transparent_with(
-            &smarch,
-            TransparentOptions {
-                restore_content: false,
-            },
-        )?;
-        let tsmarch = transparent
-            .transparent_test()
-            .renamed(format!("TSMarch ({})", bmarch.name()));
-
-        // Step 4: the branch of Algorithm 1 depends on whether TSMarch left
-        // the content equal to the initial content or complemented.
-        let content_inverted = match transparent.final_state() {
-            DataPattern::Zeros => false,
-            DataPattern::Ones => true,
-            other => {
-                return Err(CoreError::InconsistentMarch {
-                    element: 0,
-                    operation: 0,
-                    detail: format!(
-                        "TSMarch leaves the content XOR-shifted by {other}, which TWM_TA does not support"
-                    ),
-                })
-            }
-        };
-        let atmarch_test = atmarch(self.width, content_inverted)?;
-
-        // Step 5: TWMarch and its signature prediction.
-        let twmarch = tsmarch.concatenated(
-            &atmarch_test,
-            format!("TWMarch ({}, W={})", bmarch.name(), self.width),
-        );
-        let prediction = twmarch.reads_only(&format!(
-            "TWMarch prediction ({}, W={})",
-            bmarch.name(),
-            self.width
-        ))?;
-
+        let parts = transform_parts(self.width, bmarch)?;
         Ok(TwmTransformed {
             width: self.width,
             source_name: bmarch.name().to_string(),
-            smarch,
-            tsmarch,
-            atmarch: atmarch_test,
-            twmarch,
-            prediction,
-            content_inverted,
+            smarch: parts.smarch,
+            tsmarch: parts.tsmarch,
+            atmarch: parts.atmarch,
+            twmarch: parts.twmarch,
+            prediction: parts.prediction,
+            content_inverted: parts.content_inverted,
         })
     }
 }
 
 /// The result of applying TWM_TA to a bit-oriented march test.
+#[deprecated(
+    note = "use `scheme::SchemeTransform` (returned by `TransparentScheme::transform`) instead"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwmTransformed {
     width: usize,
@@ -161,6 +186,7 @@ pub struct TwmTransformed {
     content_inverted: bool,
 }
 
+#[allow(deprecated)]
 impl TwmTransformed {
     /// The word width the transformation targets.
     #[must_use]
@@ -223,16 +249,13 @@ mod tests {
     fn march_u_8_bit_matches_paper_worked_example() {
         // Section 4: the transparent word-oriented March U for 8-bit words
         // has complexity 29 operations per word.
-        let result = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_u())
-            .unwrap();
-        assert_eq!(result.tsmarch().length().operations, 13);
-        assert_eq!(result.atmarch().length().operations, 16);
-        assert_eq!(result.transparent_test().operations_per_word(), 29);
-        assert!(!result.content_inverted());
+        let parts = transform_parts(8, &march_u()).unwrap();
+        assert_eq!(parts.tsmarch.length().operations, 13);
+        assert_eq!(parts.atmarch.length().operations, 16);
+        assert_eq!(parts.twmarch.operations_per_word(), 29);
+        assert!(!parts.content_inverted);
         assert_eq!(
-            result.tsmarch().to_string(),
+            parts.tsmarch.to_string(),
             "⇑(rc,w~c,r~c,wc); ⇑(rc,w~c); ⇓(r~c,wc,rc,w~c); ⇓(r~c,wc); ⇕(rc)"
         );
     }
@@ -240,63 +263,43 @@ mod tests {
     #[test]
     fn march_c_minus_32_bit_matches_closed_form() {
         // TCM = M + 5·log2(W) = 10 + 25 = 35 for March C- and 32-bit words.
-        let result = TwmTransformer::new(32)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
-        assert_eq!(result.transparent_test().operations_per_word(), 35);
+        let parts = transform_parts(32, &march_c_minus()).unwrap();
+        assert_eq!(parts.twmarch.operations_per_word(), 35);
         // The prediction test is the read-only projection.
-        assert_eq!(result.signature_prediction().length().writes, 0);
+        assert_eq!(parts.prediction.length().writes, 0);
         assert_eq!(
-            result.signature_prediction().length().reads,
-            result.transparent_test().length().reads
+            parts.prediction.length().reads,
+            parts.twmarch.length().reads
         );
     }
 
     #[test]
     fn transformation_outputs_are_transparent() {
         for march in twm_march::algorithms::all() {
-            let result = TwmTransformer::new(16).unwrap().transform(&march).unwrap();
-            assert!(
-                result.transparent_test().is_transparent(),
-                "{}",
-                march.name()
-            );
-            assert!(
-                result.signature_prediction().is_transparent(),
-                "{}",
-                march.name()
-            );
+            let parts = transform_parts(16, &march).unwrap();
+            assert!(parts.twmarch.is_transparent(), "{}", march.name());
+            assert!(parts.prediction.is_transparent(), "{}", march.name());
         }
     }
 
     #[test]
     fn smarch_appends_read_only_when_needed() {
         // March U ends with a write: one read appended.
-        let result = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_u())
-            .unwrap();
+        let parts = transform_parts(8, &march_u()).unwrap();
         assert_eq!(
-            result.smarch().length().operations,
+            parts.smarch.length().operations,
             march_u().length().operations + 1
         );
         // March C- ends with a read: nothing appended.
-        let result = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let parts = transform_parts(8, &march_c_minus()).unwrap();
         assert_eq!(
-            result.smarch().length().operations,
+            parts.smarch.length().operations,
             march_c_minus().length().operations
         );
         // MATS+ ends with a write as well.
-        let result = TwmTransformer::new(8)
-            .unwrap()
-            .transform(&mats_plus())
-            .unwrap();
+        let parts = transform_parts(8, &mats_plus()).unwrap();
         assert_eq!(
-            result.smarch().length().operations,
+            parts.smarch.length().operations,
             mats_plus().length().operations + 1
         );
     }
@@ -308,12 +311,9 @@ mod tests {
         for width in [4usize, 8, 16, 32, 64, 128] {
             let log2w = twm_march::background::background_degree(width);
             for march in [march_c_minus(), march_lr()] {
-                let result = TwmTransformer::new(width)
-                    .unwrap()
-                    .transform(&march)
-                    .unwrap();
+                let parts = transform_parts(width, &march).unwrap();
                 assert_eq!(
-                    result.transparent_test().operations_per_word(),
+                    parts.twmarch.operations_per_word(),
                     march.length().operations + 5 * log2w,
                     "{} at width {width}",
                     march.name()
@@ -325,27 +325,27 @@ mod tests {
     #[test]
     fn rejects_invalid_widths_and_non_bit_oriented_inputs() {
         assert!(matches!(
-            TwmTransformer::new(1),
+            transform_parts(1, &march_u()),
             Err(CoreError::InvalidWidth { .. })
         ));
         assert!(matches!(
-            TwmTransformer::new(129),
+            transform_parts(129, &march_u()),
             Err(CoreError::InvalidWidth { .. })
         ));
 
-        let transformer = TwmTransformer::new(8).unwrap();
         let transparent = crate::nicolaidis::to_transparent(&march_c_minus())
             .unwrap()
             .transparent_test()
             .clone();
         assert!(matches!(
-            transformer.transform(&transparent),
+            transform_parts(8, &transparent),
             Err(CoreError::NotBitOriented { .. })
         ));
     }
 
     #[test]
-    fn accessors_expose_all_stages() {
+    #[allow(deprecated)]
+    fn deprecated_wrapper_exposes_all_stages() {
         let result = TwmTransformer::new(16)
             .unwrap()
             .transform(&march_u())
@@ -357,5 +357,10 @@ mod tests {
         assert!(result.atmarch().name().starts_with("ATMarch"));
         assert!(result.transparent_test().name().starts_with("TWMarch"));
         assert!(result.signature_prediction().name().contains("prediction"));
+        assert!(!result.content_inverted());
+        assert!(matches!(
+            TwmTransformer::new(1),
+            Err(CoreError::InvalidWidth { .. })
+        ));
     }
 }

@@ -87,33 +87,21 @@ pub fn check_transparent(test: &MarchTest) -> Result<(), CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Scheme1Transformer, TwmTransformer};
+    use crate::scheme::SchemeRegistry;
     use twm_march::algorithms::all;
     use twm_march::{MarchElement as El, MarchTest, Operation as Op};
 
     #[test]
-    fn twm_outputs_pass_the_structural_check() {
+    fn every_registered_scheme_passes_the_structural_check() {
         for march in all() {
             for width in [4usize, 8, 32] {
-                let transformed = TwmTransformer::new(width)
-                    .unwrap()
-                    .transform(&march)
-                    .unwrap();
-                check_transparent(transformed.transparent_test())
-                    .unwrap_or_else(|e| panic!("{} W={width}: {e}", march.name()));
+                for scheme in SchemeRegistry::all(width).unwrap().iter() {
+                    let transformed = scheme.transform(&march).unwrap();
+                    check_transparent(transformed.transparent_test()).unwrap_or_else(|e| {
+                        panic!("{} for {} W={width}: {e}", scheme.name(), march.name())
+                    });
+                }
             }
-        }
-    }
-
-    #[test]
-    fn scheme1_outputs_pass_the_structural_check() {
-        for march in all() {
-            let transformed = Scheme1Transformer::new(8)
-                .unwrap()
-                .transform(&march)
-                .unwrap();
-            check_transparent(transformed.transparent_test())
-                .unwrap_or_else(|e| panic!("{}: {e}", march.name()));
         }
     }
 

@@ -1,0 +1,131 @@
+//! Generic conformance suite for the `TransparentScheme` trait: every
+//! registered scheme must produce paper-level artifacts — a structurally
+//! transparent test, restored content, a read-only signature-prediction
+//! projection, and complexity accounting consistent with its closed form.
+//!
+//! Any scheme added to [`SchemeRegistry::all`] is covered automatically;
+//! the dynamic (simulator-backed) half of the suite lives in the workspace
+//! root's `tests/scheme_conformance.rs`.
+
+use twm_core::scheme::{SchemeId, SchemeRegistry, SchemeTransform};
+use twm_core::verify::{check_transparent, final_content_offset};
+use twm_march::{algorithms, DataPattern, MarchTest};
+
+const WIDTHS: [usize; 5] = [4, 8, 16, 32, 128];
+
+fn for_every_transform(mut check: impl FnMut(SchemeId, usize, &MarchTest, &SchemeTransform)) {
+    for width in WIDTHS {
+        let registry = SchemeRegistry::all(width).unwrap();
+        for march in algorithms::all() {
+            for scheme in registry.iter() {
+                let transform = scheme.transform(&march).unwrap_or_else(|e| {
+                    panic!("{} {} W={width}: {e}", scheme.name(), march.name())
+                });
+                check(scheme.id(), width, &march, &transform);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_scheme_produces_a_structurally_transparent_test() {
+    for_every_transform(|id, width, march, transform| {
+        check_transparent(transform.transparent_test())
+            .unwrap_or_else(|e| panic!("{id} {} W={width}: {e}", march.name()));
+    });
+}
+
+#[test]
+fn every_scheme_restores_the_content_offset_to_zero() {
+    for_every_transform(|id, width, march, transform| {
+        let offset = final_content_offset(transform.transparent_test())
+            .unwrap_or_else(|e| panic!("{id} {} W={width}: {e}", march.name()));
+        assert_eq!(
+            offset,
+            DataPattern::Zeros,
+            "{id} {} W={width}",
+            march.name()
+        );
+    });
+}
+
+#[test]
+fn every_prediction_test_is_the_read_only_projection() {
+    for_every_transform(|id, width, march, transform| {
+        if let Some(prediction) = transform.signature_prediction() {
+            assert_eq!(
+                prediction.length().writes,
+                0,
+                "{id} {} W={width}: prediction contains writes",
+                march.name()
+            );
+            assert_eq!(
+                prediction.length().reads,
+                transform.transparent_test().length().reads,
+                "{id} {} W={width}: prediction is not the full read projection",
+                march.name()
+            );
+            assert!(
+                prediction.is_transparent(),
+                "{id} {} W={width}",
+                march.name()
+            );
+        } else {
+            // Only concurrent-checking schemes may omit the prediction phase.
+            assert_eq!(id, SchemeId::Tomt);
+        }
+    });
+}
+
+#[test]
+fn exact_complexity_accounts_for_the_generated_tests() {
+    for_every_transform(|id, width, march, transform| {
+        let exact = transform.exact_complexity();
+        assert_eq!(
+            exact.tcm,
+            transform.transparent_test().operations_per_word(),
+            "{id} {} W={width}",
+            march.name()
+        );
+        assert_eq!(
+            exact.tcp,
+            transform
+                .signature_prediction()
+                .map_or(0, MarchTest::operations_per_word),
+            "{id} {} W={width}",
+            march.name()
+        );
+        // The closed form models the generated tests up to per-pass
+        // bookkeeping: a prepended read per background pass (Scheme 1), the
+        // one appended read of write-terminated sources and the
+        // inverted-branch restore write (TWM_TA / Nicolaidis). Bound the
+        // drift accordingly so a formula regression is caught while the
+        // known slack passes.
+        let closed = transform.closed_form();
+        let slack = transform.backgrounds() + 2;
+        assert!(
+            exact.tcm + slack >= closed.tcm && exact.tcm <= closed.tcm + slack,
+            "{id} {} W={width}: exact {} vs closed form {}",
+            march.name(),
+            exact.tcm,
+            closed.tcm
+        );
+    });
+}
+
+#[test]
+fn transform_metadata_is_consistent() {
+    for_every_transform(|id, width, march, transform| {
+        assert_eq!(transform.scheme(), id);
+        assert_eq!(transform.width(), width);
+        assert_eq!(transform.source_name(), march.name());
+        assert!(transform.backgrounds() >= 1);
+        for stage in transform.stages() {
+            assert!(
+                transform.stage(stage.name).is_some(),
+                "{id}: stage {} not addressable",
+                stage.name
+            );
+        }
+    });
+}

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use twm_core::complexity::{proposed_formula, scheme1_formula};
 use twm_core::verify::check_transparent;
-use twm_core::{to_transparent, Scheme1Transformer, TwmTransformer};
+use twm_core::{to_transparent, Scheme1, TransparentScheme, TwmTa};
 use twm_march::background::background_degree;
 use twm_march::{algorithms, MarchElement, MarchTest, Operation};
 
@@ -72,7 +72,7 @@ proptest! {
         march in arb_consistent_march(),
         width in arb_width(),
     ) {
-        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let transformed = TwmTa::new(width).unwrap().transform(&march).unwrap();
         prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
         let m = march.length().operations;
         let log2w = background_degree(width);
@@ -83,7 +83,7 @@ proptest! {
         prop_assert!(tcm <= m + 2 + 5 * log2w);
         // The prediction test is exactly the reads of the transparent test.
         prop_assert_eq!(
-            transformed.signature_prediction().length().reads,
+            transformed.signature_prediction().unwrap().length().reads,
             transformed.transparent_test().length().reads
         );
     }
@@ -105,8 +105,8 @@ proptest! {
         let formula_scheme1 = scheme1_formula(length, width).total();
         prop_assert!(formula_proposed < formula_scheme1);
 
-        let proposed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
-        let scheme1 = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
+        let proposed = TwmTa::new(width).unwrap().transform(&march).unwrap();
+        let scheme1 = Scheme1::new(width).unwrap().transform(&march).unwrap();
         prop_assert!(
             proposed.transparent_test().operations_per_word()
                 < scheme1.transparent_test().operations_per_word()
@@ -119,8 +119,8 @@ proptest! {
     fn transformation_is_deterministic(index in 0usize..11, width in arb_width()) {
         let all = algorithms::all();
         let march = &all[index % all.len()];
-        let a = TwmTransformer::new(width).unwrap().transform(march).unwrap();
-        let b = TwmTransformer::new(width).unwrap().transform(march).unwrap();
+        let a = TwmTa::new(width).unwrap().transform(march).unwrap();
+        let b = TwmTa::new(width).unwrap().transform(march).unwrap();
         prop_assert_eq!(a, b);
     }
 }

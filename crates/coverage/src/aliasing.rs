@@ -80,14 +80,14 @@ mod tests {
     use super::*;
     use crate::universe::UniverseBuilder;
     use crate::ContentPolicy;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::march_c_minus;
 
     #[test]
     fn signature_detection_tracks_exact_detection_for_single_faults() {
         let width = 8;
         let config = MemoryConfig::new(8, width).unwrap();
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
@@ -99,7 +99,7 @@ mod tests {
             .build();
         let report = aliasing_report(
             transformed.transparent_test(),
-            transformed.signature_prediction(),
+            transformed.signature_prediction().unwrap(),
             &faults,
             config,
             &Misr::standard(width),
@@ -125,13 +125,10 @@ mod tests {
     #[test]
     fn empty_universe_is_rejected() {
         let config = MemoryConfig::new(4, 4).unwrap();
-        let transformed = TwmTransformer::new(4)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
+        let transformed = TwmTa::new(4).unwrap().transform(&march_c_minus()).unwrap();
         let result = aliasing_report(
             transformed.transparent_test(),
-            transformed.signature_prediction(),
+            transformed.signature_prediction().unwrap(),
             &[],
             config,
             &Misr::standard(4),

@@ -60,6 +60,7 @@ use serde::{Deserialize, Serialize};
 
 use twm_bist::flow::run_transparent_session;
 use twm_bist::{detect_lowered_at, execute_lowered, ExecutionOptions, LoweredTest, Misr};
+use twm_core::scheme::{SchemeTransform, TransparentScheme};
 use twm_march::MarchTest;
 use twm_mem::{BitStorage, Fault, FaultSet, FaultyMemory, MemoryConfig, Word};
 
@@ -113,6 +114,7 @@ pub struct FaultVerdict {
 pub struct CoverageEngineBuilder {
     config: MemoryConfig,
     test: Option<MarchTest>,
+    transform: Option<SchemeTransform>,
     options: EvaluationOptions,
     strategy: Strategy,
     reuse_memory: bool,
@@ -124,7 +126,37 @@ impl CoverageEngineBuilder {
     #[must_use]
     pub fn test(mut self, test: &MarchTest) -> Self {
         self.test = Some(test.clone());
+        self.transform = None;
         self
+    }
+
+    /// Evaluates a transformation scheme's transparent test: `source` is
+    /// transformed through `scheme` right away (so transformation errors
+    /// surface here, not at build time) and the resulting
+    /// [`SchemeTransform`] is kept on the engine
+    /// ([`CoverageEngine::scheme_transform`]) for callers that need the
+    /// prediction test or the transformation metadata.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::SchemeWidthMismatch`] if the scheme targets a
+    ///   different word width than the memory configuration.
+    /// * [`CoverageError::Core`] if the transformation fails.
+    pub fn scheme(
+        mut self,
+        scheme: &dyn TransparentScheme,
+        source: &MarchTest,
+    ) -> Result<Self, CoverageError> {
+        if scheme.width() != self.config.width() {
+            return Err(CoverageError::SchemeWidthMismatch {
+                scheme: scheme.width(),
+                memory: self.config.width(),
+            });
+        }
+        let transform = scheme.transform(source)?;
+        self.test = Some(transform.transparent_test().clone());
+        self.transform = Some(transform);
+        Ok(self)
     }
 
     /// Initial-content policy for every fault-injection run (default:
@@ -195,6 +227,7 @@ impl CoverageEngineBuilder {
         Ok(CoverageEngine {
             config: self.config,
             test,
+            transform: self.transform,
             lowered,
             options: self.options,
             content_words,
@@ -272,6 +305,9 @@ const STREAM_CHUNK: usize = 32;
 pub struct CoverageEngine {
     config: MemoryConfig,
     test: MarchTest,
+    /// The scheme transform the engine was built from, when constructed via
+    /// [`CoverageEngine::for_scheme`] / [`CoverageEngineBuilder::scheme`].
+    transform: Option<SchemeTransform>,
     lowered: LoweredTest,
     options: EvaluationOptions,
     /// Initial contents as word vectors — populated only in the historical
@@ -294,10 +330,56 @@ impl CoverageEngine {
         CoverageEngineBuilder {
             config,
             test: None,
+            transform: None,
             options: EvaluationOptions::default(),
             strategy: Strategy::default(),
             reuse_memory: true,
         }
+    }
+
+    /// Starts a builder whose test is produced by a transformation scheme:
+    /// the scheme-generic constructor behind cross-scheme workloads
+    /// (`source` is transformed immediately; content policy, strategy and
+    /// the other builder knobs remain settable before `build`).
+    ///
+    /// ```
+    /// use twm_core::scheme::{SchemeId, SchemeRegistry};
+    /// use twm_coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+    /// use twm_march::algorithms::march_c_minus;
+    /// use twm_mem::MemoryConfig;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = MemoryConfig::new(16, 4)?;
+    /// let registry = SchemeRegistry::all(4)?;
+    /// let engine = CoverageEngine::for_scheme(
+    ///     registry.get(SchemeId::TwmTa).unwrap(),
+    ///     &march_c_minus(),
+    ///     config,
+    /// )?
+    /// .content(ContentPolicy::Random { seed: 1 })
+    /// .build()?;
+    /// let faults = UniverseBuilder::new(config).stuck_at().transition().build();
+    /// assert_eq!(engine.report(&faults)?.total_coverage(), 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverageEngineBuilder::scheme`].
+    pub fn for_scheme(
+        scheme: &dyn TransparentScheme,
+        source: &MarchTest,
+        config: MemoryConfig,
+    ) -> Result<CoverageEngineBuilder, CoverageError> {
+        Self::builder(config).scheme(scheme, source)
+    }
+
+    /// The scheme transform the engine evaluates, when it was built through
+    /// [`CoverageEngine::for_scheme`] / [`CoverageEngineBuilder::scheme`].
+    #[must_use]
+    pub fn scheme_transform(&self) -> Option<&SchemeTransform> {
+        self.transform.as_ref()
     }
 
     /// The memory shape the engine evaluates against.
@@ -512,6 +594,67 @@ impl CoverageEngine {
         initial: Word,
     ) -> Result<IntraWordPairCoverage, CoverageError> {
         analyze_intra_word_pair(&self.test, bit_a, bit_b, initial)
+    }
+
+    /// Whether a *set* of simultaneously injected faults is detected by the
+    /// engine's test (under every tried initial content) — the
+    /// diagnosis-style multi-fault counterpart of a per-fault verdict.
+    ///
+    /// The sweep visits only the union of the faults' word footprints
+    /// ([`FaultSet::word_footprint`]), which is verdict-equivalent to a
+    /// full-address sweep (property-tested in
+    /// `crates/bist/tests/multi_fault_local.rs` and against the historical
+    /// full-sweep path in `tests/engine_streaming.rs`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::EmptyUniverse`] if `faults` is empty.
+    /// * [`CoverageError::Mem`] if a fault does not fit the memory shape.
+    /// * [`CoverageError::Bist`] if the test cannot be executed.
+    pub fn injection_detected(&self, faults: &[Fault]) -> Result<bool, CoverageError> {
+        if faults.is_empty() {
+            return Err(CoverageError::EmptyUniverse);
+        }
+        let set = FaultSet::from_faults(faults.iter().copied());
+        if !self.reuse_memory {
+            // Historical full-sweep path: fresh memory per content round.
+            let exec = ExecutionOptions {
+                record_reads: false,
+                stop_at_first_mismatch: true,
+            };
+            if self.content_words.is_empty() {
+                let mut memory = FaultyMemory::with_faults(self.config, set)?;
+                return Ok(execute_lowered(&self.lowered, &mut memory, exec)?.detected());
+            }
+            for words in &self.content_words {
+                let mut memory = FaultyMemory::with_faults(self.config, set.clone())?;
+                memory.load(words)?;
+                if !execute_lowered(&self.lowered, &mut memory, exec)?.detected() {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+
+        let footprint = set.word_footprint();
+        let mut arena = self.checkout();
+        let result = (|| {
+            let memory = arena.as_mut().expect("arena mode checked out a memory");
+            if self.content_images.is_empty() {
+                memory.reset_with_faults(set)?;
+                return Ok(detect_lowered_at(&self.lowered, memory, &footprint)?);
+            }
+            for image in &self.content_images {
+                memory.reset_with_faults(set.clone())?;
+                memory.load_image(image)?;
+                if !detect_lowered_at(&self.lowered, memory, &footprint)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        })();
+        self.checkin(arena);
+        result
     }
 
     /// Checks an arena memory out of the pool (or decides to run in the

@@ -142,7 +142,7 @@ mod tests {
     use super::*;
     use crate::universe::{CouplingScope, UniverseBuilder};
     use twm_core::atmarch::amarch;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, mats_plus};
 
     fn config(words: usize, width: usize) -> MemoryConfig {
@@ -166,7 +166,7 @@ mod tests {
         // word-oriented march test, over a translation-closed fault universe.
         let width = 4;
         let c = config(6, width);
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use twm_bist::BistError;
+use twm_core::CoreError;
 use twm_mem::MemError;
 
 /// Errors produced by the coverage evaluator.
@@ -26,6 +27,16 @@ pub enum CoverageError {
     ZeroThreads,
     /// Two engines over different memory shapes were asked to compare.
     ConfigMismatch,
+    /// A transformation scheme failed to produce its transparent test.
+    Core(CoreError),
+    /// A scheme built for one word width was asked to evaluate against a
+    /// memory of another width.
+    SchemeWidthMismatch {
+        /// Word width the scheme targets.
+        scheme: usize,
+        /// Word width of the memory configuration.
+        memory: usize,
+    },
 }
 
 impl fmt::Display for CoverageError {
@@ -46,6 +57,11 @@ impl fmt::Display for CoverageError {
             CoverageError::ConfigMismatch => {
                 write!(f, "engines evaluate against different memory shapes")
             }
+            CoverageError::Core(err) => write!(f, "scheme transformation error: {err}"),
+            CoverageError::SchemeWidthMismatch { scheme, memory } => write!(
+                f,
+                "scheme targets {scheme}-bit words but the memory has {memory}-bit words"
+            ),
         }
     }
 }
@@ -55,6 +71,7 @@ impl Error for CoverageError {
         match self {
             CoverageError::Bist(err) => Some(err),
             CoverageError::Mem(err) => Some(err),
+            CoverageError::Core(err) => Some(err),
             _ => None,
         }
     }
@@ -72,6 +89,12 @@ impl From<MemError> for CoverageError {
     }
 }
 
+impl From<CoreError> for CoverageError {
+    fn from(err: CoreError) -> Self {
+        CoverageError::Core(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +105,9 @@ mod tests {
         assert!(err.source().is_some());
         let err: CoverageError = BistError::EmptyWindowModel.into();
         assert!(err.to_string().contains("bist error"));
+        let err: CoverageError = CoreError::InvalidWidth { width: 1 }.into();
+        assert!(err.to_string().contains("scheme transformation error"));
+        assert!(err.source().is_some());
         assert!(!CoverageError::EmptyUniverse.to_string().is_empty());
     }
 

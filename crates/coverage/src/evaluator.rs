@@ -6,27 +6,28 @@
 //! exact-compare oracle decides whether the fault was detected. Per-class
 //! results are aggregated into a [`crate::CoverageReport`].
 //!
-//! ## This module is the compatibility layer
+//! ## Evaluation lives in the engine
 //!
-//! Evaluation lives in [`crate::CoverageEngine`] (see [`crate::engine`]):
-//! built once per `(memory shape, march test)`, the engine owns the
-//! pre-lowered operation stream, the pre-generated initial contents and a
-//! pool of reusable memory arenas, and exposes
+//! All evaluation flows through [`crate::CoverageEngine`] (see
+//! [`crate::engine`]): built once per `(memory shape, march test)`, the
+//! engine owns the pre-lowered operation stream, the pre-generated initial
+//! contents and a pool of reusable memory arenas, and exposes
 //! [`report`](crate::CoverageEngine::report) /
 //! [`verdicts`](crate::CoverageEngine::verdicts) /
-//! [`compare`](crate::CoverageEngine::compare). The free functions here are
-//! thin deprecated wrappers kept for source compatibility; each one builds
-//! a throwaway engine, so hot paths should construct the engine directly
-//! and reuse it.
+//! [`compare`](crate::CoverageEngine::compare). The historical `evaluate*`
+//! free-function zoo was deprecated when the engine landed and has been
+//! removed; see the MIGRATION table in the repository's `CHANGES.md` for
+//! the one-line replacements.
 //!
-//! This module still defines the option types the engine consumes:
-//! [`ContentPolicy`] and [`EvaluationOptions`].
+//! This module defines the option types the engine consumes —
+//! [`ContentPolicy`] and [`EvaluationOptions`] — plus the one-off
+//! [`fault_detected`] query.
 
 use twm_bist::{execute_with, ExecutionOptions};
 use twm_march::MarchTest;
 use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
 
-use crate::{CoverageEngine, CoverageError, CoverageReport, Strategy};
+use crate::CoverageError;
 
 /// How the memory is initialised before each fault-injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,144 +65,16 @@ impl Default for EvaluationOptions {
     }
 }
 
-/// Builds a throwaway engine and evaluates one universe with it —
-/// the shared body of the deprecated wrappers.
-fn evaluate_once(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    options: EvaluationOptions,
-    strategy: Strategy,
-) -> Result<CoverageReport, CoverageError> {
-    // The historical functions checked for an empty universe before
-    // lowering the test; preserve that error precedence.
-    if faults.is_empty() {
-        return Err(CoverageError::EmptyUniverse);
-    }
-    CoverageEngine::builder(config)
-        .test(test)
-        .options(options)
-        .strategy(strategy)
-        .build()?
-        .report(faults)
-}
-
-/// Evaluates the fault coverage of a march test with default options.
-///
-/// # Errors
-///
-/// See [`CoverageEngine::report`].
-#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
-pub fn evaluate(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    content_seed: u64,
-) -> Result<CoverageReport, CoverageError> {
-    evaluate_once(
-        test,
-        faults,
-        config,
-        EvaluationOptions {
-            content: ContentPolicy::Random { seed: content_seed },
-            ..EvaluationOptions::default()
-        },
-        Strategy::Auto,
-    )
-}
-
-/// Evaluates the fault coverage of a march test over an explicit fault list.
-///
-/// Routes to the parallel engine when the `parallel` feature is enabled
-/// (the default) and to the serial engine otherwise; both produce
-/// bit-identical reports.
-///
-/// # Errors
-///
-/// See [`CoverageEngine::report`].
-#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
-pub fn evaluate_with(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    options: EvaluationOptions,
-) -> Result<CoverageReport, CoverageError> {
-    evaluate_once(test, faults, config, options, Strategy::Auto)
-}
-
-/// Evaluates the fault coverage on the calling thread only.
-///
-/// # Errors
-///
-/// See [`CoverageEngine::report`].
-#[deprecated(note = "build a `CoverageEngine` with `Strategy::Serial` and call `report` instead")]
-pub fn evaluate_serial(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    options: EvaluationOptions,
-) -> Result<CoverageReport, CoverageError> {
-    evaluate_once(test, faults, config, options, Strategy::Serial)
-}
-
-/// Evaluates the fault coverage by fanning the fault universe across worker
-/// threads ([`Strategy::Auto`] resolution: `TWM_COVERAGE_THREADS` when set,
-/// available parallelism otherwise).
-///
-/// # Errors
-///
-/// See [`CoverageEngine::report`].
-#[cfg(feature = "parallel")]
-#[deprecated(note = "build a `CoverageEngine` and call `report` instead")]
-pub fn evaluate_parallel(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    options: EvaluationOptions,
-) -> Result<CoverageReport, CoverageError> {
-    evaluate_once(test, faults, config, options, Strategy::Auto)
-}
-
-/// [`evaluate_parallel`] with an explicit worker-thread count.
-///
-/// Unlike [`crate::Strategy::Parallel`] (which rejects zero), this wrapper
-/// keeps the historical behaviour of silently clamping `threads == 0` to 1.
-///
-/// # Errors
-///
-/// See [`CoverageEngine::report`].
-#[cfg(feature = "parallel")]
-#[deprecated(
-    note = "build a `CoverageEngine` with `Strategy::Parallel { threads }` and call `report` instead"
-)]
-pub fn evaluate_parallel_with_threads(
-    test: &MarchTest,
-    faults: &[Fault],
-    config: MemoryConfig,
-    options: EvaluationOptions,
-    threads: usize,
-) -> Result<CoverageReport, CoverageError> {
-    evaluate_once(
-        test,
-        faults,
-        config,
-        options,
-        Strategy::Parallel {
-            threads: threads.max(1),
-        },
-    )
-}
-
 /// Whether a single fault is detected by the test (under every tried initial
 /// content).
 ///
 /// A one-off query that interprets the symbolic test directly; for sweeps
-/// over many faults, build a [`CoverageEngine`] and stream
-/// [`verdicts`](CoverageEngine::verdicts) instead.
+/// over many faults, build a [`crate::CoverageEngine`] and stream
+/// [`verdicts`](crate::CoverageEngine::verdicts) instead.
 ///
 /// # Errors
 ///
-/// Same as [`CoverageEngine::report`].
+/// Same as [`crate::CoverageEngine::report`].
 pub fn fault_detected(
     test: &MarchTest,
     fault: Fault,
@@ -236,7 +109,8 @@ pub fn fault_detected(
 mod tests {
     use super::*;
     use crate::universe::{CouplingScope, UniverseBuilder};
-    use twm_core::TwmTransformer;
+    use crate::CoverageEngine;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, mats_plus};
     use twm_mem::FaultClass;
 
@@ -295,7 +169,7 @@ mod tests {
     fn transparent_word_oriented_test_covers_word_memory_faults() {
         let width = 4;
         let c = config(8, width);
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
@@ -329,7 +203,7 @@ mod tests {
         // closes (Section 5 of the paper).
         let width = 4;
         let c = config(8, width);
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
@@ -338,9 +212,15 @@ mod tests {
             .coupling_scope(CouplingScope::SameWord)
             .sample_per_class(60, 9)
             .build();
-        let tsmarch_only = engine(transformed.tsmarch(), c, 23)
-            .report(&faults)
-            .unwrap();
+        let tsmarch_only = engine(
+            transformed
+                .stage(twm_core::SchemeTransform::STAGE_TSMARCH)
+                .unwrap(),
+            c,
+            23,
+        )
+        .report(&faults)
+        .unwrap();
         let full = engine(transformed.transparent_test(), c, 23)
             .report(&faults)
             .unwrap();
@@ -351,52 +231,5 @@ mod tests {
             full.intra_word.fraction(),
             tsmarch_only.intra_word.fraction()
         );
-    }
-
-    /// The deprecated wrappers stay drop-in: they produce the same report
-    /// as the engine they delegate to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_engine_reports() {
-        let c = config(6, 4);
-        let faults = UniverseBuilder::new(c)
-            .all_classes()
-            .sample_per_class(20, 7)
-            .build();
-        let test = march_c_minus();
-        let options = EvaluationOptions {
-            content: ContentPolicy::Random { seed: 99 },
-            contents_per_fault: 1,
-        };
-        let reference = CoverageEngine::builder(c)
-            .test(&test)
-            .options(options)
-            .strategy(Strategy::Serial)
-            .build()
-            .unwrap()
-            .report(&faults)
-            .unwrap();
-        assert_eq!(
-            evaluate_serial(&test, &faults, c, options).unwrap(),
-            reference
-        );
-        assert_eq!(
-            evaluate_with(&test, &faults, c, options).unwrap(),
-            reference
-        );
-        assert_eq!(evaluate(&test, &faults, c, 99).unwrap(), reference);
-        #[cfg(feature = "parallel")]
-        {
-            assert_eq!(
-                evaluate_parallel(&test, &faults, c, options).unwrap(),
-                reference
-            );
-            for threads in [0, 1, 3, 64] {
-                assert_eq!(
-                    evaluate_parallel_with_threads(&test, &faults, c, options, threads).unwrap(),
-                    reference
-                );
-            }
-        }
     }
 }

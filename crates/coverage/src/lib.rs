@@ -21,6 +21,9 @@
 //! * [`aliasing`] — how much detection the MISR signature comparison loses
 //!   to aliasing compared with the exact-compare oracle (the motivation the
 //!   paper cites for signature-free schemes such as TOMT).
+//! * [`matrix`] — [`scheme_matrix`]: the paper's whole scheme comparison
+//!   (complexity, fault-free session cost, coverage) over every scheme of a
+//!   [`twm_core::SchemeRegistry`] in one call.
 //!
 //! ## The `CoverageEngine`
 //!
@@ -33,17 +36,20 @@
 //!
 //! ```
 //! use twm_coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
-//! use twm_core::TwmTransformer;
+//! use twm_core::scheme::{SchemeId, SchemeRegistry};
 //! use twm_march::algorithms::march_c_minus;
 //! use twm_mem::MemoryConfig;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = MemoryConfig::new(16, 4)?;
-//! let test = TwmTransformer::new(4)?.transform(&march_c_minus())?;
-//! let engine = CoverageEngine::builder(config)
-//!     .test(test.transparent_test())
-//!     .content(ContentPolicy::Random { seed: 1 })
-//!     .build()?;
+//! let registry = SchemeRegistry::all(4)?;
+//! let engine = CoverageEngine::for_scheme(
+//!     registry.get(SchemeId::TwmTa).unwrap(),
+//!     &march_c_minus(),
+//!     config,
+//! )?
+//! .content(ContentPolicy::Random { seed: 1 })
+//! .build()?;
 //!
 //! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
 //! let report = engine.report(&faults)?;
@@ -76,9 +82,9 @@
 //!
 //! The historical free functions (`evaluate`, `evaluate_with`,
 //! `evaluate_serial`, `evaluate_parallel`,
-//! `evaluate_parallel_with_threads`) are deprecated thin wrappers now; see
-//! the MIGRATION table in the repository's `CHANGES.md` for the one-line
-//! replacements.
+//! `evaluate_parallel_with_threads`) went through a deprecation cycle and
+//! have been **removed**; see the MIGRATION table in the repository's
+//! `CHANGES.md` for the one-line engine replacements.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -88,6 +94,7 @@ pub mod engine;
 pub mod equivalence;
 mod error;
 pub mod evaluator;
+pub mod matrix;
 pub mod report;
 pub mod states;
 pub mod universe;
@@ -96,11 +103,7 @@ pub use aliasing::{aliasing_report, AliasingReport};
 pub use engine::{CoverageEngine, CoverageEngineBuilder, FaultVerdict, Strategy, Verdicts};
 pub use equivalence::{coverage_equivalence, EquivalenceReport};
 pub use error::CoverageError;
-#[allow(deprecated)]
-pub use evaluator::{evaluate, evaluate_serial, evaluate_with};
-#[cfg(feature = "parallel")]
-#[allow(deprecated)]
-pub use evaluator::{evaluate_parallel, evaluate_parallel_with_threads};
 pub use evaluator::{fault_detected, ContentPolicy, EvaluationOptions};
+pub use matrix::{scheme_matrix, MatrixOptions, SchemeMatrix, SchemeMatrixRow};
 pub use report::{ClassCoverage, CoverageReport};
 pub use universe::{CouplingScope, UniverseBuilder};

@@ -314,7 +314,7 @@ fn classify_pair_event(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twm_core::TwmTransformer;
+    use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, march_u, mats_plus};
 
     #[test]
@@ -353,7 +353,7 @@ mod tests {
         assert!(analyze_cell_pair(&march_c_minus(), 3, 3, 8).is_err());
         assert!(analyze_cell_pair(&march_c_minus(), 5, 2, 8).is_err());
         assert!(analyze_cell_pair(&march_c_minus(), 0, 9, 8).is_err());
-        let transparent = TwmTransformer::new(4)
+        let transparent = TwmTa::new(4)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap()
@@ -368,7 +368,7 @@ mod tests {
         // two mixed ones — together all four, for every bit pair and any
         // initial content.
         let width = 8;
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
@@ -394,12 +394,20 @@ mod tests {
     #[test]
     fn tsmarch_alone_misses_the_mixed_conditions() {
         let width = 8;
-        let transformed = TwmTransformer::new(width)
+        let transformed = TwmTa::new(width)
             .unwrap()
             .transform(&march_c_minus())
             .unwrap();
         let initial = Word::from_bits(0x3C, width).unwrap();
-        let coverage = analyze_intra_word_pair(transformed.tsmarch(), 0, 5, initial).unwrap();
+        let coverage = analyze_intra_word_pair(
+            transformed
+                .stage(twm_core::SchemeTransform::STAGE_TSMARCH)
+                .unwrap(),
+            0,
+            5,
+            initial,
+        )
+        .unwrap();
         assert!(coverage.both_complemented_read);
         assert!(coverage.restored_from_complement_read);
         assert!(!coverage.mixed_read);

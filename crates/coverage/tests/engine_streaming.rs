@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use twm_core::TwmTransformer;
+use twm_core::{TransparentScheme, TwmTa};
 use twm_coverage::universe::{CouplingScope, UniverseBuilder};
 use twm_coverage::{
     ContentPolicy, CoverageEngine, CoverageError, CoverageReport, EvaluationOptions, FaultVerdict,
@@ -101,7 +101,7 @@ proptest! {
             .all_classes()
             .sample_per_class(12, universe_seed)
             .build();
-        let transformed = TwmTransformer::new(width).unwrap()
+        let transformed = TwmTa::new(width).unwrap()
             .transform(&march_c_minus()).unwrap();
         let test = transformed.transparent_test();
         let options = EvaluationOptions {
@@ -284,4 +284,60 @@ fn invalid_fault_errors_surface_in_order() {
         assert!(stream.next().is_none());
         assert!(matches!(e.report(&faults), Err(CoverageError::Mem(_))));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multi-fault injections: the engine's fault-local
+    /// `injection_detected` agrees with the historical full-sweep path
+    /// (`memory_reuse(false)`) for any fault subset, content seed and
+    /// contents-per-fault count.
+    #[test]
+    fn injection_detected_matches_full_sweep_reference(
+        pick in prop::collection::vec(0usize..1000, 1..5),
+        seed in any::<u64>(),
+        contents in 1usize..3,
+    ) {
+        let config = MemoryConfig::new(10, 4).unwrap();
+        let pool = UniverseBuilder::new(config)
+            .all_classes()
+            .coupling_scope(CouplingScope::AllPairs)
+            .sample_per_class(40, 5)
+            .build();
+        let faults: Vec<Fault> = pick.iter().map(|&i| pool[i % pool.len()]).collect();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed },
+            contents_per_fault: contents,
+        };
+        let test = march_c_minus();
+        let local = engine(&test, config, options, Exec::Serial)
+            .injection_detected(&faults)
+            .unwrap();
+        let full = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Exec::Serial)
+            .memory_reuse(false)
+            .build()
+            .unwrap()
+            .injection_detected(&faults)
+            .unwrap();
+        prop_assert_eq!(local, full);
+    }
+}
+
+#[test]
+fn injection_detected_rejects_an_empty_set() {
+    let config = MemoryConfig::new(8, 4).unwrap();
+    let e = engine(
+        &march_c_minus(),
+        config,
+        EvaluationOptions::default(),
+        Exec::Serial,
+    );
+    assert!(matches!(
+        e.injection_detected(&[]),
+        Err(CoverageError::EmptyUniverse)
+    ));
 }

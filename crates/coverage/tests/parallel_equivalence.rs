@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use twm_core::TwmTransformer;
+use twm_core::{TransparentScheme, TwmTa};
 use twm_coverage::universe::{CouplingScope, UniverseBuilder};
 use twm_coverage::{ContentPolicy, CoverageEngine, EvaluationOptions, Strategy as Exec};
 use twm_march::algorithms::{march_c_minus, mats_plus};
@@ -85,7 +85,7 @@ proptest! {
             .all_classes()
             .sample_per_class(15, universe_seed)
             .build();
-        let transformed = TwmTransformer::new(width).unwrap().transform(&march_c_minus()).unwrap();
+        let transformed = TwmTa::new(width).unwrap().transform(&march_c_minus()).unwrap();
         let options = EvaluationOptions {
             content: ContentPolicy::Random { seed: content_seed },
             contents_per_fault,
@@ -168,28 +168,4 @@ proptest! {
             prop_assert_eq!(reused.report(&faults).unwrap(), fresh);
         }
     }
-}
-
-/// The deprecated routed entry points (`evaluate`, `evaluate_with`) agree
-/// with the serial engine — they are what historical downstream code calls.
-#[test]
-#[allow(deprecated)]
-fn deprecated_routed_entry_points_match_serial_reference() {
-    let config = MemoryConfig::new(6, 4).unwrap();
-    let faults = UniverseBuilder::new(config)
-        .all_classes()
-        .sample_per_class(20, 7)
-        .build();
-    let test = march_c_minus();
-    let options = EvaluationOptions {
-        content: ContentPolicy::Random { seed: 99 },
-        contents_per_fault: 1,
-    };
-    let serial = engine(&test, config, options, Exec::Serial)
-        .report(&faults)
-        .unwrap();
-    let routed = twm_coverage::evaluate_with(&test, &faults, config, options).unwrap();
-    assert_eq!(serial, routed);
-    let simple = twm_coverage::evaluate(&test, &faults, config, 99).unwrap();
-    assert_eq!(serial, simple);
 }

@@ -106,6 +106,23 @@ impl FaultSet {
         self.faults.iter().filter(|f| f.class() == class).collect()
     }
 
+    /// The sorted, deduplicated word addresses the set's faults touch as
+    /// victim or aggressor — the footprint a fault-local sweep
+    /// (`twm_bist::detect_lowered_at`) must visit. A word outside the
+    /// footprint hosts no faulty cell and no aggressor, so it behaves
+    /// exactly like a fault-free word under any march test.
+    #[must_use]
+    pub fn word_footprint(&self) -> Vec<usize> {
+        let mut words: Vec<usize> = self
+            .faults
+            .iter()
+            .flat_map(|fault| fault.cells().into_iter().map(|cell| cell.word))
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        words
+    }
+
     /// Stuck-at value for a cell, if the cell has a stuck-at fault.
     #[must_use]
     pub fn stuck_at(&self, cell: BitAddress) -> Option<bool> {
@@ -230,6 +247,18 @@ mod tests {
         assert!(set.is_empty());
         assert_eq!(set.len(), 0);
         assert!(set.validate(4, 8).is_ok());
+        assert!(set.word_footprint().is_empty());
+    }
+
+    #[test]
+    fn word_footprint_is_the_sorted_union_of_victim_and_aggressor_words() {
+        let set = FaultSet::from_faults(vec![
+            Fault::stuck_at(cell(7, 1), true),
+            Fault::transition(cell(7, 3), Transition::Rising),
+            Fault::coupling_inversion(cell(9, 0), cell(2, 3), Transition::Falling),
+            Fault::coupling_state(cell(2, 0), cell(2, 1), false, true),
+        ]);
+        assert_eq!(set.word_footprint(), vec![2, 7, 9]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 
 use twm::core::atmarch::amarch;
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry};
 use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{FaultClass, MemoryConfig};
@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bmarch = march_c_minus();
 
     // The proposed transparent test and its non-transparent counterpart.
-    let transformed = TwmTransformer::new(width)?.transform(&bmarch)?;
+    let registry = SchemeRegistry::all(width)?;
+    let transformed = registry.transform(SchemeId::TwmTa, &bmarch)?;
     let counterpart = bmarch.concatenated(
         &amarch(width)?,
         format!("{} + AMarch (W={width})", bmarch.name()),

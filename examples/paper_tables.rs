@@ -1,4 +1,5 @@
-//! Regenerates every table and worked example of the paper's evaluation:
+//! Regenerates every table and worked example of the paper's evaluation,
+//! driven entirely by the scheme registry:
 //!
 //! * the Section 4 worked example (March U, 8-bit words, 29 operations),
 //! * Table 1 (word content while the first ATMarch elements execute),
@@ -12,28 +13,37 @@
 //! cargo run --example paper_tables
 //! ```
 
-use twm::core::complexity::{
-    headline, proposed_exact, proposed_formula, scheme1_formula, scheme2_formula, table3_rows,
-};
-use twm::core::TwmTransformer;
+use twm::core::complexity::{headline, table3_rows};
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::march::algorithms::{march_c_minus, march_u};
 use twm::march::{DataSpec, MarchTest, OpKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     section_4_worked_example()?;
     table_1()?;
-    table_2();
+    table_2()?;
     table_3()?;
-    headline_comparison();
+    headline_comparison()?;
     Ok(())
+}
+
+/// The registry entry behind the Section 4 / Table 1 worked examples.
+fn twm_ta_transform(width: usize) -> Result<SchemeTransform, Box<dyn std::error::Error>> {
+    Ok(SchemeRegistry::all(width)?.transform(SchemeId::TwmTa, &march_u())?)
 }
 
 fn section_4_worked_example() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Section 4 worked example: March U on 8-bit words ==");
-    let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
+    let transformed = twm_ta_transform(8)?;
     println!("March U   : {}", march_u());
-    println!("TSMarch U : {}", transformed.tsmarch());
-    println!("ATMarch   : {}", transformed.atmarch());
+    println!(
+        "TSMarch U : {}",
+        transformed.stage(SchemeTransform::STAGE_TSMARCH).unwrap()
+    );
+    println!(
+        "ATMarch   : {}",
+        transformed.stage(SchemeTransform::STAGE_ATMARCH).unwrap()
+    );
     println!(
         "TWMarch complexity: {} operations per word (paper: 29)",
         transformed.transparent_test().operations_per_word()
@@ -48,8 +58,8 @@ fn section_4_worked_example() -> Result<(), Box<dyn std::error::Error>> {
 /// information of the paper's Table 1.
 fn table_1() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Table 1: word content during the first three ATMarch elements (W = 8) ==");
-    let transformed = TwmTransformer::new(8)?.transform(&march_u())?;
-    let atmarch: &MarchTest = transformed.atmarch();
+    let transformed = twm_ta_transform(8)?;
+    let atmarch: &MarchTest = transformed.stage(SchemeTransform::STAGE_ATMARCH).unwrap();
     let width = 8usize;
 
     println!("{:<12} word content afterwards", "operation");
@@ -81,31 +91,37 @@ fn table_1() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn table_2() {
+fn table_2() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Table 2: closed-form complexity of the transparent test schemes ==");
     println!("(per word; N words, W-bit words, M operations, Q reads, L = ceil(log2 W))");
     println!("{:<22} {:<18} {:<18}", "scheme", "TCM", "TCP");
-    println!(
-        "{:<22} {:<18} {:<18}",
-        "Scheme 1 [12]", "M*(L+1)*N", "Q*(L+1)*N"
-    );
-    println!(
-        "{:<22} {:<18} {:<18}",
-        "Scheme 2 [13] TOMT", "(8W+2)*N", "-"
-    );
-    println!(
-        "{:<22} {:<18} {:<18}",
-        "This work (TWM_TA)", "(M+5L)*N", "(Q+2L)*N"
-    );
+    let registry = SchemeRegistry::comparison(32)?;
+    let label = |id: SchemeId| match id {
+        SchemeId::Scheme1 => "Scheme 1 [12]",
+        SchemeId::Tomt => "Scheme 2 [13] TOMT",
+        SchemeId::TwmTa => "This work (TWM_TA)",
+        _ => "other",
+    };
+    for scheme in registry.iter() {
+        let formulas = scheme.formulas();
+        println!(
+            "{:<22} {:<18} {:<18}",
+            label(scheme.id()),
+            formulas.tcm,
+            formulas.tcp
+        );
+    }
     let length = march_c_minus().length();
+    let form = |id: SchemeId| registry.get(id).unwrap().closed_form(length);
     println!(
         "\nexample (March C-, W = 32): scheme1 = {}+{}, scheme2 = {}, proposed = {}+{}\n",
-        scheme1_formula(length, 32).tcm,
-        scheme1_formula(length, 32).tcp,
-        scheme2_formula(32).tcm,
-        proposed_formula(length, 32).tcm,
-        proposed_formula(length, 32).tcp,
+        form(SchemeId::Scheme1).tcm,
+        form(SchemeId::Scheme1).tcp,
+        form(SchemeId::Tomt).tcm,
+        form(SchemeId::TwmTa).tcm,
+        form(SchemeId::TwmTa).tcp,
     );
+    Ok(())
 }
 
 fn table_3() -> Result<(), Box<dyn std::error::Error>> {
@@ -122,14 +138,14 @@ fn table_3() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} {:>6} {:>14} {:>14} {:>12} {:>16}",
             row.test_name,
             row.width,
-            row.scheme1.total(),
-            row.scheme2.total(),
-            row.proposed.total(),
-            row.proposed_exact.total(),
+            row.cell(SchemeId::Scheme1).unwrap().closed_form.total(),
+            row.cell(SchemeId::Tomt).unwrap().closed_form.total(),
+            row.cell(SchemeId::TwmTa).unwrap().closed_form.total(),
+            row.cell(SchemeId::TwmTa).unwrap().exact.total(),
         );
     }
     // Also report the exact generated-test numbers of the worked examples.
-    let exact = proposed_exact(&march_u(), 8)?;
+    let exact = twm_ta_transform(8)?.exact_complexity();
     println!(
         "\nexact March U, W=8: TCM = {}, TCP(reads) = {}\n",
         exact.tcm, exact.tcp
@@ -137,9 +153,9 @@ fn table_3() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn headline_comparison() {
+fn headline_comparison() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Headline comparison (March C-, 32-bit words) ==");
-    let comparison = headline(&march_c_minus(), 32);
+    let comparison = headline(&SchemeRegistry::comparison(32)?, &march_c_minus())?;
     println!(
         "proposed total = {} ops/word, scheme 1 = {}, scheme 2 = {}",
         comparison.proposed_total, comparison.scheme1_total, comparison.scheme2_total
@@ -152,4 +168,5 @@ fn headline_comparison() {
         "proposed / scheme2 = {:.1}%  (paper: ~19%)",
         comparison.ratio_vs_scheme2 * 100.0
     );
+    Ok(())
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use twm::bist::controller::{schedule, IdleWindowModel, PeriodicController};
-use twm::core::{Scheme1Transformer, TwmTransformer};
+use twm::core::{SchemeId, SchemeRegistry};
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
 
@@ -20,9 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words = 128;
     let bmarch = march_c_minus();
 
-    // Transparent tests of the two schemes.
-    let proposed = TwmTransformer::new(width)?.transform(&bmarch)?;
-    let scheme1 = Scheme1Transformer::new(width)?.transform(&bmarch)?;
+    // Transparent tests of the two schemes, from the same registry.
+    let registry = SchemeRegistry::all(width)?;
+    let proposed = registry.transform(SchemeId::TwmTa, &bmarch)?;
+    let scheme1 = registry.transform(SchemeId::Scheme1, &bmarch)?;
 
     let proposed_ops = proposed.transparent_test().total_operations(words);
     let scheme1_ops = scheme1.transparent_test().total_operations(words);

@@ -1,6 +1,7 @@
 //! Quickstart: transform a bit-oriented march test into a transparent
-//! word-oriented march test, run it on a simulated embedded memory, and see
-//! both the fault-free pass and the detection of an injected fault.
+//! word-oriented march test through the scheme registry, run it on a
+//! simulated embedded memory, and see both the fault-free pass and the
+//! detection of an injected fault.
 //!
 //! Run with:
 //!
@@ -8,9 +9,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use twm::bist::flow::run_transparent_session;
+use twm::bist::flow::run_scheme_session;
 use twm::bist::{diagnose, execute, Misr};
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
 
@@ -20,10 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let width = 16;
     println!("bit-oriented input  : {} = {bmarch}", bmarch.name());
 
-    // 2. Transform it with the paper's TWM_TA algorithm.
-    let transformed = TwmTransformer::new(width)?.transform(&bmarch)?;
-    println!("\nTSMarch             : {}", transformed.tsmarch());
-    println!("ATMarch             : {}", transformed.atmarch());
+    // 2. Transform it with the paper's TWM_TA algorithm — one entry in the
+    //    scheme registry next to the baseline schemes.
+    let registry = SchemeRegistry::all(width)?;
+    let transformed = registry.transform(SchemeId::TwmTa, &bmarch)?;
+    println!(
+        "\nTSMarch             : {}",
+        transformed.stage(SchemeTransform::STAGE_TSMARCH).unwrap()
+    );
+    println!(
+        "ATMarch             : {}",
+        transformed.stage(SchemeTransform::STAGE_ATMARCH).unwrap()
+    );
     println!(
         "TWMarch             : {} operations per word ({} reads, {} writes)",
         transformed.transparent_test().length().operations,
@@ -32,21 +41,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "signature prediction: {} operations per word",
-        transformed.signature_prediction().length().operations
+        transformed
+            .signature_prediction()
+            .expect("TWM_TA has a prediction phase")
+            .length()
+            .operations
     );
 
     // 3. Run the transparent BIST session on a fault-free memory holding
     //    arbitrary data: nothing is detected and the content is preserved.
+    //    `run_scheme_session` accepts any scheme's transform.
     let mut healthy = MemoryBuilder::new(256, width)
         .random_content(0xFEED)
         .build()?;
     let before = healthy.content();
-    let outcome = run_transparent_session(
-        transformed.transparent_test(),
-        transformed.signature_prediction(),
-        &mut healthy,
-        Misr::standard(width),
-    )?;
+    let outcome = run_scheme_session(&transformed, &mut healthy, Misr::standard(width))?;
     println!(
         "\nfault-free memory   : detected = {}",
         outcome.fault_detected()
@@ -64,12 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Transition::Rising,
         ))
         .build()?;
-    let outcome = run_transparent_session(
-        transformed.transparent_test(),
-        transformed.signature_prediction(),
-        &mut aged,
-        Misr::standard(width),
-    )?;
+    let outcome = run_scheme_session(&transformed, &mut aged, Misr::standard(width))?;
     println!(
         "\naged memory         : detected = {}",
         outcome.fault_detected()

@@ -1,9 +1,12 @@
-//! Compares the three transparent-test schemes — Scheme 1 (Nicolaidis
+//! Compares the transparent-test schemes — Scheme 1 (Nicolaidis
 //! word-oriented, \[12\]), Scheme 2 (TOMT-like walk, \[13\]) and the paper's
 //! TWM_TA — analytically (operations per word), by actually running the
 //! generated tests on the memory simulator and counting accesses, and by
-//! measuring fault coverage with one [`CoverageEngine`] per scheme over a
-//! shared sampled fault universe.
+//! measuring fault coverage over a shared sampled fault universe.
+//!
+//! Everything is driven by the [`SchemeRegistry`] and the one-call
+//! [`scheme_matrix`] comparison grid: adding a scheme to the registry adds
+//! a row/column to every table below.
 //!
 //! Run with:
 //!
@@ -11,13 +14,10 @@
 //! cargo run --release --example scheme_comparison
 //! ```
 
-use twm::bist::execute;
-use twm::core::complexity::{proposed_formula, scheme1_formula, scheme2_formula};
-use twm::core::tomt::tomt_like_test;
-use twm::core::{Scheme1Transformer, TwmTransformer};
-use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+use twm::core::{SchemeId, SchemeRegistry};
+use twm::coverage::{scheme_matrix, ContentPolicy, MatrixOptions, UniverseBuilder};
 use twm::march::algorithms::{march_c_minus, march_u};
-use twm::mem::{MemoryBuilder, MemoryConfig};
+use twm::mem::MemoryConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words = 64usize;
@@ -36,48 +36,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "proposed (run)"
         );
         for width in [8usize, 16, 32, 64] {
+            let registry = SchemeRegistry::comparison(width)?;
+            let config = MemoryConfig::new(words, width)?;
+            // A small shared universe keeps the per-width grids cheap; the
+            // full coverage comparison below uses a dense sample.
+            let probe = UniverseBuilder::new(config)
+                .stuck_at()
+                .transition()
+                .sample_per_class(24, 7)
+                .build();
+            // `scheme_matrix` runs each scheme's full fault-free session on
+            // the simulator (asserting content preservation) and counts the
+            // operations actually performed.
+            let matrix = scheme_matrix(
+                &registry,
+                &bmarch,
+                config,
+                &probe,
+                MatrixOptions {
+                    content: ContentPolicy::Random { seed: 7 },
+                    ..MatrixOptions::default()
+                },
+            )?;
+            for row in &matrix.rows {
+                assert!(row.content_preserved, "{} must be transparent", row.name);
+                assert_eq!(row.coverage.total_coverage(), 1.0);
+            }
+
             let length = bmarch.length();
-            let f1 = scheme1_formula(length, width).total();
-            let f2 = scheme2_formula(width).total();
-            let fp = proposed_formula(length, width).total();
-
-            // Execute each scheme's transparent test on a simulator instance
-            // and count the accesses actually performed.
-            let scheme1 = Scheme1Transformer::new(width)?.transform(&bmarch)?;
-            let proposed = TwmTransformer::new(width)?.transform(&bmarch)?;
-            let tomt = tomt_like_test(width)?;
-
-            // `check` asserts the fault-free/transparency invariants; the
-            // signature-prediction phases are read-only sequences whose
-            // expectations only make sense inside the two-phase BIST flow,
-            // so they are executed purely to count their accesses.
-            let run = |test: &twm::march::MarchTest,
-                       check: bool|
-             -> Result<usize, Box<dyn std::error::Error>> {
-                let mut mem = MemoryBuilder::new(words, width).random_content(7).build()?;
-                let result = execute(test, &mut mem)?;
-                if check {
-                    assert!(!result.detected());
-                    assert!(result.content_preserved());
-                }
-                Ok(result.operations())
-            };
-
-            let r1 = run(scheme1.transparent_test(), true)?
-                + run(scheme1.signature_prediction(), false)?;
-            let r2 = run(&tomt, true)?;
-            let rp = run(proposed.transparent_test(), true)?
-                + run(proposed.signature_prediction(), false)?;
-
+            let form = |id: SchemeId| registry.get(id).unwrap().closed_form(length).total() * words;
+            let run = |id: SchemeId| matrix.row(id).unwrap().session_operations;
             println!(
                 "{:>6} {:>16} {:>16} {:>16} | {:>14} {:>14} {:>14}",
                 width,
-                f1 * words,
-                f2 * words,
-                fp * words,
-                r1,
-                r2,
-                rp
+                form(SchemeId::Scheme1),
+                form(SchemeId::Tomt),
+                form(SchemeId::TwmTa),
+                run(SchemeId::Scheme1),
+                run(SchemeId::Tomt),
+                run(SchemeId::TwmTa),
             );
         }
         println!();
@@ -85,9 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(form) = closed-form per-word complexity x N;  (run) = operations measured on the simulator");
 
     // The cost comparison above is only half the story: the paper's claim
-    // is lower cost at *equal* fault coverage. Measure it with one engine
-    // per scheme over the same sampled universe (exact-compare oracle,
-    // identical pseudo-random initial content).
+    // is lower cost at *equal* fault coverage. Measure it with one
+    // scheme_matrix call over a dense sampled universe (exact-compare
+    // oracle, identical pseudo-random initial content for every scheme).
     println!("\n== measured fault coverage (16x8 memory, sampled universe) ==");
     let width = 8usize;
     let config = MemoryConfig::new(16, width)?;
@@ -95,29 +92,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .all_classes()
         .sample_per_class(120, 41)
         .build();
-    let bmarch = march_c_minus();
-    let scheme1 = Scheme1Transformer::new(width)?.transform(&bmarch)?;
-    let proposed = TwmTransformer::new(width)?.transform(&bmarch)?;
-    let tomt = tomt_like_test(width)?;
+    let matrix = scheme_matrix(
+        &SchemeRegistry::comparison(width)?,
+        &march_c_minus(),
+        config,
+        &faults,
+        MatrixOptions {
+            content: ContentPolicy::Random { seed: 2025 },
+            ..MatrixOptions::default()
+        },
+    )?;
     println!(
         "{:<44} {:>10} {:>10}",
         "scheme (transparent test)", "coverage", "ops/word"
     );
-    for (label, test) in [
-        ("scheme 1 (Nicolaidis)", scheme1.transparent_test()),
-        ("scheme 2 (TOMT-like walk)", &tomt),
-        ("proposed TWM_TA (TWMarch)", proposed.transparent_test()),
-    ] {
-        let engine = CoverageEngine::builder(config)
-            .test(test)
-            .content(ContentPolicy::Random { seed: 2025 })
-            .build()?;
-        let report = engine.report(&faults)?;
+    let label = |id: SchemeId| match id {
+        SchemeId::Scheme1 => "scheme 1 (Nicolaidis)",
+        SchemeId::Tomt => "scheme 2 (TOMT-like walk)",
+        SchemeId::TwmTa => "proposed TWM_TA (TWMarch)",
+        _ => "other",
+    };
+    for row in &matrix.rows {
         println!(
             "{:<44} {:>9.2}% {:>10}",
-            label,
-            report.total_coverage() * 100.0,
-            test.operations_per_word()
+            label(row.scheme),
+            row.coverage.total_coverage() * 100.0,
+            row.exact().tcm
         );
     }
     println!(

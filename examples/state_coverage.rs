@@ -17,7 +17,7 @@
 //! cargo run --example state_coverage
 //! ```
 
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::coverage::CoverageEngine;
 use twm::march::algorithms::{march_c_minus, mats_plus};
 use twm::mem::{MemoryConfig, Word};
@@ -42,11 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Figure 1(b): intra-word pair conditions (word-oriented, W = 8) ==");
     let width = 8;
     let word_config = MemoryConfig::new(16, width)?;
-    let transformed = TwmTransformer::new(width)?.transform(&march_c_minus())?;
+    let transformed = SchemeRegistry::all(width)?.transform(SchemeId::TwmTa, &march_c_minus())?;
     // One engine for the partial test (TSMarch only), one for the full
     // transparent TWMarch.
     let tsmarch = CoverageEngine::builder(word_config)
-        .test(transformed.tsmarch())
+        .test(transformed.stage(SchemeTransform::STAGE_TSMARCH).unwrap())
         .build()?;
     let twmarch = CoverageEngine::builder(word_config)
         .test(transformed.transparent_test())

@@ -10,37 +10,48 @@
 //!   injection (SAF, TF, CFst, CFid, CFin).
 //! * [`march`] — march-test framework: operations, elements, notation,
 //!   standard algorithms (March C−, March U, …) and data backgrounds.
-//! * [`core`] — the paper's contribution: the TWM_TA transformation that
-//!   turns a bit-oriented march test into an efficient transparent
-//!   word-oriented march test, plus the baseline schemes it is compared
-//!   against and the complexity model behind the paper's tables.
+//! * [`core`] — the paper's contribution behind **one transformation
+//!   surface**: the [`TransparentScheme`](core::TransparentScheme) trait
+//!   and the [`SchemeRegistry`](core::SchemeRegistry), with the paper's
+//!   TWM_TA next to the baseline schemes it is compared against
+//!   (Nicolaidis, Scheme 1, TOMT), plus the registry-driven complexity
+//!   model behind the paper's tables.
 //! * [`bist`] — transparent BIST engine: march executor, MISR signature
-//!   analyzer, signature-prediction flow and periodic idle-window
-//!   controller.
+//!   analyzer, the scheme-generic
+//!   [`run_scheme_session`](bist::run_scheme_session) flow and periodic
+//!   idle-window controller.
 //! * [`coverage`] — fault-universe enumeration and the
 //!   [`CoverageEngine`](coverage::CoverageEngine): one reusable, streaming
 //!   evaluation surface for coverage reports, per-fault verdict streams and
-//!   test-vs-test comparisons, including the two-cell state analysis of the
-//!   paper's Figure 1.
+//!   test-vs-test comparisons — including
+//!   [`CoverageEngine::for_scheme`](coverage::CoverageEngine::for_scheme)
+//!   and the one-call [`scheme_matrix`](coverage::scheme_matrix) comparison
+//!   grid over every registered scheme.
 //!
 //! ## Quickstart
 //!
+//! Every transformation goes through the scheme registry:
+//!
 //! ```
+//! use twm::core::{complexity, SchemeId, SchemeRegistry};
 //! use twm::march::algorithms::march_c_minus;
-//! use twm::core::{complexity, TwmTransformer};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Transform bit-oriented March C− for a memory with 32-bit words.
+//! // All schemes for 32-bit words, one surface.
+//! let registry = SchemeRegistry::all(32)?;
+//!
+//! // Transform bit-oriented March C− with the paper's TWM_TA.
 //! let bmarch = march_c_minus();
-//! let transformed = TwmTransformer::new(32)?.transform(&bmarch)?;
+//! let transformed = registry.transform(SchemeId::TwmTa, &bmarch)?;
 //!
 //! // Operations per word of the transparent test: the paper's
 //! // TCM = M + 5·log2(W) = 10 + 25 = 35.
 //! assert_eq!(transformed.transparent_test().operations_per_word(), 35);
 //!
 //! // The paper's headline comparison: ≈56% of Scheme 1 and ≈19% of
-//! // Scheme 2 (TOMT) for March C− on 32-bit words.
-//! let headline = complexity::headline(&bmarch, 32);
+//! // Scheme 2 (TOMT) for March C− on 32-bit words, straight from the
+//! // registry entries.
+//! let headline = complexity::headline(&registry, &bmarch)?;
 //! assert!((headline.ratio_vs_scheme1 - 0.56).abs() < 0.01);
 //! assert!((headline.ratio_vs_scheme2 - 0.19).abs() < 0.01);
 //! # Ok(())
@@ -50,24 +61,36 @@
 //! ## Measuring fault coverage
 //!
 //! Simulation experiments go through one reusable
-//! [`CoverageEngine`](coverage::CoverageEngine), built once per
-//! `(memory shape, march test)` pair and reused across universes:
+//! [`CoverageEngine`](coverage::CoverageEngine) per scheme — or through
+//! [`scheme_matrix`](coverage::scheme_matrix), which compares every
+//! registered scheme over a shared fault universe in one call:
 //!
 //! ```
-//! use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
-//! use twm::core::TwmTransformer;
+//! use twm::coverage::{scheme_matrix, MatrixOptions, UniverseBuilder};
+//! use twm::core::{SchemeId, SchemeRegistry};
 //! use twm::march::algorithms::march_c_minus;
 //! use twm::mem::MemoryConfig;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = MemoryConfig::new(16, 4)?;
-//! let test = TwmTransformer::new(4)?.transform(&march_c_minus())?;
-//! let engine = CoverageEngine::builder(config)
-//!     .test(test.transparent_test())
-//!     .content(ContentPolicy::Random { seed: 1 })
-//!     .build()?;
+//! let registry = SchemeRegistry::comparison(4)?;
 //! let faults = UniverseBuilder::new(config).stuck_at().transition().build();
-//! assert_eq!(engine.report(&faults)?.total_coverage(), 1.0);
+//! let matrix = scheme_matrix(
+//!     &registry,
+//!     &march_c_minus(),
+//!     config,
+//!     &faults,
+//!     MatrixOptions::default(),
+//! )?;
+//! // Every scheme detects all stuck-at and transition faults ...
+//! for row in &matrix.rows {
+//!     assert_eq!(row.coverage.total_coverage(), 1.0);
+//!     assert!(row.content_preserved);
+//! }
+//! // ... and the paper's scheme is the cheapest per word.
+//! let proposed = matrix.row(SchemeId::TwmTa).unwrap();
+//! let scheme1 = matrix.row(SchemeId::Scheme1).unwrap();
+//! assert!(proposed.exact().total() < scheme1.exact().total());
 //! # Ok(())
 //! # }
 //! ```

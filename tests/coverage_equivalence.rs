@@ -5,16 +5,16 @@
 //! covered by both.
 
 use twm::core::atmarch::amarch;
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry};
 use twm::coverage::{ContentPolicy, CouplingScope, CoverageEngine, UniverseBuilder};
 use twm::march::algorithms::{march_c_minus, march_u};
 use twm::mem::{FaultClass, MemoryConfig};
 
 fn run_case(bmarch: &twm::march::MarchTest, words: usize, width: usize, seed: u64) {
     let config = MemoryConfig::new(words, width).unwrap();
-    let transformed = TwmTransformer::new(width)
+    let transformed = SchemeRegistry::all(width)
         .unwrap()
-        .transform(bmarch)
+        .transform(SchemeId::TwmTa, bmarch)
         .unwrap();
     let counterpart = bmarch.concatenated(
         &amarch(width).unwrap(),

@@ -3,9 +3,9 @@
 //! transparent BIST session (prediction phase, test phase, signature
 //! comparison) built from March C−.
 
-use twm::bist::flow::run_transparent_session;
+use twm::bist::flow::run_scheme_session;
 use twm::bist::Misr;
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry};
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{BitAddress, Fault, MemoryBuilder, Transition};
 
@@ -13,22 +13,17 @@ const WIDTH: usize = 8;
 const WORDS: usize = 32;
 
 fn detects(fault: Fault, seed: u64) -> bool {
-    let transformed = TwmTransformer::new(WIDTH)
+    let transformed = SchemeRegistry::all(WIDTH)
         .expect("width")
-        .transform(&march_c_minus())
+        .transform(SchemeId::TwmTa, &march_c_minus())
         .expect("transform");
     let mut memory = MemoryBuilder::new(WORDS, WIDTH)
         .random_content(seed)
         .fault(fault)
         .build()
         .expect("memory");
-    let outcome = run_transparent_session(
-        transformed.transparent_test(),
-        transformed.signature_prediction(),
-        &mut memory,
-        Misr::standard(WIDTH),
-    )
-    .expect("session");
+    let outcome =
+        run_scheme_session(&transformed, &mut memory, Misr::standard(WIDTH)).expect("session");
     outcome.fault_detected()
 }
 
@@ -97,9 +92,9 @@ fn intra_word_inversion_coupling_is_detected() {
 
 #[test]
 fn multiple_simultaneous_faults_are_still_flagged() {
-    let transformed = TwmTransformer::new(WIDTH)
+    let transformed = SchemeRegistry::all(WIDTH)
         .unwrap()
-        .transform(&march_c_minus())
+        .transform(SchemeId::TwmTa, &march_c_minus())
         .unwrap();
     let mut memory = MemoryBuilder::new(WORDS, WIDTH)
         .random_content(99)
@@ -114,13 +109,7 @@ fn multiple_simultaneous_faults_are_still_flagged() {
         ])
         .build()
         .unwrap();
-    let outcome = run_transparent_session(
-        transformed.transparent_test(),
-        transformed.signature_prediction(),
-        &mut memory,
-        Misr::standard(WIDTH),
-    )
-    .unwrap();
+    let outcome = run_scheme_session(&transformed, &mut memory, Misr::standard(WIDTH)).unwrap();
     assert!(outcome.fault_detected_exact());
     assert!(outcome.fault_detected());
 }

@@ -2,7 +2,7 @@
 //! coverage for two arbitrary cells (bit-oriented) and for two bits inside a
 //! word (word-oriented).
 
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::coverage::states::{analyze_cell_pair, analyze_intra_word_pair};
 use twm::march::algorithms::{march_b, march_c_minus, march_u, march_x, mats_plus};
 use twm::mem::Word;
@@ -48,9 +48,9 @@ fn twmarch_covers_intra_word_conditions_for_every_pair_and_content() {
     // intra-word pair conditions for every bit pair, regardless of the
     // initial content; the solid-background part alone covers only two.
     let width = 16;
-    let transformed = TwmTransformer::new(width)
+    let transformed = SchemeRegistry::all(width)
         .unwrap()
-        .transform(&march_u())
+        .transform(SchemeId::TwmTa, &march_u())
         .unwrap();
     for content in [0u128, 0xA5A5, 0x0F0F, 0xFFFF, 0x1234] {
         let initial = Word::from_bits(content, width).unwrap();
@@ -62,8 +62,13 @@ fn twmarch_covers_intra_word_conditions_for_every_pair_and_content() {
                     full.all_covered(),
                     "pair ({a},{b}) content {initial}: {full:?}"
                 );
-                let partial =
-                    analyze_intra_word_pair(transformed.tsmarch(), a, b, initial).unwrap();
+                let partial = analyze_intra_word_pair(
+                    transformed.stage(SchemeTransform::STAGE_TSMARCH).unwrap(),
+                    a,
+                    b,
+                    initial,
+                )
+                .unwrap();
                 assert_eq!(
                     partial.covered_count(),
                     2,

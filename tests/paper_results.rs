@@ -1,23 +1,23 @@
 //! Integration tests pinning the paper's headline numbers: Table 2 closed
 //! forms, Table 3 cells, the 56 % / 19 % comparison and the Section 4 worked
-//! example.
+//! example — all pulled from the scheme registry.
 
-use twm::core::complexity::{
-    headline, proposed_exact, proposed_formula, scheme1_formula, scheme2_formula, table3_rows,
-};
-use twm::core::TwmTransformer;
+use twm::core::complexity::{headline, proposed_exact, proposed_formula, table3_rows};
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::march::algorithms::{march_c_minus, march_u};
 
 #[test]
 fn table2_closed_forms() {
     // March C-: M = 10, Q = 5. For W = 32 (L = 5):
     let length = march_c_minus().length();
-    assert_eq!(scheme1_formula(length, 32).tcm, 60);
-    assert_eq!(scheme1_formula(length, 32).tcp, 30);
-    assert_eq!(scheme2_formula(32).tcm, 258);
-    assert_eq!(scheme2_formula(32).tcp, 0);
-    assert_eq!(proposed_formula(length, 32).tcm, 35);
-    assert_eq!(proposed_formula(length, 32).tcp, 15);
+    let registry = SchemeRegistry::comparison(32).unwrap();
+    let form = |id: SchemeId| registry.get(id).unwrap().closed_form(length);
+    assert_eq!(form(SchemeId::Scheme1).tcm, 60);
+    assert_eq!(form(SchemeId::Scheme1).tcp, 30);
+    assert_eq!(form(SchemeId::Tomt).tcm, 258);
+    assert_eq!(form(SchemeId::Tomt).tcp, 0);
+    assert_eq!(form(SchemeId::TwmTa).tcm, 35);
+    assert_eq!(form(SchemeId::TwmTa).tcp, 15);
 }
 
 #[test]
@@ -44,13 +44,18 @@ fn table3_march_c_minus_and_march_u_across_word_sizes() {
             .iter()
             .find(|r| r.test_name == *name && r.width == *width)
             .expect("row exists");
-        assert_eq!(row.proposed.total(), *total, "{name} W={width}");
+        let proposed = row.cell(SchemeId::TwmTa).unwrap();
+        assert_eq!(proposed.closed_form.total(), *total, "{name} W={width}");
         // The proposed scheme wins against both baselines in every cell.
-        assert!(row.proposed.total() < row.scheme1.total());
-        assert!(row.proposed.total() < row.scheme2.total());
+        assert!(
+            proposed.closed_form.total() < row.cell(SchemeId::Scheme1).unwrap().closed_form.total()
+        );
+        assert!(
+            proposed.closed_form.total() < row.cell(SchemeId::Tomt).unwrap().closed_form.total()
+        );
         // Exact generated-test length differs from the closed form by at
         // most the one appended read (write-terminated tests).
-        assert!(row.proposed_exact.tcm - row.proposed.tcm <= 1);
+        assert!(proposed.exact.tcm - proposed.closed_form.tcm <= 1);
     }
 
     // Spot-check the baselines for March C- at W = 16 and W = 128.
@@ -58,19 +63,23 @@ fn table3_march_c_minus_and_march_u_across_word_sizes() {
         .iter()
         .find(|r| r.test_name == "March C-" && r.width == 16)
         .unwrap();
-    assert_eq!(row.scheme1.total(), 75);
-    assert_eq!(row.scheme2.total(), 130);
+    assert_eq!(row.cell(SchemeId::Scheme1).unwrap().closed_form.total(), 75);
+    assert_eq!(row.cell(SchemeId::Tomt).unwrap().closed_form.total(), 130);
     let row = rows
         .iter()
         .find(|r| r.test_name == "March C-" && r.width == 128)
         .unwrap();
-    assert_eq!(row.scheme1.total(), 120);
-    assert_eq!(row.scheme2.total(), 1026);
+    assert_eq!(
+        row.cell(SchemeId::Scheme1).unwrap().closed_form.total(),
+        120
+    );
+    assert_eq!(row.cell(SchemeId::Tomt).unwrap().closed_form.total(), 1026);
 }
 
 #[test]
 fn headline_ratios_56_and_19_percent() {
-    let comparison = headline(&march_c_minus(), 32);
+    let registry = SchemeRegistry::comparison(32).unwrap();
+    let comparison = headline(&registry, &march_c_minus()).unwrap();
     assert_eq!(comparison.proposed_total, 50);
     assert_eq!(comparison.scheme1_total, 90);
     assert_eq!(comparison.scheme2_total, 258);
@@ -80,12 +89,24 @@ fn headline_ratios_56_and_19_percent() {
 
 #[test]
 fn section4_worked_example_march_u_8_bits() {
-    let transformed = TwmTransformer::new(8)
+    let transformed = SchemeRegistry::all(8)
         .expect("width 8")
-        .transform(&march_u())
+        .transform(SchemeId::TwmTa, &march_u())
         .expect("transform March U");
-    assert_eq!(transformed.tsmarch().operations_per_word(), 13);
-    assert_eq!(transformed.atmarch().operations_per_word(), 16);
+    assert_eq!(
+        transformed
+            .stage(SchemeTransform::STAGE_TSMARCH)
+            .unwrap()
+            .operations_per_word(),
+        13
+    );
+    assert_eq!(
+        transformed
+            .stage(SchemeTransform::STAGE_ATMARCH)
+            .unwrap()
+            .operations_per_word(),
+        16
+    );
     assert_eq!(transformed.transparent_test().operations_per_word(), 29);
 
     let exact = proposed_exact(&march_u(), 8).expect("exact complexity");
@@ -99,13 +120,19 @@ fn proposed_complexity_is_only_weakly_coupled_to_the_bit_oriented_test() {
     let c_minus = march_c_minus().length();
     let u = march_u().length();
     for width in [16usize, 32, 64, 128] {
-        let gap_proposed = proposed_formula(u, width).total() as isize
-            - proposed_formula(c_minus, width).total() as isize;
-        let gap_scheme1 = scheme1_formula(u, width).total() as isize
-            - scheme1_formula(c_minus, width).total() as isize;
+        let registry = SchemeRegistry::comparison(width).unwrap();
+        let proposed = registry.get(SchemeId::TwmTa).unwrap();
+        let scheme1 = registry.get(SchemeId::Scheme1).unwrap();
+        let gap_proposed = proposed.closed_form(u).total() as isize
+            - proposed.closed_form(c_minus).total() as isize;
+        let gap_scheme1 =
+            scheme1.closed_form(u).total() as isize - scheme1.closed_form(c_minus).total() as isize;
         // The gap between the two tests stays constant (M and Q difference)
         // for the proposed scheme but grows with log2(W)+1 for Scheme 1.
         assert_eq!(gap_proposed, 4);
         assert!(gap_scheme1 > gap_proposed);
+        // The registry's closed form is the same arithmetic as the free
+        // formula primitive.
+        assert_eq!(proposed.closed_form(u), proposed_formula(u, width));
     }
 }

@@ -2,7 +2,7 @@
 //! first three ATMarch elements execute, expressed as an XOR offset from the
 //! initial content.
 
-use twm::core::TwmTransformer;
+use twm::core::{SchemeId, SchemeRegistry, SchemeTransform};
 use twm::march::algorithms::march_u;
 use twm::march::{DataSpec, OpKind};
 use twm::mem::{MemoryBuilder, Word};
@@ -12,11 +12,11 @@ use twm::mem::{MemoryBuilder, Word};
 /// and every element is bracketed by reads of the restored content.
 #[test]
 fn atmarch_offset_sequence_matches_table1() {
-    let transformed = TwmTransformer::new(8)
+    let transformed = SchemeRegistry::all(8)
         .unwrap()
-        .transform(&march_u())
+        .transform(SchemeId::TwmTa, &march_u())
         .unwrap();
-    let atmarch = transformed.atmarch();
+    let atmarch = transformed.stage(SchemeTransform::STAGE_ATMARCH).unwrap();
     let expected_backgrounds = [0b0101_0101u128, 0b0011_0011, 0b0000_1111];
 
     for (k, element) in atmarch.elements().iter().take(3).enumerate() {
@@ -50,9 +50,9 @@ fn atmarch_offset_sequence_matches_table1() {
 fn atmarch_execution_walks_the_table1_contents() {
     let width = 8;
     let initial = Word::from_bits(0b1011_0110, width).unwrap();
-    let transformed = TwmTransformer::new(width)
+    let transformed = SchemeRegistry::all(width)
         .unwrap()
-        .transform(&march_u())
+        .transform(SchemeId::TwmTa, &march_u())
         .unwrap();
     let mut memory = MemoryBuilder::new(1, width)
         .content(vec![initial])
@@ -60,7 +60,11 @@ fn atmarch_execution_walks_the_table1_contents() {
         .unwrap();
     memory.set_tracing(true);
 
-    let result = twm::bist::execute(transformed.atmarch(), &mut memory).unwrap();
+    let result = twm::bist::execute(
+        transformed.stage(SchemeTransform::STAGE_ATMARCH).unwrap(),
+        &mut memory,
+    )
+    .unwrap();
     assert!(!result.detected());
     assert!(result.content_preserved());
 

@@ -1,12 +1,13 @@
 //! Property-based integration tests: the transparency guarantee of the
-//! generated tests must hold for any library algorithm, any supported word
-//! width and any initial memory content.
+//! generated tests must hold for **every registered scheme**, any library
+//! algorithm, any supported word width and any initial memory content —
+//! the dynamic half of the scheme conformance suite.
 
 use proptest::prelude::*;
 
-use twm::bist::{execute, flow::run_transparent_session, Misr};
+use twm::bist::{execute, flow::run_scheme_session, Misr};
 use twm::core::verify::check_transparent;
-use twm::core::{Scheme1Transformer, TwmTransformer};
+use twm::core::{SchemeId, SchemeRegistry};
 use twm::march::algorithms;
 use twm::mem::MemoryBuilder;
 
@@ -20,19 +21,27 @@ fn arb_width() -> impl Strategy<Value = usize> {
     prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32), Just(64)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_scheme_id() -> impl Strategy<Value = SchemeId> {
+    let ids = SchemeId::all();
+    (0..ids.len()).prop_map(move |i| ids[i])
+}
 
-    /// TWMarch preserves arbitrary memory content and reports no mismatch on
-    /// a fault-free memory, for every algorithm, width and content.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every registered scheme's transparent test preserves arbitrary memory
+    /// content and reports no mismatch on a fault-free memory, for every
+    /// algorithm, width and content.
     #[test]
-    fn twmarch_is_transparent_for_any_content(
+    fn every_scheme_is_transparent_for_any_content(
+        scheme_id in arb_scheme_id(),
         march in arb_algorithm(),
         width in arb_width(),
         words in 1usize..24,
         seed in any::<u64>(),
     ) {
-        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let registry = SchemeRegistry::all(width).unwrap();
+        let transformed = registry.transform(scheme_id, &march).unwrap();
         prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
 
         let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
@@ -43,45 +52,27 @@ proptest! {
         prop_assert_eq!(memory.content(), before);
     }
 
-    /// The two-phase signature flow produces matching signatures on a
-    /// fault-free memory for every algorithm, width and content.
+    /// The scheme-generic BIST session produces matching signatures on a
+    /// fault-free memory for every scheme, algorithm, width and content —
+    /// including the prediction-free TOMT path.
     #[test]
-    fn signature_prediction_matches_on_fault_free_memory(
+    fn scheme_session_signatures_match_on_fault_free_memory(
+        scheme_id in arb_scheme_id(),
         march in arb_algorithm(),
         width in prop_oneof![Just(4usize), Just(8), Just(16)],
         words in 1usize..16,
         seed in any::<u64>(),
     ) {
-        let transformed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
+        let registry = SchemeRegistry::all(width).unwrap();
+        let transformed = registry.transform(scheme_id, &march).unwrap();
         let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
-        let outcome = run_transparent_session(
-            transformed.transparent_test(),
-            transformed.signature_prediction(),
-            &mut memory,
-            Misr::standard(width),
-        )
-        .unwrap();
+        let outcome = run_scheme_session(&transformed, &mut memory, Misr::standard(width)).unwrap();
         prop_assert!(!outcome.fault_detected());
         prop_assert!(!outcome.fault_detected_exact());
         prop_assert!(outcome.content_preserved);
-    }
-
-    /// Scheme 1's transparent test is also content-preserving (it is the
-    /// baseline the paper improves on, not a broken strawman).
-    #[test]
-    fn scheme1_is_transparent_for_any_content(
-        march in arb_algorithm(),
-        width in prop_oneof![Just(4usize), Just(8), Just(16)],
-        words in 1usize..12,
-        seed in any::<u64>(),
-    ) {
-        let transformed = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
-        prop_assert!(check_transparent(transformed.transparent_test()).is_ok());
-        let mut memory = MemoryBuilder::new(words, width).random_content(seed).build().unwrap();
-        let before = memory.content();
-        let result = execute(transformed.transparent_test(), &mut memory).unwrap();
-        prop_assert!(!result.detected());
-        prop_assert_eq!(memory.content(), before);
+        if transformed.signature_prediction().is_none() {
+            prop_assert_eq!(outcome.prediction_operations, 0);
+        }
     }
 
     /// The proposed scheme is never longer than Scheme 1 and the advantage
@@ -91,8 +82,9 @@ proptest! {
         march in arb_algorithm(),
         width in arb_width(),
     ) {
-        let proposed = TwmTransformer::new(width).unwrap().transform(&march).unwrap();
-        let scheme1 = Scheme1Transformer::new(width).unwrap().transform(&march).unwrap();
+        let registry = SchemeRegistry::all(width).unwrap();
+        let proposed = registry.transform(SchemeId::TwmTa, &march).unwrap();
+        let scheme1 = registry.transform(SchemeId::Scheme1, &march).unwrap();
         prop_assert!(
             proposed.transparent_test().operations_per_word()
                 < scheme1.transparent_test().operations_per_word()
