@@ -226,11 +226,75 @@ fn bench_engine_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cheap-first universe ordering A/B: `CoverageEngine::report` on a
+/// deterministically shuffled mixed universe (all five fault classes, so
+/// 1-word SAF/TF runs interleave with 2-word coupling runs), with the
+/// default cheap-first scheduling versus strict in-order evaluation
+/// (`schedule_cheap_first(false)`). Reports are bit-identical; only the
+/// per-window thread balance can differ.
+///
+/// All-zero content keeps the per-fault work footprint-dominated (no
+/// per-run image restore), the search inner loop's shape. The thread
+/// count is pinned (4) so the scheduled path engages even where
+/// `available_parallelism` probes low; on a single-core host both sides
+/// necessarily time-share and the A/B reads as parity — the group then
+/// still guards the scheduling against regressing throughput.
+fn bench_universe_ordering(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("universe_ordering");
+    group.sample_size(10);
+    let test = march_c_minus();
+    for &words in &[1usize << 6, 1 << 10] {
+        let config = MemoryConfig::new(words, WIDTH).unwrap();
+        let mut faults = UniverseBuilder::new(config)
+            .all_classes()
+            .sample_per_class(400, 7)
+            .build();
+        // Shuffle so every streaming window mixes cheap and expensive
+        // faults — the adversarial case for contiguous per-thread chunks.
+        faults.shuffle(&mut StdRng::seed_from_u64(23));
+        let options = EvaluationOptions {
+            content: ContentPolicy::Zeros,
+            contents_per_fault: 1,
+        };
+        let cheap_first = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Parallel { threads: 4 })
+            .build()
+            .unwrap();
+        let in_order = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Parallel { threads: 4 })
+            .schedule_cheap_first(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            cheap_first.report(&faults).unwrap(),
+            in_order.report(&faults).unwrap(),
+            "scheduling must stay bit-identical"
+        );
+        group.throughput(Throughput::Elements(faults.len() as u64));
+        group.bench_with_input(BenchmarkId::new("in_order", words), &config, |b, _| {
+            b.iter(|| in_order.report(black_box(&faults)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cheap_first", words), &config, |b, _| {
+            b.iter(|| cheap_first.report(black_box(&faults)).unwrap());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_write,
     bench_execution_scaling,
     bench_evaluator,
-    bench_engine_reuse
+    bench_engine_reuse,
+    bench_universe_ordering
 );
 criterion_main!(benches);

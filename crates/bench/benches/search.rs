@@ -1,0 +1,105 @@
+//! Throughput of the search subsystem's inner loop: candidates scored per
+//! second through [`twm_search::Objective`], serial versus parallel batch
+//! evaluation, plus one end-to-end greedy minimisation per width.
+//!
+//! The candidate batch is generated once per configuration from a fixed
+//! seed (the same neighbourhood a beam generation would explore), so
+//! iterations measure pure scoring cost: one `CoverageEngine::with_test`
+//! sibling per candidate (shared prepared contents, fresh lowering), one
+//! report over the SAF+TF universe, and the registry-driven transparent
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use twm_core::scheme::SchemeRegistry;
+use twm_coverage::{Strategy, UniverseBuilder};
+use twm_march::algorithms::march_c_minus;
+use twm_march::MarchTest;
+use twm_mem::{MemoryConfig, SplitMix64};
+use twm_search::{minimise_greedy, GreedyOptions, MutationModel, Objective, ObjectiveOptions};
+
+const WORDS: usize = 16;
+const WIDTHS: [usize; 3] = [8, 32, 128];
+const BATCH: usize = 32;
+
+fn objective(width: usize, strategy: Strategy) -> Objective {
+    let config = MemoryConfig::new(WORDS, width).unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    Objective::new(
+        config,
+        universe,
+        Some(SchemeRegistry::comparison(width).unwrap()),
+        ObjectiveOptions {
+            strategy,
+            ..ObjectiveOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A deterministic batch of mutated March C− candidates (the shape of one
+/// beam generation).
+fn candidate_batch() -> Vec<MarchTest> {
+    let model = MutationModel::default();
+    let mut rng = SplitMix64::new(7);
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut current = march_c_minus();
+    while batch.len() < BATCH {
+        if let Some((_, candidate)) = model.propose(&current, &mut rng) {
+            batch.push(candidate.clone());
+            // Drift the base every few proposals so the batch is not one
+            // test's immediate neighbourhood only.
+            if batch.len() % 8 == 0 {
+                current = candidate;
+            }
+        }
+    }
+    batch
+}
+
+fn bench_candidate_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_candidates");
+    group.sample_size(10);
+    let batch = candidate_batch();
+    for &width in &WIDTHS {
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        let serial = objective(width, Strategy::Serial);
+        let parallel = objective(width, Strategy::Auto);
+        group.bench_with_input(BenchmarkId::new("serial", width), &width, |b, _| {
+            b.iter(|| serial.score_batch(black_box(&batch)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", width), &width, |b, _| {
+            b.iter(|| parallel.score_batch(black_box(&batch)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_minimisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_greedy");
+    group.sample_size(10);
+    for &width in &WIDTHS {
+        let parallel = objective(width, Strategy::Auto);
+        group.bench_with_input(BenchmarkId::new("march_c_minus", width), &width, |b, _| {
+            b.iter(|| {
+                let outcome = minimise_greedy(
+                    &parallel,
+                    black_box(&march_c_minus()),
+                    &GreedyOptions::default(),
+                )
+                .unwrap();
+                assert!(outcome.best.score.full_coverage());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_candidate_throughput,
+    bench_greedy_minimisation
+);
+criterion_main!(benches);

@@ -19,8 +19,7 @@
 //! * [`atmarch`] — the added transparent march test of Algorithm 1 (one
 //!   element per standard data background `D_k`).
 //! * [`scheme1`], [`tomt`], [`twm_ta`] — the per-scheme construction
-//!   internals (their concrete transformer types are deprecated wrappers
-//!   now; use the registry).
+//!   internals behind the registry entries.
 //! * [`complexity`] — closed-form and exact test-length accounting used to
 //!   regenerate the paper's Tables 2 and 3 and the 56 % / 19 % headline
 //!   comparison, driven by registry entries.
@@ -77,7 +76,3 @@ pub use scheme::{
     NicolaidisScheme, Restoration, Scheme1, SchemeId, SchemeRegistry, SchemeStage, SchemeTransform,
     TomtScheme, TransparentScheme, TwmTa,
 };
-#[allow(deprecated)]
-pub use scheme1::{Scheme1Transform, Scheme1Transformer};
-#[allow(deprecated)]
-pub use twm_ta::{TwmTransformed, TwmTransformer};

@@ -12,9 +12,10 @@
 //!
 //! The scheme-level entry point is [`crate::scheme::Scheme1`], which exposes
 //! this transformation through the common
-//! [`crate::scheme::TransparentScheme`] surface; the concrete
-//! [`Scheme1Transformer`] / [`Scheme1Transform`] pair is deprecated and kept
-//! as thin wrappers for source compatibility.
+//! [`crate::scheme::TransparentScheme`] surface. (The concrete
+//! `Scheme1Transformer` / `Scheme1Transform` wrapper pair went through a
+//! deprecation cycle and has been removed; see the MIGRATION table in the
+//! repository's `CHANGES.md`.)
 
 use twm_march::background::{background_degree, standard_background_count};
 use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
@@ -103,116 +104,6 @@ pub(crate) fn transform_parts(width: usize, bmarch: &MarchTest) -> Result<Scheme
     })
 }
 
-/// Transformer implementing Scheme 1 (reference \[12\]) for a fixed word
-/// width.
-#[deprecated(note = "use `scheme::Scheme1` via the `TransparentScheme` trait / `SchemeRegistry`")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Scheme1Transformer {
-    width: usize,
-}
-
-#[allow(deprecated)]
-impl Scheme1Transformer {
-    /// Creates a Scheme 1 transformer for `width`-bit words.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidWidth`] for widths below 2 or above the
-    /// supported maximum.
-    pub fn new(width: usize) -> Result<Self, CoreError> {
-        check_width(width)?;
-        Ok(Self { width })
-    }
-
-    /// The word width this transformer targets.
-    #[must_use]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Builds the (non-transparent) word-oriented march test: the source test
-    /// repeated once per standard data background.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::NotBitOriented`] if the input is not bit-oriented.
-    pub fn word_oriented(&self, bmarch: &MarchTest) -> Result<MarchTest, CoreError> {
-        word_oriented(self.width, bmarch)
-    }
-
-    /// Transforms a bit-oriented march test into Scheme 1's transparent
-    /// word-oriented march test.
-    ///
-    /// # Errors
-    ///
-    /// Returns the errors of [`Scheme1Transformer::word_oriented`] and of the
-    /// underlying transparent transformation.
-    pub fn transform(&self, bmarch: &MarchTest) -> Result<Scheme1Transform, CoreError> {
-        let parts = transform_parts(self.width, bmarch)?;
-        Ok(Scheme1Transform {
-            width: self.width,
-            source_name: bmarch.name().to_string(),
-            passes: parts.passes,
-            word_test: parts.word_test,
-            transparent: parts.transparent,
-            prediction: parts.prediction,
-        })
-    }
-}
-
-/// The result of applying Scheme 1 to a bit-oriented march test.
-#[deprecated(
-    note = "use `scheme::SchemeTransform` (returned by `TransparentScheme::transform`) instead"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Scheme1Transform {
-    width: usize,
-    source_name: String,
-    passes: usize,
-    word_test: MarchTest,
-    transparent: MarchTest,
-    prediction: MarchTest,
-}
-
-#[allow(deprecated)]
-impl Scheme1Transform {
-    /// The word width the transformation targets.
-    #[must_use]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Name of the source bit-oriented march test.
-    #[must_use]
-    pub fn source_name(&self) -> &str {
-        &self.source_name
-    }
-
-    /// Number of data-background passes (`⌈log₂W⌉ + 1`).
-    #[must_use]
-    pub fn passes(&self) -> usize {
-        self.passes
-    }
-
-    /// The non-transparent multi-background word-oriented march test.
-    #[must_use]
-    pub fn word_oriented_test(&self) -> &MarchTest {
-        &self.word_test
-    }
-
-    /// Scheme 1's transparent word-oriented march test.
-    #[must_use]
-    pub fn transparent_test(&self) -> &MarchTest {
-        &self.transparent
-    }
-
-    /// The signature-prediction test.
-    #[must_use]
-    pub fn signature_prediction(&self) -> &MarchTest {
-        &self.prediction
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,22 +176,5 @@ mod tests {
             transform_parts(8, &transparent),
             Err(CoreError::NotBitOriented { .. })
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_the_parts() {
-        let wrapper = Scheme1Transformer::new(8)
-            .unwrap()
-            .transform(&march_c_minus())
-            .unwrap();
-        let parts = transform_parts(8, &march_c_minus()).unwrap();
-        assert_eq!(wrapper.transparent_test(), &parts.transparent);
-        assert_eq!(wrapper.signature_prediction(), &parts.prediction);
-        assert_eq!(wrapper.word_oriented_test(), &parts.word_test);
-        assert_eq!(wrapper.passes(), parts.passes);
-        assert_eq!(wrapper.source_name(), "March C-");
-        assert_eq!(wrapper.width(), 8);
-        assert!(Scheme1Transformer::new(1).is_err());
     }
 }

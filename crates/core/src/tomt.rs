@@ -13,8 +13,10 @@
 //! `8·W + 2` complexity through the common [`crate::scheme::TransparentScheme`]
 //! surface (this constant reproduces the paper's "≈19 % for March C−,
 //! W = 32" headline; the exact constant is not legible in the source text
-//! and is recorded as an assumption in EXPERIMENTS.md). The free functions
-//! of this module are deprecated wrappers kept for source compatibility.
+//! and is recorded as an assumption in EXPERIMENTS.md). (The deprecated
+//! `tomt_tcm_per_word` / `tomt_tcp_per_word` / `tomt_like_test` wrapper
+//! functions have been removed; see the MIGRATION table in the repository's
+//! `CHANGES.md`.)
 
 use twm_march::{DataPattern, DataSpec, MarchElement, MarchTest, Operation};
 
@@ -64,35 +66,6 @@ pub(crate) fn walk_test(width: usize) -> Result<MarchTest, CoreError> {
     )?)
 }
 
-/// Per-word operation count of the TOMT baseline: `8·W + 2`.
-#[deprecated(
-    note = "use `scheme::TomtScheme` (via `SchemeRegistry`) and its `closed_form` instead"
-)]
-#[must_use]
-pub fn tomt_tcm_per_word(width: usize) -> usize {
-    tcm_per_word(width)
-}
-
-/// TOMT needs no signature-prediction phase (concurrent error detection).
-#[deprecated(
-    note = "use `scheme::TomtScheme` (via `SchemeRegistry`) and its `closed_form` instead"
-)]
-#[must_use]
-pub fn tomt_tcp_per_word(width: usize) -> usize {
-    tcp_per_word(width)
-}
-
-/// A synthetic transparent word-oriented test with TOMT's per-word operation
-/// count (`8·W + 2`).
-///
-/// # Errors
-///
-/// Returns [`CoreError::InvalidWidth`] for unsupported word widths.
-#[deprecated(note = "use `scheme::TomtScheme::transform` (via `SchemeRegistry`) instead")]
-pub fn tomt_like_test(width: usize) -> Result<MarchTest, CoreError> {
-    walk_test(width)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,16 +102,5 @@ mod tests {
     #[test]
     fn no_prediction_phase() {
         assert_eq!(tcp_per_word(64), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_stay_drop_in() {
-        assert_eq!(tomt_tcm_per_word(32), tcm_per_word(32));
-        assert_eq!(tomt_tcp_per_word(32), 0);
-        assert_eq!(
-            tomt_like_test(8).unwrap().length().operations,
-            walk_test(8).unwrap().length().operations
-        );
     }
 }

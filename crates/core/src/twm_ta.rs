@@ -21,9 +21,10 @@
 //! The scheme-level entry point is [`crate::scheme::TwmTa`], which exposes
 //! this algorithm through the common [`crate::scheme::TransparentScheme`]
 //! surface (the SMarch/TSMarch/ATMarch stages are published as
-//! [`crate::scheme::SchemeTransform`] stages). The concrete
-//! [`TwmTransformer`] / [`TwmTransformed`] pair is deprecated and kept as
-//! thin wrappers for source compatibility.
+//! [`crate::scheme::SchemeTransform`] stages). (The concrete
+//! `TwmTransformer` / `TwmTransformed` wrapper pair went through a
+//! deprecation cycle and has been removed; see the MIGRATION table in the
+//! repository's `CHANGES.md`.)
 
 use twm_march::{DataPattern, MarchElement, MarchTest, Operation};
 
@@ -31,8 +32,8 @@ use crate::atmarch::{atmarch, MIN_WORD_WIDTH};
 use crate::nicolaidis::{to_transparent_with, track_states, TransparentOptions};
 use crate::CoreError;
 
-/// The intermediate and final artifacts of Algorithm 1 — shared by the
-/// [`crate::scheme::TwmTa`] scheme and the deprecated wrapper types.
+/// The intermediate and final artifacts of Algorithm 1, consumed by the
+/// [`crate::scheme::TwmTa`] scheme.
 pub(crate) struct TwmParts {
     pub smarch: MarchTest,
     pub tsmarch: MarchTest,
@@ -114,130 +115,6 @@ pub(crate) fn transform_parts(width: usize, bmarch: &MarchTest) -> Result<TwmPar
         prediction,
         content_inverted,
     })
-}
-
-/// Transformer from bit-oriented march tests to transparent word-oriented
-/// march tests for a fixed word width (the paper's TWM_TA).
-#[deprecated(note = "use `scheme::TwmTa` via the `TransparentScheme` trait / `SchemeRegistry`")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TwmTransformer {
-    width: usize,
-}
-
-#[allow(deprecated)]
-impl TwmTransformer {
-    /// Creates a transformer for a memory with `width`-bit words.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidWidth`] if `width` is below 2 or above the
-    /// supported maximum word width.
-    pub fn new(width: usize) -> Result<Self, CoreError> {
-        if !(MIN_WORD_WIDTH..=twm_mem::MAX_WORD_WIDTH).contains(&width) {
-            return Err(CoreError::InvalidWidth { width });
-        }
-        Ok(Self { width })
-    }
-
-    /// The word width this transformer targets.
-    #[must_use]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Transforms a bit-oriented march test into a transparent word-oriented
-    /// march test.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::NotBitOriented`] if the input is not a bit-oriented
-    ///   march test.
-    /// * [`CoreError::InconsistentMarch`] if the input's reads are
-    ///   inconsistent with its own writes.
-    /// * [`CoreError::March`] for structural errors.
-    pub fn transform(&self, bmarch: &MarchTest) -> Result<TwmTransformed, CoreError> {
-        let parts = transform_parts(self.width, bmarch)?;
-        Ok(TwmTransformed {
-            width: self.width,
-            source_name: bmarch.name().to_string(),
-            smarch: parts.smarch,
-            tsmarch: parts.tsmarch,
-            atmarch: parts.atmarch,
-            twmarch: parts.twmarch,
-            prediction: parts.prediction,
-            content_inverted: parts.content_inverted,
-        })
-    }
-}
-
-/// The result of applying TWM_TA to a bit-oriented march test.
-#[deprecated(
-    note = "use `scheme::SchemeTransform` (returned by `TransparentScheme::transform`) instead"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TwmTransformed {
-    width: usize,
-    source_name: String,
-    smarch: MarchTest,
-    tsmarch: MarchTest,
-    atmarch: MarchTest,
-    twmarch: MarchTest,
-    prediction: MarchTest,
-    content_inverted: bool,
-}
-
-#[allow(deprecated)]
-impl TwmTransformed {
-    /// The word width the transformation targets.
-    #[must_use]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Name of the source bit-oriented march test.
-    #[must_use]
-    pub fn source_name(&self) -> &str {
-        &self.source_name
-    }
-
-    /// The solid-background march test (SMarch), including the appended read
-    /// when the source ends with a write.
-    #[must_use]
-    pub fn smarch(&self) -> &MarchTest {
-        &self.smarch
-    }
-
-    /// The transparent solid-background test (TSMarch).
-    #[must_use]
-    pub fn tsmarch(&self) -> &MarchTest {
-        &self.tsmarch
-    }
-
-    /// The added transparent march test (ATMarch).
-    #[must_use]
-    pub fn atmarch(&self) -> &MarchTest {
-        &self.atmarch
-    }
-
-    /// The complete transparent word-oriented march test
-    /// (TWMarch = TSMarch ; ATMarch).
-    #[must_use]
-    pub fn transparent_test(&self) -> &MarchTest {
-        &self.twmarch
-    }
-
-    /// The signature-prediction test (read-only projection of TWMarch).
-    #[must_use]
-    pub fn signature_prediction(&self) -> &MarchTest {
-        &self.prediction
-    }
-
-    /// Whether ATMarch's inverted-content branch was taken (the content
-    /// after TSMarch was the complement of the initial content).
-    #[must_use]
-    pub fn content_inverted(&self) -> bool {
-        self.content_inverted
-    }
 }
 
 #[cfg(test)]
@@ -344,23 +221,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_exposes_all_stages() {
-        let result = TwmTransformer::new(16)
-            .unwrap()
-            .transform(&march_u())
-            .unwrap();
-        assert_eq!(result.width(), 16);
-        assert_eq!(result.source_name(), "March U");
-        assert!(result.smarch().name().starts_with("SMarch"));
-        assert!(result.tsmarch().name().starts_with("TSMarch"));
-        assert!(result.atmarch().name().starts_with("ATMarch"));
-        assert!(result.transparent_test().name().starts_with("TWMarch"));
-        assert!(result.signature_prediction().name().contains("prediction"));
-        assert!(!result.content_inverted());
-        assert!(matches!(
-            TwmTransformer::new(1),
-            Err(CoreError::InvalidWidth { .. })
-        ));
+    fn stage_names_and_invalid_widths() {
+        let parts = transform_parts(16, &march_u()).unwrap();
+        assert!(parts.smarch.name().starts_with("SMarch"));
+        assert!(parts.tsmarch.name().starts_with("TSMarch"));
+        assert!(parts.atmarch.name().starts_with("ATMarch"));
+        assert!(parts.twmarch.name().starts_with("TWMarch"));
+        assert!(parts.prediction.name().contains("prediction"));
+        assert!(!parts.content_inverted);
     }
 }

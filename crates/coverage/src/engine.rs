@@ -54,7 +54,7 @@
 
 use std::borrow::Borrow;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +100,36 @@ pub enum Strategy {
     },
 }
 
+impl Strategy {
+    /// Resolves the strategy to a concrete worker count (1 = serial). This
+    /// is the resolution [`CoverageEngineBuilder::build`] performs, exposed
+    /// so other schedulers (for example `twm-search`'s batched candidate
+    /// evaluation) can fan out consistently with the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::ZeroThreads`] for
+    /// [`Strategy::Parallel`]` { threads: 0 }`.
+    pub fn worker_threads(self) -> Result<usize, CoverageError> {
+        match self {
+            Strategy::Serial => Ok(1),
+            Strategy::Parallel { threads: 0 } => Err(CoverageError::ZeroThreads),
+            #[cfg(feature = "parallel")]
+            Strategy::Parallel { threads } => Ok(threads),
+            #[cfg(feature = "parallel")]
+            Strategy::Auto => Ok(std::env::var("TWM_COVERAGE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                })),
+            #[cfg(not(feature = "parallel"))]
+            Strategy::Parallel { .. } | Strategy::Auto => Ok(1),
+        }
+    }
+}
+
 /// The verdict of one fault-injection run: was the fault detected?
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultVerdict {
@@ -118,6 +148,7 @@ pub struct CoverageEngineBuilder {
     options: EvaluationOptions,
     strategy: Strategy,
     reuse_memory: bool,
+    cheap_first: bool,
 }
 
 impl CoverageEngineBuilder {
@@ -207,6 +238,24 @@ impl CoverageEngineBuilder {
         self
     }
 
+    /// Whether [`CoverageEngine::report`] may evaluate cheap-to-detect
+    /// faults first (default: `true`).
+    ///
+    /// The parallel streaming windows split each window into contiguous
+    /// per-thread chunks; on a mixed universe an unlucky chunk of wide-
+    /// footprint coupling faults stalls the whole window barrier. With this
+    /// enabled, `report` evaluates the universe in ascending estimated-cost
+    /// order (fault-local sweep footprint, then fault class) and merges the
+    /// verdicts back into **universe order**, so the produced report stays
+    /// bit-identical either way — only the wall-clock differs (measured in
+    /// the `universe_ordering` group of `benches/fault_sim.rs`). Streaming
+    /// [`CoverageEngine::verdicts`] is never reordered.
+    #[must_use]
+    pub fn schedule_cheap_first(mut self, cheap_first: bool) -> Self {
+        self.cheap_first = cheap_first;
+        self
+    }
+
     /// Finalises the engine: lowers the test, pre-generates the initial
     /// contents and resolves the worker-thread count.
     ///
@@ -219,7 +268,7 @@ impl CoverageEngineBuilder {
     ///   memory width (for example a background index out of range).
     pub fn build(self) -> Result<CoverageEngine, CoverageError> {
         let test = self.test.ok_or(CoverageError::MissingTest)?;
-        let threads = resolve_threads(self.strategy)?;
+        let threads = self.strategy.worker_threads()?;
         let lowered =
             LoweredTest::new(&test, self.config.width()).map_err(twm_bist::BistError::from)?;
         let (content_words, content_images) =
@@ -230,32 +279,13 @@ impl CoverageEngineBuilder {
             transform: self.transform,
             lowered,
             options: self.options,
-            content_words,
-            content_images,
+            content_words: Arc::new(content_words),
+            content_images: Arc::new(content_images),
             threads,
             reuse_memory: self.reuse_memory,
+            cheap_first: self.cheap_first,
             pool: Mutex::new(Vec::new()),
         })
-    }
-}
-
-/// Resolves a [`Strategy`] to a concrete worker count (1 = serial).
-fn resolve_threads(strategy: Strategy) -> Result<usize, CoverageError> {
-    match strategy {
-        Strategy::Serial => Ok(1),
-        Strategy::Parallel { threads: 0 } => Err(CoverageError::ZeroThreads),
-        #[cfg(feature = "parallel")]
-        Strategy::Parallel { threads } => Ok(threads),
-        #[cfg(feature = "parallel")]
-        Strategy::Auto => Ok(std::env::var("TWM_COVERAGE_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })),
-        #[cfg(not(feature = "parallel"))]
-        Strategy::Parallel { .. } | Strategy::Auto => Ok(1),
     }
 }
 
@@ -295,6 +325,21 @@ pub(crate) fn prepared_contents(
 /// [`CoverageEngine::verdicts`] stays bounded-memory.
 const STREAM_CHUNK: usize = 32;
 
+/// Estimated relative cost of one fault-injection run, used by
+/// [`CoverageEngine::report`]'s cheap-first evaluation order: the
+/// fault-local sweep visits the fault's word footprint, so a two-word
+/// (inter-word coupling) fault costs roughly twice a single-word fault;
+/// within a footprint size, stuck-at faults mismatch on the earliest read
+/// (`stop_at_first_mismatch` exits early) while coupling faults need their
+/// excitation sequence first, so classes break ties.
+fn fault_cost_rank(fault: &Fault) -> u32 {
+    let footprint = match fault.aggressor() {
+        Some(aggressor) if aggressor.word != fault.victim().word => 2u32,
+        _ => 1,
+    };
+    footprint * 8 + fault.class() as u32
+}
+
 /// A reusable fault-coverage evaluation engine for one
 /// `(memory shape, march test)` pair.
 ///
@@ -311,13 +356,15 @@ pub struct CoverageEngine {
     lowered: LoweredTest,
     options: EvaluationOptions,
     /// Initial contents as word vectors — populated only in the historical
-    /// fresh-per-fault mode, which restores word by word.
-    content_words: Vec<Vec<Word>>,
+    /// fresh-per-fault mode, which restores word by word. Shared (`Arc`) so
+    /// [`CoverageEngine::with_test`] siblings reuse one generation.
+    content_words: Arc<Vec<Vec<Word>>>,
     /// Initial contents as raw storage images — populated in arena mode,
-    /// restored with block copies.
-    content_images: Vec<BitStorage>,
+    /// restored with block copies. Shared like `content_words`.
+    content_images: Arc<Vec<BitStorage>>,
     threads: usize,
     reuse_memory: bool,
+    cheap_first: bool,
     /// Checked-in arena memories, re-armed per fault by workers. Bounded by
     /// the maximum number of concurrent checkouts (≤ worker threads).
     pool: Mutex<Vec<FaultyMemory>>,
@@ -334,7 +381,40 @@ impl CoverageEngine {
             options: EvaluationOptions::default(),
             strategy: Strategy::default(),
             reuse_memory: true,
+            cheap_first: true,
         }
+    }
+
+    /// Builds a sibling engine for a **different march test** over the same
+    /// memory shape, content policy and strategy — the cheap re-build path
+    /// for candidate-scoring loops (`twm-search` evaluates thousands of
+    /// mutated tests against one universe).
+    ///
+    /// Only the new test is lowered; the pre-generated initial contents are
+    /// shared with this engine (`Arc`), so no content regeneration or copy
+    /// happens per candidate. The sibling starts with an empty arena pool
+    /// and carries no scheme transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::Bist`] if `test` cannot be lowered for the
+    /// memory width.
+    pub fn with_test(&self, test: &MarchTest) -> Result<CoverageEngine, CoverageError> {
+        let lowered =
+            LoweredTest::new(test, self.config.width()).map_err(twm_bist::BistError::from)?;
+        Ok(CoverageEngine {
+            config: self.config,
+            test: test.clone(),
+            transform: None,
+            lowered,
+            options: self.options,
+            content_words: Arc::clone(&self.content_words),
+            content_images: Arc::clone(&self.content_images),
+            threads: self.threads,
+            reuse_memory: self.reuse_memory,
+            cheap_first: self.cheap_first,
+            pool: Mutex::new(Vec::new()),
+        })
     }
 
     /// Starts a builder whose test is produced by a transformation scheme:
@@ -429,12 +509,51 @@ impl CoverageEngine {
         if universe.is_empty() {
             return Err(CoverageError::EmptyUniverse);
         }
+        if self.cheap_first && self.threads > 1 && universe.len() > 1 {
+            if let Some(report) = self.report_cheap_first(universe)? {
+                return Ok(report);
+            }
+            // An injection error occurred somewhere in the (reordered)
+            // universe; fall through to the in-order path so the error of
+            // the earliest offending fault in universe order is returned,
+            // as documented. Errors are deterministic properties of a
+            // (fault, memory shape) pair, so the re-run hits one too.
+        }
         let mut report = CoverageReport::new(self.test.name());
         for verdict in self.verdicts(universe) {
             let verdict = verdict?;
             report.record(verdict.fault, verdict.detected);
         }
         Ok(report)
+    }
+
+    /// The cheap-first evaluation order behind [`CoverageEngine::report`]:
+    /// faults are evaluated in ascending estimated-cost order so the
+    /// contiguous per-thread chunks of each streaming window carry
+    /// comparable work, and verdicts are merged back in universe order
+    /// (the report is bit-identical to the in-order path, property-tested
+    /// in `tests/engine_streaming.rs`). Returns `Ok(None)` when a fault
+    /// fails to inject, deferring to the in-order path for its documented
+    /// earliest-error semantics.
+    fn report_cheap_first(
+        &self,
+        universe: &[Fault],
+    ) -> Result<Option<CoverageReport>, CoverageError> {
+        let mut order: Vec<usize> = (0..universe.len()).collect();
+        order.sort_by_key(|&i| (fault_cost_rank(&universe[i]), i));
+        let permuted: Vec<Fault> = order.iter().map(|&i| universe[i]).collect();
+        let mut detected = vec![false; universe.len()];
+        for (&slot, verdict) in order.iter().zip(self.verdicts(&permuted)) {
+            match verdict {
+                Ok(v) => detected[slot] = v.detected,
+                Err(_) => return Ok(None),
+            }
+        }
+        let mut report = CoverageReport::new(self.test.name());
+        for (&fault, &hit) in universe.iter().zip(&detected) {
+            report.record(fault, hit);
+        }
+        Ok(Some(report))
     }
 
     /// Streams per-fault verdicts over a universe without materialising a
@@ -626,7 +745,7 @@ impl CoverageEngine {
                 let mut memory = FaultyMemory::with_faults(self.config, set)?;
                 return Ok(execute_lowered(&self.lowered, &mut memory, exec)?.detected());
             }
-            for words in &self.content_words {
+            for words in self.content_words.iter() {
                 let mut memory = FaultyMemory::with_faults(self.config, set.clone())?;
                 memory.load(words)?;
                 if !execute_lowered(&self.lowered, &mut memory, exec)?.detected() {
@@ -644,7 +763,7 @@ impl CoverageEngine {
                 memory.reset_with_faults(set)?;
                 return Ok(detect_lowered_at(&self.lowered, memory, &footprint)?);
             }
-            for image in &self.content_images {
+            for image in self.content_images.iter() {
                 memory.reset_with_faults(set.clone())?;
                 memory.load_image(image)?;
                 if !detect_lowered_at(&self.lowered, memory, &footprint)? {
@@ -748,7 +867,7 @@ impl CoverageEngine {
             memory.reset_with_fault(fault)?;
             return Ok(detect_lowered_at(&self.lowered, memory, footprint)?);
         }
-        for image in &self.content_images {
+        for image in self.content_images.iter() {
             memory.reset_with_fault(fault)?;
             memory.load_image(image)?;
             if !detect_lowered_at(&self.lowered, memory, footprint)? {
@@ -774,7 +893,7 @@ impl CoverageEngine {
             let result = execute_lowered(&self.lowered, &mut memory, exec)?;
             return Ok(result.detected());
         }
-        for words in &self.content_words {
+        for words in self.content_words.iter() {
             let mut memory =
                 FaultyMemory::with_faults(self.config, FaultSet::from_faults([fault]))?;
             memory.load(words)?;

@@ -341,3 +341,80 @@ fn injection_detected_rejects_an_empty_set() {
         Err(CoverageError::EmptyUniverse)
     ));
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `report` may evaluate cheap-to-detect faults first
+    /// (`schedule_cheap_first`, on by default), but the produced report
+    /// must stay bit-identical to the strictly in-order evaluation for any
+    /// universe permutation and thread count.
+    #[test]
+    fn cheap_first_scheduling_is_bit_identical(
+        seed in any::<u64>(),
+        rotate in 0usize..500,
+    ) {
+        let config = MemoryConfig::new(6, 4).unwrap();
+        let mut faults = UniverseBuilder::new(config)
+            .all_classes()
+            .sample_per_class(60, 13)
+            .build();
+        // An arbitrary rotation mixes fault classes across the streaming
+        // windows, the case the scheduling targets.
+        let pivot = rotate % faults.len();
+        faults.rotate_left(pivot);
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed },
+            contents_per_fault: 1,
+        };
+        let reference = engine(&march_c_minus(), config, options, Exec::Serial)
+            .report(&faults)
+            .unwrap();
+        for strategy in thread_strategies() {
+            let scheduled = engine(&march_c_minus(), config, options, strategy)
+                .report(&faults)
+                .unwrap();
+            prop_assert_eq!(&scheduled, &reference);
+            let in_order = CoverageEngine::builder(config)
+                .test(&march_c_minus())
+                .options(options)
+                .strategy(strategy)
+                .schedule_cheap_first(false)
+                .build()
+                .unwrap()
+                .report(&faults)
+                .unwrap();
+            prop_assert_eq!(&in_order, &reference);
+        }
+    }
+
+    /// `with_test` siblings (shared prepared contents, fresh lowering)
+    /// must report exactly like an engine built from scratch for the same
+    /// test — the contract `twm-search` scores candidates through.
+    #[test]
+    fn with_test_sibling_matches_fresh_engine(seed in any::<u64>()) {
+        let config = MemoryConfig::new(8, 4).unwrap();
+        let faults = UniverseBuilder::new(config)
+            .all_classes()
+            .sample_per_class(40, 3)
+            .build();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed },
+            contents_per_fault: 2,
+        };
+        let template = engine(&mats_plus(), config, options, Exec::Serial);
+        let scheme = TwmTa::new(4).unwrap();
+        let candidate = scheme.transform(&march_c_minus()).unwrap();
+        let sibling = template.with_test(candidate.transparent_test()).unwrap();
+        let fresh = engine(candidate.transparent_test(), config, options, Exec::Serial);
+        prop_assert_eq!(
+            sibling.report(&faults).unwrap(),
+            fresh.report(&faults).unwrap()
+        );
+        // The template keeps reporting for its own test afterwards.
+        prop_assert_eq!(
+            template.report(&faults).unwrap(),
+            engine(&mats_plus(), config, options, Exec::Serial).report(&faults).unwrap()
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Seeded simulated annealing over the mutation neighbourhood.
+//!
+//! The chain state is one candidate; each step proposes a small batch of
+//! independent neighbours (parallel-trials annealing), scores the batch
+//! through the objective's parallel evaluator, and walks the proposals in
+//! order, accepting the first one that passes the Metropolis test. All
+//! randomness — proposal drawing and acceptance draws — comes from one
+//! [`SplitMix64`] consumed on the driving thread, and
+//! scores are exact integers, so runs are bit-identical for any thread
+//! count.
+//!
+//! The energy of a candidate is its transparent cost plus a penalty per
+//! fault missed below the coverage floor; the returned `best` is the
+//! cheapest candidate seen that actually meets the floor (the chain itself
+//! may dip below it while exploring).
+
+use std::collections::BTreeMap;
+
+use twm_march::MarchTest;
+use twm_mem::SplitMix64;
+
+use crate::seed::seed_state;
+use crate::{
+    CoverageFloor, MutationModel, Objective, ProvenanceEntry, Score, ScoredTest, SearchError,
+    SearchOutcome,
+};
+
+/// Options for [`anneal`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// The neighbourhood model (size caps).
+    pub model: MutationModel,
+    /// PRNG seed driving proposals and acceptance draws.
+    pub seed: u64,
+    /// Number of annealing steps (≥ 1).
+    pub steps: usize,
+    /// Independent neighbours proposed per step (≥ 1); the first accepted
+    /// proposal moves the chain.
+    pub trials_per_step: usize,
+    /// Initial Metropolis temperature (> 0).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step (0 < cooling ≤ 1).
+    pub cooling: f64,
+    /// Energy penalty per fault missed below the coverage floor (≥ 0).
+    pub miss_penalty: f64,
+    /// Coverage the reported best must keep (default:
+    /// [`CoverageFloor::Seed`]).
+    pub floor: CoverageFloor,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        Self {
+            model: MutationModel::default(),
+            seed: 0,
+            steps: 200,
+            trials_per_step: 4,
+            initial_temperature: 8.0,
+            cooling: 0.97,
+            miss_penalty: 50.0,
+            floor: CoverageFloor::Seed,
+        }
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of the generator.
+fn unit(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs seeded simulated annealing minimising the transparent cost under
+/// the coverage floor.
+///
+/// # Errors
+///
+/// * [`SearchError::InvalidOptions`] for non-positive temperatures, a
+///   cooling factor outside `(0, 1]`, a negative miss penalty, or zero
+///   steps/trials.
+/// * [`SearchError::InfeasibleSeed`] / [`SearchError::Coverage`] as for
+///   [`crate::minimise_greedy`].
+pub fn anneal(
+    objective: &Objective,
+    seed: &MarchTest,
+    options: &AnnealOptions,
+) -> Result<SearchOutcome, SearchError> {
+    if options.steps == 0 || options.trials_per_step == 0 {
+        return Err(SearchError::InvalidOptions {
+            detail: "steps and trials_per_step must be non-zero".to_string(),
+        });
+    }
+    if !options.initial_temperature.is_finite() || options.initial_temperature <= 0.0 {
+        return Err(SearchError::InvalidOptions {
+            detail: "initial_temperature must be positive".to_string(),
+        });
+    }
+    if options.cooling.is_nan() || options.cooling <= 0.0 || options.cooling > 1.0 {
+        return Err(SearchError::InvalidOptions {
+            detail: "cooling must lie in (0, 1]".to_string(),
+        });
+    }
+    if options.miss_penalty.is_nan() || options.miss_penalty < 0.0 {
+        return Err(SearchError::InvalidOptions {
+            detail: "miss_penalty must be non-negative".to_string(),
+        });
+    }
+
+    let start = seed_state(objective, &options.model, seed, options.floor)?;
+    let floor = start.floor;
+    let energy = |score: Score| -> f64 {
+        let missed = floor.saturating_sub(score.detected);
+        score.cost() as f64 + options.miss_penalty * missed as f64
+    };
+
+    let mut front = start.front;
+    let mut log = start.log;
+    let mut evaluated = 1usize;
+    // Notation → score memo: Metropolis chains routinely revisit states
+    // (a mutation followed by its inverse) and independent draws can
+    // propose the same repaired candidate twice — scores are pure, so a
+    // candidate only ever pays one engine run.
+    let mut memo: BTreeMap<String, Option<Score>> = BTreeMap::new();
+    memo.insert(start.test.to_string(), Some(start.score));
+    let mut current = start.test.clone();
+    let mut current_score = start.score;
+    let mut best = ScoredTest {
+        test: start.test,
+        score: start.score,
+    };
+    let mut rng = SplitMix64::new(options.seed);
+    let mut temperature = options.initial_temperature;
+
+    for step in 1..=options.steps {
+        // Draw the whole trial batch on the driving thread before scoring.
+        let mut trials = Vec::with_capacity(options.trials_per_step);
+        for _ in 0..options.trials_per_step {
+            if let Some(proposal) = options.model.propose(&current, &mut rng) {
+                trials.push(proposal);
+            }
+        }
+        if !trials.is_empty() {
+            let parent = current.to_string();
+            let tests: Vec<MarchTest> = trials.iter().map(|(_, test)| test.clone()).collect();
+            // Only first occurrences the memo has never seen pay an
+            // evaluation; duplicates and revisited states are lookups.
+            let mut fresh_indices = Vec::new();
+            for (index, test) in tests.iter().enumerate() {
+                if let std::collections::btree_map::Entry::Vacant(slot) =
+                    memo.entry(test.to_string())
+                {
+                    slot.insert(None);
+                    fresh_indices.push(index);
+                }
+            }
+            let fresh_tests: Vec<MarchTest> = fresh_indices
+                .iter()
+                .map(|&index| tests[index].clone())
+                .collect();
+            let fresh_scores = objective.score_batch(&fresh_tests)?;
+            evaluated += fresh_tests.len();
+            for (&index, score) in fresh_indices.iter().zip(fresh_scores) {
+                memo.insert(tests[index].to_string(), score);
+            }
+            let scores: Vec<Option<Score>> =
+                tests.iter().map(|test| memo[&test.to_string()]).collect();
+            // Every scored trial reaches the front and the best tracker —
+            // including trials after the one the chain accepts below.
+            for (index, score) in scores.iter().enumerate() {
+                let Some(score) = *score else { continue };
+                let candidate = ScoredTest {
+                    test: tests[index].clone(),
+                    score,
+                };
+                front.insert(candidate.clone());
+                if score.detected >= floor
+                    && (score.cost(), score.test_ops) < (best.score.cost(), best.score.test_ops)
+                {
+                    best = candidate;
+                }
+            }
+            // Metropolis walk in proposal order: the first accepted trial
+            // moves the chain.
+            for (index, score) in scores.iter().enumerate() {
+                let Some(score) = *score else { continue };
+                let delta = energy(score) - energy(current_score);
+                let accept = delta <= 0.0 || unit(&mut rng) < (-delta / temperature).exp();
+                if accept {
+                    current = tests[index].clone();
+                    current_score = score;
+                    log.push(ProvenanceEntry {
+                        step,
+                        mutation: Some(trials[index].0),
+                        accepted: true,
+                        score,
+                        notation: current.to_string(),
+                        parent: Some(parent),
+                    });
+                    break;
+                }
+            }
+        }
+        temperature *= options.cooling;
+    }
+
+    Ok(SearchOutcome {
+        best,
+        front,
+        log,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectiveOptions;
+    use twm_core::scheme::SchemeRegistry;
+    use twm_coverage::UniverseBuilder;
+    use twm_march::algorithms::march_c_minus;
+    use twm_mem::MemoryConfig;
+
+    fn objective(width: usize) -> Objective {
+        let config = MemoryConfig::new(8, width).unwrap();
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        Objective::new(
+            config,
+            universe,
+            Some(SchemeRegistry::comparison(width).unwrap()),
+            ObjectiveOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn quick_options(seed: u64) -> AnnealOptions {
+        AnnealOptions {
+            seed,
+            steps: 40,
+            ..AnnealOptions::default()
+        }
+    }
+
+    #[test]
+    fn annealing_keeps_the_floor_and_never_worsens_the_best() {
+        let objective = objective(4);
+        let outcome = anneal(&objective, &march_c_minus(), &quick_options(5)).unwrap();
+        assert!(outcome.best.score.full_coverage());
+        let seed_score = objective.score(&march_c_minus()).unwrap().unwrap();
+        assert!(outcome.best.score.cost() <= seed_score.cost());
+        assert!(outcome.evaluated > 1);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let objective = objective(4);
+        let a = anneal(&objective, &march_c_minus(), &quick_options(9)).unwrap();
+        let b = anneal(&objective, &march_c_minus(), &quick_options(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let objective = objective(4);
+        for options in [
+            AnnealOptions {
+                steps: 0,
+                ..AnnealOptions::default()
+            },
+            AnnealOptions {
+                initial_temperature: 0.0,
+                ..AnnealOptions::default()
+            },
+            AnnealOptions {
+                cooling: 1.5,
+                ..AnnealOptions::default()
+            },
+            AnnealOptions {
+                miss_penalty: -1.0,
+                ..AnnealOptions::default()
+            },
+        ] {
+            assert!(matches!(
+                anneal(&objective, &march_c_minus(), &options),
+                Err(SearchError::InvalidOptions { .. })
+            ));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use twm_coverage::CoverageError;
+
+/// Errors produced by the search subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// The caller-supplied fault universe is empty, so candidates cannot be
+    /// scored.
+    EmptyUniverse,
+    /// The scheme registry targets a different word width than the memory
+    /// configuration candidates are evaluated against.
+    WidthMismatch {
+        /// Word width the registry's schemes target.
+        registry: usize,
+        /// Word width of the memory configuration.
+        memory: usize,
+    },
+    /// The seed test cannot start a search: it is not repairable into a
+    /// well-formed bit-oriented candidate, is not transformable by a
+    /// registered scheme, or does not meet the requested coverage floor.
+    InfeasibleSeed {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A strategy was configured with out-of-range options (for example a
+    /// zero beam width or a non-positive temperature).
+    InvalidOptions {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An underlying coverage-engine error while scoring a candidate.
+    Coverage(CoverageError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::EmptyUniverse => {
+                write!(f, "fault universe contains no faults to score against")
+            }
+            SearchError::WidthMismatch { registry, memory } => write!(
+                f,
+                "scheme registry targets {registry}-bit words but the memory has {memory}-bit words"
+            ),
+            SearchError::InfeasibleSeed { detail } => {
+                write!(f, "seed test cannot start the search: {detail}")
+            }
+            SearchError::InvalidOptions { detail } => {
+                write!(f, "invalid search options: {detail}")
+            }
+            SearchError::Coverage(err) => write!(f, "coverage error: {err}"),
+        }
+    }
+}
+
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Coverage(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoverageError> for SearchError {
+    fn from(err: CoverageError) -> Self {
+        SearchError::Coverage(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let err: SearchError = CoverageError::EmptyUniverse.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("coverage error"));
+        assert!(!SearchError::EmptyUniverse.to_string().is_empty());
+        let err = SearchError::WidthMismatch {
+            registry: 8,
+            memory: 4,
+        };
+        assert!(err.to_string().contains("8-bit"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SearchError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Greedy drop-one-operation minimisation with coverage-preserving
+//! acceptance.
+//!
+//! Each round enumerates every drop-one-op neighbour of the current test
+//! ([`MutationModel::deletions`]), scores the whole batch through the
+//! objective's parallel batch evaluator, and accepts the cheapest feasible
+//! neighbour that still meets the coverage floor (ties broken by fewer
+//! operations, then lowest deletion index — fully deterministic, no
+//! randomness at all). The search stops when no deletion is acceptable;
+//! since every accepted step removes one operation, it always terminates.
+
+use twm_march::MarchTest;
+
+use crate::seed::seed_state;
+use crate::{
+    CoverageFloor, MutationModel, Objective, ProvenanceEntry, ScoredTest, SearchError,
+    SearchOutcome,
+};
+
+/// Options for [`minimise_greedy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyOptions {
+    /// The neighbourhood model (size caps).
+    pub model: MutationModel,
+    /// Coverage the minimised test must keep (default:
+    /// [`CoverageFloor::Seed`]).
+    pub floor: CoverageFloor,
+}
+
+impl Default for GreedyOptions {
+    fn default() -> Self {
+        Self {
+            model: MutationModel::default(),
+            floor: CoverageFloor::Seed,
+        }
+    }
+}
+
+/// Minimises `seed` by greedy coverage-preserving deletion.
+///
+/// # Errors
+///
+/// * [`SearchError::InfeasibleSeed`] if the seed is not repairable, not
+///   transformable, or below the requested floor.
+/// * [`SearchError::Coverage`] for engine failures while scoring.
+pub fn minimise_greedy(
+    objective: &Objective,
+    seed: &MarchTest,
+    options: &GreedyOptions,
+) -> Result<SearchOutcome, SearchError> {
+    let start = seed_state(objective, &options.model, seed, options.floor)?;
+    let mut current = start.test;
+    let mut current_score = start.score;
+    let mut front = start.front;
+    let mut log = start.log;
+    let mut evaluated = 1usize;
+
+    for step in 1.. {
+        let candidates = options.model.deletions(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        let tests: Vec<MarchTest> = candidates.iter().map(|(_, test)| test.clone()).collect();
+        let scores = objective.score_batch(&tests)?;
+        evaluated += tests.len();
+
+        let mut chosen: Option<usize> = None;
+        for (index, score) in scores.iter().enumerate() {
+            let Some(score) = *score else { continue };
+            front.insert(ScoredTest {
+                test: tests[index].clone(),
+                score,
+            });
+            if score.detected < start.floor {
+                continue;
+            }
+            let better = match chosen {
+                None => true,
+                Some(best) => {
+                    let best = scores[best].expect("chosen candidates are feasible");
+                    (score.cost(), score.test_ops) < (best.cost(), best.test_ops)
+                }
+            };
+            if better {
+                chosen = Some(index);
+            }
+        }
+        let Some(index) = chosen else { break };
+        let parent = current.to_string();
+        current = tests[index].clone();
+        current_score = scores[index].expect("chosen candidates are feasible");
+        log.push(ProvenanceEntry {
+            step,
+            mutation: Some(candidates[index].0),
+            accepted: true,
+            score: current_score,
+            notation: current.to_string(),
+            parent: Some(parent),
+        });
+    }
+
+    Ok(SearchOutcome {
+        best: ScoredTest {
+            test: current,
+            score: current_score,
+        },
+        front,
+        log,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectiveOptions;
+    use twm_core::scheme::SchemeRegistry;
+    use twm_coverage::UniverseBuilder;
+    use twm_march::algorithms::{march_c_minus, mats_plus_plus};
+    use twm_mem::MemoryConfig;
+
+    fn objective(width: usize) -> Objective {
+        let config = MemoryConfig::new(8, width).unwrap();
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        Objective::new(
+            config,
+            universe,
+            Some(SchemeRegistry::comparison(width).unwrap()),
+            ObjectiveOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn march_c_minus_shrinks_without_losing_saf_tf_coverage() {
+        let objective = objective(4);
+        let outcome =
+            minimise_greedy(&objective, &march_c_minus(), &GreedyOptions::default()).unwrap();
+        assert!(outcome.best.score.full_coverage());
+        assert!(
+            outcome.best.score.test_ops < march_c_minus().length().operations,
+            "expected a strict reduction, got {}",
+            outcome.best.test
+        );
+        // Provenance: seed entry plus one entry per removed operation.
+        assert_eq!(
+            outcome.log.len(),
+            1 + (march_c_minus().length().operations - outcome.best.score.test_ops)
+        );
+        assert!(outcome.log.iter().all(|entry| entry.accepted));
+        assert!(outcome.evaluated > outcome.log.len());
+        // The front contains the winner's (coverage, cost) point.
+        assert!(outcome
+            .front
+            .points()
+            .iter()
+            .any(|p| p.score == outcome.best.score));
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let objective = objective(4);
+        let a = minimise_greedy(&objective, &march_c_minus(), &GreedyOptions::default()).unwrap();
+        let b = minimise_greedy(&objective, &march_c_minus(), &GreedyOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn already_minimal_tests_survive_unchanged() {
+        let objective = objective(4);
+        // MATS++ is already near-minimal for SAF+TF; whatever the outcome,
+        // coverage must hold and the result be no longer than the seed.
+        let outcome =
+            minimise_greedy(&objective, &mats_plus_plus(), &GreedyOptions::default()).unwrap();
+        assert!(outcome.best.score.full_coverage());
+        assert!(outcome.best.score.test_ops <= mats_plus_plus().length().operations);
+    }
+
+    #[test]
+    fn infeasible_floor_is_rejected() {
+        let objective = objective(4);
+        let options = GreedyOptions {
+            floor: CoverageFloor::Detected(usize::MAX),
+            ..GreedyOptions::default()
+        };
+        assert!(matches!(
+            minimise_greedy(&objective, &march_c_minus(), &options),
+            Err(SearchError::InfeasibleSeed { .. })
+        ));
+    }
+}

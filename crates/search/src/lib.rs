@@ -1,0 +1,80 @@
+//! # twm-search — march-test generation & minimisation search
+//!
+//! The DATE 2005 paper's transparent-BIST schemes all start from a *given*
+//! bit-oriented march test; this crate searches for **better** ones —
+//! shorter tests with equal fault coverage, scored by the *transparent*
+//! session cost the schemes would actually pay. It is the workload the fast
+//! coverage kernel was built for: every candidate evaluation is one
+//! [`twm_coverage::CoverageEngine`] run over a caller-supplied fault
+//! universe, and the [`twm_core::SchemeRegistry`] prices each candidate
+//! across every registered scheme in one sweep.
+//!
+//! * [`mutate`] — the seeded mutation/neighbourhood model on
+//!   [`twm_march::MarchTest`] (insert/delete/replace operations, address-
+//!   order flips, element split/merge, data-pattern swaps) with
+//!   well-formedness repair, so every candidate stays a consistent
+//!   bit-oriented march test the schemes can transform.
+//! * [`objective`] — the [`Score`]` { detected, total_faults, test_ops,
+//!   scheme_cost }` objective: coverage from one engine run (sharing the
+//!   template engine's prepared contents via
+//!   [`twm_coverage::CoverageEngine::with_test`]), transparent cost from
+//!   the registry. [`Objective::score_batch`] fans candidates across the
+//!   worker threads of a [`twm_coverage::Strategy`].
+//! * [`greedy`] / [`beam`] / [`anneal`](mod@anneal) — the strategies: greedy
+//!   drop-one-op minimisation with coverage-preserving acceptance, seeded
+//!   beam search, and seeded parallel-trials simulated annealing. All
+//!   return a [`SearchOutcome`]: the winner, a (coverage, cost)
+//!   [`ParetoFront`], and a full provenance log of accepted [`Mutation`]s.
+//!
+//! **Determinism:** every strategy is a pure function of (objective, seed
+//! test, options). Randomness flows through one seeded
+//! [`twm_mem::SplitMix64`] on the driving thread, candidates are scored
+//! independently and merged in order, and scores hold only integers — so
+//! the outcome is bit-identical for [`twm_coverage::Strategy::Serial`] and
+//! any `Parallel { threads }` (property-tested in `tests/determinism.rs`).
+//!
+//! ```
+//! use twm_core::scheme::SchemeRegistry;
+//! use twm_coverage::UniverseBuilder;
+//! use twm_march::algorithms::march_c_minus;
+//! use twm_mem::MemoryConfig;
+//! use twm_search::{minimise_greedy, GreedyOptions, Objective, ObjectiveOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(8, 4)?;
+//! let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+//! let objective = Objective::new(
+//!     config,
+//!     universe,
+//!     Some(SchemeRegistry::comparison(4)?),
+//!     ObjectiveOptions::default(),
+//! )?;
+//! let outcome = minimise_greedy(&objective, &march_c_minus(), &GreedyOptions::default())?;
+//! // Strictly shorter than March C-'s 10 ops, still 100% SAF+TF coverage.
+//! assert!(outcome.best.score.test_ops < 10);
+//! assert!(outcome.best.score.full_coverage());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anneal;
+pub mod beam;
+mod error;
+pub mod greedy;
+pub mod mutate;
+pub mod objective;
+mod outcome;
+mod pareto;
+mod seed;
+
+pub use anneal::{anneal, AnnealOptions};
+pub use beam::{beam_search, BeamOptions};
+pub use error::SearchError;
+pub use greedy::{minimise_greedy, GreedyOptions};
+pub use mutate::{Mutation, MutationModel};
+pub use objective::{CoverageFloor, Objective, ObjectiveOptions, Score, ScoredTest};
+pub use outcome::{ProvenanceEntry, SearchOutcome};
+pub use pareto::ParetoFront;

@@ -1,0 +1,538 @@
+//! The mutation/neighbourhood model on [`MarchTest`] candidates.
+//!
+//! Candidates are **bit-oriented** march tests (the input language of every
+//! [`twm_core::TransparentScheme`]). A [`Mutation`] is one atomic edit —
+//! insert/delete/replace an operation, flip an element's address order,
+//! split or merge elements, or swap an operation's data pattern — and
+//! [`MutationModel::apply`] always follows the raw edit with a
+//! **well-formedness repair**:
+//!
+//! * empty elements are dropped (and an empty test is rejected);
+//! * size caps ([`MutationModel::max_elements`],
+//!   [`MutationModel::max_ops_per_element`]) bound the neighbourhood;
+//! * every read's expected data is rewritten to the value tracked through
+//!   the candidate's own writes (a word not yet written reads the all-zero
+//!   initial content, matching [`twm_coverage::ContentPolicy::Zeros`]), so
+//!   a repaired candidate never fails on a fault-free memory and stays
+//!   transformable by the scheme registry.
+//!
+//! All randomness flows through a caller-seeded [`SplitMix64`], so the
+//! neighbourhood is deterministic: same seed, same proposals.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use twm_march::{AddressOrder, DataPattern, DataSpec, MarchElement, MarchTest, OpKind, Operation};
+use twm_mem::SplitMix64;
+
+/// One atomic edit of a march-test candidate.
+///
+/// Indices refer to the candidate the mutation is applied to; the repair
+/// step may renumber elements afterwards (for example when a deletion
+/// empties an element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Insert a bit-oriented operation at `position` of `element`.
+    InsertOp {
+        /// Element index.
+        element: usize,
+        /// Insertion position within the element's operations.
+        position: usize,
+        /// Whether the inserted operation is a read (else a write).
+        read: bool,
+        /// Whether its data pattern is all-one (else all-zero).
+        one: bool,
+    },
+    /// Delete the operation at `position` of `element`.
+    DeleteOp {
+        /// Element index.
+        element: usize,
+        /// Operation index within the element.
+        position: usize,
+    },
+    /// Flip the operation at `position` of `element` between read and write.
+    ReplaceKind {
+        /// Element index.
+        element: usize,
+        /// Operation index within the element.
+        position: usize,
+    },
+    /// Swap the data pattern of the operation at `position` of `element`
+    /// (all-zero ↔ all-one).
+    FlipData {
+        /// Element index.
+        element: usize,
+        /// Operation index within the element.
+        position: usize,
+    },
+    /// Cycle the address order of `element` (⇑ → ⇓ → ⇕ → ⇑).
+    FlipOrder {
+        /// Element index.
+        element: usize,
+    },
+    /// Split `element` into two elements of the same order, the second
+    /// starting at operation `at`.
+    SplitElement {
+        /// Element index.
+        element: usize,
+        /// First operation of the new second element (`0 < at < len`).
+        at: usize,
+    },
+    /// Merge `element + 1` into `element`, keeping the first element's
+    /// address order.
+    MergeElements {
+        /// Index of the first of the two merged elements.
+        element: usize,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Mutation::InsertOp {
+                element,
+                position,
+                read,
+                one,
+            } => {
+                let kind = if read { 'r' } else { 'w' };
+                let data = usize::from(one);
+                write!(f, "insert {kind}{data} at {element}.{position}")
+            }
+            Mutation::DeleteOp { element, position } => {
+                write!(f, "delete op {element}.{position}")
+            }
+            Mutation::ReplaceKind { element, position } => {
+                write!(f, "flip read/write at {element}.{position}")
+            }
+            Mutation::FlipData { element, position } => {
+                write!(f, "flip data at {element}.{position}")
+            }
+            Mutation::FlipOrder { element } => write!(f, "flip order of element {element}"),
+            Mutation::SplitElement { element, at } => {
+                write!(f, "split element {element} at {at}")
+            }
+            Mutation::MergeElements { element } => {
+                write!(f, "merge elements {element} and {}", element + 1)
+            }
+        }
+    }
+}
+
+/// Builds the bit-oriented operation a [`Mutation::InsertOp`] denotes.
+fn bit_op(read: bool, one: bool) -> Operation {
+    let pattern = if one {
+        DataPattern::Ones
+    } else {
+        DataPattern::Zeros
+    };
+    if read {
+        Operation::read(DataSpec::Literal(pattern))
+    } else {
+        Operation::write(DataSpec::Literal(pattern))
+    }
+}
+
+/// The next address order in the ⇑ → ⇓ → ⇕ cycle.
+fn next_order(order: AddressOrder) -> AddressOrder {
+    match order {
+        AddressOrder::Ascending => AddressOrder::Descending,
+        AddressOrder::Descending => AddressOrder::Any,
+        AddressOrder::Any => AddressOrder::Ascending,
+    }
+}
+
+/// The neighbourhood model: which candidates are one mutation away from a
+/// test, under the model's size caps and repair rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationModel {
+    /// Maximum number of march elements a candidate may have.
+    pub max_elements: usize,
+    /// Maximum number of operations per march element.
+    pub max_ops_per_element: usize,
+}
+
+impl Default for MutationModel {
+    fn default() -> Self {
+        // Generous enough for every library test (March SS has 6 elements
+        // of up to 5 operations) plus room to grow during exploration.
+        Self {
+            max_elements: 12,
+            max_ops_per_element: 8,
+        }
+    }
+}
+
+/// Attempts per [`MutationModel::propose`] call before giving up.
+const PROPOSE_ATTEMPTS: usize = 16;
+
+impl MutationModel {
+    /// Repairs raw elements into a well-formed bit-oriented candidate:
+    /// drops empty elements, enforces the size caps, and rewrites every
+    /// read's expected data to the value tracked through the candidate's
+    /// own writes (an unwritten word reads the all-zero initial content).
+    ///
+    /// Returns `None` when no well-formed candidate exists (an empty test,
+    /// a capsize violation, or a non-bit-oriented operation).
+    #[must_use]
+    pub fn repair(&self, name: &str, elements: Vec<MarchElement>) -> Option<MarchTest> {
+        let mut kept: Vec<MarchElement> = elements
+            .into_iter()
+            .filter(|element| !element.is_empty())
+            .collect();
+        if kept.is_empty()
+            || kept.len() > self.max_elements
+            || kept
+                .iter()
+                .any(|element| element.len() > self.max_ops_per_element)
+        {
+            return None;
+        }
+        // Every address experiences the same operation sequence, so one
+        // scalar tracks the value a word holds at each point of the test.
+        let mut state: Option<bool> = None;
+        for element in &mut kept {
+            for op in &mut element.ops {
+                let one = match op.data {
+                    DataSpec::Literal(DataPattern::Ones) => true,
+                    DataSpec::Literal(DataPattern::Zeros) => false,
+                    // The model speaks bit-oriented tests only.
+                    _ => return None,
+                };
+                match op.kind {
+                    OpKind::Write => state = Some(one),
+                    OpKind::Read => {
+                        let expected = state.unwrap_or(false);
+                        if expected != one {
+                            *op = bit_op(true, expected);
+                        }
+                        state = Some(expected);
+                    }
+                }
+            }
+        }
+        MarchTest::new(name, kept).ok()
+    }
+
+    /// Applies one mutation and repairs the result. Returns `None` when the
+    /// mutation's indices do not fit the test or the repair fails.
+    #[must_use]
+    pub fn apply(&self, test: &MarchTest, mutation: Mutation) -> Option<MarchTest> {
+        let mut elements: Vec<MarchElement> = test.elements().to_vec();
+        match mutation {
+            Mutation::InsertOp {
+                element,
+                position,
+                read,
+                one,
+            } => {
+                let target = elements.get_mut(element)?;
+                if position > target.len() {
+                    return None;
+                }
+                target.ops.insert(position, bit_op(read, one));
+            }
+            Mutation::DeleteOp { element, position } => {
+                let target = elements.get_mut(element)?;
+                if position >= target.len() {
+                    return None;
+                }
+                target.ops.remove(position);
+            }
+            Mutation::ReplaceKind { element, position } => {
+                let op = elements.get_mut(element)?.ops.get_mut(position)?;
+                op.kind = match op.kind {
+                    OpKind::Read => OpKind::Write,
+                    OpKind::Write => OpKind::Read,
+                };
+            }
+            Mutation::FlipData { element, position } => {
+                let op = elements.get_mut(element)?.ops.get_mut(position)?;
+                op.data = op.data.complemented()?;
+            }
+            Mutation::FlipOrder { element } => {
+                let target = elements.get_mut(element)?;
+                target.order = next_order(target.order);
+            }
+            Mutation::SplitElement { element, at } => {
+                let target = elements.get_mut(element)?;
+                if at == 0 || at >= target.len() {
+                    return None;
+                }
+                let tail = target.ops.split_off(at);
+                let order = target.order;
+                elements.insert(element + 1, MarchElement::new(order, tail));
+            }
+            Mutation::MergeElements { element } => {
+                if element + 1 >= elements.len() {
+                    return None;
+                }
+                let tail = elements.remove(element + 1);
+                elements[element].ops.extend(tail.ops);
+            }
+        }
+        self.repair(test.name(), elements)
+    }
+
+    /// Proposes one random mutation of `test`, drawing from `rng`: up to a
+    /// fixed number of attempts are made, and a proposal is returned only
+    /// when the repaired candidate differs from `test` (a repair can undo
+    /// an edit, for example re-flipping a read's data).
+    #[must_use]
+    pub fn propose(&self, test: &MarchTest, rng: &mut SplitMix64) -> Option<(Mutation, MarchTest)> {
+        for _ in 0..PROPOSE_ATTEMPTS {
+            let mutation = self.random_mutation(test, rng);
+            if let Some(candidate) = self.apply(test, mutation) {
+                if candidate != *test {
+                    return Some((mutation, candidate));
+                }
+            }
+        }
+        None
+    }
+
+    /// Every drop-one-operation candidate of `test`, in (element, position)
+    /// order — the greedy minimisation neighbourhood.
+    #[must_use]
+    pub fn deletions(&self, test: &MarchTest) -> Vec<(Mutation, MarchTest)> {
+        let mut candidates = Vec::new();
+        for (element, member) in test.elements().iter().enumerate() {
+            for position in 0..member.len() {
+                let mutation = Mutation::DeleteOp { element, position };
+                if let Some(candidate) = self.apply(test, mutation) {
+                    candidates.push((mutation, candidate));
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Draws a random (not yet repaired) mutation of `test`.
+    fn random_mutation(&self, test: &MarchTest, rng: &mut SplitMix64) -> Mutation {
+        let element = rng.next_below(test.element_count());
+        let ops = test.elements()[element].len();
+        match rng.next_below(7) {
+            0 => Mutation::InsertOp {
+                element,
+                position: rng.next_below(ops + 1),
+                read: rng.next_bool(),
+                one: rng.next_bool(),
+            },
+            1 => Mutation::DeleteOp {
+                element,
+                position: rng.next_below(ops),
+            },
+            2 => Mutation::ReplaceKind {
+                element,
+                position: rng.next_below(ops),
+            },
+            3 => Mutation::FlipData {
+                element,
+                position: rng.next_below(ops),
+            },
+            4 => Mutation::FlipOrder { element },
+            5 => Mutation::SplitElement {
+                element,
+                // `at == 0` is rejected by `apply`, which makes the next
+                // attempt draw a fresh mutation.
+                at: if ops > 1 {
+                    1 + rng.next_below(ops - 1)
+                } else {
+                    0
+                },
+            },
+            _ => Mutation::MergeElements { element },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_core::nicolaidis::track_states;
+    use twm_march::algorithms::{march_c_minus, march_ss};
+
+    #[test]
+    fn repair_drops_empty_elements_and_rewrites_reads() {
+        let model = MutationModel::default();
+        let elements = vec![
+            MarchElement::any_order(vec![Operation::w0()]),
+            MarchElement::ascending(vec![]),
+            // This read expects 1 but the tracked value is 0: repaired.
+            MarchElement::ascending(vec![Operation::r1(), Operation::w1()]),
+        ];
+        let repaired = model.repair("x", elements).unwrap();
+        assert_eq!(repaired.to_string(), "⇕(w0); ⇑(r0,w1)");
+        assert!(track_states(&repaired).is_ok());
+    }
+
+    #[test]
+    fn repair_rejects_empty_and_oversized_tests() {
+        let model = MutationModel {
+            max_elements: 2,
+            max_ops_per_element: 2,
+        };
+        assert!(model.repair("x", vec![]).is_none());
+        assert!(model
+            .repair("x", vec![MarchElement::ascending(vec![])])
+            .is_none());
+        let too_many = vec![MarchElement::any_order(vec![Operation::w0()]); 3];
+        assert!(model.repair("x", too_many).is_none());
+        let too_long = vec![MarchElement::any_order(vec![Operation::w0(); 3])];
+        assert!(model.repair("x", too_long).is_none());
+        // Non-bit-oriented candidates are outside the model's language.
+        let transparent = vec![MarchElement::any_order(vec![Operation::read_content()])];
+        assert!(model.repair("x", transparent).is_none());
+    }
+
+    #[test]
+    fn leading_read_assumes_the_all_zero_initial_content() {
+        let model = MutationModel::default();
+        let repaired = model
+            .repair(
+                "x",
+                vec![MarchElement::ascending(vec![
+                    Operation::r1(),
+                    Operation::w1(),
+                ])],
+            )
+            .unwrap();
+        assert_eq!(repaired.to_string(), "⇑(r0,w1)");
+    }
+
+    #[test]
+    fn apply_covers_every_mutation_kind() {
+        let model = MutationModel::default();
+        let test = march_c_minus();
+        let inserted = model
+            .apply(
+                &test,
+                Mutation::InsertOp {
+                    element: 1,
+                    position: 2,
+                    read: true,
+                    one: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(inserted.length().operations, 11);
+
+        let deleted = model
+            .apply(
+                &test,
+                Mutation::DeleteOp {
+                    element: 1,
+                    position: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(deleted.length().operations, 9);
+
+        let flipped = model
+            .apply(&test, Mutation::FlipOrder { element: 1 })
+            .unwrap();
+        assert_eq!(flipped.elements()[1].order, AddressOrder::Descending);
+
+        let split = model
+            .apply(&test, Mutation::SplitElement { element: 1, at: 1 })
+            .unwrap();
+        assert_eq!(split.element_count(), 7);
+
+        let merged = model
+            .apply(&test, Mutation::MergeElements { element: 1 })
+            .unwrap();
+        assert_eq!(merged.element_count(), 5);
+        assert_eq!(merged.length().operations, 10);
+
+        // Out-of-range indices are rejected, not panicked on.
+        assert!(model
+            .apply(
+                &test,
+                Mutation::DeleteOp {
+                    element: 99,
+                    position: 0
+                }
+            )
+            .is_none());
+        assert!(model
+            .apply(&test, Mutation::SplitElement { element: 0, at: 0 })
+            .is_none());
+        assert!(model
+            .apply(&test, Mutation::MergeElements { element: 5 })
+            .is_none());
+    }
+
+    #[test]
+    fn applied_mutations_always_yield_consistent_tests() {
+        let model = MutationModel::default();
+        let test = march_ss();
+        let mut rng = SplitMix64::new(42);
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let Some((_, candidate)) = model.propose(&test, &mut rng) {
+                produced += 1;
+                assert!(candidate.is_bit_oriented());
+                assert!(track_states(&candidate).is_ok(), "{candidate}");
+                assert!(candidate.element_count() <= model.max_elements);
+                assert!(candidate
+                    .elements()
+                    .iter()
+                    .all(|e| e.len() <= model.max_ops_per_element));
+            }
+        }
+        assert!(produced > 150, "proposals should rarely fail: {produced}");
+    }
+
+    #[test]
+    fn proposals_are_deterministic_per_seed() {
+        let model = MutationModel::default();
+        let test = march_c_minus();
+        let run = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..32)
+                .filter_map(|_| model.propose(&test, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn deletions_enumerate_every_operation() {
+        let model = MutationModel::default();
+        let test = march_c_minus();
+        let deletions = model.deletions(&test);
+        assert_eq!(deletions.len(), test.length().operations);
+        for (_, candidate) in &deletions {
+            assert!(candidate.length().operations < test.length().operations);
+            assert!(track_states(candidate).is_ok());
+        }
+    }
+
+    #[test]
+    fn mutation_display_is_readable() {
+        assert_eq!(
+            Mutation::DeleteOp {
+                element: 1,
+                position: 0
+            }
+            .to_string(),
+            "delete op 1.0"
+        );
+        assert_eq!(
+            Mutation::InsertOp {
+                element: 0,
+                position: 2,
+                read: true,
+                one: false
+            }
+            .to_string(),
+            "insert r0 at 0.2"
+        );
+        assert_eq!(
+            Mutation::MergeElements { element: 3 }.to_string(),
+            "merge elements 3 and 4"
+        );
+    }
+}

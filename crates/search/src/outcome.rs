@@ -1,0 +1,58 @@
+//! The result every search strategy returns: the winning candidate, the
+//! (coverage, cost) Pareto front of everything feasible that was evaluated,
+//! and a full provenance log of the accepted mutations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mutation, ParetoFront, Score, ScoredTest};
+
+/// One accepted step of a search run.
+///
+/// Entries contain only exactly-comparable data (integers and notation
+/// strings), so two runs agree on their logs bit for bit — the determinism
+/// property `tests/determinism.rs` checks across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceEntry {
+    /// Search step (0 is the seed entry; greedy counts rounds, beam counts
+    /// generations, annealing counts steps).
+    pub step: usize,
+    /// The accepted mutation; `None` for the seed entry.
+    pub mutation: Option<Mutation>,
+    /// Whether the entry was accepted into the search state (always `true`
+    /// for the entries strategies currently log; kept explicit so logs can
+    /// grow rejected entries without a format change).
+    pub accepted: bool,
+    /// The candidate's score after the mutation.
+    pub score: Score,
+    /// The candidate in march notation.
+    pub notation: String,
+    /// March notation of the candidate the mutation was applied to
+    /// (`None` for the seed entry). Together with `mutation` this makes
+    /// the log replayable for every strategy: greedy and annealing chains
+    /// apply each mutation to the previous entry's candidate, while beam
+    /// entries name the beam member they mutated.
+    pub parent: Option<String>,
+}
+
+/// The outcome of one strategy run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The winning candidate: the cheapest test meeting the strategy's
+    /// coverage floor.
+    pub best: ScoredTest,
+    /// Pareto front over (coverage, cost) of every feasible candidate the
+    /// run evaluated, including ones below the floor.
+    pub front: ParetoFront,
+    /// Provenance log: the seed entry followed by every accepted mutation.
+    pub log: Vec<ProvenanceEntry>,
+    /// Number of candidate evaluations the run spent.
+    pub evaluated: usize,
+}
+
+impl SearchOutcome {
+    /// Convenience: the winning candidate's score.
+    #[must_use]
+    pub fn best_score(&self) -> Score {
+        self.best.score
+    }
+}

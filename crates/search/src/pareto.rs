@@ -1,0 +1,131 @@
+//! The (coverage, cost) Pareto front maintained across a search run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Score, ScoredTest};
+
+/// Whether `a` weakly dominates `b` on the (detected, cost) plane: at least
+/// as much coverage for at most the cost.
+fn dominates(a: Score, b: Score) -> bool {
+    a.detected >= b.detected && a.cost() <= b.cost()
+}
+
+/// The set of non-dominated (coverage, cost) candidates seen by a search,
+/// kept sorted by ascending cost (equivalently, ascending coverage — a
+/// non-dominated set admits no other order).
+///
+/// Insertion is first-seen-wins for equal scores, so a deterministic
+/// insertion order yields a deterministic front (the property
+/// `tests/determinism.rs` pins across thread counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParetoFront {
+    points: Vec<ScoredTest>,
+}
+
+impl ParetoFront {
+    /// Creates an empty front.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a candidate to the front. Returns `true` when the candidate
+    /// enters (it is not weakly dominated by any member); dominated members
+    /// are evicted.
+    pub fn insert(&mut self, candidate: ScoredTest) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|point| dominates(point.score, candidate.score))
+        {
+            return false;
+        }
+        self.points
+            .retain(|point| !dominates(candidate.score, point.score));
+        let position = self
+            .points
+            .partition_point(|point| point.score.cost() < candidate.score.cost());
+        self.points.insert(position, candidate);
+        true
+    }
+
+    /// The non-dominated candidates, sorted by ascending cost.
+    #[must_use]
+    pub fn points(&self) -> &[ScoredTest] {
+        &self.points
+    }
+
+    /// The highest-coverage member (the last point: a non-dominated set
+    /// sorted by cost is also sorted by coverage).
+    #[must_use]
+    pub fn best_coverage(&self) -> Option<&ScoredTest> {
+        self.points.last()
+    }
+
+    /// Number of front members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::mats_plus;
+
+    fn scored(detected: usize, cost: usize) -> ScoredTest {
+        ScoredTest {
+            test: mats_plus(),
+            score: Score {
+                detected,
+                total_faults: 100,
+                test_ops: cost,
+                scheme_cost: cost,
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected_and_evicted() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(scored(50, 20)));
+        // Strictly better on both axes: evicts the first point.
+        assert!(front.insert(scored(60, 10)));
+        assert_eq!(front.len(), 1);
+        // Weakly dominated (same score): rejected, first-seen wins.
+        assert!(!front.insert(scored(60, 10)));
+        // Dominated on one axis: rejected.
+        assert!(!front.insert(scored(60, 15)));
+        assert!(!front.insert(scored(55, 10)));
+        // Incomparable: more coverage at more cost.
+        assert!(front.insert(scored(80, 30)));
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn points_stay_sorted_by_cost_and_coverage() {
+        let mut front = ParetoFront::new();
+        front.insert(scored(80, 30));
+        front.insert(scored(50, 10));
+        front.insert(scored(65, 20));
+        let costs: Vec<usize> = front.points().iter().map(|p| p.score.cost()).collect();
+        assert_eq!(costs, vec![10, 20, 30]);
+        let detected: Vec<usize> = front.points().iter().map(|p| p.score.detected).collect();
+        assert_eq!(detected, vec![50, 65, 80]);
+        assert_eq!(front.best_coverage().unwrap().score.detected, 80);
+    }
+
+    #[test]
+    fn empty_front_behaves() {
+        let front = ParetoFront::new();
+        assert!(front.is_empty());
+        assert!(front.best_coverage().is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared strategy start-up: repair and score the seed test, resolve the
+//! coverage floor, and open the Pareto front and provenance log.
+
+use twm_march::MarchTest;
+
+use crate::{
+    CoverageFloor, MutationModel, Objective, ParetoFront, ProvenanceEntry, Score, ScoredTest,
+    SearchError,
+};
+
+/// The state every strategy starts from.
+pub(crate) struct SeedState {
+    pub test: MarchTest,
+    pub score: Score,
+    /// Resolved detected-fault floor candidates must keep.
+    pub floor: usize,
+    pub front: ParetoFront,
+    pub log: Vec<ProvenanceEntry>,
+}
+
+/// Repairs and scores the seed, checks it meets the floor, and opens the
+/// front and log with the seed entry.
+pub(crate) fn seed_state(
+    objective: &Objective,
+    model: &MutationModel,
+    seed: &MarchTest,
+    floor: CoverageFloor,
+) -> Result<SeedState, SearchError> {
+    let test = model
+        .repair(seed.name(), seed.elements().to_vec())
+        .ok_or_else(|| SearchError::InfeasibleSeed {
+            detail: format!(
+                "'{}' is not repairable into a well-formed bit-oriented candidate \
+                 under the mutation model's caps",
+                seed.name()
+            ),
+        })?;
+    let score = objective
+        .score(&test)?
+        .ok_or_else(|| SearchError::InfeasibleSeed {
+            detail: format!(
+                "'{}' is not transformable by the objective's scheme registry",
+                seed.name()
+            ),
+        })?;
+    let floor = floor.resolve(&score);
+    if score.detected < floor {
+        return Err(SearchError::InfeasibleSeed {
+            detail: format!(
+                "'{}' detects {}/{} faults but the coverage floor requires {}",
+                seed.name(),
+                score.detected,
+                score.total_faults,
+                floor
+            ),
+        });
+    }
+    let mut front = ParetoFront::new();
+    front.insert(ScoredTest {
+        test: test.clone(),
+        score,
+    });
+    let log = vec![ProvenanceEntry {
+        step: 0,
+        mutation: None,
+        accepted: true,
+        score,
+        notation: test.to_string(),
+        parent: None,
+    }];
+    Ok(SeedState {
+        test,
+        score,
+        floor,
+        front,
+        log,
+    })
+}

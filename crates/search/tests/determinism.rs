@@ -1,0 +1,117 @@
+//! Search determinism across execution strategies: (same seed, same
+//! universe) ⇒ identical Pareto front and provenance log for
+//! `Strategy::Serial` and `Strategy::Parallel { threads }` at several
+//! thread counts.
+//!
+//! This is the contract that makes the search's parallelism safe to use:
+//! candidates are proposed on the driving thread, scored independently,
+//! and merged in order, so fan-out must never change an outcome.
+
+use proptest::prelude::*;
+
+use twm_core::scheme::SchemeRegistry;
+use twm_coverage::{Strategy, UniverseBuilder};
+use twm_march::algorithms::{march_c_minus, march_u, mats_plus_plus};
+use twm_march::MarchTest;
+use twm_mem::MemoryConfig;
+use twm_search::{
+    anneal, beam_search, minimise_greedy, AnnealOptions, BeamOptions, GreedyOptions, Objective,
+    ObjectiveOptions, SearchOutcome,
+};
+
+const THREAD_COUNTS: [usize; 3] = [2, 3, 5];
+
+fn objective_with(strategy: Strategy) -> Objective {
+    let config = MemoryConfig::new(8, 4).unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    Objective::new(
+        config,
+        universe,
+        Some(SchemeRegistry::comparison(4).unwrap()),
+        ObjectiveOptions {
+            strategy,
+            ..ObjectiveOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Runs one strategy under Serial and every parallel thread count and
+/// asserts the outcomes (front, log, best, evaluation count) are identical.
+fn assert_strategy_invariant<F>(run: F)
+where
+    F: Fn(&Objective) -> SearchOutcome,
+{
+    let reference = run(&objective_with(Strategy::Serial));
+    for threads in THREAD_COUNTS {
+        let outcome = run(&objective_with(Strategy::Parallel { threads }));
+        assert_eq!(
+            reference, outcome,
+            "outcome diverged at {threads} worker threads"
+        );
+    }
+}
+
+fn seed_test(index: usize) -> MarchTest {
+    match index % 3 {
+        0 => march_c_minus(),
+        1 => march_u(),
+        _ => mats_plus_plus(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn beam_outcome_is_thread_count_invariant(seed in 0u64..1000, test in 0usize..3) {
+        let options = BeamOptions {
+            seed,
+            beam_width: 3,
+            generations: 3,
+            proposals_per_member: 4,
+            ..BeamOptions::default()
+        };
+        assert_strategy_invariant(|objective| {
+            beam_search(objective, &seed_test(test), &options).unwrap()
+        });
+    }
+
+    #[test]
+    fn anneal_outcome_is_thread_count_invariant(seed in 0u64..1000, test in 0usize..3) {
+        let options = AnnealOptions {
+            seed,
+            steps: 25,
+            ..AnnealOptions::default()
+        };
+        assert_strategy_invariant(|objective| {
+            anneal(objective, &seed_test(test), &options).unwrap()
+        });
+    }
+}
+
+#[test]
+fn greedy_outcome_is_thread_count_invariant() {
+    // Greedy draws no randomness at all, so one check per seed test pins
+    // the batch-evaluation merge order.
+    for index in 0..3 {
+        assert_strategy_invariant(|objective| {
+            minimise_greedy(objective, &seed_test(index), &GreedyOptions::default()).unwrap()
+        });
+    }
+}
+
+#[test]
+fn repeated_runs_share_one_objective() {
+    // Determinism also holds when one objective instance (and its arena
+    // pools) serves several consecutive runs.
+    let objective = objective_with(Strategy::Parallel { threads: 4 });
+    let options = BeamOptions {
+        seed: 99,
+        generations: 3,
+        ..BeamOptions::default()
+    };
+    let first = beam_search(&objective, &march_c_minus(), &options).unwrap();
+    let second = beam_search(&objective, &march_c_minus(), &options).unwrap();
+    assert_eq!(first, second);
+}

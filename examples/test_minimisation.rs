@@ -1,0 +1,138 @@
+//! March-test minimisation with `twm::search`: shrink March C− at W = 32
+//! while keeping **100 % stuck-at + transition coverage**, scored by the
+//! transparent session cost the paper's schemes would actually pay.
+//!
+//! Everything is deterministic — greedy minimisation draws no randomness
+//! and the annealing polish runs from a fixed seed — so repeated runs
+//! print the same tests and the same numbers (CI runs this example as a
+//! smoke check).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example test_minimisation
+//! ```
+
+use twm::core::{SchemeId, SchemeRegistry};
+use twm::coverage::UniverseBuilder;
+use twm::march::algorithms::march_c_minus;
+use twm::mem::MemoryConfig;
+use twm::search::{
+    anneal, minimise_greedy, AnnealOptions, GreedyOptions, Objective, ObjectiveOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width = 32;
+    let words = 8;
+    let config = MemoryConfig::new(words, width)?;
+    let seed_test = march_c_minus();
+
+    // Every stuck-at and transition fault of the memory; candidates must
+    // keep detecting all of them.
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    let registry = SchemeRegistry::comparison(width)?;
+    let objective = Objective::new(
+        config,
+        universe,
+        Some(registry),
+        ObjectiveOptions::default(),
+    )?;
+
+    let seed_score = objective
+        .score(&seed_test)?
+        .expect("March C- is transformable by every scheme");
+    println!(
+        "memory {words}x{width}, universe {} faults (SAF + TF)",
+        seed_score.total_faults
+    );
+    println!(
+        "seed    {}: {} ops/word, transparent cost {}, coverage {:.1}%",
+        seed_test.name(),
+        seed_score.test_ops,
+        seed_score.cost(),
+        seed_score.coverage() * 100.0
+    );
+
+    // Greedy drop-one-op minimisation under the full-coverage floor.
+    let outcome = minimise_greedy(&objective, &seed_test, &GreedyOptions::default())?;
+    let minimised = &outcome.best;
+    println!("\naccepted deletions:");
+    for entry in outcome.log.iter().skip(1) {
+        let mutation = entry.mutation.expect("non-seed entries carry a mutation");
+        println!(
+            "  step {}: {:<16} -> {} ops/word, cost {}   {}",
+            entry.step, mutation, entry.score.test_ops, entry.score.scheme_cost, entry.notation
+        );
+    }
+    println!(
+        "\nminimised: {}  ({} ops/word, transparent cost {}, coverage {:.1}%, \
+         {} candidates evaluated)",
+        minimised.test,
+        minimised.score.test_ops,
+        minimised.score.cost(),
+        minimised.score.coverage() * 100.0,
+        outcome.evaluated
+    );
+
+    // A fixed-seed annealing polish explores non-deletion moves (order
+    // flips, splits, merges) from the greedy result.
+    let polish = anneal(
+        &objective,
+        &minimised.test,
+        &AnnealOptions {
+            seed: 2025,
+            steps: 60,
+            ..AnnealOptions::default()
+        },
+    )?;
+    println!(
+        "annealing polish (seed 2025): {} ops/word, transparent cost {} \
+         ({} more candidates evaluated)",
+        polish.best.score.test_ops,
+        polish.best.score.cost(),
+        polish.evaluated
+    );
+
+    // The (coverage, cost) Pareto front collected along the way.
+    println!("\nPareto front (coverage vs transparent cost):");
+    for point in polish.front.points() {
+        println!(
+            "  {:>5.1}% coverage at cost {:>3} ({} ops/word): {}",
+            point.score.coverage() * 100.0,
+            point.score.cost(),
+            point.score.test_ops,
+            point.test
+        );
+    }
+
+    // What the winner costs through the paper's own scheme.
+    let twm_ta = objective
+        .registry()
+        .and_then(|r| r.get(SchemeId::TwmTa))
+        .expect("comparison registry registers TWM_TA");
+    let before = twm_ta.transform(&seed_test)?.exact_complexity();
+    let after = twm_ta.transform(&polish.best.test)?.exact_complexity();
+    println!(
+        "\nTWM_TA session cost per word: {} -> {} (TCM {} -> {}, TCP {} -> {})",
+        before.total(),
+        after.total(),
+        before.tcm,
+        after.tcm,
+        before.tcp,
+        after.tcp
+    );
+
+    // The acceptance contract this example is CI-gated on: a strictly
+    // shorter test with full SAF+TF coverage, reproducibly.
+    assert!(polish.best.score.full_coverage(), "coverage regressed");
+    assert!(
+        polish.best.score.test_ops < seed_score.test_ops,
+        "no strict reduction found"
+    );
+    assert!(polish.best.score.cost() < seed_score.cost());
+    println!(
+        "\nOK: {} ops/word -> {} ops/word at 100% SAF+TF coverage",
+        seed_score.test_ops, polish.best.score.test_ops
+    );
+    Ok(())
+}

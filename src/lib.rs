@@ -27,6 +27,13 @@
 //!   [`CoverageEngine::for_scheme`](coverage::CoverageEngine::for_scheme)
 //!   and the one-call [`scheme_matrix`](coverage::scheme_matrix) comparison
 //!   grid over every registered scheme.
+//! * [`search`] — march-test generation & minimisation: a deterministic,
+//!   seeded, parallel search over [`MarchTest`](march::MarchTest)
+//!   candidates (greedy drop-one-op minimisation,
+//!   [`beam_search`](search::beam_search), seeded
+//!   [`anneal`](search::anneal())ing) scored by coverage over a fault
+//!   universe **and** the registry-driven transparent session cost, with a
+//!   (coverage, cost) Pareto front and a full provenance log.
 //!
 //! ## Quickstart
 //!
@@ -94,6 +101,39 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Searching for better march tests
+//!
+//! The coverage kernel is fast enough to sit in a search inner loop:
+//! [`search`] minimises (or generates) bit-oriented march tests, scoring
+//! every candidate on fault coverage **and** the transparent session cost
+//! the registered schemes would pay:
+//!
+//! ```
+//! use twm::core::SchemeRegistry;
+//! use twm::coverage::UniverseBuilder;
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::mem::MemoryConfig;
+//! use twm::search::{minimise_greedy, GreedyOptions, Objective, ObjectiveOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(8, 4)?;
+//! let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+//! let objective = Objective::new(
+//!     config,
+//!     universe,
+//!     Some(SchemeRegistry::comparison(4)?),
+//!     ObjectiveOptions::default(),
+//! )?;
+//! let outcome = minimise_greedy(&objective, &march_c_minus(), &GreedyOptions::default())?;
+//! assert!(outcome.best.score.test_ops < 10); // shorter than March C-
+//! assert!(outcome.best.score.full_coverage()); // still 100% SAF+TF
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `examples/test_minimisation.rs` runs the full W = 32 experiment, and
+//! `benches/search.rs` measures candidate-evaluation throughput.
 
 #![warn(missing_docs)]
 
@@ -102,3 +142,4 @@ pub use twm_core as core;
 pub use twm_coverage as coverage;
 pub use twm_march as march;
 pub use twm_mem as mem;
+pub use twm_search as search;
