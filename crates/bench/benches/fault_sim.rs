@@ -222,6 +222,44 @@ fn bench_engine_reuse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("arena", words), &config, |b, _| {
             b.iter(|| arena.report(black_box(&faults)).unwrap());
         });
+
+        // Persistent-worker-pool A/B: identical parallel engines, one
+        // keeping its window workers alive across reports (`thread_reuse`,
+        // the default), one spawning scoped threads per window (the
+        // historical behaviour). Reports are bit-identical; only thread
+        // creation overhead differs.
+        let pooled = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Parallel { threads: 4 })
+            .build()
+            .unwrap();
+        let spawning = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Parallel { threads: 4 })
+            .thread_reuse(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pooled.report(&faults).unwrap(),
+            spawning.report(&faults).unwrap(),
+            "thread modes must stay bit-identical"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spawn_per_window", words),
+            &config,
+            |b, _| {
+                b.iter(|| spawning.report(black_box(&faults)).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("persistent_pool", words),
+            &config,
+            |b, _| {
+                b.iter(|| pooled.report(black_box(&faults)).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -72,6 +72,68 @@ impl DiagnosisReport {
     pub fn primary_suspect(&self) -> Option<&SuspectCell> {
         self.suspects.first()
     }
+
+    /// The suspect entry for a cell, if the cell was flagged.
+    #[must_use]
+    pub fn suspect(&self, cell: BitAddress) -> Option<&SuspectCell> {
+        self.suspects.iter().find(|suspect| suspect.cell == cell)
+    }
+
+    /// Fuses several diagnoses of the *same memory* into one report —
+    /// evidence accumulation across follow-up runs (different transparent
+    /// schemes exercise different patterns, so their reports flag
+    /// overlapping but not identical suspect sets).
+    ///
+    /// Per-cell mismatch and observation counts are summed; a cell keeps a
+    /// `constant_observation` only if every contributing report that
+    /// flagged it observed the same constant value. Suspect ordering and
+    /// word lists are rebuilt under the same rules as
+    /// [`diagnose`], so a fusion of one report equals that report.
+    #[must_use]
+    pub fn fuse<'a, I: IntoIterator<Item = &'a DiagnosisReport>>(reports: I) -> DiagnosisReport {
+        #[derive(Default)]
+        struct Fused {
+            mismatches: usize,
+            observations: usize,
+            constants: Vec<Option<bool>>,
+        }
+
+        let mut evidence: BTreeMap<BitAddress, Fused> = BTreeMap::new();
+        let mut mismatching_reads = 0usize;
+        for report in reports {
+            mismatching_reads += report.mismatching_reads;
+            for suspect in &report.suspects {
+                let entry = evidence.entry(suspect.cell).or_default();
+                entry.mismatches += suspect.mismatches;
+                entry.observations += suspect.observations;
+                entry.constants.push(suspect.constant_observation);
+            }
+        }
+
+        let mut suspects: Vec<SuspectCell> = evidence
+            .into_iter()
+            .map(|(cell, fused)| SuspectCell {
+                cell,
+                mismatches: fused.mismatches,
+                observations: fused.observations,
+                constant_observation: match fused.constants.split_first() {
+                    Some((&first, rest)) if rest.iter().all(|&c| c == first) => first,
+                    _ => None,
+                },
+            })
+            .collect();
+        suspects.sort_by(|a, b| b.mismatches.cmp(&a.mismatches).then(a.cell.cmp(&b.cell)));
+
+        let mut faulty_words: Vec<usize> = suspects.iter().map(|s| s.cell.word).collect();
+        faulty_words.sort_unstable();
+        faulty_words.dedup();
+
+        DiagnosisReport {
+            suspects,
+            faulty_words,
+            mismatching_reads,
+        }
+    }
 }
 
 /// Diagnoses an execution from its read records.
@@ -239,6 +301,51 @@ mod tests {
         let cells: Vec<BitAddress> = report.suspects.iter().map(|s| s.cell).collect();
         assert!(cells.contains(&a));
         assert!(cells.contains(&b));
+    }
+
+    #[test]
+    fn fusing_reports_accumulates_evidence() {
+        let cell = BitAddress::new(6, 2);
+        let mut memory = MemoryBuilder::new(16, 8)
+            .random_content(8)
+            .fault(Fault::stuck_at(cell, true))
+            .build()
+            .unwrap();
+        let first = diagnose(&execute(&transparent_test(8), &mut memory).unwrap());
+        let second = diagnose(&execute(&transparent_test(8), &mut memory).unwrap());
+
+        // A fusion of one report is that report.
+        assert_eq!(DiagnosisReport::fuse([&first]), first);
+
+        let fused = DiagnosisReport::fuse([&first, &second]);
+        assert_eq!(fused.faulty_words, vec![6]);
+        let suspect = fused.suspect(cell).unwrap();
+        assert_eq!(
+            suspect.mismatches,
+            first.suspect(cell).unwrap().mismatches + second.suspect(cell).unwrap().mismatches
+        );
+        assert_eq!(suspect.constant_observation, Some(true));
+        assert_eq!(
+            fused.mismatching_reads,
+            first.mismatching_reads + second.mismatching_reads
+        );
+
+        // Conflicting constant observations fuse to `None`.
+        let flipped = DiagnosisReport {
+            suspects: vec![SuspectCell {
+                cell,
+                mismatches: 1,
+                observations: 2,
+                constant_observation: Some(false),
+            }],
+            faulty_words: vec![cell.word],
+            mismatching_reads: 1,
+        };
+        let conflicted = DiagnosisReport::fuse([&first, &flipped]);
+        assert_eq!(conflicted.suspect(cell).unwrap().constant_observation, None);
+
+        // Fusing nothing is clean.
+        assert!(DiagnosisReport::fuse(std::iter::empty::<&DiagnosisReport>()).is_clean());
     }
 
     #[test]

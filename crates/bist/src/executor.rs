@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use twm_march::{MarchTest, OpKind};
-use twm_mem::{AddressOrder, AddressSequence, FaultyMemory, Word};
+use twm_mem::{AddressOrder, AddressSequence, MemoryAccess, Word};
 
 use crate::{BistError, LoweredTest};
 
@@ -107,10 +107,18 @@ impl ExecutionResult {
 
 /// Executes a march test with default options.
 ///
+/// The memory may be any [`MemoryAccess`] implementor — the plain
+/// fault-injected simulator or a layered memory such as
+/// [`twm_mem::RepairableMemory`], whose remap table serves repaired words
+/// from spares.
+///
 /// # Errors
 ///
 /// See [`execute_with`].
-pub fn execute(test: &MarchTest, memory: &mut FaultyMemory) -> Result<ExecutionResult, BistError> {
+pub fn execute<M: MemoryAccess>(
+    test: &MarchTest,
+    memory: &mut M,
+) -> Result<ExecutionResult, BistError> {
     execute_with(test, memory, ExecutionOptions::default())
 }
 
@@ -124,9 +132,9 @@ pub fn execute(test: &MarchTest, memory: &mut FaultyMemory) -> Result<ExecutionR
 /// Returns [`BistError::March`] if an operation's data cannot be resolved
 /// for the memory's word width (for example a background index out of
 /// range), or [`BistError::Mem`] for address errors.
-pub fn execute_with(
+pub fn execute_with<M: MemoryAccess>(
     test: &MarchTest,
-    memory: &mut FaultyMemory,
+    memory: &mut M,
     options: ExecutionOptions,
 ) -> Result<ExecutionResult, BistError> {
     let lowered = LoweredTest::new(test, memory.width())?;
@@ -144,9 +152,9 @@ pub fn execute_with(
 /// Returns [`BistError::LoweredWidthMismatch`] if the test was lowered for
 /// a different word width than the memory's, or [`BistError::Mem`] for
 /// address errors.
-pub fn execute_lowered(
+pub fn execute_lowered<M: MemoryAccess>(
     test: &LoweredTest,
-    memory: &mut FaultyMemory,
+    memory: &mut M,
     options: ExecutionOptions,
 ) -> Result<ExecutionResult, BistError> {
     if test.width() != memory.width() {
@@ -239,9 +247,9 @@ pub fn execute_lowered(
 /// Returns [`BistError::LoweredWidthMismatch`] if the test was lowered for
 /// a different word width than the memory's, or [`BistError::Mem`] for
 /// address errors.
-pub fn detect_lowered_at(
+pub fn detect_lowered_at<M: MemoryAccess>(
     test: &LoweredTest,
-    memory: &mut FaultyMemory,
+    memory: &mut M,
     addresses: &[usize],
 ) -> Result<bool, BistError> {
     if test.width() != memory.width() {
@@ -251,12 +259,50 @@ pub fn detect_lowered_at(
         });
     }
     debug_assert!(addresses.windows(2).all(|pair| pair[0] < pair[1]));
-    debug_assert!(memory.faults().iter().all(|fault| {
-        fault
-            .cells()
-            .iter()
-            .all(|cell| addresses.binary_search(&cell.word).is_ok())
+    // Memories that expose a flat fault set (the plain simulator) assert
+    // the footprint-coverage contract; layered memories return `None` and
+    // the caller carries the obligation.
+    debug_assert!(memory.fault_set().is_none_or(|faults| {
+        faults.iter().all(|fault| {
+            fault
+                .cells()
+                .iter()
+                .all(|cell| addresses.binary_search(&cell.word).is_ok())
+        })
     }));
+    probe_lowered_at(test, memory, addresses)
+}
+
+/// Targeted fault-local probe: executes a pre-lowered march test over only
+/// the given addresses and reports whether any read mismatched.
+///
+/// This is [`detect_lowered_at`] **without** the footprint-coverage
+/// contract: the probed addresses need not cover the memory's fault set,
+/// so the verdict is only authoritative *for the probed words* — a `true`
+/// means some probed word misbehaved under the test's patterns, a `false`
+/// means the probed words (in isolation) passed. Diagnosis flows use this
+/// to test a candidate defect's footprint on a memory whose true fault set
+/// is exactly what is being estimated. Note that the probe executes writes
+/// on the probed words, so the caller is responsible for
+/// snapshotting/restoring content around a probe that may abort mid-test
+/// (the sweep returns at the first mismatch).
+///
+/// `addresses` must be sorted ascending and duplicate-free.
+///
+/// # Errors
+///
+/// Same as [`detect_lowered_at`].
+pub fn probe_lowered_at<M: MemoryAccess>(
+    test: &LoweredTest,
+    memory: &mut M,
+    addresses: &[usize],
+) -> Result<bool, BistError> {
+    if test.width() != memory.width() {
+        return Err(BistError::LoweredWidthMismatch {
+            lowered: test.width(),
+            memory: memory.width(),
+        });
+    }
     let initials = addresses
         .iter()
         .map(|&address| memory.peek_word(address))
@@ -291,7 +337,7 @@ mod tests {
     use super::*;
     use twm_core::{TransparentScheme, TwmTa};
     use twm_march::algorithms::{march_c_minus, march_u};
-    use twm_mem::{BitAddress, Fault, MemoryBuilder, MemoryConfig, Transition};
+    use twm_mem::{BitAddress, Fault, FaultyMemory, MemoryBuilder, MemoryConfig, Transition};
 
     fn bit_memory(cells: usize) -> FaultyMemory {
         FaultyMemory::fault_free(MemoryConfig::bit_oriented(cells).unwrap())

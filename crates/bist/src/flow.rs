@@ -19,9 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use twm_core::scheme::SchemeTransform;
 use twm_march::MarchTest;
-use twm_mem::{FaultyMemory, Word};
+use twm_mem::{MemoryAccess, Word};
 
-use crate::executor::{execute_with, ExecutionOptions};
+use crate::executor::{execute_with, ExecutionOptions, ExecutionResult};
 use crate::misr::Misr;
 use crate::BistError;
 
@@ -82,12 +82,65 @@ impl SessionOutcome {
 /// Returns [`BistError::WidthMismatch`] if the MISR width differs from the
 /// memory word width, and the executor's errors for unresolvable data or
 /// invalid addresses.
-pub fn run_transparent_session(
+pub fn run_transparent_session<M: MemoryAccess>(
     transparent_test: &MarchTest,
     prediction_test: &MarchTest,
-    memory: &mut FaultyMemory,
+    memory: &mut M,
     misr: Misr,
 ) -> Result<SessionOutcome, BistError> {
+    run_transparent_session_staged(transparent_test, prediction_test, memory, misr)
+        .map(|staged| staged.outcome)
+}
+
+/// A transparent BIST session together with its per-element signature trail
+/// and the raw test-phase execution — the observation a diagnosis flow
+/// fuses.
+///
+/// `element_signatures[i]` is the (cumulative) test-phase MISR signature
+/// after absorbing every read of the transparent test's elements `0..=i`;
+/// the last entry equals [`SessionOutcome::test_signature`]. The trail is a
+/// much stronger fault discriminator than the final signature alone — two
+/// faults whose final signatures collide rarely collide on every element
+/// prefix — which is what the repair subsystem's signature dictionaries
+/// key on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagedSessionOutcome {
+    /// The plain session outcome (identical to the unstaged flow's).
+    pub outcome: SessionOutcome,
+    /// Cumulative test-phase MISR signature after each transparent-test
+    /// element.
+    pub element_signatures: Vec<Word>,
+    /// The transparent-test phase execution, reads recorded — the input to
+    /// [`crate::diagnosis::diagnose`].
+    pub test_execution: ExecutionResult,
+}
+
+impl StagedSessionOutcome {
+    /// The signature trail as a key: every element signature in order,
+    /// preceded by the predicted signature (faults can corrupt the
+    /// prediction phase too, and that corruption is diagnostic evidence).
+    #[must_use]
+    pub fn signature_trail(&self) -> Vec<Word> {
+        let mut trail = Vec::with_capacity(1 + self.element_signatures.len());
+        trail.push(self.outcome.predicted_signature);
+        trail.extend_from_slice(&self.element_signatures);
+        trail
+    }
+}
+
+/// [`run_transparent_session`] with the per-element signature trail and the
+/// test-phase execution kept — the session hook behind signature
+/// dictionaries and diagnosis fusion.
+///
+/// # Errors
+///
+/// Same as [`run_transparent_session`].
+pub fn run_transparent_session_staged<M: MemoryAccess>(
+    transparent_test: &MarchTest,
+    prediction_test: &MarchTest,
+    memory: &mut M,
+    misr: Misr,
+) -> Result<StagedSessionOutcome, BistError> {
     if misr.width() != memory.width() {
         return Err(BistError::WidthMismatch {
             misr: misr.width(),
@@ -111,7 +164,8 @@ pub fn run_transparent_session(
         prediction_misr.absorb(record.observed);
     }
 
-    // Phase 2: transparent test — offset-compensated read data.
+    // Phase 2: transparent test — offset-compensated read data, with the
+    // MISR state snapshotted at every element boundary.
     let mut test_misr = misr;
     test_misr.reset();
     let test = execute_with(
@@ -122,20 +176,53 @@ pub fn run_transparent_session(
             stop_at_first_mismatch: false,
         },
     )?;
-    for record in &test.reads {
-        test_misr.absorb(record.compensated());
-    }
+    let element_signatures = absorb_by_element(
+        &mut test_misr,
+        transparent_test,
+        memory.words(),
+        &test,
+        |record| record.compensated(),
+    );
 
     let content_after = memory.content();
 
-    Ok(SessionOutcome {
-        predicted_signature: prediction_misr.signature(),
-        test_signature: test_misr.signature(),
-        mismatches: test.mismatches,
-        content_preserved: content_before == content_after,
-        prediction_operations: prediction.operations(),
-        test_operations: test.operations(),
+    Ok(StagedSessionOutcome {
+        outcome: SessionOutcome {
+            predicted_signature: prediction_misr.signature(),
+            test_signature: test_misr.signature(),
+            mismatches: test.mismatches,
+            content_preserved: content_before == content_after,
+            prediction_operations: prediction.operations(),
+            test_operations: test.operations(),
+        },
+        element_signatures,
+        test_execution: test,
     })
+}
+
+/// Absorbs an execution's reads into `misr` element by element, returning
+/// the cumulative signature at each element boundary. The read stream of a
+/// full (non-short-circuited) execution visits each element's reads
+/// contiguously — `reads-per-address × words` records per element.
+fn absorb_by_element(
+    misr: &mut Misr,
+    test: &MarchTest,
+    words: usize,
+    execution: &ExecutionResult,
+    data: impl Fn(&crate::ReadRecord) -> Word,
+) -> Vec<Word> {
+    let mut signatures = Vec::with_capacity(test.element_count());
+    let mut cursor = 0usize;
+    for element in test.elements() {
+        let reads = element.length().reads * words;
+        for record in &execution.reads[cursor..cursor + reads] {
+            misr.absorb(data(record));
+        }
+        cursor += reads;
+        signatures.push(misr.signature());
+    }
+    debug_assert_eq!(cursor, execution.reads.len());
+    signatures
 }
 
 /// Runs the BIST session described by any [`SchemeTransform`] on the given
@@ -154,13 +241,36 @@ pub fn run_transparent_session(
 /// # Errors
 ///
 /// Same as [`run_transparent_session`].
-pub fn run_scheme_session(
+pub fn run_scheme_session<M: MemoryAccess>(
     transform: &SchemeTransform,
-    memory: &mut FaultyMemory,
+    memory: &mut M,
     misr: Misr,
 ) -> Result<SessionOutcome, BistError> {
+    run_scheme_session_staged(transform, memory, misr).map(|staged| staged.outcome)
+}
+
+/// [`run_scheme_session`] with the per-element signature trail and the
+/// test-phase execution kept — see [`StagedSessionOutcome`].
+///
+/// For prediction-free (concurrent-checking) schemes the predicted
+/// signature is compacted from the fault-free expected data, exactly as in
+/// the unstaged flow, and the element trail covers the single test pass.
+///
+/// # Errors
+///
+/// Same as [`run_transparent_session`].
+pub fn run_scheme_session_staged<M: MemoryAccess>(
+    transform: &SchemeTransform,
+    memory: &mut M,
+    misr: Misr,
+) -> Result<StagedSessionOutcome, BistError> {
     if let Some(prediction) = transform.signature_prediction() {
-        return run_transparent_session(transform.transparent_test(), prediction, memory, misr);
+        return run_transparent_session_staged(
+            transform.transparent_test(),
+            prediction,
+            memory,
+            misr,
+        );
     }
     if misr.width() != memory.width() {
         return Err(BistError::WidthMismatch {
@@ -186,16 +296,26 @@ pub fn run_scheme_session(
         // every read; compensate both streams identically so a fault-free
         // memory produces matching signatures.
         predicted_misr.absorb(record.expected ^ record.offset);
-        test_misr.absorb(record.compensated());
     }
+    let element_signatures = absorb_by_element(
+        &mut test_misr,
+        transform.transparent_test(),
+        memory.words(),
+        &test,
+        |record| record.compensated(),
+    );
     let content_after = memory.content();
-    Ok(SessionOutcome {
-        predicted_signature: predicted_misr.signature(),
-        test_signature: test_misr.signature(),
-        mismatches: test.mismatches,
-        content_preserved: content_before == content_after,
-        prediction_operations: 0,
-        test_operations: test.operations(),
+    Ok(StagedSessionOutcome {
+        outcome: SessionOutcome {
+            predicted_signature: predicted_misr.signature(),
+            test_signature: test_misr.signature(),
+            mismatches: test.mismatches,
+            content_preserved: content_before == content_after,
+            prediction_operations: 0,
+            test_operations: test.operations(),
+        },
+        element_signatures,
+        test_execution: test,
     })
 }
 
@@ -325,6 +445,71 @@ mod tests {
         let outcome = run_scheme_session(&tomt, &mut faulty, Misr::standard(8)).unwrap();
         assert!(outcome.fault_detected_exact());
         assert!(outcome.fault_detected());
+    }
+
+    #[test]
+    fn staged_session_agrees_with_the_unstaged_flow() {
+        let registry = SchemeRegistry::all(8).unwrap();
+        for scheme in registry.iter() {
+            let transform = scheme.transform(&march_c_minus()).unwrap();
+            let build = |fault: Option<Fault>| {
+                let mut builder = MemoryBuilder::new(16, 8).random_content(21);
+                if let Some(fault) = fault {
+                    builder = builder.fault(fault);
+                }
+                builder.build().unwrap()
+            };
+            let fault = Fault::stuck_at(BitAddress::new(7, 3), true);
+            for injected in [None, Some(fault)] {
+                let plain = run_scheme_session(&transform, &mut build(injected), Misr::standard(8))
+                    .unwrap();
+                let staged =
+                    run_scheme_session_staged(&transform, &mut build(injected), Misr::standard(8))
+                        .unwrap();
+                assert_eq!(staged.outcome, plain, "{} outcome drifted", scheme.name());
+                // One cumulative signature per transparent-test element,
+                // ending at the final test signature.
+                assert_eq!(
+                    staged.element_signatures.len(),
+                    transform.transparent_test().element_count()
+                );
+                assert_eq!(
+                    *staged.element_signatures.last().unwrap(),
+                    plain.test_signature
+                );
+                let trail = staged.signature_trail();
+                assert_eq!(trail[0], plain.predicted_signature);
+                assert_eq!(trail.len(), staged.element_signatures.len() + 1);
+                // The kept execution carries the read records a diagnosis
+                // fuses.
+                assert_eq!(
+                    staged.test_execution.reads.len(),
+                    staged.test_execution.reads_performed
+                );
+                assert_eq!(staged.test_execution.detected(), injected.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn staged_trail_distinguishes_faults_with_distinct_evidence() {
+        // Two different faults on the same memory shape and content should
+        // (for this configuration) produce different signature trails —
+        // the discrimination the repair dictionary keys on.
+        let t = transformed(8);
+        let run = |fault: Fault| {
+            let mut memory = MemoryBuilder::new(16, 8)
+                .random_content(4)
+                .fault(fault)
+                .build()
+                .unwrap();
+            run_scheme_session_staged(&t, &mut memory, Misr::standard(8))
+                .unwrap()
+                .signature_trail()
+        };
+        let a = run(Fault::stuck_at(BitAddress::new(2, 1), true));
+        let b = run(Fault::stuck_at(BitAddress::new(9, 6), false));
+        assert_ne!(a, b);
     }
 
     #[test]

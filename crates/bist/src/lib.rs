@@ -58,9 +58,12 @@ pub mod misr;
 pub use diagnosis::{diagnose, DiagnosisReport, SuspectCell};
 pub use error::BistError;
 pub use executor::{
-    detect_lowered_at, execute, execute_lowered, execute_with, ExecutionOptions, ExecutionResult,
-    ReadRecord,
+    detect_lowered_at, execute, execute_lowered, execute_with, probe_lowered_at, ExecutionOptions,
+    ExecutionResult, ReadRecord,
 };
-pub use flow::{run_scheme_session, run_transparent_session, SessionOutcome};
+pub use flow::{
+    run_scheme_session, run_scheme_session_staged, run_transparent_session,
+    run_transparent_session_staged, SessionOutcome, StagedSessionOutcome,
+};
 pub use lowered::{LoweredElement, LoweredOp, LoweredTest};
 pub use misr::Misr;

@@ -54,7 +54,12 @@
 
 use std::borrow::Borrow;
 use std::collections::VecDeque;
+#[cfg(feature = "parallel")]
+use std::sync::OnceLock;
 use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "parallel")]
+use crate::pool::WorkerPool;
 
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +154,7 @@ pub struct CoverageEngineBuilder {
     strategy: Strategy,
     reuse_memory: bool,
     cheap_first: bool,
+    reuse_threads: bool,
 }
 
 impl CoverageEngineBuilder {
@@ -256,6 +262,26 @@ impl CoverageEngineBuilder {
         self
     }
 
+    /// Whether parallel streaming windows run on a **persistent** worker
+    /// pool instead of spawning fresh scoped threads per window (default:
+    /// `true`).
+    ///
+    /// The pool is created lazily on the first parallel window, holds
+    /// `threads − 1` workers (the calling thread evaluates one chunk
+    /// itself), and is shared with every [`CoverageEngine::with_test`]
+    /// sibling — so candidate-scoring loops pay thread creation once, not
+    /// once per candidate per window. Verdicts stay merged in window order
+    /// either way, so reports are **bit-identical** for both settings
+    /// (property-tested in `tests/engine_streaming.rs`); only wall-clock
+    /// differs (A/B-measured in the `engine_reuse` group of
+    /// `benches/fault_sim.rs`). Disabling restores the historical
+    /// spawn-per-window behaviour as the A/B baseline.
+    #[must_use]
+    pub fn thread_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_threads = reuse;
+        self
+    }
+
     /// Finalises the engine: lowers the test, pre-generates the initial
     /// contents and resolves the worker-thread count.
     ///
@@ -284,7 +310,10 @@ impl CoverageEngineBuilder {
             threads,
             reuse_memory: self.reuse_memory,
             cheap_first: self.cheap_first,
+            reuse_threads: self.reuse_threads,
             pool: Mutex::new(Vec::new()),
+            #[cfg(feature = "parallel")]
+            workers: Arc::new(OnceLock::new()),
         })
     }
 }
@@ -365,9 +394,15 @@ pub struct CoverageEngine {
     threads: usize,
     reuse_memory: bool,
     cheap_first: bool,
+    reuse_threads: bool,
     /// Checked-in arena memories, re-armed per fault by workers. Bounded by
     /// the maximum number of concurrent checkouts (≤ worker threads).
     pool: Mutex<Vec<FaultyMemory>>,
+    /// Persistent window workers, created lazily on the first parallel
+    /// window and shared (`Arc`) with [`CoverageEngine::with_test`]
+    /// siblings so candidate loops amortise thread creation too.
+    #[cfg(feature = "parallel")]
+    workers: Arc<OnceLock<WorkerPool>>,
 }
 
 impl CoverageEngine {
@@ -382,6 +417,7 @@ impl CoverageEngine {
             strategy: Strategy::default(),
             reuse_memory: true,
             cheap_first: true,
+            reuse_threads: true,
         }
     }
 
@@ -413,7 +449,10 @@ impl CoverageEngine {
             threads: self.threads,
             reuse_memory: self.reuse_memory,
             cheap_first: self.cheap_first,
+            reuse_threads: self.reuse_threads,
             pool: Mutex::new(Vec::new()),
+            #[cfg(feature = "parallel")]
+            workers: Arc::clone(&self.workers),
         })
     }
 
@@ -922,31 +961,49 @@ impl CoverageEngine {
         #[cfg(feature = "parallel")]
         {
             let chunk_size = window.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = window
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut arena = self.checkout();
-                            let results: Vec<_> = chunk
-                                .iter()
-                                .map(|&fault| self.fault_detected(&mut arena, fault))
-                                .collect();
-                            self.checkin(arena);
-                            results
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|handle| handle.join().expect("coverage worker panicked"))
-                    .collect()
-            })
+            let jobs: Vec<_> = window
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    move || {
+                        let mut arena = self.checkout();
+                        let results: Vec<_> = chunk
+                            .iter()
+                            .map(|&fault| self.fault_detected(&mut arena, fault))
+                            .collect();
+                        self.checkin(arena);
+                        results
+                    }
+                })
+                .collect();
+            let per_chunk: Vec<Vec<Result<bool, CoverageError>>> = if self.reuse_threads {
+                // Persistent pool: workers live across windows (and across
+                // `with_test` siblings); chunk order is preserved, so the
+                // merged verdicts are identical to the spawn path's.
+                self.workers().run(jobs)
+            } else {
+                // Historical spawn-per-window baseline (A/B in the
+                // `engine_reuse` bench group).
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("coverage worker panicked"))
+                        .collect()
+                })
+            };
+            per_chunk.into_iter().flatten().collect()
         }
         #[cfg(not(feature = "parallel"))]
         {
             unreachable!("threads resolve to 1 without the parallel feature")
         }
+    }
+
+    /// The engine's persistent window workers, created on first use.
+    #[cfg(feature = "parallel")]
+    fn workers(&self) -> &WorkerPool {
+        self.workers
+            .get_or_init(|| WorkerPool::new(self.threads.saturating_sub(1)))
     }
 }
 

@@ -23,6 +23,8 @@
 //! [`ContentPolicy`] and [`EvaluationOptions`] — plus the one-off
 //! [`fault_detected`] query.
 
+use serde::{Deserialize, Serialize};
+
 use twm_bist::{execute_with, ExecutionOptions};
 use twm_march::MarchTest;
 use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
@@ -30,7 +32,7 @@ use twm_mem::{Fault, FaultSet, FaultyMemory, MemoryConfig};
 use crate::CoverageError;
 
 /// How the memory is initialised before each fault-injection run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ContentPolicy {
     /// All-zero initial content — the natural setting for non-transparent
     /// march tests, which initialise the memory themselves.
@@ -45,7 +47,7 @@ pub enum ContentPolicy {
 }
 
 /// Options controlling the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvaluationOptions {
     /// Initial memory content policy.
     pub content: ContentPolicy,

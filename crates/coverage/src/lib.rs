@@ -95,6 +95,8 @@ pub mod equivalence;
 mod error;
 pub mod evaluator;
 pub mod matrix;
+#[cfg(feature = "parallel")]
+mod pool;
 pub mod report;
 pub mod states;
 pub mod universe;

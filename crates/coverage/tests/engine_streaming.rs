@@ -388,6 +388,46 @@ proptest! {
         }
     }
 
+    /// The persistent window worker pool (`thread_reuse`, on by default)
+    /// must produce bit-identical reports to the historical
+    /// spawn-per-window path and the serial reference, for any thread
+    /// count — including through `with_test` siblings, which share the
+    /// pool.
+    #[test]
+    fn persistent_worker_pool_is_bit_identical(seed in any::<u64>()) {
+        let config = MemoryConfig::new(6, 4).unwrap();
+        let faults = UniverseBuilder::new(config)
+            .all_classes()
+            .sample_per_class(60, 17)
+            .build();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed },
+            contents_per_fault: 1,
+        };
+        let reference = engine(&march_c_minus(), config, options, Exec::Serial)
+            .report(&faults)
+            .unwrap();
+        for strategy in thread_strategies() {
+            let build = |reuse: bool| {
+                CoverageEngine::builder(config)
+                    .test(&march_c_minus())
+                    .options(options)
+                    .strategy(strategy)
+                    .thread_reuse(reuse)
+                    .build()
+                    .unwrap()
+            };
+            let pooled = build(true);
+            // Repeated reports reuse the same workers.
+            prop_assert_eq!(&pooled.report(&faults).unwrap(), &reference);
+            prop_assert_eq!(&pooled.report(&faults).unwrap(), &reference);
+            let sibling = pooled.with_test(&march_c_minus()).unwrap();
+            prop_assert_eq!(&sibling.report(&faults).unwrap(), &reference);
+            let spawning = build(false);
+            prop_assert_eq!(&spawning.report(&faults).unwrap(), &reference);
+        }
+    }
+
     /// `with_test` siblings (shared prepared contents, fresh lowering)
     /// must report exactly like an engine built from scratch for the same
     /// test — the contract `twm-search` scores candidates through.

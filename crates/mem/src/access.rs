@@ -1,0 +1,117 @@
+use crate::{FaultSet, MemError, MemoryConfig, Word};
+
+/// Word-level access surface shared by every memory the BIST engine can
+/// drive.
+///
+/// The march executor, the transparent-session flow and the fault-local
+/// detection sweep in `twm-bist` only need four primitives — the shape,
+/// counted reads/writes and an uncounted inspection read. Abstracting them
+/// behind this trait lets the same execution machinery run on a plain
+/// [`crate::FaultyMemory`] *and* on layered memories such as
+/// [`crate::RepairableMemory`], whose remap table redirects repaired words
+/// to spares, without the hot simulator write path paying for any
+/// indirection (each implementor keeps its own concrete fast path).
+pub trait MemoryAccess {
+    /// The logical memory shape (words × width) accesses are validated
+    /// against.
+    fn config(&self) -> MemoryConfig;
+
+    /// Reads a word, counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] for a bad address.
+    fn read_word(&mut self, address: usize) -> Result<Word, MemError>;
+
+    /// Writes a word, applying the implementor's fault/remap semantics and
+    /// counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] for a bad address or
+    /// [`MemError::WidthMismatch`] for a word of the wrong width.
+    fn write_word(&mut self, address: usize, data: Word) -> Result<(), MemError>;
+
+    /// Reads a word without counting the access (oracle inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] for a bad address.
+    fn peek_word(&self, address: usize) -> Result<Word, MemError>;
+
+    /// The injected fault set, when the memory exposes one directly.
+    ///
+    /// Layered memories return `None`: their effective fault behaviour is
+    /// not described by a single flat set (a remapped word hides its faults
+    /// behind a spare). Consumers must treat `None` as "unknown", not
+    /// "fault-free" — it only disables fault-set-derived shortcuts such as
+    /// footprint assertions.
+    fn fault_set(&self) -> Option<&FaultSet> {
+        None
+    }
+
+    /// Number of words.
+    fn words(&self) -> usize {
+        self.config().words()
+    }
+
+    /// Word width in bits.
+    fn width(&self) -> usize {
+        self.config().width()
+    }
+
+    /// A copy of the entire logical content.
+    fn content(&self) -> Vec<Word> {
+        (0..self.words())
+            .map(|address| self.peek_word(address).expect("address in range"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitAddress, Fault, FaultyMemory, MemoryBuilder};
+
+    /// Drives a memory through the trait only, so the test proves the
+    /// surface is sufficient for an executor-style consumer.
+    fn exercise<M: MemoryAccess>(memory: &mut M) -> (Vec<Word>, Vec<Word>) {
+        let before = memory.content();
+        for address in 0..memory.words() {
+            let word = memory.read_word(address).unwrap();
+            memory.write_word(address, !word).unwrap();
+        }
+        (before, memory.content())
+    }
+
+    #[test]
+    fn faulty_memory_implements_the_access_surface() {
+        let mut memory = MemoryBuilder::new(4, 8)
+            .random_content(3)
+            .fault(Fault::stuck_at(BitAddress::new(1, 2), true))
+            .build()
+            .unwrap();
+        let via_inherent = memory.content();
+        let (before, after) = exercise(&mut memory);
+        assert_eq!(before, via_inherent);
+        assert_ne!(before, after);
+        assert!(MemoryAccess::fault_set(&memory).is_some());
+        assert_eq!(MemoryAccess::config(&memory), memory.config());
+        assert_eq!(MemoryAccess::words(&memory), 4);
+        assert_eq!(MemoryAccess::width(&memory), 8);
+        // The stuck cell keeps its value through trait-level writes.
+        assert!(memory.peek_word(1).unwrap().bit(2));
+    }
+
+    #[test]
+    fn trait_and_inherent_accessors_agree() {
+        let mut memory = FaultyMemory::fault_free(MemoryConfig::new(3, 4).unwrap());
+        memory.fill_random(9);
+        let trait_content = MemoryAccess::content(&memory);
+        assert_eq!(trait_content, memory.content());
+        assert_eq!(
+            MemoryAccess::peek_word(&memory, 2).unwrap(),
+            memory.peek_word(2).unwrap()
+        );
+    }
+}

@@ -50,6 +50,16 @@ pub enum MemError {
         /// Number of words expected.
         expected: usize,
     },
+    /// A repair tried to use a spare slot that already serves another word.
+    SpareInUse {
+        /// The occupied spare slot.
+        spare: usize,
+    },
+    /// A repair targeted a word that is already served by a spare.
+    AlreadyRemapped {
+        /// The already-repaired logical word.
+        word: usize,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -89,6 +99,12 @@ impl fmt::Display for MemError {
                     f,
                     "load length mismatch: found {found} words, expected {expected}"
                 )
+            }
+            MemError::SpareInUse { spare } => {
+                write!(f, "spare slot {spare} already serves a remapped word")
+            }
+            MemError::AlreadyRemapped { word } => {
+                write!(f, "word {word} is already served by a spare")
             }
         }
     }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod access;
 mod address;
 mod builder;
 mod error;
@@ -54,11 +55,13 @@ mod fault;
 mod fault_set;
 mod index;
 mod prng;
+mod repairable;
 mod sim;
 mod storage;
 mod trace;
 mod word;
 
+pub use access::MemoryAccess;
 pub use address::{AddressOrder, AddressSequence, BitAddress, CellIndex};
 pub use builder::MemoryBuilder;
 pub use error::MemError;
@@ -66,6 +69,7 @@ pub use fault::{Fault, FaultClass, Transition};
 pub use fault_set::FaultSet;
 pub use index::{FaultIndex, WordFaultMasks};
 pub use prng::SplitMix64;
+pub use repairable::{RemapEntry, RepairableMemory};
 pub use sim::{AccessStats, FaultyMemory, MemoryConfig};
 pub use storage::BitStorage;
 pub use trace::{Trace, TraceEntry, TraceOp};

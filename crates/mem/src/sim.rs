@@ -1,8 +1,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    BitAddress, BitStorage, Fault, FaultSet, MemError, SplitMix64, Trace, TraceEntry, TraceOp,
-    Transition, Word,
+    BitAddress, BitStorage, Fault, FaultSet, MemError, MemoryAccess, SplitMix64, Trace, TraceEntry,
+    TraceOp, Transition, Word,
 };
 
 /// Shape of a simulated memory: number of words and word width in bits.
@@ -479,6 +479,34 @@ impl FaultyMemory {
     /// activated state coupling) to the current content.
     fn enforce_static_faults(&mut self) {
         self.faults.index().enforce_static(&mut self.storage);
+    }
+}
+
+impl MemoryAccess for FaultyMemory {
+    fn config(&self) -> MemoryConfig {
+        FaultyMemory::config(self)
+    }
+
+    fn read_word(&mut self, address: usize) -> Result<Word, MemError> {
+        FaultyMemory::read_word(self, address)
+    }
+
+    fn write_word(&mut self, address: usize, data: Word) -> Result<(), MemError> {
+        FaultyMemory::write_word(self, address, data)
+    }
+
+    fn peek_word(&self, address: usize) -> Result<Word, MemError> {
+        FaultyMemory::peek_word(self, address)
+    }
+
+    fn fault_set(&self) -> Option<&FaultSet> {
+        Some(self.faults())
+    }
+
+    fn content(&self) -> Vec<Word> {
+        // The inherent implementation converts straight from the bit
+        // storage, cheaper than the trait's per-word default.
+        FaultyMemory::content(self)
     }
 }
 

@@ -1,0 +1,173 @@
+use std::error::Error;
+use std::fmt;
+
+use twm_bist::BistError;
+use twm_core::CoreError;
+use twm_coverage::CoverageError;
+use twm_mem::MemError;
+
+/// Errors produced by the repair subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RepairError {
+    /// An underlying memory-simulator error.
+    Mem(MemError),
+    /// An underlying BIST-engine error.
+    Bist(BistError),
+    /// An underlying coverage-engine error.
+    Coverage(CoverageError),
+    /// An underlying scheme-transformation error.
+    Core(CoreError),
+    /// A dictionary build was asked for on an engine that carries no scheme
+    /// transform (build the engine via `CoverageEngine::for_scheme`).
+    MissingScheme,
+    /// A dictionary build was given an empty fault universe.
+    EmptyUniverse,
+    /// A diagnostic session was built from a registry with no schemes —
+    /// there would be nothing to run, probe or verify with.
+    EmptyRegistry,
+    /// A session's MISR template differs from the one an attached
+    /// dictionary's trails were compacted with — its signatures could
+    /// never match, so every lookup would silently miss.
+    MisrMismatch,
+    /// A MISR template of the wrong width was supplied.
+    MisrWidthMismatch {
+        /// Width of the supplied MISR.
+        misr: usize,
+        /// Word width of the memory configuration.
+        memory: usize,
+    },
+    /// A dictionary or session was used against a different memory shape
+    /// than it was built for.
+    ConfigMismatch,
+    /// The diagnostic registry targets a different word width than the
+    /// memory.
+    WidthMismatch {
+        /// Word width of the registry's schemes.
+        registry: usize,
+        /// Word width of the memory.
+        memory: usize,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Mem(e) => write!(f, "memory error: {e}"),
+            RepairError::Bist(e) => write!(f, "bist error: {e}"),
+            RepairError::Coverage(e) => write!(f, "coverage error: {e}"),
+            RepairError::Core(e) => write!(f, "scheme error: {e}"),
+            RepairError::MissingScheme => write!(
+                f,
+                "signature dictionaries require a scheme-built engine (CoverageEngine::for_scheme)"
+            ),
+            RepairError::EmptyUniverse => {
+                write!(
+                    f,
+                    "cannot build a signature dictionary over an empty universe"
+                )
+            }
+            RepairError::EmptyRegistry => {
+                write!(
+                    f,
+                    "a diagnostic session needs at least one registered scheme"
+                )
+            }
+            RepairError::MisrMismatch => {
+                write!(
+                    f,
+                    "the session's misr differs from the dictionary's — lookups could never match"
+                )
+            }
+            RepairError::MisrWidthMismatch { misr, memory } => {
+                write!(
+                    f,
+                    "misr width {misr} does not match the memory word width {memory}"
+                )
+            }
+            RepairError::ConfigMismatch => {
+                write!(
+                    f,
+                    "memory shape differs from the shape the artifact was built for"
+                )
+            }
+            RepairError::WidthMismatch { registry, memory } => {
+                write!(
+                    f,
+                    "scheme registry width {registry} does not match the memory width {memory}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RepairError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RepairError::Mem(e) => Some(e),
+            RepairError::Bist(e) => Some(e),
+            RepairError::Coverage(e) => Some(e),
+            RepairError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for RepairError {
+    fn from(e: MemError) -> Self {
+        RepairError::Mem(e)
+    }
+}
+
+impl From<BistError> for RepairError {
+    fn from(e: BistError) -> Self {
+        RepairError::Bist(e)
+    }
+}
+
+impl From<CoverageError> for RepairError {
+    fn from(e: CoverageError) -> Self {
+        RepairError::Coverage(e)
+    }
+}
+
+impl From<CoreError> for RepairError {
+    fn from(e: CoreError) -> Self {
+        RepairError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let samples: Vec<RepairError> = vec![
+            RepairError::Mem(MemError::EmptyMemory),
+            RepairError::MissingScheme,
+            RepairError::EmptyUniverse,
+            RepairError::MisrWidthMismatch { misr: 8, memory: 4 },
+            RepairError::ConfigMismatch,
+            RepairError::WidthMismatch {
+                registry: 8,
+                memory: 4,
+            },
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn conversions_and_source_chain() {
+        let err: RepairError = MemError::EmptyMemory.into();
+        assert!(matches!(err, RepairError::Mem(_)));
+        assert!(err.source().is_some());
+        assert!(RepairError::MissingScheme.source().is_none());
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RepairError>();
+    }
+}

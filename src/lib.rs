@@ -34,6 +34,18 @@
 //!   [`anneal`](search::anneal())ing) scored by coverage over a fault
 //!   universe **and** the registry-driven transparent session cost, with a
 //!   (coverage, cost) Pareto front and a full provenance log.
+//! * [`repair`] — the diagnosis-to-repair loop **detect → localise →
+//!   allocate spares → verify**:
+//!   [`SignatureDictionary`](repair::SignatureDictionary) (fault → MISR
+//!   signature trail, inverted into ambiguity classes, built in parallel
+//!   and bit-identical for any thread count),
+//!   [`DiagnosticSession`](repair::DiagnosticSession) (registry-driven
+//!   follow-up sessions + targeted fault-local probes fused into ranked
+//!   [`LocatedDefect`](repair::LocatedDefect)s),
+//!   [`RepairAllocator`](repair::RepairAllocator) over
+//!   [`RepairableMemory`](mem::RepairableMemory) spare words, and
+//!   [`verify_repair`](repair::verify_repair) proving the signature comes
+//!   back clean on the remapped memory.
 //!
 //! ## Quickstart
 //!
@@ -134,6 +146,60 @@
 //!
 //! `examples/test_minimisation.rs` runs the full W = 32 experiment, and
 //! `benches/search.rs` measures candidate-evaluation throughput.
+//!
+//! ## From a failing signature to a verified repair
+//!
+//! Periodic field test is only useful if a failure leads to action.
+//! [`repair`] closes the loop: build a
+//! [`SignatureDictionary`](repair::SignatureDictionary) once per
+//! deployment, and when a session fails, localise, assign a spare word and
+//! prove the signature clean again:
+//!
+//! ```
+//! use twm::core::{SchemeId, SchemeRegistry};
+//! use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::mem::{BitAddress, Fault, FaultyMemory, MemoryConfig, RepairableMemory};
+//! use twm::repair::{
+//!     diagnose_and_repair, DiagnosticSession, DictionaryOptions, RepairAllocator,
+//!     SignatureDictionary,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(8, 4)?;
+//! let registry = SchemeRegistry::comparison(4)?;
+//! let engine = CoverageEngine::for_scheme(
+//!     registry.get(SchemeId::TwmTa).unwrap(),
+//!     &march_c_minus(),
+//!     config,
+//! )?
+//! .content(ContentPolicy::Random { seed: 7 })
+//! .build()?;
+//! let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+//! let dictionary =
+//!     SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default())?;
+//!
+//! // A cell sticks at 1 in the field; the memory has two spare words.
+//! let mut memory =
+//!     FaultyMemory::with_faults(config, vec![Fault::stuck_at(BitAddress::new(3, 1), true)])?;
+//! memory.fill_random(7);
+//! let session = DiagnosticSession::new(&registry, &march_c_minus())?
+//!     .with_dictionary(&dictionary)?;
+//! let flow = diagnose_and_repair(
+//!     &session,
+//!     &RepairAllocator::default(),
+//!     RepairableMemory::new(memory, 2)?,
+//! )?;
+//! assert_eq!(flow.localisation.defects[0].cell, BitAddress::new(3, 1));
+//! assert!(flow.plan.fully_repairs());
+//! assert!(flow.verification.clean());   // the periodic test passes again
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `examples/diagnose_and_repair.rs` runs the full 8×32 flow (with
+//! per-scheme diagnosability statistics) and `benches/repair.rs` measures
+//! dictionary-build throughput and localisation latency.
 
 #![warn(missing_docs)]
 
@@ -142,4 +208,5 @@ pub use twm_core as core;
 pub use twm_coverage as coverage;
 pub use twm_march as march;
 pub use twm_mem as mem;
+pub use twm_repair as repair;
 pub use twm_search as search;
