@@ -11,7 +11,10 @@
 //!   scale;
 //! * arena reuse versus fresh-per-fault memories on the 64K-word sweep —
 //!   the A/B behind the `CoverageEngine`'s pooled
-//!   [`twm_mem::FaultyMemory`] arenas and block-copy content restore.
+//!   [`twm_mem::FaultyMemory`] arenas and block-copy content restore;
+//! * the bit-parallel 64-lane batched kernel versus the scalar
+//!   one-execution-per-fault baseline (`lane_batching(false)`) on SAF/TF
+//!   universes — the A/B behind [`twm_mem::PackedArena`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -264,6 +267,57 @@ fn bench_engine_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bit-parallel lane-packing A/B: `CoverageEngine::report` over a SAF/TF
+/// universe with the default 64-lane batched kernel
+/// (`PackedArena<Packed64>` + `detect_lowered_batch`, one march execution
+/// per 64 faults) versus the scalar one-execution-per-fault baseline
+/// (`lane_batching(false)`). Reports are asserted bit-identical before
+/// timing; only faults/second differ. Serial strategy keeps the A/B
+/// algorithmic — thread fan-out is measured elsewhere.
+fn bench_lane_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_packing");
+    group.sample_size(10);
+    let test = march_c_minus();
+    for &words in &[1usize << 10, 1 << 14] {
+        let config = MemoryConfig::new(words, WIDTH).unwrap();
+        let faults = UniverseBuilder::new(config)
+            .stuck_at()
+            .transition()
+            .sample_per_class(128, 5)
+            .build();
+        let options = EvaluationOptions {
+            content: ContentPolicy::Random { seed: 11 },
+            contents_per_fault: 1,
+        };
+        let packed = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Serial)
+            .build()
+            .unwrap();
+        let scalar = CoverageEngine::builder(config)
+            .test(&test)
+            .options(options)
+            .strategy(Strategy::Serial)
+            .lane_batching(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            packed.report(&faults).unwrap(),
+            scalar.report(&faults).unwrap(),
+            "lane batching must stay bit-identical"
+        );
+        group.throughput(Throughput::Elements(faults.len() as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", words), &config, |b, _| {
+            b.iter(|| scalar.report(black_box(&faults)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("packed64", words), &config, |b, _| {
+            b.iter(|| packed.report(black_box(&faults)).unwrap());
+        });
+    }
+    group.finish();
+}
+
 /// Cheap-first universe ordering A/B: `CoverageEngine::report` on a
 /// deterministically shuffled mixed universe (all five fault classes, so
 /// 1-word SAF/TF runs interleave with 2-word coupling runs), with the
@@ -333,6 +387,7 @@ criterion_group!(
     bench_execution_scaling,
     bench_evaluator,
     bench_engine_reuse,
+    bench_lane_packing,
     bench_universe_ordering
 );
 criterion_main!(benches);

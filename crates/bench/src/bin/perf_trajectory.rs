@@ -1,0 +1,342 @@
+//! Perf-trajectory harness: measures the workspace's headline throughput
+//! numbers with plain wall-clock timing and emits them as a `BENCH_<pr>.json`
+//! artifact, so every PR's performance is comparable against the last
+//! (ROADMAP open item 5 — the trajectory starts at PR 6).
+//!
+//! Metrics, chosen to cover each subsystem's hot loop:
+//!
+//! * `engine_reuse_64k` — coverage-engine faults/second on a 64K-word
+//!   memory, scalar (`lane_batching(false)`, the PR 5 path) versus the
+//!   bit-parallel 64-lane batched kernel, plus the speedup ratio;
+//! * `march_execution` — raw march operations/second of one transparent
+//!   sweep over the 64K-word memory;
+//! * `search_candidates` — candidates scored/second through
+//!   `Objective::score_batch` (the search inner loop);
+//! * `dictionary_build` — fault injections/second of a signature-dictionary
+//!   build (the repair deployment cost);
+//! * `localise` — one adaptive localisation pass, in microseconds (the
+//!   field-side diagnosis latency).
+//!
+//! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]`. With
+//! `--assert-speedup`, the process exits non-zero unless the packed kernel
+//! beats the scalar baseline by at least `X`× — CI uses this to keep the
+//! speedup claim exercised on every push.
+
+use std::time::Instant;
+
+use twm_bench::proposed_test;
+use twm_bist::{execute_with, ExecutionOptions};
+use twm_core::scheme::{SchemeId, SchemeRegistry};
+use twm_coverage::{ContentPolicy, CoverageEngine, EvaluationOptions, Strategy, UniverseBuilder};
+use twm_march::algorithms::march_c_minus;
+use twm_march::MarchTest;
+use twm_mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig, SplitMix64};
+use twm_repair::{DiagnosticSession, DictionaryOptions, SignatureDictionary};
+use twm_search::{MutationModel, Objective, ObjectiveOptions};
+
+/// The PR this trajectory point belongs to.
+const PR: u32 = 6;
+
+/// PR 5's measured `engine_reuse` arena throughput at 64K words
+/// (faults/second) — the baseline the packed kernel is compared against.
+const PR5_BASELINE_FAULTS_PER_SEC: f64 = 63_900.0;
+
+/// Measures the mean seconds per call of `f`, running at least `min_iters`
+/// times and at least `min_secs` of wall-clock (one untimed warmup first).
+fn time_mean<F: FnMut()>(mut f: F, min_iters: u32, min_secs: f64) -> f64 {
+    f();
+    let mut iters = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if iters >= min_iters && elapsed >= min_secs {
+            return elapsed / f64::from(iters);
+        }
+    }
+}
+
+struct EngineReuse {
+    words: usize,
+    width: usize,
+    universe_faults: usize,
+    scalar_faults_per_sec: f64,
+    packed_faults_per_sec: f64,
+    speedup: f64,
+}
+
+/// Coverage-engine faults/second at 64K words: the scalar PR 5 path versus
+/// the 64-lane batched kernel, on the same SAF+TF universe and content.
+/// Reports are asserted identical before timing.
+fn measure_engine_reuse() -> EngineReuse {
+    let words = 1usize << 16;
+    let width = 32;
+    let config = MemoryConfig::new(words, width).unwrap();
+    let test = march_c_minus();
+    let faults = UniverseBuilder::new(config)
+        .stuck_at()
+        .transition()
+        .sample_per_class(256, 5)
+        .build();
+    let options = EvaluationOptions {
+        content: ContentPolicy::Random { seed: 11 },
+        contents_per_fault: 1,
+    };
+    let packed = CoverageEngine::builder(config)
+        .test(&test)
+        .options(options)
+        .strategy(Strategy::Serial)
+        .build()
+        .unwrap();
+    let scalar = CoverageEngine::builder(config)
+        .test(&test)
+        .options(options)
+        .strategy(Strategy::Serial)
+        .lane_batching(false)
+        .build()
+        .unwrap();
+    assert_eq!(
+        packed.report(&faults).unwrap(),
+        scalar.report(&faults).unwrap(),
+        "packed and scalar reports must stay bit-identical"
+    );
+
+    let scalar_secs = time_mean(|| drop(scalar.report(&faults).unwrap()), 2, 0.5);
+    let packed_secs = time_mean(|| drop(packed.report(&faults).unwrap()), 5, 0.5);
+    let scalar_rate = faults.len() as f64 / scalar_secs;
+    let packed_rate = faults.len() as f64 / packed_secs;
+    EngineReuse {
+        words,
+        width,
+        universe_faults: faults.len(),
+        scalar_faults_per_sec: scalar_rate,
+        packed_faults_per_sec: packed_rate,
+        speedup: packed_rate / scalar_rate,
+    }
+}
+
+/// Raw march operations/second: one transparent sweep (the paper's TWM_TA
+/// transform of March C−) over a fault-free 64K-word memory.
+fn measure_march_ops() -> (usize, f64) {
+    let words = 1usize << 16;
+    let width = 32;
+    let test = proposed_test(&march_c_minus(), width);
+    let ops = test.total_operations(words);
+    let config = MemoryConfig::new(words, width).unwrap();
+    let mut memory = FaultyMemory::fault_free(config);
+    memory.fill_random(17);
+    let secs = time_mean(
+        || {
+            let result = execute_with(
+                &test,
+                &mut memory,
+                ExecutionOptions {
+                    record_reads: false,
+                    stop_at_first_mismatch: false,
+                },
+            )
+            .unwrap();
+            assert!(!result.detected());
+        },
+        3,
+        0.5,
+    );
+    (ops, ops as f64 / secs)
+}
+
+/// A deterministic batch of mutated March C− candidates (the shape of one
+/// beam generation) — the same neighbourhood `benches/search.rs` scores.
+fn candidate_batch(size: usize) -> Vec<MarchTest> {
+    let model = MutationModel::default();
+    let mut rng = SplitMix64::new(7);
+    let mut batch = Vec::with_capacity(size);
+    let mut current = march_c_minus();
+    while batch.len() < size {
+        if let Some((_, candidate)) = model.propose(&current, &mut rng) {
+            batch.push(candidate.clone());
+            if batch.len() % 8 == 0 {
+                current = candidate;
+            }
+        }
+    }
+    batch
+}
+
+/// Search candidates scored/second: `Objective::score_batch` over a fixed
+/// 32-candidate batch at 16×32 with the SAF+TF universe and registry cost.
+fn measure_search_candidates() -> (usize, f64) {
+    let width = 32;
+    let config = MemoryConfig::new(16, width).unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    let objective = Objective::new(
+        config,
+        universe,
+        Some(SchemeRegistry::comparison(width).unwrap()),
+        ObjectiveOptions {
+            strategy: Strategy::Serial,
+            ..ObjectiveOptions::default()
+        },
+    )
+    .unwrap();
+    let batch = candidate_batch(32);
+    let secs = time_mean(|| drop(objective.score_batch(&batch).unwrap()), 2, 0.5);
+    (batch.len(), batch.len() as f64 / secs)
+}
+
+/// Dictionary build injections/second and one localisation pass latency, on
+/// the 8×32 deployment shape of `benches/repair.rs`.
+fn measure_repair() -> (usize, f64, f64) {
+    let words = 8;
+    let width = 32;
+    let seed = 99;
+    let config = MemoryConfig::new(words, width).unwrap();
+    let registry = SchemeRegistry::comparison(width).unwrap();
+    let engine = CoverageEngine::for_scheme(
+        registry.get(SchemeId::TwmTa).unwrap(),
+        &march_c_minus(),
+        config,
+    )
+    .unwrap()
+    .content(ContentPolicy::Random { seed })
+    .build()
+    .unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    let options = DictionaryOptions::default();
+    let build_secs = time_mean(
+        || drop(SignatureDictionary::build(&engine, &universe, &options).unwrap()),
+        2,
+        0.5,
+    );
+
+    let dictionary = SignatureDictionary::build(&engine, &universe, &options).unwrap();
+    let session = DiagnosticSession::new(&registry, &march_c_minus())
+        .unwrap()
+        .with_dictionary(&dictionary)
+        .unwrap();
+    let fault = Fault::stuck_at(BitAddress::new(5, 17), true);
+    let mut memory = FaultyMemory::with_faults(config, FaultSet::from_faults([fault])).unwrap();
+    memory.fill_random(seed);
+    let localise_secs = time_mean(
+        || {
+            let outcome = session.localise(&mut memory).unwrap();
+            assert!(!outcome.defects.is_empty());
+        },
+        3,
+        0.5,
+    );
+    (
+        universe.len(),
+        universe.len() as f64 / build_secs,
+        localise_secs * 1e6,
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_6.json");
+    let mut assert_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path");
+            }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.next()
+                        .expect("--assert-speedup requires a number")
+                        .parse()
+                        .expect("--assert-speedup requires a number"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_trajectory [--out PATH] [--assert-speedup X]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring engine_reuse (64K words, scalar vs packed)...");
+    let reuse = measure_engine_reuse();
+    eprintln!(
+        "  scalar {:.1} faults/s, packed {:.1} faults/s ({:.1}x)",
+        reuse.scalar_faults_per_sec, reuse.packed_faults_per_sec, reuse.speedup
+    );
+    eprintln!("measuring march execution throughput...");
+    let (march_ops, march_rate) = measure_march_ops();
+    eprintln!("  {march_rate:.0} ops/s");
+    eprintln!("measuring search candidate scoring...");
+    let (batch, candidate_rate) = measure_search_candidates();
+    eprintln!("  {candidate_rate:.2} candidates/s");
+    eprintln!("measuring dictionary build and localisation...");
+    let (injections, injection_rate, localise_us) = measure_repair();
+    eprintln!("  {injection_rate:.1} injections/s, localise {localise_us:.0} us");
+
+    // The serde shims are no-op derives (offline build), so the artifact is
+    // formatted by hand — the schema is small and append-only.
+    let json = format!(
+        r#"{{
+  "schema": "twm-perf-trajectory/1",
+  "pr": {pr},
+  "baseline": {{
+    "pr": 5,
+    "engine_reuse_64k_faults_per_sec": {baseline:.1}
+  }},
+  "metrics": {{
+    "engine_reuse_64k": {{
+      "words": {words},
+      "width": {width},
+      "universe_faults": {universe_faults},
+      "scalar_faults_per_sec": {scalar:.1},
+      "packed_faults_per_sec": {packed:.1},
+      "packed_speedup_vs_scalar": {speedup:.2},
+      "packed_speedup_vs_pr5_baseline": {speedup_pr5:.2}
+    }},
+    "march_execution": {{
+      "words": 65536,
+      "width": 32,
+      "ops_per_sweep": {march_ops},
+      "ops_per_sec": {march_rate:.0}
+    }},
+    "search_candidates": {{
+      "batch": {batch},
+      "candidates_per_sec": {candidate_rate:.2}
+    }},
+    "dictionary_build": {{
+      "universe_faults": {injections},
+      "injections_per_sec": {injection_rate:.1}
+    }},
+    "localise": {{
+      "latency_us": {localise_us:.0}
+    }}
+  }}
+}}
+"#,
+        pr = PR,
+        baseline = PR5_BASELINE_FAULTS_PER_SEC,
+        words = reuse.words,
+        width = reuse.width,
+        universe_faults = reuse.universe_faults,
+        scalar = reuse.scalar_faults_per_sec,
+        packed = reuse.packed_faults_per_sec,
+        speedup = reuse.speedup,
+        speedup_pr5 = reuse.packed_faults_per_sec / PR5_BASELINE_FAULTS_PER_SEC,
+    );
+    std::fs::write(&out_path, &json).expect("write trajectory artifact");
+    println!("wrote {out_path}");
+
+    if let Some(required) = assert_speedup {
+        if reuse.speedup < required {
+            eprintln!(
+                "FAIL: packed kernel speedup {:.2}x is below the required {required}x",
+                reuse.speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "packed kernel speedup {:.2}x meets the required {required}x",
+            reuse.speedup
+        );
+    }
+}

@@ -64,10 +64,15 @@ use crate::pool::WorkerPool;
 use serde::{Deserialize, Serialize};
 
 use twm_bist::flow::run_transparent_session;
-use twm_bist::{detect_lowered_at, execute_lowered, ExecutionOptions, LoweredTest, Misr};
+use twm_bist::{
+    detect_lowered_at, detect_lowered_batch, execute_lowered, ExecutionOptions, LoweredTest, Misr,
+};
 use twm_core::scheme::{SchemeTransform, TransparentScheme};
 use twm_march::MarchTest;
-use twm_mem::{BitStorage, Fault, FaultSet, FaultyMemory, MemoryConfig, Word};
+use twm_mem::{
+    BitStorage, Fault, FaultClass, FaultSet, FaultyMemory, Lanes, MemoryConfig, Packed64,
+    PackedArena, Word,
+};
 
 use crate::equivalence::Disagreement;
 use crate::states::{
@@ -155,6 +160,7 @@ pub struct CoverageEngineBuilder {
     reuse_memory: bool,
     cheap_first: bool,
     reuse_threads: bool,
+    lane_batching: bool,
 }
 
 impl CoverageEngineBuilder {
@@ -282,6 +288,30 @@ impl CoverageEngineBuilder {
         self
     }
 
+    /// Whether [`CoverageEngine::report`] may evaluate single-bit faults
+    /// in bit-parallel lane batches (default: `true`).
+    ///
+    /// With this enabled, `report` packs the universe's SAF/TF faults into
+    /// [`twm_mem::PackedArena`] batches of up to 64 lanes, runs the lowered
+    /// op stream **once per batch** ([`twm_bist::detect_lowered_batch`])
+    /// instead of once per fault, routes the remainder (coupling faults)
+    /// through the scalar fault-local path, and merges all verdicts back in
+    /// **universe order** — so the produced report stays bit-identical to
+    /// the scalar path for any strategy (property-tested in
+    /// `tests/packed_equivalence.rs`); only the wall-clock differs
+    /// (A/B-measured in the `lane_packing` group of
+    /// `benches/fault_sim.rs`). Streaming [`CoverageEngine::verdicts`] and
+    /// [`CoverageEngine::compare`] never batch. Disabling restores the
+    /// one-fault-per-execution behaviour as the A/B baseline; batching is
+    /// also bypassed when [`CoverageEngineBuilder::schedule_cheap_first`]
+    /// or [`CoverageEngineBuilder::memory_reuse`] are disabled, since those
+    /// knobs pin the historical evaluation paths.
+    #[must_use]
+    pub fn lane_batching(mut self, batching: bool) -> Self {
+        self.lane_batching = batching;
+        self
+    }
+
     /// Finalises the engine: lowers the test, pre-generates the initial
     /// contents and resolves the worker-thread count.
     ///
@@ -311,7 +341,10 @@ impl CoverageEngineBuilder {
             reuse_memory: self.reuse_memory,
             cheap_first: self.cheap_first,
             reuse_threads: self.reuse_threads,
+            lane_batching: self.lane_batching,
             pool: Mutex::new(Vec::new()),
+            #[cfg(feature = "parallel")]
+            scratch: Mutex::new(Vec::new()),
             #[cfg(feature = "parallel")]
             workers: Arc::new(OnceLock::new()),
         })
@@ -354,6 +387,20 @@ pub(crate) fn prepared_contents(
 /// [`CoverageEngine::verdicts`] stays bounded-memory.
 const STREAM_CHUNK: usize = 32;
 
+/// Number of faults a parallel worker claims per steal from a streaming
+/// window's shared atomic cursor: small enough that a ragged tail of
+/// expensive faults rebalances across workers (the historical contiguous
+/// 32-fault chunks stalled the window barrier on an unlucky chunk), large
+/// enough to keep cursor contention negligible.
+#[cfg(feature = "parallel")]
+const STEAL_GRAIN: usize = 4;
+
+/// One parallel worker's slot-tagged verdict output for a streaming window:
+/// `(window slot, verdict)` pairs, merged back in slot order so work-stealing
+/// never changes the stream. Pooled on the engine across windows.
+#[cfg(feature = "parallel")]
+type VerdictScratch = Vec<(usize, Result<bool, CoverageError>)>;
+
 /// Estimated relative cost of one fault-injection run, used by
 /// [`CoverageEngine::report`]'s cheap-first evaluation order: the
 /// fault-local sweep visits the fault's word footprint, so a two-word
@@ -395,9 +442,15 @@ pub struct CoverageEngine {
     reuse_memory: bool,
     cheap_first: bool,
     reuse_threads: bool,
+    lane_batching: bool,
     /// Checked-in arena memories, re-armed per fault by workers. Bounded by
     /// the maximum number of concurrent checkouts (≤ worker threads).
     pool: Mutex<Vec<FaultyMemory>>,
+    /// Checked-in per-worker verdict scratch buffers for parallel streaming
+    /// windows, so long verdict streams reallocate nothing per window.
+    /// Bounded like `pool`.
+    #[cfg(feature = "parallel")]
+    scratch: Mutex<Vec<VerdictScratch>>,
     /// Persistent window workers, created lazily on the first parallel
     /// window and shared (`Arc`) with [`CoverageEngine::with_test`]
     /// siblings so candidate loops amortise thread creation too.
@@ -418,6 +471,7 @@ impl CoverageEngine {
             reuse_memory: true,
             cheap_first: true,
             reuse_threads: true,
+            lane_batching: true,
         }
     }
 
@@ -450,7 +504,10 @@ impl CoverageEngine {
             reuse_memory: self.reuse_memory,
             cheap_first: self.cheap_first,
             reuse_threads: self.reuse_threads,
+            lane_batching: self.lane_batching,
             pool: Mutex::new(Vec::new()),
+            #[cfg(feature = "parallel")]
+            scratch: Mutex::new(Vec::new()),
             #[cfg(feature = "parallel")]
             workers: Arc::clone(&self.workers),
         })
@@ -548,6 +605,14 @@ impl CoverageEngine {
         if universe.is_empty() {
             return Err(CoverageError::EmptyUniverse);
         }
+        if self.lane_batching && self.cheap_first && self.reuse_memory && universe.len() > 1 {
+            if let Some(report) = self.report_batched(universe)? {
+                return Ok(report);
+            }
+            // Too few packable faults to batch, or an injection error
+            // occurred; fall through to the scalar paths (which carry the
+            // documented earliest-error semantics).
+        }
         if self.cheap_first && self.threads > 1 && universe.len() > 1 {
             if let Some(report) = self.report_cheap_first(universe)? {
                 return Ok(report);
@@ -595,6 +660,221 @@ impl CoverageEngine {
         Ok(Some(report))
     }
 
+    /// The bit-parallel evaluation path behind [`CoverageEngine::report`]:
+    /// single-bit faults (SAF/TF) are packed into
+    /// [`PackedArena`]`<`[`Packed64`]`>` lane batches — sorted by victim
+    /// word so each batch's footprint stays compact — and each batch is
+    /// resolved by **one** march execution
+    /// ([`twm_bist::detect_lowered_batch`]); coupling faults take the
+    /// scalar fault-local path in cheap-first order. Under a parallel
+    /// strategy, batches and scalar chunks form one work queue that
+    /// workers drain by stealing from an atomic cursor. Verdicts are
+    /// merged back in **universe order**, so the report is bit-identical
+    /// to every scalar path (property-tested in
+    /// `tests/packed_equivalence.rs`).
+    ///
+    /// Returns `Ok(None)` when fewer than two faults are packable (the
+    /// scalar paths are not worse there) or when any fault fails to
+    /// inject, deferring to the in-order path for its documented
+    /// earliest-error semantics.
+    fn report_batched(&self, universe: &[Fault]) -> Result<Option<CoverageReport>, CoverageError> {
+        let mut packed: Vec<usize> = Vec::new();
+        let mut scalar: Vec<usize> = Vec::new();
+        for (i, fault) in universe.iter().enumerate() {
+            match fault.class() {
+                FaultClass::Saf | FaultClass::Tf => packed.push(i),
+                _ => scalar.push(i),
+            }
+        }
+        if packed.len() < 2 {
+            return Ok(None);
+        }
+        // Word-major batches keep each arena's footprint (and so its
+        // bit-plane count) small; the index tiebreak keeps the grouping
+        // deterministic.
+        packed.sort_by_key(|&i| (universe[i].victim().word, i));
+        scalar.sort_by_key(|&i| (fault_cost_rank(&universe[i]), i));
+        let batches: Vec<&[usize]> = packed.chunks(Packed64::COUNT).collect();
+
+        let mut detected: Vec<Option<bool>> = vec![None; universe.len()];
+        if self.threads <= 1 {
+            if self
+                .batched_serial(universe, &batches, &scalar, &mut detected)
+                .is_err()
+            {
+                return Ok(None);
+            }
+        } else {
+            #[cfg(feature = "parallel")]
+            {
+                if !self.batched_parallel(universe, &batches, &scalar, &mut detected) {
+                    return Ok(None);
+                }
+            }
+            #[cfg(not(feature = "parallel"))]
+            {
+                unreachable!("threads resolve to 1 without the parallel feature")
+            }
+        }
+
+        let mut report = CoverageReport::new(self.test.name());
+        for (&fault, hit) in universe.iter().zip(&detected) {
+            report.record(fault, hit.expect("every universe slot evaluated"));
+        }
+        Ok(Some(report))
+    }
+
+    /// Serial leg of [`CoverageEngine::report_batched`]: one packed arena
+    /// for every lane batch, one pooled scalar arena for the remainder.
+    fn batched_serial(
+        &self,
+        universe: &[Fault],
+        batches: &[&[usize]],
+        scalar: &[usize],
+        detected: &mut [Option<bool>],
+    ) -> Result<(), CoverageError> {
+        let mut arena = PackedArena::<Packed64>::new(self.config);
+        let mut faults = Vec::with_capacity(Packed64::COUNT);
+        for batch in batches {
+            let mask = self.batch_detected(&mut arena, universe, batch, &mut faults)?;
+            for (lane, &slot) in batch.iter().enumerate() {
+                detected[slot] = Some(mask >> lane & 1 == 1);
+            }
+        }
+        let mut scalar_arena = self.checkout();
+        let result = (|| {
+            for &slot in scalar {
+                detected[slot] = Some(self.fault_detected(&mut scalar_arena, universe[slot])?);
+            }
+            Ok(())
+        })();
+        self.checkin(scalar_arena);
+        result
+    }
+
+    /// Parallel leg of [`CoverageEngine::report_batched`]: lane batches and
+    /// scalar chunks form one item queue that the workers drain by stealing
+    /// from an atomic cursor, each tagging its verdicts with their universe
+    /// slots so the merge is order-independent. Returns `false` if any
+    /// fault errored (the whole pass is then discarded).
+    #[cfg(feature = "parallel")]
+    fn batched_parallel(
+        &self,
+        universe: &[Fault],
+        batches: &[&[usize]],
+        scalar: &[usize],
+        detected: &mut [Option<bool>],
+    ) -> bool {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let scalar_chunks: Vec<&[usize]> = scalar.chunks(STEAL_GRAIN.max(1)).collect();
+        let total = batches.len() + scalar_chunks.len();
+        let workers = self.threads.min(total).max(1);
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let cursor = &cursor;
+        let failed = &failed;
+        let batches = &batches;
+        let scalar_chunks = &scalar_chunks;
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                move || {
+                    let mut arena: Option<PackedArena<Packed64>> = None;
+                    let mut scalar_arena: Option<FaultyMemory> = None;
+                    let mut faults = Vec::new();
+                    let mut out: Vec<(usize, bool)> = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let item = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item >= total {
+                            break;
+                        }
+                        let outcome = if item < batches.len() {
+                            let batch = batches[item];
+                            let arena = arena
+                                .get_or_insert_with(|| PackedArena::<Packed64>::new(self.config));
+                            self.batch_detected(arena, universe, batch, &mut faults)
+                                .map(|mask| {
+                                    out.extend(
+                                        batch
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(lane, &slot)| (slot, mask >> lane & 1 == 1)),
+                                    );
+                                })
+                        } else {
+                            let chunk = scalar_chunks[item - batches.len()];
+                            if scalar_arena.is_none() {
+                                scalar_arena = self.checkout();
+                            }
+                            chunk.iter().try_for_each(|&slot| {
+                                self.fault_detected(&mut scalar_arena, universe[slot])
+                                    .map(|hit| out.push((slot, hit)))
+                            })
+                        };
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    self.checkin(scalar_arena);
+                    out
+                }
+            })
+            .collect();
+        let per_worker: Vec<Vec<(usize, bool)>> = if self.reuse_threads {
+            self.workers().run(jobs)
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("coverage worker panicked"))
+                    .collect()
+            })
+        };
+        if failed.load(Ordering::Relaxed) {
+            return false;
+        }
+        for (slot, hit) in per_worker.into_iter().flatten() {
+            detected[slot] = Some(hit);
+        }
+        true
+    }
+
+    /// Whether each fault of one lane batch is detected (under every tried
+    /// initial content): bit `i` of the returned mask is lane `i`'s
+    /// verdict. The arena is re-armed for the batch; subsequent content
+    /// rounds only reload the data planes. Masks from the content rounds
+    /// are ANDed — detected means detected under **every** content, same
+    /// as the scalar path — with an early exit once no lane survives.
+    fn batch_detected(
+        &self,
+        arena: &mut PackedArena<Packed64>,
+        universe: &[Fault],
+        batch: &[usize],
+        faults: &mut Vec<Fault>,
+    ) -> Result<u64, CoverageError> {
+        faults.clear();
+        faults.extend(batch.iter().map(|&slot| universe[slot]));
+        if self.content_images.is_empty() {
+            arena.arm(faults, None)?;
+            return Ok(detect_lowered_batch(&self.lowered, arena)?);
+        }
+        let mut mask = u64::MAX;
+        for (round, image) in self.content_images.iter().enumerate() {
+            if round == 0 {
+                arena.arm(faults, Some(image))?;
+            } else {
+                arena.reload(Some(image))?;
+            }
+            mask &= detect_lowered_batch(&self.lowered, arena)?;
+            if mask == 0 {
+                break;
+            }
+        }
+        Ok(mask)
+    }
+
     /// Streams per-fault verdicts over a universe without materialising a
     /// report — the bounded-memory path for universes that do not fit in
     /// memory.
@@ -618,6 +898,8 @@ impl CoverageEngine {
             engine: self,
             universe: universe.into_iter(),
             buffer: VecDeque::new(),
+            window: Vec::new(),
+            slots: Vec::new(),
             arena: None,
             poisoned: false,
         }
@@ -944,41 +1226,66 @@ impl CoverageEngine {
         Ok(true)
     }
 
-    /// Evaluates one bounded window of faults, fanning across the worker
-    /// threads when the engine is parallel. Verdicts come back in window
-    /// order.
-    fn evaluate_window(&self, window: &[Fault]) -> Vec<Result<bool, CoverageError>> {
+    /// Evaluates one bounded window of faults into `slots` (index `i` gets
+    /// fault `i`'s result), fanning across the worker threads when the
+    /// engine is parallel.
+    ///
+    /// Parallel windows are drained by **work stealing**: workers claim
+    /// [`STEAL_GRAIN`]-sized runs of the window from a shared atomic
+    /// cursor, so a ragged tail of expensive faults rebalances instead of
+    /// stalling the window barrier behind one unlucky contiguous chunk
+    /// (the historical fixed per-thread split). Each worker tags results
+    /// with their window slots, so the slot-indexed merge is identical for
+    /// any steal interleaving — verdict order never depends on timing.
+    ///
+    /// `slots` is cleared and refilled; the caller owns it so streaming
+    /// windows reuse one allocation. Worker-side result buffers come from
+    /// the engine's persistent scratch pool for the same reason.
+    fn evaluate_window_into(
+        &self,
+        window: &[Fault],
+        slots: &mut Vec<Option<Result<bool, CoverageError>>>,
+    ) {
+        slots.clear();
+        slots.resize_with(window.len(), || None);
         let threads = self.threads.min(window.len()).max(1);
         if threads <= 1 {
             let mut arena = self.checkout();
-            let results = window
-                .iter()
-                .map(|&fault| self.fault_detected(&mut arena, fault))
-                .collect();
+            for (slot, &fault) in window.iter().enumerate() {
+                slots[slot] = Some(self.fault_detected(&mut arena, fault));
+            }
             self.checkin(arena);
-            return results;
+            return;
         }
         #[cfg(feature = "parallel")]
         {
-            let chunk_size = window.len().div_ceil(threads);
-            let jobs: Vec<_> = window
-                .chunks(chunk_size)
-                .map(|chunk| {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+
+            let cursor = AtomicUsize::new(0);
+            let cursor = &cursor;
+            let jobs: Vec<_> = (0..threads)
+                .map(|_| {
                     move || {
                         let mut arena = self.checkout();
-                        let results: Vec<_> = chunk
-                            .iter()
-                            .map(|&fault| self.fault_detected(&mut arena, fault))
-                            .collect();
+                        let mut out = self.take_scratch();
+                        loop {
+                            let start = cursor.fetch_add(STEAL_GRAIN, Ordering::Relaxed);
+                            if start >= window.len() {
+                                break;
+                            }
+                            let end = (start + STEAL_GRAIN).min(window.len());
+                            for (offset, &fault) in window[start..end].iter().enumerate() {
+                                out.push((start + offset, self.fault_detected(&mut arena, fault)));
+                            }
+                        }
                         self.checkin(arena);
-                        results
+                        out
                     }
                 })
                 .collect();
-            let per_chunk: Vec<Vec<Result<bool, CoverageError>>> = if self.reuse_threads {
+            let per_worker: Vec<VerdictScratch> = if self.reuse_threads {
                 // Persistent pool: workers live across windows (and across
-                // `with_test` siblings); chunk order is preserved, so the
-                // merged verdicts are identical to the spawn path's.
+                // `with_test` siblings).
                 self.workers().run(jobs)
             } else {
                 // Historical spawn-per-window baseline (A/B in the
@@ -991,12 +1298,37 @@ impl CoverageEngine {
                         .collect()
                 })
             };
-            per_chunk.into_iter().flatten().collect()
+            for mut out in per_worker {
+                for (slot, result) in out.drain(..) {
+                    slots[slot] = Some(result);
+                }
+                self.return_scratch(out);
+            }
         }
         #[cfg(not(feature = "parallel"))]
         {
             unreachable!("threads resolve to 1 without the parallel feature")
         }
+    }
+
+    /// Checks a verdict scratch buffer out of the persistent pool.
+    #[cfg(feature = "parallel")]
+    fn take_scratch(&self) -> VerdictScratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a (cleared) verdict scratch buffer to the persistent pool.
+    #[cfg(feature = "parallel")]
+    fn return_scratch(&self, mut buffer: VerdictScratch) {
+        buffer.clear();
+        self.scratch
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(buffer);
     }
 
     /// The engine's persistent window workers, created on first use.
@@ -1016,6 +1348,11 @@ pub struct Verdicts<'e, I> {
     engine: &'e CoverageEngine,
     universe: I,
     buffer: VecDeque<Result<FaultVerdict, CoverageError>>,
+    /// The current window's faults, reused across refills so long streams
+    /// allocate one window, not one per window.
+    window: Vec<Fault>,
+    /// Slot-indexed window results, reused like `window`.
+    slots: Vec<Option<Result<bool, CoverageError>>>,
     /// Arena held across `next()` calls on the serial path, so one-at-a-time
     /// streaming still reuses a single memory.
     arena: Option<FaultyMemory>,
@@ -1045,21 +1382,27 @@ where
             }
             return;
         }
-        let window: Vec<Fault> = self
-            .universe
-            .by_ref()
-            .take(self.engine.threads * STREAM_CHUNK)
-            .map(|fault| *fault.borrow())
-            .collect();
-        if window.is_empty() {
+        self.window.clear();
+        self.window.extend(
+            self.universe
+                .by_ref()
+                .take(self.engine.threads * STREAM_CHUNK)
+                .map(|fault| *fault.borrow()),
+        );
+        if self.window.is_empty() {
             return;
         }
-        let results = self.engine.evaluate_window(&window);
+        self.engine
+            .evaluate_window_into(&self.window, &mut self.slots);
         self.buffer.extend(
-            window
+            self.window
                 .iter()
-                .zip(results)
-                .map(|(&fault, result)| result.map(|detected| FaultVerdict { fault, detected })),
+                .zip(self.slots.drain(..))
+                .map(|(&fault, result)| {
+                    result
+                        .expect("every window slot evaluated")
+                        .map(|detected| FaultVerdict { fault, detected })
+                }),
         );
     }
 }

@@ -1,0 +1,199 @@
+//! The lane abstraction behind bit-parallel (PPSFP-style) fault simulation.
+//!
+//! Classic parallel-pattern single-fault-propagation packs many independent
+//! single-fault simulations into the bit positions of one machine word: lane
+//! `i` of every stored bit-plane carries the value fault `i`'s memory would
+//! hold, so one pass of bitwise operations advances every lane at once. The
+//! [`Lanes`] trait names that packing degree without fixing it, so the
+//! packed arena ([`crate::PackedArena`]) and the batch executor in
+//! `twm-bist` are written once and instantiated at any width:
+//!
+//! * [`Scalar`] — one lane per word: the reference instantiation, which
+//!   makes the lane-generic kernel behave exactly like today's one-fault
+//!   `u64` path (used to property-test the lane plumbing itself);
+//! * [`Packed64`] — 64 bit-sliced lanes per `u64`: one march execution
+//!   evaluates 64 single-bit faults simultaneously.
+//!
+//! A future `std::simd` instantiation (`u64x4` = 256 lanes) only needs to
+//! implement this trait; see `vendor/README.md` for the swap plan.
+
+use std::fmt::Debug;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A fixed number of independent simulation lanes packed into one machine
+/// word.
+///
+/// Implementors are type-level tags (uninhabited enums): the trait carries
+/// all behaviour through associated items, so the packed kernels are
+/// monomorphised per lane count with no runtime dispatch.
+pub trait Lanes: Copy + Eq + Debug + Send + Sync + 'static {
+    /// The machine word holding one bit per lane. All lane-parallel kernels
+    /// are expressed in the four bitwise operations this type must support.
+    type Word: Copy
+        + Eq
+        + Debug
+        + Send
+        + Sync
+        + BitAnd<Output = Self::Word>
+        + BitOr<Output = Self::Word>
+        + BitXor<Output = Self::Word>
+        + Not<Output = Self::Word>
+        + 'static;
+
+    /// Number of lanes packed into one [`Lanes::Word`].
+    const COUNT: usize;
+
+    /// The all-zero word (every lane holds 0).
+    const ZERO: Self::Word;
+
+    /// Broadcasts one bit to every lane — the packed form of a shared
+    /// (fault-free) data bit that all lanes agree on.
+    fn splat(bit: bool) -> Self::Word;
+
+    /// The word with only `lane`'s bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Self::COUNT`.
+    fn lane_mask(lane: usize) -> Self::Word;
+
+    /// The word with the first `count` lanes set — the active-lane mask of a
+    /// partially filled batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > Self::COUNT`.
+    fn first_lanes(count: usize) -> Self::Word;
+
+    /// Flattens a lane word into a `u64` mask with bit `i` = lane `i` (the
+    /// shape detection masks are reported in). Lanes beyond 64 would need a
+    /// wider report type; every current instantiation has `COUNT <= 64`.
+    fn to_mask(word: Self::Word) -> u64;
+}
+
+/// One lane per word — the reference instantiation of [`Lanes`].
+///
+/// A `PackedArena<Scalar>` simulates exactly one fault per pass, matching
+/// the historical [`crate::FaultyMemory`] path operation for operation; the
+/// equivalence tests use it to separate "the lane-generic kernel is wrong"
+/// from "the packing is wrong".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scalar {}
+
+impl Lanes for Scalar {
+    type Word = u64;
+    const COUNT: usize = 1;
+    const ZERO: u64 = 0;
+
+    #[inline]
+    fn splat(bit: bool) -> u64 {
+        if bit {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn lane_mask(lane: usize) -> u64 {
+        assert!(lane < Self::COUNT, "lane {lane} out of range for Scalar");
+        1
+    }
+
+    #[inline]
+    fn first_lanes(count: usize) -> u64 {
+        assert!(
+            count <= Self::COUNT,
+            "{count} lanes requested from Scalar (1 lane)"
+        );
+        count as u64
+    }
+
+    #[inline]
+    fn to_mask(word: u64) -> u64 {
+        word
+    }
+}
+
+/// 64 bit-sliced lanes per `u64` — one march execution evaluates 64
+/// independent single-bit faults simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packed64 {}
+
+impl Lanes for Packed64 {
+    type Word = u64;
+    const COUNT: usize = 64;
+    const ZERO: u64 = 0;
+
+    #[inline]
+    fn splat(bit: bool) -> u64 {
+        // Branch-free broadcast: 0 -> 0x0000..., 1 -> 0xFFFF...
+        (bit as u64).wrapping_neg()
+    }
+
+    #[inline]
+    fn lane_mask(lane: usize) -> u64 {
+        assert!(lane < Self::COUNT, "lane {lane} out of range for Packed64");
+        1u64 << lane
+    }
+
+    #[inline]
+    fn first_lanes(count: usize) -> u64 {
+        assert!(
+            count <= Self::COUNT,
+            "{count} lanes requested from Packed64 (64 lanes)"
+        );
+        if count >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        }
+    }
+
+    #[inline]
+    fn to_mask(word: u64) -> u64 {
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_broadcasts_to_every_lane() {
+        assert_eq!(Packed64::splat(true), u64::MAX);
+        assert_eq!(Packed64::splat(false), 0);
+        assert_eq!(Scalar::splat(true), u64::MAX);
+        assert_eq!(Scalar::splat(false), 0);
+    }
+
+    #[test]
+    fn lane_masks_are_single_bits() {
+        assert_eq!(Packed64::lane_mask(0), 1);
+        assert_eq!(Packed64::lane_mask(63), 1 << 63);
+        assert_eq!(Scalar::lane_mask(0), 1);
+    }
+
+    #[test]
+    fn first_lanes_covers_partial_and_full_batches() {
+        assert_eq!(Packed64::first_lanes(0), 0);
+        assert_eq!(Packed64::first_lanes(1), 1);
+        assert_eq!(Packed64::first_lanes(5), 0b11111);
+        assert_eq!(Packed64::first_lanes(64), u64::MAX);
+        assert_eq!(Scalar::first_lanes(0), 0);
+        assert_eq!(Scalar::first_lanes(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_mask_rejects_out_of_range_lane() {
+        let _ = Packed64::lane_mask(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes requested")]
+    fn first_lanes_rejects_overflow() {
+        let _ = Scalar::first_lanes(2);
+    }
+}

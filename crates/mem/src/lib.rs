@@ -29,6 +29,16 @@
 //! evaluator in `twm-coverage` sweep fault universes of thousands of
 //! faults over memories of tens of thousands of words.
 //!
+//! ## Bit-parallel lanes
+//!
+//! For bulk fault grading there is a second, bit-sliced kernel: the
+//! [`Lanes`] trait abstracts over a packing degree ([`Scalar`] = 1 fault
+//! per pass, [`Packed64`] = 64 faults per pass) and [`PackedArena`] holds
+//! one bit-plane per footprint bit so a single march execution advances up
+//! to 64 independent single-bit fault simulations at once. `twm-bist`'s
+//! `detect_lowered_batch` drives it; `twm-coverage` batches SAF/TF
+//! universes through it transparently.
+//!
 //! ```
 //! use twm_mem::{FaultyMemory, MemoryConfig, Fault, BitAddress, Word};
 //!
@@ -54,6 +64,8 @@ mod error;
 mod fault;
 mod fault_set;
 mod index;
+mod lanes;
+mod packed;
 mod prng;
 mod repairable;
 mod sim;
@@ -68,6 +80,8 @@ pub use error::MemError;
 pub use fault::{Fault, FaultClass, Transition};
 pub use fault_set::FaultSet;
 pub use index::{FaultIndex, WordFaultMasks};
+pub use lanes::{Lanes, Packed64, Scalar};
+pub use packed::PackedArena;
 pub use prng::SplitMix64;
 pub use repairable::{RemapEntry, RepairableMemory};
 pub use sim::{AccessStats, FaultyMemory, MemoryConfig};

@@ -1,0 +1,581 @@
+//! Lane-packed fault simulation arena: up to [`Lanes::COUNT`] single-bit
+//! faults evaluated by one march execution.
+//!
+//! [`PackedArena`] is the bit-sliced sibling of
+//! [`FaultyMemory`](crate::FaultyMemory) + [`BitStorage`](crate::BitStorage).
+//! Where the scalar pair stores one memory image and injects one fault set,
+//! the arena stores one *bit-plane* per (footprint word, bit position): a
+//! [`Lanes::Word`] whose lane `i` holds the value that bit has in fault
+//! `i`'s divergent memory image. One pass of bitwise operations over the
+//! planes then advances every lane's simulation at once.
+//!
+//! Two properties of this workspace make the packing cheap:
+//!
+//! * fault behaviour is already reduced to per-word masks (the same
+//!   stuck/transition mask algebra as
+//!   [`FaultIndex`](crate::FaultIndex)), so injecting a fault into a lane
+//!   is three `OR`s into static mask planes;
+//! * detection sweeps are already confined to fault footprints
+//!   (`detect_lowered_at`), so the arena only materialises planes for the
+//!   union of the batch's victim words — a handful of words instead of the
+//!   whole memory.
+//!
+//! Only single-cell faults (SAF, TF) are packable: coupling faults read
+//! aggressor state across cells, which would entangle lanes. Callers route
+//! coupling faults through the scalar path.
+
+use crate::error::MemError;
+use crate::fault::{Fault, FaultClass, Transition};
+use crate::fault_set::FaultSet;
+use crate::lanes::Lanes;
+use crate::sim::MemoryConfig;
+use crate::storage::BitStorage;
+
+/// A lane-packed simulation arena for up to `L::COUNT` single-bit faults.
+///
+/// Lifecycle: [`arm`](Self::arm) a batch of faults (optionally with an
+/// initial content image), run the lowered op stream against the arena
+/// (`twm-bist`'s `detect_lowered_batch`), read the detection mask. To
+/// re-evaluate the same batch under another content image, call
+/// [`reload`](Self::reload) — the fault masks stay armed, only the data
+/// planes are rebuilt.
+///
+/// All plane storage is retained across batches, so a long run over
+/// thousands of faults performs no per-batch allocation once the footprint
+/// size stabilises.
+#[derive(Debug)]
+pub struct PackedArena<L: Lanes> {
+    config: MemoryConfig,
+    /// Sorted, deduplicated victim word addresses of the armed batch; the
+    /// arena's "slot" space. Plane index = `slot * width + bit`.
+    addresses: Vec<usize>,
+    /// Per-(slot, bit) initial content planes (statically enforced).
+    initial: Vec<L::Word>,
+    /// Per-(slot, bit) current content planes.
+    current: Vec<L::Word>,
+    /// Per-(slot, bit) stuck-at-0 masks: lane `i` set iff fault `i` pins
+    /// that bit to 0.
+    stuck0: Vec<L::Word>,
+    /// Per-(slot, bit) stuck-at-1 masks.
+    stuck1: Vec<L::Word>,
+    /// Per-(slot, bit) blocked 0→1 transition masks.
+    tf_rising: Vec<L::Word>,
+    /// Per-(slot, bit) blocked 1→0 transition masks.
+    tf_falling: Vec<L::Word>,
+    /// Per-slot lane-ownership masks: lane `i` set iff fault `i`'s victim
+    /// cell lives in that slot's word. Read mismatches outside a lane's own
+    /// word are masked off — the scalar reference (`detect_lowered_at`)
+    /// only sweeps the fault's own word, and a test mixing transparent
+    /// writes with literal reads can mismatch on fault-free words too.
+    owners: Vec<L::Word>,
+    /// Mask of armed lanes.
+    active: L::Word,
+    lanes_used: usize,
+}
+
+impl<L: Lanes> PackedArena<L> {
+    /// Creates an empty arena for memories of the given geometry.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            config,
+            addresses: Vec::new(),
+            initial: Vec::new(),
+            current: Vec::new(),
+            stuck0: Vec::new(),
+            stuck1: Vec::new(),
+            tf_rising: Vec::new(),
+            tf_falling: Vec::new(),
+            owners: Vec::new(),
+            active: L::ZERO,
+            lanes_used: 0,
+        }
+    }
+
+    /// The memory geometry the arena simulates.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.config.width()
+    }
+
+    /// Number of footprint word slots in the armed batch.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The sorted victim word addresses of the armed batch, one per slot.
+    #[must_use]
+    pub fn addresses(&self) -> &[usize] {
+        &self.addresses
+    }
+
+    /// Number of faults armed into lanes.
+    #[must_use]
+    pub fn lanes_used(&self) -> usize {
+        self.lanes_used
+    }
+
+    /// `u64` mask with one bit per armed lane (bit `i` = lane `i`).
+    #[must_use]
+    pub fn active_mask(&self) -> u64 {
+        L::to_mask(self.active)
+    }
+
+    /// Arms a batch of faults into distinct lanes and (re)builds the data
+    /// planes from `image` (`None` = all-zero content, matching
+    /// [`FaultyMemory::reset_with_fault`](crate::FaultyMemory::reset_with_fault)).
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::LaneOverflow`] if the batch exceeds `L::COUNT` faults;
+    /// * [`MemError::UnpackableFault`] for any coupling fault — only SAF
+    ///   and TF are single-cell and therefore lane-independent;
+    /// * cell-range / image-geometry errors as the scalar path reports
+    ///   them.
+    pub fn arm(&mut self, faults: &[Fault], image: Option<&BitStorage>) -> Result<(), MemError> {
+        if faults.len() > L::COUNT {
+            return Err(MemError::LaneOverflow {
+                faults: faults.len(),
+                lanes: L::COUNT,
+            });
+        }
+        self.check_image(image)?;
+        for fault in faults {
+            FaultSet::validate_fault(fault, self.config.words(), self.config.width())?;
+            match fault.class() {
+                FaultClass::Saf | FaultClass::Tf => {}
+                class => return Err(MemError::UnpackableFault { class }),
+            }
+        }
+
+        self.addresses.clear();
+        self.addresses
+            .extend(faults.iter().map(|f| f.victim().word));
+        self.addresses.sort_unstable();
+        self.addresses.dedup();
+
+        let planes = self.addresses.len() * self.config.width();
+        for plane in [
+            &mut self.stuck0,
+            &mut self.stuck1,
+            &mut self.tf_rising,
+            &mut self.tf_falling,
+        ] {
+            plane.clear();
+            plane.resize(planes, L::ZERO);
+        }
+        self.owners.clear();
+        self.owners.resize(self.addresses.len(), L::ZERO);
+
+        for (lane, fault) in faults.iter().enumerate() {
+            let victim = fault.victim();
+            let slot = self
+                .addresses
+                .binary_search(&victim.word)
+                .expect("victim word collected into the address list");
+            let idx = slot * self.config.width() + victim.bit;
+            let mask = L::lane_mask(lane);
+            match *fault {
+                Fault::StuckAt { value: true, .. } => {
+                    self.stuck1[idx] = self.stuck1[idx] | mask;
+                }
+                Fault::StuckAt { value: false, .. } => {
+                    self.stuck0[idx] = self.stuck0[idx] | mask;
+                }
+                Fault::TransitionFault {
+                    direction: Transition::Rising,
+                    ..
+                } => {
+                    self.tf_rising[idx] = self.tf_rising[idx] | mask;
+                }
+                Fault::TransitionFault {
+                    direction: Transition::Falling,
+                    ..
+                } => {
+                    self.tf_falling[idx] = self.tf_falling[idx] | mask;
+                }
+                _ => unreachable!("coupling faults rejected above"),
+            }
+            self.owners[slot] = self.owners[slot] | mask;
+        }
+        self.active = L::first_lanes(faults.len());
+        self.lanes_used = faults.len();
+
+        self.load_planes(image);
+        Ok(())
+    }
+
+    /// Rebuilds the data planes from another content image without
+    /// re-arming the fault masks — the cheap path for
+    /// `contents_per_fault > 1`, where one batch is re-run under several
+    /// images.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same image-geometry errors as
+    /// [`BitStorage::copy_from`](crate::BitStorage::copy_from).
+    pub fn reload(&mut self, image: Option<&BitStorage>) -> Result<(), MemError> {
+        self.check_image(image)?;
+        self.load_planes(image);
+        Ok(())
+    }
+
+    /// Applies a write of `pattern` to the footprint word at `slot`,
+    /// advancing every lane at once.
+    ///
+    /// This is the transposed form of
+    /// [`WordFaultMasks::effective_write`](crate::WordFaultMasks::effective_write):
+    /// the same rising/falling blocking and stuck-bit pinning, evaluated
+    /// per bit position across all lanes instead of per lane across all
+    /// bit positions. `transparent` selects `initial ^ pattern` as the
+    /// intended value (a transparent write) versus the literal `pattern`.
+    pub fn write_word(&mut self, slot: usize, pattern: u128, transparent: bool) {
+        let width = self.config.width();
+        debug_assert!(slot < self.addresses.len(), "slot {slot} out of range");
+        for bit in 0..width {
+            let idx = slot * width + bit;
+            let pat = L::splat((pattern >> bit) & 1 == 1);
+            let intended = if transparent {
+                self.initial[idx] ^ pat
+            } else {
+                pat
+            };
+            let old = self.current[idx];
+            let rising = !old & intended;
+            let falling = old & !intended;
+            let blocked = (rising & self.tf_rising[idx]) | (falling & self.tf_falling[idx]);
+            let unblocked = (intended & !blocked) | (old & blocked);
+            self.current[idx] = (unblocked | self.stuck1[idx]) & !self.stuck0[idx];
+        }
+    }
+
+    /// Reads the footprint word at `slot` in every lane and compares it
+    /// against the expected value (`initial ^ pattern` when `transparent`,
+    /// else the literal `pattern`), returning the lanes that mismatch.
+    ///
+    /// Mismatches are masked to the slot's *owner* lanes: the scalar
+    /// reference sweep only reads the fault's own word, and stray
+    /// mismatches on other footprint words (possible when a test mixes
+    /// transparent writes with literal-pattern reads) must not count as
+    /// detections.
+    #[must_use]
+    pub fn read_mismatch(&self, slot: usize, pattern: u128, transparent: bool) -> L::Word {
+        let width = self.config.width();
+        debug_assert!(slot < self.addresses.len(), "slot {slot} out of range");
+        let mut acc = L::ZERO;
+        for bit in 0..width {
+            let idx = slot * width + bit;
+            let pat = L::splat((pattern >> bit) & 1 == 1);
+            let expected = if transparent {
+                self.initial[idx] ^ pat
+            } else {
+                pat
+            };
+            acc = acc | (self.current[idx] ^ expected);
+        }
+        acc & self.owners[slot]
+    }
+
+    /// The packed bit-planes of the current content at `slot`, one
+    /// [`Lanes::Word`] per bit position (bit 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the armed batch.
+    #[must_use]
+    pub fn word_bits(&self, slot: usize) -> &[L::Word] {
+        let width = self.config.width();
+        assert!(
+            slot < self.addresses.len(),
+            "slot {slot} out of range for {}-slot arena",
+            self.addresses.len()
+        );
+        &self.current[slot * width..(slot + 1) * width]
+    }
+
+    /// Overwrites the packed bit-planes of the current content at `slot`.
+    ///
+    /// Bypasses fault masks — this is raw plane access, the packed
+    /// counterpart of [`BitStorage::set_word_bits`](crate::BitStorage::set_word_bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `planes` is not exactly one
+    /// word per bit position.
+    pub fn set_word_bits(&mut self, slot: usize, planes: &[L::Word]) {
+        let width = self.config.width();
+        assert!(
+            slot < self.addresses.len(),
+            "slot {slot} out of range for {}-slot arena",
+            self.addresses.len()
+        );
+        assert!(
+            planes.len() == width,
+            "expected {width} bit-planes, got {}",
+            planes.len()
+        );
+        self.current[slot * width..(slot + 1) * width].copy_from_slice(planes);
+    }
+
+    /// One lane's view of the current content at `slot`, re-assembled into
+    /// a plain word value (for tests and scalar cross-checks).
+    #[must_use]
+    pub fn lane_word_bits(&self, slot: usize, lane: usize) -> u128 {
+        let width = self.config.width();
+        let mask = L::lane_mask(lane);
+        let mut value = 0u128;
+        for bit in 0..width {
+            if self.current[slot * width + bit] & mask != L::ZERO {
+                value |= 1 << bit;
+            }
+        }
+        value
+    }
+
+    fn check_image(&self, image: Option<&BitStorage>) -> Result<(), MemError> {
+        let Some(image) = image else { return Ok(()) };
+        if image.words() != self.config.words() {
+            return Err(MemError::LoadLengthMismatch {
+                found: image.words(),
+                expected: self.config.words(),
+            });
+        }
+        if image.width() != self.config.width() {
+            return Err(MemError::WidthMismatch {
+                found: image.width(),
+                expected: self.config.width(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds `initial`/`current` from the content image, enforcing
+    /// static stuck-at faults exactly like
+    /// [`FaultyMemory`](crate::FaultyMemory) does after `reset_with_fault`
+    /// / `load_image`: the lane's initial value already has its stuck bit
+    /// pinned before the march starts.
+    fn load_planes(&mut self, image: Option<&BitStorage>) {
+        let width = self.config.width();
+        let planes = self.addresses.len() * width;
+        self.initial.clear();
+        self.initial.resize(planes, L::ZERO);
+        self.current.clear();
+        self.current.resize(planes, L::ZERO);
+        for (slot, &address) in self.addresses.iter().enumerate() {
+            let bits = image.map_or(0u128, |image| image.word_bits(address));
+            for bit in 0..width {
+                let idx = slot * width + bit;
+                let value =
+                    (L::splat((bits >> bit) & 1 == 1) | self.stuck1[idx]) & !self.stuck0[idx];
+                self.initial[idx] = value;
+                self.current[idx] = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{Packed64, Scalar};
+    use crate::BitAddress;
+
+    fn config(words: usize, width: usize) -> MemoryConfig {
+        MemoryConfig::new(words, width).unwrap()
+    }
+
+    #[test]
+    fn arm_rejects_oversized_batches() {
+        let mut arena = PackedArena::<Scalar>::new(config(4, 8));
+        let faults = vec![
+            Fault::stuck_at(BitAddress::new(0, 0), true),
+            Fault::stuck_at(BitAddress::new(1, 0), true),
+        ];
+        assert!(matches!(
+            arena.arm(&faults, None),
+            Err(MemError::LaneOverflow {
+                faults: 2,
+                lanes: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn arm_rejects_coupling_faults() {
+        let mut arena = PackedArena::<Packed64>::new(config(4, 8));
+        let fault = Fault::coupling_inversion(
+            BitAddress::new(0, 0),
+            BitAddress::new(1, 0),
+            Transition::Rising,
+        );
+        assert!(matches!(
+            arena.arm(&[fault], None),
+            Err(MemError::UnpackableFault {
+                class: FaultClass::Cfin
+            })
+        ));
+    }
+
+    #[test]
+    fn arm_rejects_out_of_range_cells() {
+        let mut arena = PackedArena::<Packed64>::new(config(4, 8));
+        let fault = Fault::stuck_at(BitAddress::new(4, 0), true);
+        assert!(arena.arm(&[fault], None).is_err());
+    }
+
+    #[test]
+    fn arm_rejects_mismatched_images() {
+        let mut arena = PackedArena::<Packed64>::new(config(4, 8));
+        let fault = Fault::stuck_at(BitAddress::new(0, 0), true);
+        let image = BitStorage::new(3, 8).unwrap();
+        assert!(matches!(
+            arena.arm(&[fault], Some(&image)),
+            Err(MemError::LoadLengthMismatch {
+                found: 3,
+                expected: 4
+            })
+        ));
+        let image = BitStorage::new(4, 16).unwrap();
+        assert!(matches!(
+            arena.arm(&[fault], Some(&image)),
+            Err(MemError::WidthMismatch {
+                found: 16,
+                expected: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn initial_planes_enforce_static_stuck_bits() {
+        let mut arena = PackedArena::<Packed64>::new(config(4, 8));
+        let faults = vec![
+            Fault::stuck_at(BitAddress::new(2, 3), true),
+            Fault::stuck_at(BitAddress::new(2, 3), false),
+        ];
+        arena.arm(&faults, None).unwrap();
+        // All-zero content: lane 0's stuck-at-1 bit reads 1, lane 1's
+        // stuck-at-0 bit reads 0.
+        assert_eq!(arena.lane_word_bits(0, 0), 0b1000);
+        assert_eq!(arena.lane_word_bits(0, 1), 0);
+
+        let mut image = BitStorage::new(4, 8).unwrap();
+        image.set_word_bits(2, 0xFF);
+        arena.reload(Some(&image)).unwrap();
+        assert_eq!(arena.lane_word_bits(0, 0), 0xFF);
+        assert_eq!(arena.lane_word_bits(0, 1), 0xFF & !0b1000);
+    }
+
+    #[test]
+    fn transition_faults_block_only_their_direction() {
+        let mut arena = PackedArena::<Packed64>::new(config(2, 4));
+        let faults = vec![
+            Fault::transition(BitAddress::new(0, 1), Transition::Rising),
+            Fault::transition(BitAddress::new(0, 1), Transition::Falling),
+        ];
+        arena.arm(&faults, None).unwrap();
+        // From 0: writing 0b0010 rises bit 1 — blocked in lane 0 only.
+        arena.write_word(0, 0b0010, false);
+        assert_eq!(arena.lane_word_bits(0, 0), 0b0000);
+        assert_eq!(arena.lane_word_bits(0, 1), 0b0010);
+        // Writing 0b0000 falls bit 1 — blocked in lane 1 only (lane 0
+        // never rose, so nothing falls there).
+        arena.write_word(0, 0b0000, false);
+        assert_eq!(arena.lane_word_bits(0, 0), 0b0000);
+        assert_eq!(arena.lane_word_bits(0, 1), 0b0010);
+    }
+
+    #[test]
+    fn read_mismatch_masks_to_owner_lanes() {
+        // Two faults in different words; a mismatch on word 0 must only
+        // ever be charged to word 0's lane.
+        let mut arena = PackedArena::<Packed64>::new(config(4, 4));
+        let faults = vec![
+            Fault::stuck_at(BitAddress::new(0, 0), true),
+            Fault::stuck_at(BitAddress::new(3, 0), true),
+        ];
+        arena.arm(&faults, None).unwrap();
+        // Expected all-zero; lane 0 has bit 0 stuck at 1 in word 0.
+        let slot0 = arena.read_mismatch(0, 0, false);
+        let slot1 = arena.read_mismatch(1, 0, false);
+        assert_eq!(slot0, 0b01);
+        assert_eq!(slot1, 0b10);
+    }
+
+    #[test]
+    fn packed_matches_scalar_lane_for_each_fault() {
+        // The same fault armed alone in a Scalar arena and packed with 63
+        // siblings in a Packed64 arena must evolve identically.
+        let cfg = config(8, 8);
+        let mut faults = Vec::new();
+        for word in 0..8 {
+            for bit in (0..8).step_by(2) {
+                faults.push(Fault::stuck_at(BitAddress::new(word, bit), bit % 4 == 0));
+                faults.push(Fault::transition(
+                    BitAddress::new(word, bit + 1),
+                    if bit % 4 == 0 {
+                        Transition::Rising
+                    } else {
+                        Transition::Falling
+                    },
+                ));
+            }
+        }
+        assert_eq!(faults.len(), 64);
+
+        let mut image = BitStorage::new(8, 8).unwrap();
+        for word in 0..8 {
+            image.set_word_bits(word, (word as u128 * 37) & 0xFF);
+        }
+
+        let mut packed = PackedArena::<Packed64>::new(cfg);
+        packed.arm(&faults, Some(&image)).unwrap();
+        // A short march fragment: transparent complement write, literal
+        // write, transparent restore.
+        for slot in 0..packed.slots() {
+            packed.write_word(slot, 0xFF, true);
+        }
+        for slot in 0..packed.slots() {
+            packed.write_word(slot, 0b1010_0101, false);
+        }
+        for slot in 0..packed.slots() {
+            packed.write_word(slot, 0, true);
+        }
+
+        for (lane, fault) in faults.iter().enumerate() {
+            let mut scalar = PackedArena::<Scalar>::new(cfg);
+            scalar
+                .arm(std::slice::from_ref(fault), Some(&image))
+                .unwrap();
+            for slot in 0..scalar.slots() {
+                scalar.write_word(slot, 0xFF, true);
+                scalar.write_word(slot, 0b1010_0101, false);
+                scalar.write_word(slot, 0, true);
+            }
+            let word = fault.victim().word;
+            let packed_slot = packed.addresses().binary_search(&word).unwrap();
+            assert_eq!(
+                packed.lane_word_bits(packed_slot, lane),
+                scalar.lane_word_bits(0, 0),
+                "lane {lane} diverged from its scalar twin for {fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_word_bits_round_trips_through_word_bits() {
+        let mut arena = PackedArena::<Packed64>::new(config(4, 4));
+        let fault = Fault::stuck_at(BitAddress::new(1, 2), true);
+        arena.arm(&[fault], None).unwrap();
+        let planes: Vec<u64> = vec![1, 0, 1, 0];
+        arena.set_word_bits(0, &planes);
+        assert_eq!(arena.word_bits(0), planes.as_slice());
+        assert_eq!(arena.lane_word_bits(0, 0), 0b0101);
+    }
+}

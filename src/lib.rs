@@ -7,7 +7,9 @@
 //! The workspace is organised in focused crates, all re-exported here:
 //!
 //! * [`mem`] — word-oriented memory functional simulator with fault
-//!   injection (SAF, TF, CFst, CFid, CFin).
+//!   injection (SAF, TF, CFst, CFid, CFin), plus the bit-parallel
+//!   [`Lanes`](mem::Lanes)/[`PackedArena`](mem::PackedArena) storage that
+//!   simulates up to 64 single-bit faults per machine word in one pass.
 //! * [`march`] — march-test framework: operations, elements, notation,
 //!   standard algorithms (March C−, March U, …) and data backgrounds.
 //! * [`core`] — the paper's contribution behind **one transformation
@@ -26,7 +28,9 @@
 //!   test-vs-test comparisons — including
 //!   [`CoverageEngine::for_scheme`](coverage::CoverageEngine::for_scheme)
 //!   and the one-call [`scheme_matrix`](coverage::scheme_matrix) comparison
-//!   grid over every registered scheme.
+//!   grid over every registered scheme. SAF/TF faults are evaluated on the
+//!   bit-parallel lane-batched kernel (64 faults per march execution),
+//!   bit-identical to scalar evaluation.
 //! * [`search`] — march-test generation & minimisation: a deterministic,
 //!   seeded, parallel search over [`MarchTest`](march::MarchTest)
 //!   candidates (greedy drop-one-op minimisation,
@@ -113,6 +117,17 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Under the hood the engine packs stuck-at and transition faults 64 to a
+//! `u64` (one bit-sliced lane per fault) and evaluates a whole batch in a
+//! single march execution — ~20× faster than one-fault-per-pass on 64K-word
+//! memories, and guaranteed bit-identical (property-tested in
+//! `crates/coverage/tests/packed_equivalence.rs`). Coupling faults, whose
+//! lanes would entangle across cells, transparently take the scalar path.
+//! [`CoverageEngineBuilder::lane_batching`](coverage::CoverageEngineBuilder::lane_batching)`(false)`
+//! pins the scalar kernel for A/B comparison, and
+//! `cargo run --release -p twm-bench --bin perf_trajectory` measures both
+//! (CI publishes the result as `BENCH_<pr>.json`).
 //!
 //! ## Searching for better march tests
 //!
