@@ -1,0 +1,179 @@
+//! The fleet service's hot paths:
+//!
+//! * batched trail diagnosis throughput (devices/second) through a warm
+//!   runtime cache — the steady-state cost of serving a fleet;
+//! * per-device latency on a warm cache versus a cold one (fresh service,
+//!   runtime rebuilt from the dictionary) — what the LRU engine/session
+//!   cache actually buys;
+//! * wire-format encode/decode of a whole batch request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use twm_bist::{run_scheme_session_staged, Misr};
+use twm_core::scheme::{SchemeId, SchemeRegistry};
+use twm_coverage::{ContentPolicy, CoverageEngine, Strategy, UniverseBuilder};
+use twm_fleet::{
+    wire, DeviceReport, FleetConfig, FleetService, Request, Response, ShardKey, SignatureTrail,
+};
+use twm_march::algorithms::march_c_minus;
+use twm_march::MarchTest;
+use twm_mem::{BitAddress, Fault, FaultyMemory, MemoryConfig};
+use twm_repair::{DictionaryOptions, SignatureDictionary};
+
+const WORDS: usize = 16;
+const WIDTH: usize = 8;
+const SEED: u64 = 2005;
+const BATCH: usize = 64;
+
+fn config() -> MemoryConfig {
+    MemoryConfig::new(WORDS, WIDTH).unwrap()
+}
+
+fn dictionary(source: &MarchTest) -> SignatureDictionary {
+    let registry = SchemeRegistry::all(WIDTH).unwrap();
+    let engine =
+        CoverageEngine::for_scheme(registry.get(SchemeId::TwmTa).unwrap(), source, config())
+            .unwrap()
+            .content(ContentPolicy::Random { seed: SEED })
+            .strategy(Strategy::Serial)
+            .build()
+            .unwrap();
+    let universe = UniverseBuilder::new(config())
+        .stuck_at()
+        .transition()
+        .build();
+    SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default()).unwrap()
+}
+
+fn trail(source: &MarchTest, faults: &[Fault]) -> SignatureTrail {
+    let registry = SchemeRegistry::all(WIDTH).unwrap();
+    let transform = registry.transform(SchemeId::TwmTa, source).unwrap();
+    let mut memory = FaultyMemory::with_faults(config(), faults.to_vec()).unwrap();
+    memory.fill_random(SEED);
+    let staged = run_scheme_session_staged(&transform, &mut memory, Misr::standard(WIDTH)).unwrap();
+    SignatureTrail::new(staged.signature_trail())
+}
+
+fn reports(source: &MarchTest, devices: usize) -> Vec<DeviceReport> {
+    let shard = ShardKey::new(config(), SchemeId::TwmTa, source);
+    (0..devices)
+        .map(|index| {
+            let faults = if index % 2 == 0 {
+                Vec::new()
+            } else {
+                vec![Fault::stuck_at(
+                    BitAddress::new(index % WORDS, index % WIDTH),
+                    index % 3 == 0,
+                )]
+            };
+            DeviceReport {
+                device: format!("bench-{index:03}"),
+                shard,
+                trail: trail(source, &faults),
+                spares: 1,
+            }
+        })
+        .collect()
+}
+
+fn warm_service(source: &MarchTest, dictionary: &SignatureDictionary) -> FleetService {
+    let service = FleetService::new(FleetConfig {
+        strategy: Strategy::Serial,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let registered = service.handle(Request::RegisterDictionary {
+        source: source.clone(),
+        dictionary: dictionary.clone(),
+    });
+    assert!(matches!(registered, Response::Registered { .. }));
+    service
+}
+
+fn bench_batched_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_batch");
+    group.sample_size(10);
+    let source = march_c_minus();
+    let dictionary = dictionary(&source);
+    let service = warm_service(&source, &dictionary);
+    let batch = reports(&source, BATCH);
+    // Prime the runtime cache so the loop measures steady state.
+    let primed = service.handle(Request::DiagnoseBatch {
+        reports: batch.clone(),
+    });
+    assert!(matches!(primed, Response::Batch(_)));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_with_input(
+        BenchmarkId::new("warm_diagnose", BATCH),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                service.handle(Request::DiagnoseBatch {
+                    reports: black_box(batch.clone()),
+                })
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_cache_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_cache");
+    group.sample_size(10);
+    let source = march_c_minus();
+    let dictionary = dictionary(&source);
+    let single = reports(&source, 1);
+
+    // Warm: the shard runtime is cached; only diagnosis work remains.
+    let warm = warm_service(&source, &dictionary);
+    let primed = warm.handle(Request::DiagnoseBatch {
+        reports: single.clone(),
+    });
+    assert!(matches!(primed, Response::Batch(_)));
+    group.bench_with_input(BenchmarkId::new("warm_device", 1), &single, |b, single| {
+        b.iter(|| {
+            warm.handle(Request::DiagnoseBatch {
+                reports: black_box(single.clone()),
+            })
+        });
+    });
+
+    // Cold: a fresh service per iteration rebuilds registry, transforms
+    // and engine before the same diagnosis.
+    group.bench_with_input(BenchmarkId::new("cold_device", 1), &single, |b, single| {
+        b.iter(|| {
+            let cold = warm_service(&source, &dictionary);
+            cold.handle(Request::DiagnoseBatch {
+                reports: black_box(single.clone()),
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_wire");
+    group.sample_size(10);
+    let source = march_c_minus();
+    let request = Request::DiagnoseBatch {
+        reports: reports(&source, BATCH),
+    };
+    let bytes = wire::to_bytes(&request);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_batch", |b| {
+        b.iter(|| wire::to_bytes(black_box(&request)));
+    });
+    group.bench_function("decode_batch", |b| {
+        b.iter(|| wire::from_bytes::<Request>(black_box(&bytes)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batched_lookups,
+    bench_cache_latency,
+    bench_wire_codec
+);
+criterion_main!(benches);

@@ -15,19 +15,28 @@
 //! * `dictionary_build` — fault injections/second of a signature-dictionary
 //!   build (the repair deployment cost);
 //! * `localise` — one adaptive localisation pass, in microseconds (the
-//!   field-side diagnosis latency).
+//!   field-side diagnosis latency);
+//! * `fleet_batch` — devices diagnosed/second through a warm
+//!   `FleetService` runtime cache, plus per-device latency on a warm
+//!   cache versus a cold one (fresh service, shard runtime rebuilt) and
+//!   the warm-over-cold speedup the LRU cache buys.
 //!
-//! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]`. With
-//! `--assert-speedup`, the process exits non-zero unless the packed kernel
-//! beats the scalar baseline by at least `X`× — CI uses this to keep the
-//! speedup claim exercised on every push.
+//! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]
+//! [--assert-fleet-speedup X]`. With `--assert-speedup`, the process
+//! exits non-zero unless the packed kernel beats the scalar baseline by
+//! at least `X`×; `--assert-fleet-speedup` does the same for the warm
+//! cache against the cold build — CI uses both to keep the speedup
+//! claims exercised on every push.
 
 use std::time::Instant;
 
 use twm_bench::proposed_test;
-use twm_bist::{execute_with, ExecutionOptions};
+use twm_bist::{execute_with, run_scheme_session_staged, ExecutionOptions, Misr};
 use twm_core::scheme::{SchemeId, SchemeRegistry};
 use twm_coverage::{ContentPolicy, CoverageEngine, EvaluationOptions, Strategy, UniverseBuilder};
+use twm_fleet::{
+    DeviceReport, FleetConfig, FleetService, Request, Response, ShardKey, SignatureTrail,
+};
 use twm_march::algorithms::march_c_minus;
 use twm_march::MarchTest;
 use twm_mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig, SplitMix64};
@@ -35,7 +44,7 @@ use twm_repair::{DiagnosticSession, DictionaryOptions, SignatureDictionary};
 use twm_search::{MutationModel, Objective, ObjectiveOptions};
 
 /// The PR this trajectory point belongs to.
-const PR: u32 = 6;
+const PR: u32 = 7;
 
 /// PR 5's measured `engine_reuse` arena throughput at 64K words
 /// (faults/second) — the baseline the packed kernel is compared against.
@@ -232,9 +241,119 @@ fn measure_repair() -> (usize, f64, f64) {
     )
 }
 
+struct FleetBatch {
+    words: usize,
+    width: usize,
+    batch: usize,
+    devices_per_sec: f64,
+    warm_device_us: f64,
+    cold_device_us: f64,
+    warm_speedup_vs_cold: f64,
+}
+
+/// Fleet-service throughput on the 16×8 deployment shape of
+/// `benches/fleet.rs`: batched lookups/second through a warm runtime
+/// cache, and per-device latency warm versus cold (fresh service, shard
+/// runtime rebuilt from the registered dictionary before diagnosing).
+fn measure_fleet() -> FleetBatch {
+    let words = 16;
+    let width = 8;
+    let seed = 2005;
+    let batch_size = 64;
+    let config = MemoryConfig::new(words, width).unwrap();
+    let source = march_c_minus();
+    let shard = ShardKey::new(config, SchemeId::TwmTa, &source);
+
+    let registry = SchemeRegistry::all(width).unwrap();
+    let engine =
+        CoverageEngine::for_scheme(registry.get(SchemeId::TwmTa).unwrap(), &source, config)
+            .unwrap()
+            .content(ContentPolicy::Random { seed })
+            .strategy(Strategy::Serial)
+            .build()
+            .unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    let dictionary =
+        SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default()).unwrap();
+
+    let transform = registry.transform(SchemeId::TwmTa, &source).unwrap();
+    let trail = |faults: &[Fault]| {
+        let mut memory =
+            FaultyMemory::with_faults(config, FaultSet::from_faults(faults.to_vec())).unwrap();
+        memory.fill_random(seed);
+        let staged =
+            run_scheme_session_staged(&transform, &mut memory, Misr::standard(width)).unwrap();
+        SignatureTrail::new(staged.signature_trail())
+    };
+    let reports: Vec<DeviceReport> = (0..batch_size)
+        .map(|index| {
+            let faults = if index % 2 == 0 {
+                Vec::new()
+            } else {
+                vec![Fault::stuck_at(
+                    BitAddress::new(index % words, index % width),
+                    index % 3 == 0,
+                )]
+            };
+            DeviceReport {
+                device: format!("perf-{index:03}"),
+                shard,
+                trail: trail(&faults),
+                spares: 1,
+            }
+        })
+        .collect();
+    let single = reports[..1].to_vec();
+
+    let fresh_service = || {
+        let service = FleetService::new(FleetConfig {
+            strategy: Strategy::Serial,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let registered = service.handle(Request::RegisterDictionary {
+            source: source.clone(),
+            dictionary: dictionary.clone(),
+        });
+        assert!(matches!(registered, Response::Registered { .. }));
+        service
+    };
+    let diagnose = |service: &FleetService, reports: &[DeviceReport]| {
+        let response = service.handle(Request::DiagnoseBatch {
+            reports: reports.to_vec(),
+        });
+        assert!(matches!(response, Response::Batch(_)));
+    };
+
+    let warm = fresh_service();
+    diagnose(&warm, &reports); // prime the runtime cache
+    let batch_secs = time_mean(|| diagnose(&warm, &reports), 5, 0.5);
+    let warm_secs = time_mean(|| diagnose(&warm, &single), 10, 0.5);
+    // Cold path: every iteration pays registration plus the shard-runtime
+    // build (registry, scheme transforms, engine) before the diagnosis.
+    let cold_secs = time_mean(
+        || {
+            let cold = fresh_service();
+            diagnose(&cold, &single);
+        },
+        5,
+        0.5,
+    );
+    FleetBatch {
+        words,
+        width,
+        batch: batch_size,
+        devices_per_sec: batch_size as f64 / batch_secs,
+        warm_device_us: warm_secs * 1e6,
+        cold_device_us: cold_secs * 1e6,
+        warm_speedup_vs_cold: cold_secs / warm_secs,
+    }
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_fleet_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -249,9 +368,20 @@ fn main() {
                         .expect("--assert-speedup requires a number"),
                 );
             }
+            "--assert-fleet-speedup" => {
+                assert_fleet_speedup = Some(
+                    args.next()
+                        .expect("--assert-fleet-speedup requires a number")
+                        .parse()
+                        .expect("--assert-fleet-speedup requires a number"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_trajectory [--out PATH] [--assert-speedup X]");
+                eprintln!(
+                    "usage: perf_trajectory [--out PATH] [--assert-speedup X] \
+                     [--assert-fleet-speedup X]"
+                );
                 std::process::exit(2);
             }
         }
@@ -272,9 +402,18 @@ fn main() {
     eprintln!("measuring dictionary build and localisation...");
     let (injections, injection_rate, localise_us) = measure_repair();
     eprintln!("  {injection_rate:.1} injections/s, localise {localise_us:.0} us");
+    eprintln!("measuring fleet batched diagnosis (warm vs cold cache)...");
+    let fleet = measure_fleet();
+    eprintln!(
+        "  {:.0} devices/s batched; warm {:.1} us vs cold {:.0} us per device ({:.0}x)",
+        fleet.devices_per_sec,
+        fleet.warm_device_us,
+        fleet.cold_device_us,
+        fleet.warm_speedup_vs_cold
+    );
 
-    // The serde shims are no-op derives (offline build), so the artifact is
-    // formatted by hand — the schema is small and append-only.
+    // The artifact schema is tiny and append-only, so it is formatted by
+    // hand rather than routed through the serde value model.
     let json = format!(
         r#"{{
   "schema": "twm-perf-trajectory/1",
@@ -309,6 +448,15 @@ fn main() {
     }},
     "localise": {{
       "latency_us": {localise_us:.0}
+    }},
+    "fleet_batch": {{
+      "words": {fleet_words},
+      "width": {fleet_width},
+      "batch": {fleet_batch},
+      "devices_per_sec": {fleet_rate:.0},
+      "warm_device_latency_us": {fleet_warm:.1},
+      "cold_build_latency_us": {fleet_cold:.1},
+      "warm_speedup_vs_cold": {fleet_speedup:.1}
     }}
   }}
 }}
@@ -322,6 +470,13 @@ fn main() {
         packed = reuse.packed_faults_per_sec,
         speedup = reuse.speedup,
         speedup_pr5 = reuse.packed_faults_per_sec / PR5_BASELINE_FAULTS_PER_SEC,
+        fleet_words = fleet.words,
+        fleet_width = fleet.width,
+        fleet_batch = fleet.batch,
+        fleet_rate = fleet.devices_per_sec,
+        fleet_warm = fleet.warm_device_us,
+        fleet_cold = fleet.cold_device_us,
+        fleet_speedup = fleet.warm_speedup_vs_cold,
     );
     std::fs::write(&out_path, &json).expect("write trajectory artifact");
     println!("wrote {out_path}");
@@ -337,6 +492,19 @@ fn main() {
         println!(
             "packed kernel speedup {:.2}x meets the required {required}x",
             reuse.speedup
+        );
+    }
+    if let Some(required) = assert_fleet_speedup {
+        if fleet.warm_speedup_vs_cold < required {
+            eprintln!(
+                "FAIL: warm fleet cache speedup {:.1}x is below the required {required}x",
+                fleet.warm_speedup_vs_cold
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "warm fleet cache speedup {:.1}x meets the required {required}x",
+            fleet.warm_speedup_vs_cold
         );
     }
 }

@@ -101,7 +101,10 @@ impl fmt::Display for SchemeId {
 /// Human-readable closed forms of a scheme's complexity (the paper's
 /// Table 2 rendering; `N` words, `M` operations, `Q` reads,
 /// `L = ⌈log₂W⌉`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the formulas are `&'static str` compile-time constants,
+/// which can be written to a wire but not reconstructed from one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SchemeFormulas {
     /// Closed form of the transparent test length (TCM).
     pub tcm: &'static str,

@@ -513,6 +513,40 @@ impl CoverageEngine {
         })
     }
 
+    /// Builds a sibling engine for a **different transformation scheme**
+    /// (and source test) over the same memory shape, content policy and
+    /// strategy — the cheap re-build path for engine caches that serve many
+    /// scheme workloads per memory shape (`twm-fleet` rebuilds evicted
+    /// shard engines through this).
+    ///
+    /// Like [`CoverageEngine::with_test`], only the new transparent test is
+    /// lowered and the pre-generated initial contents are shared (`Arc`);
+    /// unlike `with_test`, the sibling **carries the scheme transform**, so
+    /// it can seed signature-dictionary builds and staged sessions.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverageError::SchemeWidthMismatch`] if the scheme targets a
+    ///   different word width than the engine's memory configuration.
+    /// * [`CoverageError::Core`] if the transformation fails.
+    /// * [`CoverageError::Bist`] if the transparent test cannot be lowered.
+    pub fn with_scheme(
+        &self,
+        scheme: &dyn TransparentScheme,
+        source: &MarchTest,
+    ) -> Result<CoverageEngine, CoverageError> {
+        if scheme.width() != self.config.width() {
+            return Err(CoverageError::SchemeWidthMismatch {
+                scheme: scheme.width(),
+                memory: self.config.width(),
+            });
+        }
+        let transform = scheme.transform(source)?;
+        let mut sibling = self.with_test(transform.transparent_test())?;
+        sibling.transform = Some(transform);
+        Ok(sibling)
+    }
+
     /// Starts a builder whose test is produced by a transformation scheme:
     /// the scheme-generic constructor behind cross-scheme workloads
     /// (`source` is transformed immediately; content policy, strategy and

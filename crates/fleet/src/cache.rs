@@ -1,0 +1,205 @@
+//! The LRU-bounded runtime cache: per-shard engines, transforms and
+//! diagnosis state, rebuilt on miss and shared across worker threads.
+//!
+//! A shard's runtime is everything batched diagnosis needs beyond the
+//! dictionary itself: the scheme registry for the memory width, every
+//! scheme's transform of the source test (the expensive part of a
+//! [`twm_repair::DiagnosticSession`]), the dictionary-scheme transform
+//! used for repair verification, the MISR template and a
+//! [`CoverageEngine`] carrying the prepared reference contents.
+//!
+//! Engines are built in two steps so shards of the same memory shape and
+//! content policy share the prepared contents: a **base** engine per
+//! `(config, content)` pair (kept for the life of the cache — there are
+//! few distinct shapes in a deployment), then the cheap
+//! [`CoverageEngine::with_scheme`] sibling per shard, which clones `Arc`s
+//! instead of regenerating contents.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use twm_bist::Misr;
+use twm_core::scheme::{SchemeRegistry, SchemeTransform};
+use twm_coverage::{ContentPolicy, CoverageEngine, Strategy};
+use twm_march::MarchTest;
+use twm_mem::MemoryConfig;
+use twm_repair::SignatureDictionary;
+
+use crate::shard::ShardKey;
+use crate::stats::CacheMetrics;
+use crate::store::ShardEntry;
+use crate::FleetError;
+
+/// Everything a worker thread needs to diagnose one shard's reports.
+#[derive(Debug)]
+pub struct ShardRuntime {
+    /// The source march test the deployment runs.
+    pub source: MarchTest,
+    /// The scheme registry for the shard's memory width.
+    pub registry: SchemeRegistry,
+    /// Every registered scheme's transform of the source test, in
+    /// registry order — feeds
+    /// [`twm_repair::DiagnosticSession::with_transforms`].
+    pub transforms: Vec<SchemeTransform>,
+    /// The shard's signature dictionary.
+    pub dictionary: Arc<SignatureDictionary>,
+    /// A coverage engine under the dictionary's scheme, sharing its base
+    /// engine's prepared contents.
+    pub engine: CoverageEngine,
+    /// The dictionary-scheme transform (the one repair verification
+    /// re-runs).
+    pub probe: SchemeTransform,
+    /// The dictionary's MISR template (reset state).
+    pub misr: Misr,
+}
+
+impl ShardRuntime {
+    fn build(entry: &ShardEntry, base: &CoverageEngine) -> Result<Self, FleetError> {
+        let dictionary = Arc::clone(&entry.dictionary);
+        let config = dictionary.config();
+        let registry = SchemeRegistry::all(config.width())?;
+        let transforms = registry.transform_all(&entry.source)?;
+        let scheme = registry
+            .get(dictionary.scheme())
+            .ok_or(FleetError::UnknownShard(ShardKey::new(
+                config,
+                dictionary.scheme(),
+                &entry.source,
+            )))?;
+        let engine = base.with_scheme(scheme, &entry.source)?;
+        let probe = registry
+            .ids()
+            .position(|id| id == dictionary.scheme())
+            .map(|at| transforms[at].clone())
+            .expect("registry.get succeeded, so the id is present");
+        let misr = dictionary.misr().clone();
+        Ok(Self {
+            source: entry.source.clone(),
+            registry,
+            transforms,
+            dictionary,
+            engine,
+            probe,
+            misr,
+        })
+    }
+}
+
+/// LRU cache of shard runtimes plus the per-`(config, content)` base
+/// engines they are derived from.
+#[derive(Debug)]
+pub struct RuntimeCache {
+    capacity: usize,
+    strategy: Strategy,
+    clock: u64,
+    runtimes: BTreeMap<ShardKey, (u64, Arc<ShardRuntime>)>,
+    bases: Vec<((MemoryConfig, ContentPolicy), CoverageEngine)>,
+    metrics: CacheMetrics,
+}
+
+impl RuntimeCache {
+    /// Creates a cache bounded to `capacity` shard runtimes; base engines
+    /// run fault simulations under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::ZeroCapacity`] for `capacity == 0`.
+    pub fn new(capacity: usize, strategy: Strategy) -> Result<Self, FleetError> {
+        if capacity == 0 {
+            return Err(FleetError::ZeroCapacity);
+        }
+        Ok(Self {
+            capacity,
+            strategy,
+            clock: 0,
+            runtimes: BTreeMap::new(),
+            bases: Vec::new(),
+            metrics: CacheMetrics::default(),
+        })
+    }
+
+    /// The shard runtime for `key`, touched as most-recently-used;
+    /// (re)built from the store entry on a miss, evicting the
+    /// least-recently-used runtime when over capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry, transform and engine-build errors from a cold
+    /// build.
+    pub fn runtime(
+        &mut self,
+        key: ShardKey,
+        entry: &ShardEntry,
+    ) -> Result<Arc<ShardRuntime>, FleetError> {
+        self.clock += 1;
+        if let Some((stamp, runtime)) = self.runtimes.get_mut(&key) {
+            *stamp = self.clock;
+            self.metrics.hits += 1;
+            return Ok(Arc::clone(runtime));
+        }
+        self.metrics.misses += 1;
+        let base = self.base_engine(key.config, entry.dictionary.content(), &entry.source)?;
+        let runtime = Arc::new(ShardRuntime::build(entry, &base)?);
+        if self.runtimes.len() == self.capacity {
+            let oldest = self
+                .runtimes
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(&key, _)| key)
+                .expect("capacity > 0, so a full cache is non-empty");
+            self.runtimes.remove(&oldest);
+            self.metrics.evictions += 1;
+        }
+        self.runtimes
+            .insert(key, (self.clock, Arc::clone(&runtime)));
+        Ok(runtime)
+    }
+
+    /// Drops a shard's cached runtime (after an eviction from the store).
+    pub fn invalidate(&mut self, key: ShardKey) {
+        self.runtimes.remove(&key);
+    }
+
+    /// Cache health counters.
+    #[must_use]
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    /// Number of cached shard runtimes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Whether no runtime is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runtimes.is_empty()
+    }
+
+    /// The base engine for a `(config, content)` pair, building and
+    /// memoising it on first use. Returns a cheap sibling handle —
+    /// engines share their prepared contents through `Arc`s, so deriving
+    /// one is O(1) in content size.
+    pub(crate) fn base_engine(
+        &mut self,
+        config: MemoryConfig,
+        content: ContentPolicy,
+        test: &MarchTest,
+    ) -> Result<CoverageEngine, FleetError> {
+        if let Some((_, base)) = self.bases.iter().find(|((base_config, base_content), _)| {
+            *base_config == config && *base_content == content
+        }) {
+            return Ok(base.with_test(test)?);
+        }
+        let base = CoverageEngine::builder(config)
+            .test(test)
+            .content(content)
+            .strategy(self.strategy)
+            .build()?;
+        let handle = base.with_test(test)?;
+        self.bases.push(((config, content), base));
+        Ok(handle)
+    }
+}

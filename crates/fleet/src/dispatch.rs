@@ -1,0 +1,148 @@
+//! A std-only thread-pool dispatch path over [`FleetService::handle`].
+//!
+//! [`Dispatcher::submit`] enqueues a request and returns a [`Ticket`];
+//! worker threads drain the queue and post each response back through
+//! the ticket's channel. Responses are per-request, so out-of-order
+//! completion across tickets is fine — each caller blocks only on its
+//! own [`Ticket::wait`].
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::service::{FleetService, Request, Response};
+
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    service: Arc<FleetService>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// A pending response; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the request's response is ready.
+    #[must_use]
+    pub fn wait(self) -> Response {
+        self.receiver.recv().unwrap_or_else(|_| Response::Error {
+            message: "dispatcher shut down before the request completed".to_string(),
+        })
+    }
+}
+
+/// A fixed pool of worker threads feeding one [`FleetService`].
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Spawns `workers` threads (at least one) over the service.
+    #[must_use]
+    pub fn new(service: Arc<FleetService>, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Enqueues a request; the returned ticket resolves to its response.
+    #[must_use]
+    pub fn submit(&self, request: Request) -> Ticket {
+        let (reply, receiver) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.jobs.push_back(Job { request, reply });
+        }
+        self.shared.available.notify_one();
+        Ticket { receiver }
+    }
+
+    /// The service behind the pool.
+    #[must_use]
+    pub fn service(&self) -> &Arc<FleetService> {
+        &self.shared.service
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.closed = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let response = shared.service.handle(job.request);
+        // The submitter may have dropped its ticket; that is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::FleetConfig;
+    use twm_coverage::Strategy;
+
+    #[test]
+    fn dispatches_and_drains_on_drop() {
+        let service = Arc::new(
+            FleetService::new(FleetConfig {
+                strategy: Strategy::Serial,
+                ..FleetConfig::default()
+            })
+            .unwrap(),
+        );
+        let dispatcher = Dispatcher::new(service, 2);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| dispatcher.submit(Request::ListShards))
+            .collect();
+        for ticket in tickets {
+            assert_eq!(ticket.wait(), Response::Shards(Vec::new()));
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The transport-agnostic service core: a request/response enum pair and
+//! the synchronous [`FleetService::handle`] entry point.
+//!
+//! The service is deliberately transport-free — callers hand it a
+//! [`Request`] value (decoded from the [`crate::wire`] format or built
+//! in-process) and get a [`Response`] value back. A socket server, a CI
+//! harness and the [`crate::Dispatcher`] thread pool all wrap the same
+//! `handle`.
+//!
+//! ## Determinism
+//!
+//! Batched diagnosis fans devices across worker threads, but every
+//! per-device verdict is a pure function of the shard runtime and the
+//! report, results are merged back into submission order, and batch
+//! statistics are folded serially from that order — so a batch response
+//! is **bit-identical to the serial path** for any thread count, and
+//! cumulative statistics (all counters additive) do not depend on how
+//! concurrent batches interleave. Cache hit/miss counters *do* depend on
+//! arrival order; they live in [`CacheMetrics`], apart from the
+//! deterministic [`FleetStatistics`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+use twm_core::scheme::SchemeId;
+use twm_coverage::{ContentPolicy, Strategy, UniverseBuilder};
+use twm_march::MarchTest;
+use twm_mem::{FaultyMemory, MemoryConfig, RepairableMemory};
+use twm_repair::{
+    localise_trail, verify_repair, DictionaryOptions, LocatedDefect, RepairAllocator, RepairPlan,
+    SignatureDictionary, SignatureTrail,
+};
+
+use crate::cache::{RuntimeCache, ShardRuntime};
+use crate::shard::ShardKey;
+use crate::stats::{CacheMetrics, FleetStatistics};
+use crate::store::DictionaryStore;
+use crate::FleetError;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Worker-thread strategy for batch fan-out, engine simulations and
+    /// server-side dictionary builds.
+    pub strategy: Strategy,
+    /// LRU bound on cached shard runtimes.
+    pub cache_capacity: usize,
+    /// Whether diagnosed devices get their repair plan verified by
+    /// simulation (apply the plan to the ambiguity class's representative
+    /// injection and re-run the scheme session through the remap table).
+    pub verify_repairs: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Auto,
+            cache_capacity: 8,
+            verify_repairs: true,
+        }
+    }
+}
+
+/// Which fault classes a server-side dictionary build indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniverseSpec {
+    /// Index single stuck-at faults.
+    pub stuck_at: bool,
+    /// Index single transition faults.
+    pub transition: bool,
+    /// Index idempotent coupling faults.
+    pub coupling_idempotent: bool,
+    /// Two-fault injections to sample on top of the single-fault
+    /// universe.
+    pub multi_fault_samples: usize,
+    /// Seed of the deterministic pair sampler.
+    pub sample_seed: u64,
+}
+
+impl Default for UniverseSpec {
+    fn default() -> Self {
+        Self {
+            stuck_at: true,
+            transition: true,
+            coupling_idempotent: false,
+            multi_fault_samples: 0,
+            sample_seed: 0xD1C7,
+        }
+    }
+}
+
+/// One device's periodic-test report: where it runs and what its MISR
+/// produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Caller-chosen device identifier, echoed in the outcome.
+    pub device: String,
+    /// The deployment triple the device runs.
+    pub shard: ShardKey,
+    /// The observed per-stage MISR signature trail.
+    pub trail: SignatureTrail,
+    /// Spare words the device's memory has available for repair.
+    pub spares: usize,
+}
+
+/// The service request set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Request {
+    /// Register a client-built dictionary for the shard derived from its
+    /// config, scheme and `source`.
+    RegisterDictionary {
+        /// The source march test of the deployment.
+        source: MarchTest,
+        /// The dictionary (built with [`SignatureDictionary::build`]).
+        dictionary: SignatureDictionary,
+    },
+    /// Build a dictionary server-side (through the cached engine for the
+    /// config/content pair) and register it.
+    BuildDictionary {
+        /// The transparent scheme of the deployment.
+        scheme: SchemeId,
+        /// The source march test.
+        source: MarchTest,
+        /// The memory shape.
+        config: MemoryConfig,
+        /// The reference content policy devices run the periodic test
+        /// against.
+        content: ContentPolicy,
+        /// The fault universe to index.
+        universe: UniverseSpec,
+    },
+    /// Drop a shard's dictionary (and its cached runtime).
+    EvictDictionary {
+        /// The shard to evict.
+        shard: ShardKey,
+    },
+    /// List the registered shards.
+    ListShards,
+    /// Diagnose a batch of device reports.
+    DiagnoseBatch {
+        /// The reports; outcomes come back in this order.
+        reports: Vec<DeviceReport>,
+    },
+    /// Export a shard's source test and dictionary in the wire format.
+    ExportShard {
+        /// The shard to export.
+        shard: ShardKey,
+    },
+    /// Register a shard from an [`Response::Exported`] payload.
+    ImportShard {
+        /// The wire-format bytes.
+        bytes: Vec<u8>,
+    },
+    /// Cumulative diagnosis statistics since service start.
+    Statistics,
+    /// Runtime-cache health counters.
+    CacheMetrics,
+}
+
+/// A registered shard, as listed by [`Request::ListShards`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// The shard key.
+    pub shard: ShardKey,
+    /// Name of the source march test.
+    pub test_name: String,
+    /// Ambiguity classes in the dictionary.
+    pub classes: usize,
+    /// Injections the dictionary indexes.
+    pub indexed: usize,
+}
+
+/// The verdict for one device of a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceVerdict {
+    /// The trail matches the fault-free reference.
+    Clean,
+    /// No dictionary is registered for the report's shard.
+    UnknownShard,
+    /// The trail fails but matches no indexed injection (content drift or
+    /// an un-modelled defect) — candidate for escalation to on-device
+    /// adaptive localisation.
+    UnknownTrail,
+    /// The trail matched an ambiguity class.
+    Diagnosed(Diagnosis),
+    /// Diagnosis failed with an internal error.
+    Failed {
+        /// The error rendered as text.
+        message: String,
+    },
+}
+
+/// A successful trail diagnosis with its repair plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Ranked defect hypotheses.
+    pub defects: Vec<LocatedDefect>,
+    /// Size of the matched ambiguity class.
+    pub ambiguity: usize,
+    /// Spare assignment over the device's budget.
+    pub plan: RepairPlan,
+    /// Whether the plan re-verified clean on the class's representative
+    /// injection (always `false` when verification is disabled or the
+    /// plan leaves defects unrepaired).
+    pub predicted_clean: bool,
+}
+
+/// One device's slot of a batch response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceOutcome {
+    /// The report's device identifier.
+    pub device: String,
+    /// The verdict.
+    pub verdict: DeviceVerdict,
+}
+
+/// A whole batch's outcomes plus its (batch-local) statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Per-device outcomes, in submission order.
+    pub outcomes: Vec<DeviceOutcome>,
+    /// Statistics folded over this batch only.
+    pub statistics: FleetStatistics,
+}
+
+/// The service response set; every [`Request`] variant maps to one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Response {
+    /// A dictionary was registered.
+    Registered {
+        /// The shard it serves.
+        shard: ShardKey,
+        /// Ambiguity classes in the dictionary.
+        classes: usize,
+        /// Injections indexed.
+        indexed: usize,
+    },
+    /// An eviction was processed.
+    Evicted {
+        /// The shard.
+        shard: ShardKey,
+        /// Whether a dictionary was registered.
+        existed: bool,
+    },
+    /// The registered shards.
+    Shards(Vec<ShardInfo>),
+    /// A batch was diagnosed.
+    Batch(BatchReport),
+    /// A shard's wire-format export.
+    Exported {
+        /// The shard.
+        shard: ShardKey,
+        /// Source test + dictionary, wire-encoded.
+        bytes: Vec<u8>,
+    },
+    /// Cumulative statistics.
+    Statistics(FleetStatistics),
+    /// Cache health counters.
+    CacheMetrics(CacheMetrics),
+    /// The request failed.
+    Error {
+        /// The error rendered as text.
+        message: String,
+    },
+}
+
+/// The in-process fleet diagnosis service.
+///
+/// `handle` takes `&self` — the store, cache and statistics sit behind
+/// their own locks — so one service instance can be shared across
+/// transport threads (see [`crate::Dispatcher`]).
+#[derive(Debug)]
+pub struct FleetService {
+    verify_repairs: bool,
+    workers: usize,
+    store: Mutex<DictionaryStore>,
+    cache: Mutex<RuntimeCache>,
+    stats: Mutex<FleetStatistics>,
+}
+
+impl FleetService {
+    /// Creates a service with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::ZeroCapacity`] for a zero cache capacity,
+    /// [`FleetError::Coverage`] when the strategy cannot resolve a worker
+    /// count (`Parallel { threads: 0 }`).
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        let workers = config.strategy.worker_threads()?;
+        Ok(Self {
+            verify_repairs: config.verify_repairs,
+            workers,
+            store: Mutex::new(DictionaryStore::new()),
+            cache: Mutex::new(RuntimeCache::new(config.cache_capacity, config.strategy)?),
+            stats: Mutex::new(FleetStatistics::default()),
+        })
+    }
+
+    /// Creates a service with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetService::new`].
+    pub fn with_defaults() -> Result<Self, FleetError> {
+        Self::new(FleetConfig::default())
+    }
+
+    /// The resolved batch fan-out width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Handles one request synchronously. Never panics on bad input —
+    /// failures come back as [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(error) => Response::Error {
+                message: error.to_string(),
+            },
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Response, FleetError> {
+        match request {
+            Request::RegisterDictionary { source, dictionary } => {
+                self.register(source, Arc::new(dictionary))
+            }
+            Request::BuildDictionary {
+                scheme,
+                source,
+                config,
+                content,
+                universe,
+            } => self.build_dictionary(scheme, source, config, content, &universe),
+            Request::EvictDictionary { shard } => {
+                let existed = self.store.lock().expect("store lock").evict(shard);
+                self.cache.lock().expect("cache lock").invalidate(shard);
+                Ok(Response::Evicted { shard, existed })
+            }
+            Request::ListShards => {
+                let store = self.store.lock().expect("store lock");
+                let shards = store
+                    .keys()
+                    .map(|shard| {
+                        let entry = store.get(shard).expect("listed key is present");
+                        ShardInfo {
+                            shard,
+                            test_name: entry.source.name().to_string(),
+                            classes: entry.dictionary.classes().len(),
+                            indexed: entry.dictionary.stats().indexed,
+                        }
+                    })
+                    .collect();
+                Ok(Response::Shards(shards))
+            }
+            Request::DiagnoseBatch { reports } => self.diagnose_batch(&reports),
+            Request::ExportShard { shard } => {
+                let bytes = self.store.lock().expect("store lock").export(shard)?;
+                Ok(Response::Exported { shard, bytes })
+            }
+            Request::ImportShard { bytes } => {
+                let shard = self.store.lock().expect("store lock").import(&bytes)?;
+                self.registered(shard)
+            }
+            Request::Statistics => Ok(Response::Statistics(
+                self.stats.lock().expect("stats lock").clone(),
+            )),
+            Request::CacheMetrics => Ok(Response::CacheMetrics(
+                self.cache.lock().expect("cache lock").metrics(),
+            )),
+        }
+    }
+
+    fn register(
+        &self,
+        source: MarchTest,
+        dictionary: Arc<SignatureDictionary>,
+    ) -> Result<Response, FleetError> {
+        let shard = self
+            .store
+            .lock()
+            .expect("store lock")
+            .register(source, dictionary)?;
+        self.registered(shard)
+    }
+
+    fn registered(&self, shard: ShardKey) -> Result<Response, FleetError> {
+        let store = self.store.lock().expect("store lock");
+        let entry = store.get(shard).ok_or(FleetError::UnknownShard(shard))?;
+        Ok(Response::Registered {
+            shard,
+            classes: entry.dictionary.classes().len(),
+            indexed: entry.dictionary.stats().indexed,
+        })
+    }
+
+    fn build_dictionary(
+        &self,
+        scheme: SchemeId,
+        source: MarchTest,
+        config: MemoryConfig,
+        content: ContentPolicy,
+        universe: &UniverseSpec,
+    ) -> Result<Response, FleetError> {
+        let registry = twm_core::scheme::SchemeRegistry::all(config.width())?;
+        let scheme_impl = registry
+            .get(scheme)
+            .ok_or_else(|| FleetError::Wire(format!("scheme {scheme:?} is not registered")))?;
+        let mut builder = UniverseBuilder::new(config);
+        if universe.stuck_at {
+            builder = builder.stuck_at();
+        }
+        if universe.transition {
+            builder = builder.transition();
+        }
+        if universe.coupling_idempotent {
+            builder = builder.coupling_idempotent();
+        }
+        let faults = builder.build();
+        let engine = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache
+                .base_engine(config, content, &source)?
+                .with_scheme(scheme_impl, &source)?
+        };
+        let options = DictionaryOptions {
+            multi_fault_samples: universe.multi_fault_samples,
+            sample_seed: universe.sample_seed,
+            ..DictionaryOptions::default()
+        };
+        let dictionary = SignatureDictionary::build(&engine, &faults, &options)?;
+        self.register(source, Arc::new(dictionary))
+    }
+
+    fn diagnose_batch(&self, reports: &[DeviceReport]) -> Result<Response, FleetError> {
+        // Resolve every distinct shard once, under the locks, before the
+        // fan-out: a missing store entry is a per-device verdict, not an
+        // error; a failed cold build poisons only its shard's devices.
+        let shards: BTreeSet<ShardKey> = reports.iter().map(|report| report.shard).collect();
+        let mut runtimes: BTreeMap<ShardKey, Result<Arc<ShardRuntime>, String>> = BTreeMap::new();
+        {
+            let store = self.store.lock().expect("store lock");
+            let mut cache = self.cache.lock().expect("cache lock");
+            for &shard in &shards {
+                let Some(entry) = store.get(shard) else {
+                    continue;
+                };
+                let runtime = cache
+                    .runtime(shard, entry)
+                    .map_err(|error| error.to_string());
+                runtimes.insert(shard, runtime);
+            }
+        }
+
+        let verify = self.verify_repairs;
+        let handle_one = |report: &DeviceReport| -> DeviceOutcome {
+            let verdict = match runtimes.get(&report.shard) {
+                None => DeviceVerdict::UnknownShard,
+                Some(Err(message)) => DeviceVerdict::Failed {
+                    message: message.clone(),
+                },
+                Some(Ok(runtime)) => diagnose_device(runtime, report, verify),
+            };
+            DeviceOutcome {
+                device: report.device.clone(),
+                verdict,
+            }
+        };
+
+        let outcomes: Vec<DeviceOutcome> = if self.workers > 1 && reports.len() > 1 {
+            // Contiguous chunks, merged back by slot: submission order is
+            // preserved and each verdict is a pure function of (runtime,
+            // report), so the result is bit-identical to the serial loop.
+            let chunk = reports.len().div_ceil(self.workers);
+            let mut slots: Vec<Option<DeviceOutcome>> = vec![None; reports.len()];
+            std::thread::scope(|scope| {
+                for (report_chunk, slot_chunk) in reports.chunks(chunk).zip(slots.chunks_mut(chunk))
+                {
+                    scope.spawn(|| {
+                        for (report, slot) in report_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(handle_one(report));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every slot is written by its chunk"))
+                .collect()
+        } else {
+            reports.iter().map(handle_one).collect()
+        };
+
+        // Fold statistics serially, in submission order.
+        let mut statistics = FleetStatistics::default();
+        for outcome in &outcomes {
+            record(&mut statistics, &outcome.verdict);
+        }
+        self.stats.lock().expect("stats lock").merge(&statistics);
+        Ok(Response::Batch(BatchReport {
+            outcomes,
+            statistics,
+        }))
+    }
+}
+
+/// Diagnoses one device from its trail: dictionary lookup, spare
+/// allocation and (optionally) simulated repair verification.
+fn diagnose_device(runtime: &ShardRuntime, report: &DeviceReport, verify: bool) -> DeviceVerdict {
+    let diagnosis = localise_trail(&runtime.dictionary, &report.trail);
+    if diagnosis.clean {
+        return DeviceVerdict::Clean;
+    }
+    if !diagnosis.dictionary_hit {
+        return DeviceVerdict::UnknownTrail;
+    }
+    let plan = RepairAllocator::default().allocate(&diagnosis.defects, report.spares);
+    let predicted_clean = if verify && plan.fully_repairs() && report.spares > 0 {
+        match verify_plan(runtime, &report.trail, report.spares, &plan) {
+            Ok(clean) => clean,
+            Err(error) => {
+                return DeviceVerdict::Failed {
+                    message: error.to_string(),
+                }
+            }
+        }
+    } else {
+        false
+    };
+    DeviceVerdict::Diagnosed(Diagnosis {
+        defects: diagnosis.defects,
+        ambiguity: diagnosis.ambiguity,
+        plan,
+        predicted_clean,
+    })
+}
+
+/// Re-verifies a repair plan by simulation: inject the matched class's
+/// representative injection into a fresh memory with the device's spare
+/// budget, program the plan's remap table and re-run the scheme session.
+fn verify_plan(
+    runtime: &ShardRuntime,
+    trail: &SignatureTrail,
+    spares: usize,
+    plan: &RepairPlan,
+) -> Result<bool, FleetError> {
+    let class = runtime
+        .dictionary
+        .lookup(trail)
+        .expect("caller checked dictionary_hit");
+    let representative = class.injections[0].clone();
+    let mut memory = FaultyMemory::with_faults(runtime.dictionary.config(), representative)?;
+    match runtime.dictionary.content() {
+        ContentPolicy::Zeros => {}
+        ContentPolicy::Random { seed } => memory.fill_random(seed),
+    }
+    // Fresh spares are numbered 0.. like the allocator's slots, so the
+    // plan applies without translation.
+    let mut repairable = RepairableMemory::new(memory, spares)?;
+    plan.apply(&mut repairable)?;
+    let verification = verify_repair(&runtime.probe, &mut repairable, runtime.misr.clone())?;
+    Ok(verification.clean())
+}
+
+/// Folds one verdict into a statistics block.
+fn record(stats: &mut FleetStatistics, verdict: &DeviceVerdict) {
+    stats.devices += 1;
+    match verdict {
+        DeviceVerdict::Clean => stats.clean += 1,
+        DeviceVerdict::UnknownShard => stats.unknown_shard += 1,
+        DeviceVerdict::UnknownTrail => stats.unknown_trail += 1,
+        DeviceVerdict::Failed { .. } => {}
+        DeviceVerdict::Diagnosed(diagnosis) => {
+            stats.diagnosed += 1;
+            if diagnosis.plan.fully_repairs() {
+                stats.fully_repaired += 1;
+            }
+            if diagnosis.predicted_clean {
+                stats.verified_clean += 1;
+            }
+            for defect in &diagnosis.defects {
+                if let Some(class) = defect.hypothesis {
+                    *stats.fault_classes.entry(class).or_default() += 1;
+                }
+            }
+            *stats
+                .ambiguity
+                .entry(diagnosis.ambiguity as u64)
+                .or_default() += 1;
+            let words: BTreeSet<usize> = diagnosis
+                .defects
+                .iter()
+                .map(|defect| defect.cell.word)
+                .collect();
+            *stats.spares_needed.entry(words.len() as u64).or_default() += 1;
+        }
+    }
+}

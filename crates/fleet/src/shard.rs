@@ -1,0 +1,124 @@
+//! Shard keys: how the fleet service partitions dictionaries and cached
+//! runtimes.
+//!
+//! A deployment runs many memory shapes, schemes and source tests at once;
+//! every combination needs its own [`crate::SignatureDictionary`] and
+//! engine state. The service shards on the triple
+//! `(MemoryConfig, SchemeId, test fingerprint)` — everything a trail
+//! report must match for a dictionary lookup to be meaningful.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use twm_core::scheme::SchemeId;
+use twm_march::MarchTest;
+use twm_mem::MemoryConfig;
+
+/// A stable 64-bit fingerprint of a march test, derived from its notation
+/// (FNV-1a over the [`fmt::Display`] rendering, which includes the name).
+///
+/// Two tests fingerprint equal exactly when they print equal — the same
+/// property the rest of the stack relies on for reproducibility — so the
+/// fingerprint survives serialisation round-trips and process restarts,
+/// unlike a pointer or an insertion index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TestFingerprint(u64);
+
+impl TestFingerprint {
+    /// Fingerprints a march test.
+    #[must_use]
+    pub fn of(test: &MarchTest) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in test.to_string().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        Self(hash)
+    }
+
+    /// The raw 64-bit fingerprint.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TestFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The shard a device report belongs to: memory shape, transparent
+/// scheme and source-test fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardKey {
+    /// Shape of the memory under test.
+    pub config: MemoryConfig,
+    /// The transparent scheme the periodic test runs under.
+    pub scheme: SchemeId,
+    /// Fingerprint of the source (non-transparent) march test.
+    pub fingerprint: TestFingerprint,
+}
+
+impl ShardKey {
+    /// Builds the shard key for a deployment triple.
+    #[must_use]
+    pub fn new(config: MemoryConfig, scheme: SchemeId, source: &MarchTest) -> Self {
+        Self {
+            config,
+            scheme,
+            fingerprint: TestFingerprint::of(source),
+        }
+    }
+}
+
+impl fmt::Display for ShardKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}/{:?}/{}",
+            self.config.words(),
+            self.config.width(),
+            self.scheme,
+            self.fingerprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twm_march::algorithms::{march_c_minus, mats_plus};
+
+    #[test]
+    fn fingerprint_tracks_notation() {
+        let a = TestFingerprint::of(&march_c_minus());
+        let b = TestFingerprint::of(&march_c_minus());
+        let c = TestFingerprint::of(&mats_plus());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shard_keys_distinguish_every_axis() {
+        let config_a = MemoryConfig::new(8, 4).unwrap();
+        let config_b = MemoryConfig::new(16, 4).unwrap();
+        let base = ShardKey::new(config_a, SchemeId::TwmTa, &march_c_minus());
+        assert_ne!(
+            base,
+            ShardKey::new(config_b, SchemeId::TwmTa, &march_c_minus())
+        );
+        assert_ne!(
+            base,
+            ShardKey::new(config_a, SchemeId::Tomt, &march_c_minus())
+        );
+        assert_ne!(base, ShardKey::new(config_a, SchemeId::TwmTa, &mats_plus()));
+        assert_eq!(
+            base,
+            ShardKey::new(config_a, SchemeId::TwmTa, &march_c_minus())
+        );
+    }
+}

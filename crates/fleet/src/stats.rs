@@ -1,0 +1,154 @@
+//! Fleet statistics: first-class, serialisable aggregates over batched
+//! diagnosis outcomes.
+//!
+//! Every counter is additive, so statistics merge commutatively —
+//! interleaved batches from many threads accumulate to the same totals
+//! in any order, which keeps the cumulative [`crate::Request::Statistics`]
+//! view deterministic under the concurrent dispatch path.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use twm_mem::FaultClass;
+
+/// Aggregate diagnosis statistics over a batch (or a whole deployment).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStatistics {
+    /// Device reports processed.
+    pub devices: u64,
+    /// Reports whose trail matched the fault-free reference.
+    pub clean: u64,
+    /// Reports addressed to a shard with no registered dictionary.
+    pub unknown_shard: u64,
+    /// Failing trails the shard dictionary could not match (content
+    /// drift, un-modelled defects).
+    pub unknown_trail: u64,
+    /// Reports diagnosed to an ambiguity class.
+    pub diagnosed: u64,
+    /// Diagnosed reports whose repair plan covered every defect.
+    pub fully_repaired: u64,
+    /// Diagnosed reports whose repaired memory re-verified clean.
+    pub verified_clean: u64,
+    /// Per-fault-class hypothesis counts over located defects with a
+    /// pinned class.
+    pub fault_classes: BTreeMap<FaultClass, u64>,
+    /// Histogram of matched ambiguity-class sizes: `size -> reports`.
+    pub ambiguity: BTreeMap<u64, u64>,
+    /// Histogram of spare words needed for a full repair:
+    /// `spares -> diagnosed reports`. Feeds
+    /// [`FleetStatistics::repair_rate_curve`].
+    pub spares_needed: BTreeMap<u64, u64>,
+}
+
+impl FleetStatistics {
+    /// Failure rate per fault class: each pinned class's share of all
+    /// pinned defect hypotheses, as `(class, count, fraction)` rows.
+    #[must_use]
+    pub fn failure_rates(&self) -> Vec<(FaultClass, u64, f64)> {
+        let total: u64 = self.fault_classes.values().sum();
+        self.fault_classes
+            .iter()
+            .map(|(&class, &count)| {
+                let fraction = if total == 0 {
+                    0.0
+                } else {
+                    count as f64 / total as f64
+                };
+                (class, count, fraction)
+            })
+            .collect()
+    }
+
+    /// Repair rate as a function of the spare-word budget: for every
+    /// budget up to the largest observed need, the fraction of diagnosed
+    /// reports a memory with that many spares fully repairs.
+    #[must_use]
+    pub fn repair_rate_curve(&self) -> Vec<(u64, f64)> {
+        let Some(&max_needed) = self.spares_needed.keys().last() else {
+            return Vec::new();
+        };
+        let total: u64 = self.spares_needed.values().sum();
+        let mut covered = 0;
+        let mut curve = Vec::with_capacity(max_needed as usize + 1);
+        for budget in 0..=max_needed {
+            covered += self.spares_needed.get(&budget).copied().unwrap_or(0);
+            curve.push((budget, covered as f64 / total as f64));
+        }
+        curve
+    }
+
+    /// Merges another statistics block into this one (all counters add).
+    pub fn merge(&mut self, other: &FleetStatistics) {
+        self.devices += other.devices;
+        self.clean += other.clean;
+        self.unknown_shard += other.unknown_shard;
+        self.unknown_trail += other.unknown_trail;
+        self.diagnosed += other.diagnosed;
+        self.fully_repaired += other.fully_repaired;
+        self.verified_clean += other.verified_clean;
+        for (&class, &count) in &other.fault_classes {
+            *self.fault_classes.entry(class).or_default() += count;
+        }
+        for (&size, &count) in &other.ambiguity {
+            *self.ambiguity.entry(size).or_default() += count;
+        }
+        for (&spares, &count) in &other.spares_needed {
+            *self.spares_needed.entry(spares).or_default() += count;
+        }
+    }
+}
+
+/// Engine/session cache health counters.
+///
+/// Kept apart from [`FleetStatistics`] on purpose: cache hits depend on
+/// request arrival order, so they are reporting-only and excluded from
+/// the deterministic diagnosis aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Batched shard lookups served from a cached runtime.
+    pub hits: u64,
+    /// Lookups that had to build the shard runtime.
+    pub misses: u64,
+    /// Runtimes evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = FleetStatistics {
+            devices: 3,
+            diagnosed: 2,
+            ..FleetStatistics::default()
+        };
+        a.fault_classes.insert(FaultClass::Saf, 2);
+        a.spares_needed.insert(1, 2);
+        let mut b = FleetStatistics {
+            devices: 1,
+            clean: 1,
+            ..FleetStatistics::default()
+        };
+        b.fault_classes.insert(FaultClass::Saf, 1);
+        b.spares_needed.insert(2, 1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.devices, 4);
+        assert_eq!(ab.fault_classes[&FaultClass::Saf], 3);
+    }
+
+    #[test]
+    fn repair_curve_is_cumulative() {
+        let mut stats = FleetStatistics::default();
+        stats.spares_needed.insert(1, 3);
+        stats.spares_needed.insert(2, 1);
+        let curve = stats.repair_rate_curve();
+        assert_eq!(curve, vec![(0, 0.0), (1, 0.75), (2, 1.0)]);
+    }
+}

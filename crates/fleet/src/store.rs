@@ -1,0 +1,119 @@
+//! The sharded dictionary store: every deployment triple's
+//! [`SignatureDictionary`] under its [`ShardKey`], with wire-format
+//! persistence.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use twm_march::MarchTest;
+use twm_repair::SignatureDictionary;
+
+use crate::shard::ShardKey;
+use crate::{wire, FleetError};
+
+/// One registered shard: the source march test and the dictionary built
+/// from it.
+#[derive(Debug, Clone)]
+pub struct ShardEntry {
+    /// The source (non-transparent) march test the deployment runs.
+    pub source: MarchTest,
+    /// The signature dictionary for the shard's deployment triple.
+    pub dictionary: Arc<SignatureDictionary>,
+}
+
+/// The serialised form of a shard entry — what [`DictionaryStore::export`]
+/// writes and [`DictionaryStore::import`] reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistedShard {
+    /// The source march test.
+    pub source: MarchTest,
+    /// The dictionary.
+    pub dictionary: SignatureDictionary,
+}
+
+/// Dictionaries sharded by `(config, scheme, test fingerprint)`.
+#[derive(Debug, Default)]
+pub struct DictionaryStore {
+    entries: BTreeMap<ShardKey, ShardEntry>,
+}
+
+impl DictionaryStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dictionary under the shard key derived from its
+    /// config, scheme and the source test, and returns that key.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateShard`] when the shard already has a
+    /// dictionary — evict first to replace.
+    pub fn register(
+        &mut self,
+        source: MarchTest,
+        dictionary: Arc<SignatureDictionary>,
+    ) -> Result<ShardKey, FleetError> {
+        let key = ShardKey::new(dictionary.config(), dictionary.scheme(), &source);
+        if self.entries.contains_key(&key) {
+            return Err(FleetError::DuplicateShard(key));
+        }
+        self.entries.insert(key, ShardEntry { source, dictionary });
+        Ok(key)
+    }
+
+    /// Removes a shard's dictionary; `true` when one was registered.
+    pub fn evict(&mut self, key: ShardKey) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// The entry registered under `key`.
+    #[must_use]
+    pub fn get(&self, key: ShardKey) -> Option<&ShardEntry> {
+        self.entries.get(&key)
+    }
+
+    /// All registered shard keys, in key order.
+    pub fn keys(&self) -> impl Iterator<Item = ShardKey> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of registered shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises a shard's entry to the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownShard`] when the shard is not registered.
+    pub fn export(&self, key: ShardKey) -> Result<Vec<u8>, FleetError> {
+        let entry = self.get(key).ok_or(FleetError::UnknownShard(key))?;
+        Ok(wire::to_bytes(&PersistedShard {
+            source: entry.source.clone(),
+            dictionary: (*entry.dictionary).clone(),
+        }))
+    }
+
+    /// Registers a shard from its wire-format export.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Wire`] on a malformed payload,
+    /// [`FleetError::DuplicateShard`] when the shard already exists.
+    pub fn import(&mut self, bytes: &[u8]) -> Result<ShardKey, FleetError> {
+        let persisted: PersistedShard = wire::from_bytes(bytes)?;
+        self.register(persisted.source, Arc::new(persisted.dictionary))
+    }
+}

@@ -6,7 +6,11 @@ use crate::{
 };
 
 /// Shape of a simulated memory: number of words and word width in bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (words, then width) and hashable so it can key sharded
+/// stores — fleet deployments index dictionaries and cached engines by
+/// `(MemoryConfig, scheme, test)` shard keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MemoryConfig {
     words: usize,
     width: usize,

@@ -86,7 +86,10 @@ pub use dictionary::{
     AmbiguityClass, AmbiguityStats, DictionaryOptions, SignatureDictionary, SignatureTrail,
 };
 pub use error::RepairError;
-pub use localise::{DefectEvidence, DiagnosticSession, LocalisationOutcome, LocatedDefect};
+pub use localise::{
+    localise_trail, DefectEvidence, DiagnosticSession, LocalisationOutcome, LocatedDefect,
+    TrailDiagnosis,
+};
 pub use verify::{verify_repair, RepairVerification};
 
 use twm_mem::RepairableMemory;

@@ -26,6 +26,7 @@
 //! fault-class hypothesis and confidence — the input a
 //! [`crate::RepairAllocator`] turns into a spare assignment.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
@@ -157,7 +158,7 @@ impl LocalisationOutcome {
 #[derive(Debug)]
 pub struct DiagnosticSession<'a> {
     registry: &'a SchemeRegistry,
-    transforms: Vec<SchemeTransform>,
+    transforms: Cow<'a, [SchemeTransform]>,
     dictionary: Option<&'a SignatureDictionary>,
     misr: Misr,
 }
@@ -175,10 +176,49 @@ impl<'a> DiagnosticSession<'a> {
         if registry.is_empty() {
             return Err(RepairError::EmptyRegistry);
         }
-        let transforms = registry.transform_all(source)?;
+        let transforms = Cow::Owned(registry.transform_all(source)?);
         Ok(Self {
             registry,
             transforms,
+            dictionary: None,
+            misr: Misr::standard(registry.width()),
+        })
+    }
+
+    /// Builds a session over **precomputed** scheme transforms — the O(1)
+    /// constructor for callers that cache
+    /// [`SchemeRegistry::transform_all`]'s output and build many short-lived
+    /// sessions from it (the `twm-fleet` shard-runtime cache constructs one
+    /// session per batch this way, paying no transform work on cache hits).
+    ///
+    /// `transforms` must be the registry's transforms of one source test, in
+    /// registry order — exactly what [`SchemeRegistry::transform_all`]
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::EmptyRegistry`] for a registry with no schemes or an
+    ///   empty transform slice.
+    /// * [`RepairError::ConfigMismatch`] if the transforms do not line up
+    ///   with the registry (count or scheme order).
+    pub fn with_transforms(
+        registry: &'a SchemeRegistry,
+        transforms: &'a [SchemeTransform],
+    ) -> Result<Self, RepairError> {
+        if registry.is_empty() || transforms.is_empty() {
+            return Err(RepairError::EmptyRegistry);
+        }
+        if transforms.len() != registry.len()
+            || !registry
+                .ids()
+                .zip(transforms.iter())
+                .all(|(id, transform)| transform.scheme() == id)
+        {
+            return Err(RepairError::ConfigMismatch);
+        }
+        Ok(Self {
+            registry,
+            transforms: Cow::Borrowed(transforms),
             dictionary: None,
             misr: Misr::standard(registry.width()),
         })
@@ -280,7 +320,7 @@ impl<'a> DiagnosticSession<'a> {
         let mut sessions = Vec::with_capacity(self.transforms.len());
         let mut reports = Vec::with_capacity(self.transforms.len());
         let mut observed_trail: Option<SignatureTrail> = None;
-        for transform in &self.transforms {
+        for transform in self.transforms.iter() {
             // Every session starts from the content the memory was handed
             // over with: an earlier scheme's session can leave drifted
             // content (faults break preservation), which would otherwise
@@ -422,6 +462,106 @@ impl<'a> DiagnosticSession<'a> {
                     .find(|transform| transform.scheme() == dictionary.scheme())
             })
             .unwrap_or(&self.transforms[0])
+    }
+}
+
+/// The outcome of a **trail-only** diagnosis — what a remote service can
+/// conclude from a serialised signature trail alone, without access to the
+/// memory under test (see [`localise_trail`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrailDiagnosis {
+    /// Ranked defect hypotheses from the matched ambiguity class (empty on
+    /// a clean trail or a dictionary miss). Evidence is dictionary-only:
+    /// read-log and probe evidence need the physical memory.
+    pub defects: Vec<LocatedDefect>,
+    /// Whether the trail hit the dictionary.
+    pub dictionary_hit: bool,
+    /// Size of the matched ambiguity class (0 on a miss).
+    pub ambiguity: usize,
+    /// Whether the trail equals the dictionary's fault-free reference.
+    pub clean: bool,
+}
+
+/// Diagnoses a memory from its observed signature trail alone — the
+/// server-side half of [`DiagnosticSession::localise`], for deployments
+/// where only the serialised trail travels (a fleet service ingesting field
+/// reports). The trail is matched against the dictionary; the ambiguity
+/// class's injections become ranked [`LocatedDefect`]s with
+/// dictionary-only evidence ([`DefectEvidence::in_ambiguity_class`]).
+///
+/// The `stuck_value` hypothesis is derived from the fault model instead of
+/// an observation: a stuck-at cell is constantly at its stuck value, a cell
+/// with a blocked rising (falling) transition can only be observed at 0
+/// (1); coupling victims carry no constant.
+#[must_use]
+pub fn localise_trail(dictionary: &SignatureDictionary, trail: &SignatureTrail) -> TrailDiagnosis {
+    if trail == dictionary.fault_free_trail() {
+        return TrailDiagnosis {
+            defects: Vec::new(),
+            dictionary_hit: false,
+            ambiguity: 0,
+            clean: true,
+        };
+    }
+    let Some(class) = dictionary.lookup(trail) else {
+        return TrailDiagnosis {
+            defects: Vec::new(),
+            dictionary_hit: false,
+            ambiguity: 0,
+            clean: false,
+        };
+    };
+
+    #[derive(Default)]
+    struct Candidate {
+        classes: Vec<FaultClass>,
+        values: Vec<Option<bool>>,
+    }
+    let mut candidates: BTreeMap<BitAddress, Candidate> = BTreeMap::new();
+    for injection in &class.injections {
+        for fault in injection {
+            let candidate = candidates.entry(fault.victim()).or_default();
+            if !candidate.classes.contains(&fault.class()) {
+                candidate.classes.push(fault.class());
+            }
+            let value = match fault {
+                twm_mem::Fault::StuckAt { value, .. } => Some(*value),
+                twm_mem::Fault::TransitionFault { direction, .. } => match direction {
+                    twm_mem::Transition::Rising => Some(false),
+                    twm_mem::Transition::Falling => Some(true),
+                },
+                _ => None,
+            };
+            if !candidate.values.contains(&value) {
+                candidate.values.push(value);
+            }
+        }
+    }
+    let evidence = DefectEvidence {
+        in_ambiguity_class: true,
+        ..DefectEvidence::default()
+    };
+    let defects = candidates
+        .into_iter()
+        .map(|(cell, candidate)| LocatedDefect {
+            cell,
+            hypothesis: match candidate.classes.as_slice() {
+                [single] => Some(*single),
+                _ => None,
+            },
+            stuck_value: match candidate.values.as_slice() {
+                [single] => *single,
+                _ => None,
+            },
+            confidence: f64::from(evidence.points()) / f64::from(MAX_EVIDENCE_POINTS),
+            evidence,
+        })
+        .collect();
+    TrailDiagnosis {
+        defects,
+        dictionary_hit: true,
+        ambiguity: class.injections.len(),
+        clean: false,
     }
 }
 

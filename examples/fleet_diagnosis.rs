@@ -1,0 +1,244 @@
+//! A fleet of 100 devices across two deployment shards reporting MISR
+//! signature trails to one [`twm::fleet::FleetService`]:
+//!
+//! 1. Two shards — `(16x8, TWM_TA, March C−)` and `(16x8, Scheme 1,
+//!    MATS+)` — get their signature dictionaries built **server-side**
+//!    through the cached engine path and registered in the sharded store.
+//! 2. 100 simulated devices run their periodic transparent session; most
+//!    are healthy, some carry a stuck-at or transition defect, a few
+//!    report to a shard nobody registered.
+//! 3. One `DiagnoseBatch` request fans the reports across worker threads
+//!    (bit-identical to serial), returning a ranked diagnosis, a spare
+//!    assignment and a simulation-verified repair verdict per device,
+//!    plus fleet statistics.
+//! 4. Each diagnosed device applies its plan locally; the example
+//!    re-runs the device's session to prove the signature comes back
+//!    clean.
+//!
+//! Everything runs from fixed seeds, so repeated runs print the same
+//! numbers (CI runs this example as a smoke check).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fleet_diagnosis
+//! ```
+
+use twm::bist::{run_scheme_session_staged, Misr};
+use twm::core::{SchemeId, SchemeRegistry};
+use twm::coverage::ContentPolicy;
+use twm::fleet::{
+    DeviceReport, DeviceVerdict, FleetService, Request, Response, ShardKey, SignatureTrail,
+    UniverseSpec,
+};
+use twm::march::algorithms::{march_c_minus, mats_plus};
+use twm::march::MarchTest;
+use twm::mem::{
+    BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig, RepairableMemory, SplitMix64,
+    Transition,
+};
+use twm::repair::verify_repair;
+
+const SEED: u64 = 2005;
+const DEVICES: usize = 100;
+
+/// One simulated device: its shard, its (possibly empty) defect list and
+/// its spare-word budget.
+struct Device {
+    name: String,
+    shard: ShardKey,
+    scheme: SchemeId,
+    source: MarchTest,
+    faults: Vec<Fault>,
+    spares: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::new(16, 8)?;
+    let content = ContentPolicy::Random { seed: SEED };
+    let service = FleetService::with_defaults()?;
+
+    // --- 1. Register the two deployment shards (server-side builds). ---
+    let deployments = [
+        (SchemeId::TwmTa, march_c_minus()),
+        (SchemeId::Scheme1, mats_plus()),
+    ];
+    println!("registering {} shards on the service:", deployments.len());
+    for (scheme, source) in &deployments {
+        let response = service.handle(Request::BuildDictionary {
+            scheme: *scheme,
+            source: source.clone(),
+            config,
+            content,
+            universe: UniverseSpec::default(),
+        });
+        let Response::Registered {
+            shard,
+            classes,
+            indexed,
+        } = response
+        else {
+            panic!("dictionary build failed: {response:?}");
+        };
+        println!("  {shard}: {indexed} injections indexed into {classes} ambiguity classes");
+    }
+
+    // --- 2. Simulate the fleet's periodic test reports. ---
+    let mut rng = SplitMix64::new(SEED);
+    let ghost_shard = ShardKey::new(config, SchemeId::Tomt, &march_c_minus());
+    let devices: Vec<Device> = (0..DEVICES)
+        .map(|index| {
+            let (scheme, source) = &deployments[index % deployments.len()];
+            let mut shard = ShardKey::new(config, *scheme, source);
+            let roll = rng.next_below(10);
+            let faults = match roll {
+                // 40%: healthy.
+                0..=3 => Vec::new(),
+                // 10%: reports to an unregistered shard.
+                4 => {
+                    shard = ghost_shard;
+                    Vec::new()
+                }
+                // 30%: one stuck-at defect.
+                5..=7 => {
+                    let cell = BitAddress::new(
+                        rng.next_below(config.words()),
+                        rng.next_below(config.width()),
+                    );
+                    vec![Fault::stuck_at(cell, rng.next_below(2) == 0)]
+                }
+                // 20%: one transition defect.
+                _ => {
+                    let cell = BitAddress::new(
+                        rng.next_below(config.words()),
+                        rng.next_below(config.width()),
+                    );
+                    let direction = if rng.next_below(2) == 0 {
+                        Transition::Rising
+                    } else {
+                        Transition::Falling
+                    };
+                    vec![Fault::transition(cell, direction)]
+                }
+            };
+            Device {
+                name: format!("device-{index:03}"),
+                shard,
+                scheme: *scheme,
+                source: source.clone(),
+                faults,
+                spares: 2,
+            }
+        })
+        .collect();
+
+    let registry = SchemeRegistry::all(config.width())?;
+    let reports: Vec<DeviceReport> = devices
+        .iter()
+        .map(|device| {
+            Ok(DeviceReport {
+                device: device.name.clone(),
+                shard: device.shard,
+                trail: run_device_session(&registry, config, device)?,
+                spares: device.spares,
+            })
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    println!(
+        "\n{} devices report trails ({} workers on the service)",
+        reports.len(),
+        service.workers()
+    );
+
+    // --- 3. One batched diagnose-and-repair request. ---
+    let Response::Batch(batch) = service.handle(Request::DiagnoseBatch { reports }) else {
+        panic!("batch request failed");
+    };
+    let stats = &batch.statistics;
+    println!(
+        "verdicts: {} clean, {} diagnosed ({} fully repairable, {} verified clean), \
+         {} unknown-shard, {} unknown-trail",
+        stats.clean,
+        stats.diagnosed,
+        stats.fully_repaired,
+        stats.verified_clean,
+        stats.unknown_shard,
+        stats.unknown_trail
+    );
+    println!("failure rates per fault class:");
+    for (class, count, fraction) in stats.failure_rates() {
+        println!("  {class:?}: {count} defects ({:.0}%)", fraction * 100.0);
+    }
+    println!("repair rate vs spare budget:");
+    for (spares, rate) in stats.repair_rate_curve() {
+        println!(
+            "  {spares} spares -> {:.0}% of diagnosed devices",
+            rate * 100.0
+        );
+    }
+
+    // --- 4. Devices apply their plans; sessions must come back clean. ---
+    // A plan the service verified clean on the class representative must
+    // also repair the device's *actual* defect: the plan covers every
+    // candidate word of the ambiguity class, and the real fault is one of
+    // its members.
+    let mut repaired = 0usize;
+    for (device, outcome) in devices.iter().zip(&batch.outcomes) {
+        assert_eq!(device.name, outcome.device, "batch reordered outcomes");
+        let DeviceVerdict::Diagnosed(diagnosis) = &outcome.verdict else {
+            continue;
+        };
+        if !diagnosis.predicted_clean {
+            // The ambiguity class spread over more words than the spare
+            // budget covers — the service reports it, the device escalates.
+            continue;
+        }
+        let transform = registry.transform(device.scheme, &device.source)?;
+        let mut memory = RepairableMemory::new(
+            FaultyMemory::with_faults(config, FaultSet::from_faults(device.faults.clone()))?,
+            device.spares,
+        )?;
+        memory.main_mut().fill_random(SEED);
+        diagnosis.plan.apply(&mut memory)?;
+        let verification = verify_repair(&transform, &mut memory, Misr::standard(config.width()))?;
+        assert!(
+            verification.clean(),
+            "{}: signature still failing after repair",
+            device.name
+        );
+        repaired += 1;
+    }
+    println!("\n{repaired} defective devices repaired and re-verified locally");
+
+    // The acceptance contract this example is CI-gated on.
+    assert_eq!(stats.devices, DEVICES as u64);
+    assert!(stats.clean > 0, "no healthy devices in the fleet");
+    assert!(stats.unknown_shard > 0, "ghost shard never exercised");
+    assert!(stats.diagnosed > 0, "no device was diagnosed");
+    assert!(
+        stats.fully_repaired > 0,
+        "no repairable device in the fleet"
+    );
+    assert_eq!(
+        stats.verified_clean, stats.fully_repaired,
+        "a fully-repairing plan failed simulated verification"
+    );
+    assert_eq!(repaired as u64, stats.verified_clean);
+    println!("OK: fleet of {DEVICES} devices diagnosed, repaired and verified");
+    Ok(())
+}
+
+/// Runs one device's periodic transparent session and returns its trail.
+fn run_device_session(
+    registry: &SchemeRegistry,
+    config: MemoryConfig,
+    device: &Device,
+) -> Result<SignatureTrail, Box<dyn std::error::Error>> {
+    let transform = registry.transform(device.scheme, &device.source)?;
+    let mut memory =
+        FaultyMemory::with_faults(config, FaultSet::from_faults(device.faults.clone()))?;
+    memory.fill_random(SEED);
+    let staged =
+        run_scheme_session_staged(&transform, &mut memory, Misr::standard(config.width()))?;
+    Ok(SignatureTrail::new(staged.signature_trail()))
+}

@@ -50,6 +50,17 @@
 //!   [`RepairableMemory`](mem::RepairableMemory) spare words, and
 //!   [`verify_repair`](repair::verify_repair) proving the signature comes
 //!   back clean on the remapped memory.
+//! * [`fleet`] — the fleet-scale diagnosis service: signature
+//!   dictionaries sharded by `(memory shape, scheme, test fingerprint)`
+//!   in a [`DictionaryStore`](fleet::DictionaryStore) with wire-format
+//!   persistence, an LRU [`RuntimeCache`](fleet::RuntimeCache) of
+//!   per-shard engines/transforms, and the transport-agnostic
+//!   [`FleetService`](fleet::FleetService) whose
+//!   [`DiagnoseBatch`](fleet::Request::DiagnoseBatch) fans device trail
+//!   reports across worker threads — bit-identical to serial — and folds
+//!   them into [`FleetStatistics`](fleet::FleetStatistics) (failure rates
+//!   per fault class, ambiguity histograms, repair-rate-vs-spares
+//!   curves).
 //!
 //! ## Quickstart
 //!
@@ -215,12 +226,59 @@
 //! `examples/diagnose_and_repair.rs` runs the full 8×32 flow (with
 //! per-scheme diagnosability statistics) and `benches/repair.rs` measures
 //! dictionary-build throughput and localisation latency.
+//!
+//! ## Serving a whole fleet
+//!
+//! One device diagnosing itself is the paper's flow; a deployment has
+//! thousands reporting **trails only** to a maintenance service. [`fleet`]
+//! is that service core — dictionaries per deployment triple, batched
+//! trail diagnosis, repair plans verified by simulation, and fleet-level
+//! statistics — transport-agnostic and deterministic:
+//!
+//! ```
+//! use twm::core::SchemeId;
+//! use twm::coverage::ContentPolicy;
+//! use twm::fleet::{DeviceReport, FleetService, Request, Response, ShardKey, UniverseSpec};
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::mem::MemoryConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = FleetService::with_defaults()?;
+//! let config = MemoryConfig::new(8, 4)?;
+//!
+//! // Build + register the shard's dictionary server-side.
+//! let Response::Registered { shard, .. } = service.handle(Request::BuildDictionary {
+//!     scheme: SchemeId::TwmTa,
+//!     source: march_c_minus(),
+//!     config,
+//!     content: ContentPolicy::Random { seed: 9 },
+//!     universe: UniverseSpec::default(),
+//! }) else {
+//!     panic!("registration failed");
+//! };
+//!
+//! // Devices report their MISR trails; the batch comes back diagnosed,
+//! // in submission order, with repair plans and batch statistics.
+//! let reports: Vec<DeviceReport> = Vec::new(); // filled from the field
+//! let Response::Batch(batch) = service.handle(Request::DiagnoseBatch { reports }) else {
+//!     panic!("batch failed");
+//! };
+//! assert_eq!(batch.statistics.devices, 0);
+//! # let _ = shard;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `examples/fleet_diagnosis.rs` runs a 100-device, two-shard fleet end to
+//! end and `benches/fleet.rs` measures batched-lookup throughput and the
+//! warm-cache vs cold-build latency gap.
 
 #![warn(missing_docs)]
 
 pub use twm_bist as bist;
 pub use twm_core as core;
 pub use twm_coverage as coverage;
+pub use twm_fleet as fleet;
 pub use twm_march as march;
 pub use twm_mem as mem;
 pub use twm_repair as repair;

@@ -1,14 +1,503 @@
-//! Offline shim for `serde`: marker traits plus no-op derive macros, enough
-//! for `#[derive(Serialize, Deserialize)]` annotations to compile unchanged.
-//! Nothing in this workspace performs actual serialization today; when it
-//! does, swap this shim for the real crates.io `serde` (see
+//! Offline shim for `serde`: a real (if minimal) serialization framework.
+//!
+//! The derives are source-compatible with the real crate for the shapes the
+//! workspace uses (see `vendor/serde_derive`), but instead of the real
+//! crate's visitor architecture they serialize into — and deserialize from
+//! — the self-describing [`Value`] tree below. Byte-level encodings of a
+//! [`Value`] live with their consumers (the `twm-fleet` wire codec); this
+//! crate owns only the data model.
+//!
+//! The `'de` lifetime on [`Deserialize`] is kept for annotation
+//! compatibility with the real crate; the shim always deserializes from a
+//! borrowed [`Value`] tree, so the lifetime carries no borrow. When
+//! building with network access, swap this shim for the real `serde` plus a
+//! format crate and reimplement `twm-fleet::wire` over it (see
 //! `vendor/README.md`).
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
-/// never implements it, it only keeps the annotation compiling).
-pub trait Serialize {}
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
-/// Marker stand-in for `serde::Deserialize` (no methods).
-pub trait Deserialize<'de> {}
+/// The self-describing serialization tree every [`Serialize`] impl produces
+/// and every [`Deserialize`] impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit: `()`, unit structs, unit enum variants' payload.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer (widened to 128 bits).
+    UInt(u128),
+    /// Any signed integer (widened to 128 bits).
+    Int(i128),
+    /// Any floating-point number (widened to `f64`; exact for `f32`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence: `Vec`, sets, tuples, tuple structs.
+    Seq(Vec<Value>),
+    /// A key-value map, in iteration order.
+    Map(Vec<(Value, Value)>),
+    /// Named fields of a struct or struct-like enum variant.
+    Record(Vec<(String, Value)>),
+    /// An enum variant by name, wrapping its payload shape.
+    Variant(String, Box<Value>),
+}
+
+impl Value {
+    /// A short human-readable name of the value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) => "unsigned integer",
+            Value::Int(_) => "signed integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+            Value::Record(_) => "record",
+            Value::Variant(_, _) => "variant",
+        }
+    }
+}
+
+/// A deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with an explicit message.
+    #[must_use]
+    pub fn message<S: Into<String>>(message: S) -> Self {
+        Self(message.into())
+    }
+
+    /// "expected `what`, found `<value kind>`".
+    #[must_use]
+    pub fn unexpected(what: &str, value: &Value) -> Self {
+        Self(format!("expected {what}, found {}", value.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the shim's [`Value`] data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from a borrowed [`Value`] tree. The `'de` lifetime is
+/// API-compatibility decoration; see the [crate docs](self).
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value`'s shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Serializes any value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Deserializes any value from the [`Value`] data model.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree's shape does not match `T`.
+pub fn from_value<'de, T: Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Looks up `name` in a record's fields and deserializes it — the helper
+/// behind every derived struct field. Missing fields are an error (the shim
+/// has no `#[serde(default)]`).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing or has the wrong shape.
+pub fn from_record<'de, T: Deserialize<'de>>(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    fields
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| T::deserialize(value))
+        .transpose()?
+        .ok_or_else(|| Error::message(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(u128::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(raw) => <$ty>::try_from(*raw).map_err(|_| {
+                        Error::message(format!(
+                            "{raw} out of range for {}", stringify!($ty)
+                        ))
+                    }),
+                    Value::Int(raw) => <$ty>::try_from(*raw).map_err(|_| {
+                        Error::message(format!(
+                            "{raw} out of range for {}", stringify!($ty)
+                        ))
+                    }),
+                    _ => Err(Error::unexpected(stringify!($ty), value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128);
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::Int(i128::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(raw) => <$ty>::try_from(*raw).map_err(|_| {
+                        Error::message(format!(
+                            "{raw} out of range for {}", stringify!($ty)
+                        ))
+                    }),
+                    Value::UInt(raw) => i128::try_from(*raw)
+                        .ok()
+                        .and_then(|raw| <$ty>::try_from(raw).ok())
+                        .ok_or_else(|| Error::message(format!(
+                            "{raw} out of range for {}", stringify!($ty)
+                        ))),
+                    _ => Err(Error::unexpected(stringify!($ty), value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::UInt(*self as u128)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        u128::deserialize(value)?
+            .try_into()
+            .map_err(|_| Error::message("out of range for usize"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        Value::Int(*self as i128)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        i128::deserialize(value)?
+            .try_into()
+            .map_err(|_| Error::message("out of range for isize"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::unexpected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(raw) => Ok(*raw),
+            _ => Err(Error::unexpected("f64", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|raw| raw as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::unexpected("char", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::unexpected("string", value)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Unit => Ok(()),
+            _ => Err(Error::unexpected("unit", value)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::unexpected("sequence", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Variant("None".to_string(), Box::new(Value::Unit)),
+            Some(inner) => Value::Variant("Some".to_string(), Box::new(inner.serialize())),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Variant(name, payload) => match (name.as_str(), &**payload) {
+                ("None", Value::Unit) => Ok(None),
+                ("Some", inner) => T::deserialize(inner).map(Some),
+                _ => Err(Error::unexpected("Option", value)),
+            },
+            _ => Err(Error::unexpected("Option", value)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(key, value)| (key.serialize(), value.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(key, value)| Ok((K::deserialize(key)?, V::deserialize(value)?)))
+                .collect(),
+            _ => Err(Error::unexpected("map", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::unexpected("set", value)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $index:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$index.serialize()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($index,)+].len();
+                match value {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::deserialize(&items[$index])?,)+))
+                    }
+                    _ => Err(Error::unexpected("tuple", value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u64>(&to_value(&17u64)), Ok(17));
+        assert_eq!(from_value::<i32>(&to_value(&-4i32)), Ok(-4));
+        assert_eq!(from_value::<usize>(&to_value(&9usize)), Ok(9));
+        assert_eq!(from_value::<bool>(&to_value(&true)), Ok(true));
+        assert_eq!(from_value::<f64>(&to_value(&1.5f64)), Ok(1.5));
+        assert_eq!(
+            from_value::<String>(&to_value("hi")),
+            Ok(String::from("hi"))
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_value::<Vec<u32>>(&to_value(&v)), Ok(v));
+        let some = Some(5u8);
+        assert_eq!(from_value::<Option<u8>>(&to_value(&some)), Ok(some));
+        assert_eq!(from_value::<Option<u8>>(&to_value(&None::<u8>)), Ok(None));
+        let map: BTreeMap<String, u64> = [("a".to_string(), 1u64)].into_iter().collect();
+        assert_eq!(
+            from_value::<BTreeMap<String, u64>>(&to_value(&map)),
+            Ok(map)
+        );
+        let set: BTreeSet<(bool, bool)> = [(true, false)].into_iter().collect();
+        assert_eq!(
+            from_value::<BTreeSet<(bool, bool)>>(&to_value(&set)),
+            Ok(set)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(from_value::<u64>(&Value::Bool(true)).is_err());
+        assert!(from_value::<Vec<u8>>(&Value::Unit).is_err());
+        assert!(from_value::<u8>(&Value::UInt(300)).is_err());
+    }
+}

@@ -1,17 +1,493 @@
-//! Offline shim for `serde_derive`: the derives accept the same attribute
-//! grammar as the real crate (`#[serde(...)]` helper attributes included)
-//! and expand to nothing. See `vendor/README.md` for the rationale.
+//! Offline shim for `serde_derive`: real (if minimal) derive macros.
+//!
+//! The derives accept the same surface grammar as the real crate for the
+//! shapes this workspace uses — plain (non-generic) structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit,
+//! tuple or struct-like — and expand to implementations of the shim
+//! `serde::Serialize` / `serde::Deserialize` traits over the shim's
+//! self-describing `Value` data model (see `vendor/serde/src/lib.rs`).
+//!
+//! The only `#[serde(...)]` helper attribute implemented is
+//! `#[serde(skip)]` on a named struct field: the field is omitted from the
+//! serialized record and reconstructed with `Default::default()`. Other
+//! helper attributes are rejected at compile time rather than silently
+//! ignored, so behaviour never diverges from the real crate unnoticed.
+//!
+//! There is deliberately no `syn`/`quote` dependency (the build environment
+//! is offline): parsing walks the raw token stream, code generation builds
+//! a source string and re-parses it. See `vendor/README.md`.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// One named field: identifier plus whether it is `#[serde(skip)]`ped.
+struct Field {
+    name: String,
+    skip: bool,
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
+/// The shape of one enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// The parsed input item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Real (minimal) stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Real (minimal) stand-in for `serde_derive::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(message) => format!("::core::compile_error!({message:?});")
+            .parse()
+            .expect("compile_error! literal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` / `pub(in ...)`
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                return Err(format!("serde shim derive: unexpected token `{kw}`"));
+            }
+            _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+        }
+    }
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected a type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            _ => Err("serde shim derive: expected the enum body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream())?.len();
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            None => Ok(Item::UnitStruct { name }),
+            _ => Err("serde shim derive: expected the struct body".into()),
+        }
+    }
+}
+
+/// Splits a token stream on commas at angle-bracket depth zero (groups are
+/// atomic token trees, so only `<`/`>` puncts need depth tracking). Empty
+/// chunks (trailing commas) are dropped.
+fn split_top_level(stream: TokenStream) -> Result<Vec<Vec<TokenTree>>, String> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token);
+    }
+    if depth != 0 {
+        return Err("serde shim derive: unbalanced angle brackets".into());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    Ok(chunks)
+}
+
+/// Whether an attribute group (the `[...]` after `#`) is a `#[serde(...)]`
+/// helper; returns its argument list rendered as a string when it is.
+fn serde_attribute_args(group: &proc_macro::Group) -> Option<String> {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            Some(args.stream().to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Parses `name: Type` fields, honouring leading attributes and visibility.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream)? {
+        let mut skip = false;
+        let mut i = 0usize;
+        loop {
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                        if let Some(args) = serde_attribute_args(g) {
+                            if args.trim() == "skip" {
+                                skip = true;
+                            } else {
+                                return Err(format!(
+                                    "serde shim derive: unsupported #[serde({args})]"
+                                ));
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    fields.push(Field {
+                        name: id.to_string(),
+                        skip,
+                    });
+                    break;
+                }
+                _ => return Err("serde shim derive: malformed field".into()),
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants: `[attrs] Name [{...} | (...)] [= discriminant]`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream)? {
+        let mut i = 0usize;
+        while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                    if let Some(args) = serde_attribute_args(g) {
+                        return Err(format!("serde shim derive: unsupported #[serde({args})]"));
+                    }
+                }
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde shim derive: malformed enum variant".into()),
+        };
+        i += 1;
+        let shape = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(split_top_level(g.stream())?.len())
+            }
+            // Unit variant, possibly with an explicit `= discriminant`.
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({n:?}), ::serde::Serialize::serialize(&self.{n})),",
+                    n = field.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         ::serde::Value::Record(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut entries = String::new();
+            for index in 0..*arity {
+                entries.push_str(&format!("::serde::Serialize::serialize(&self.{index}),"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         ::serde::Value::Seq(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Unit }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Variant(\
+                             ::std::string::String::from({v:?}),\
+                             ::std::boxed::Box::new(::serde::Value::Unit)),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => ::serde::Value::Variant(\
+                                 ::std::string::String::from({v:?}),\
+                                 ::std::boxed::Box::new(::serde::Value::Seq(\
+                                     ::std::vec![{items}]))),",
+                            binders = binders.join(","),
+                            items = items.join(","),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({n:?}), \
+                                      ::serde::Serialize::serialize({n})),",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Variant(\
+                                 ::std::string::String::from({v:?}),\
+                                 ::std::boxed::Box::new(::serde::Value::Record(\
+                                     ::std::vec![{entries}]))),",
+                            binders = binders.join(","),
+                            entries = entries.concat(),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),",
+                        field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::from_record(fields, {n:?})?,",
+                        n = field.name
+                    ));
+                }
+            }
+            (
+                name,
+                format!(
+                    "match value {{\
+                         ::serde::Value::Record(fields) => \
+                             ::std::result::Result::Ok({name} {{ {inits} }}),\
+                         _ => ::std::result::Result::Err(\
+                             ::serde::Error::unexpected({name:?}, value)),\
+                     }}"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::from_value(&items[{i}])?,"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match value {{\
+                         ::serde::Value::Seq(items) if items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}({items})),\
+                         _ => ::std::result::Result::Err(\
+                             ::serde::Error::unexpected({name:?}, value)),\
+                     }}",
+                    items = items.concat(),
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "match value {{\
+                     ::serde::Value::Unit => ::std::result::Result::Ok({name}),\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::unexpected({name:?}, value)),\
+                 }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "({v:?}, ::serde::Value::Unit) => \
+                             ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::from_value(&items[{i}])?,"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "({v:?}, ::serde::Value::Seq(items)) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{v}({items})),",
+                            items = items.concat(),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{n}: ::serde::from_record(fields, {n:?})?,", n = f.name)
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "({v:?}, ::serde::Value::Record(fields)) => \
+                                 ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                            inits = inits.concat(),
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match value {{\
+                         ::serde::Value::Variant(variant, payload) => \
+                             match (variant.as_str(), &**payload) {{\
+                                 {arms}\
+                                 _ => ::std::result::Result::Err(\
+                                     ::serde::Error::unexpected({name:?}, value)),\
+                             }},\
+                         _ => ::std::result::Result::Err(\
+                             ::serde::Error::unexpected({name:?}, value)),\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+             fn deserialize(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\
+                 {body}\
+             }}\
+         }}"
+    )
 }
