@@ -19,7 +19,11 @@
 //! * `fleet_batch` — devices diagnosed/second through a warm
 //!   `FleetService` runtime cache, plus per-device latency on a warm
 //!   cache versus a cold one (fresh service, shard runtime rebuilt) and
-//!   the warm-over-cold speedup the LRU cache buys.
+//!   the warm-over-cold speedup the LRU cache buys;
+//! * `dictionary_store` — the out-of-core dictionary backend:
+//!   build-to-disk injections/second, on-disk bytes per indexed entry,
+//!   cold (fresh pager, empty page cache) versus warm trail-lookup
+//!   latency and the warm page-cache hit rate.
 //!
 //! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]
 //! [--assert-fleet-speedup X]`. With `--assert-speedup`, the process
@@ -42,9 +46,10 @@ use twm_march::MarchTest;
 use twm_mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig, SplitMix64};
 use twm_repair::{DiagnosticSession, DictionaryOptions, SignatureDictionary};
 use twm_search::{MutationModel, Objective, ObjectiveOptions};
+use twm_store::{PagedDictionary, StoreOptions};
 
 /// The PR this trajectory point belongs to.
-const PR: u32 = 7;
+const PR: u32 = 8;
 
 /// PR 5's measured `engine_reuse` arena throughput at 64K words
 /// (faults/second) — the baseline the packed kernel is compared against.
@@ -350,8 +355,98 @@ fn measure_fleet() -> FleetBatch {
     }
 }
 
+struct DictionaryStore {
+    words: usize,
+    width: usize,
+    injections: usize,
+    entries: usize,
+    file_bytes: u64,
+    bytes_per_entry: f64,
+    build_injections_per_sec: f64,
+    cold_lookup_us: f64,
+    warm_lookup_us: f64,
+    warm_hit_rate: f64,
+}
+
+/// Out-of-core dictionary backend on the 16×8 fleet deployment shape:
+/// streaming build-to-disk throughput, on-disk density, and trail-lookup
+/// latency cold (fresh pager, every page read from disk) versus warm
+/// (LRU page cache primed), with the warm cache's hit rate.
+fn measure_dictionary_store() -> DictionaryStore {
+    let words = 16;
+    let width = 8;
+    let seed = 2005;
+    let config = MemoryConfig::new(words, width).unwrap();
+    let registry = SchemeRegistry::all(width).unwrap();
+    let engine = CoverageEngine::for_scheme(
+        registry.get(SchemeId::TwmTa).unwrap(),
+        &march_c_minus(),
+        config,
+    )
+    .unwrap()
+    .content(ContentPolicy::Random { seed })
+    .build()
+    .unwrap();
+    let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+    let options = DictionaryOptions::default();
+    let path = std::env::temp_dir().join(format!("twm-perf-{}.twmstore", std::process::id()));
+    let store = StoreOptions::default();
+
+    let build_secs = time_mean(
+        || {
+            drop(
+                PagedDictionary::build_to_disk(&engine, &universe, &options, &path, &store)
+                    .unwrap(),
+            );
+        },
+        2,
+        0.5,
+    );
+
+    let paged =
+        PagedDictionary::build_to_disk(&engine, &universe, &options, &path, &store).unwrap();
+    let entries = paged.classes();
+    let file_bytes = paged.file_bytes();
+    let probe = paged
+        .iter()
+        .nth(entries / 2)
+        .expect("dictionary has classes")
+        .unwrap()
+        .trail;
+
+    // Cold: a fresh open pays the header/meta reads and every index and
+    // payload page comes off disk — the latency a spilled fleet shard
+    // sees on its first post-eviction diagnosis.
+    let cold_secs = time_mean(
+        || {
+            let cold = PagedDictionary::open(&path, &store).unwrap();
+            assert!(cold.lookup(&probe).unwrap().is_some());
+        },
+        10,
+        0.5,
+    );
+    // Warm: the same lookup against a primed page cache.
+    assert!(paged.lookup(&probe).unwrap().is_some());
+    let warm_secs = time_mean(|| assert!(paged.lookup(&probe).unwrap().is_some()), 10, 0.5);
+    let metrics = paged.cache_metrics();
+    std::fs::remove_file(&path).expect("remove perf store");
+
+    DictionaryStore {
+        words,
+        width,
+        injections: universe.len(),
+        entries,
+        file_bytes,
+        bytes_per_entry: file_bytes as f64 / entries as f64,
+        build_injections_per_sec: universe.len() as f64 / build_secs,
+        cold_lookup_us: cold_secs * 1e6,
+        warm_lookup_us: warm_secs * 1e6,
+        warm_hit_rate: metrics.hit_rate(),
+    }
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut assert_speedup: Option<f64> = None;
     let mut assert_fleet_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
@@ -411,6 +506,16 @@ fn main() {
         fleet.cold_device_us,
         fleet.warm_speedup_vs_cold
     );
+    eprintln!("measuring dictionary store (build-to-disk, cold vs warm lookup)...");
+    let store = measure_dictionary_store();
+    eprintln!(
+        "  {:.1} injections/s to disk; {:.1} bytes/entry; lookup cold {:.1} us vs warm {:.1} us (hit rate {:.3})",
+        store.build_injections_per_sec,
+        store.bytes_per_entry,
+        store.cold_lookup_us,
+        store.warm_lookup_us,
+        store.warm_hit_rate
+    );
 
     // The artifact schema is tiny and append-only, so it is formatted by
     // hand rather than routed through the serde value model.
@@ -457,6 +562,18 @@ fn main() {
       "warm_device_latency_us": {fleet_warm:.1},
       "cold_build_latency_us": {fleet_cold:.1},
       "warm_speedup_vs_cold": {fleet_speedup:.1}
+    }},
+    "dictionary_store": {{
+      "words": {store_words},
+      "width": {store_width},
+      "universe_faults": {store_injections},
+      "entries": {store_entries},
+      "file_bytes": {store_file_bytes},
+      "bytes_per_entry": {store_bytes_per_entry:.1},
+      "build_to_disk_injections_per_sec": {store_build_rate:.1},
+      "cold_lookup_latency_us": {store_cold:.1},
+      "warm_lookup_latency_us": {store_warm:.1},
+      "warm_page_cache_hit_rate": {store_hit_rate:.4}
     }}
   }}
 }}
@@ -477,6 +594,16 @@ fn main() {
         fleet_warm = fleet.warm_device_us,
         fleet_cold = fleet.cold_device_us,
         fleet_speedup = fleet.warm_speedup_vs_cold,
+        store_words = store.words,
+        store_width = store.width,
+        store_injections = store.injections,
+        store_entries = store.entries,
+        store_file_bytes = store.file_bytes,
+        store_bytes_per_entry = store.bytes_per_entry,
+        store_build_rate = store.build_injections_per_sec,
+        store_cold = store.cold_lookup_us,
+        store_warm = store.warm_lookup_us,
+        store_hit_rate = store.warm_hit_rate,
     );
     std::fs::write(&out_path, &json).expect("write trajectory artifact");
     println!("wrote {out_path}");

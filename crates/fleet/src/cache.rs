@@ -23,11 +23,11 @@ use twm_core::scheme::{SchemeRegistry, SchemeTransform};
 use twm_coverage::{ContentPolicy, CoverageEngine, Strategy};
 use twm_march::MarchTest;
 use twm_mem::MemoryConfig;
-use twm_repair::SignatureDictionary;
+use twm_repair::TrailLookup;
 
 use crate::shard::ShardKey;
 use crate::stats::CacheMetrics;
-use crate::store::ShardEntry;
+use crate::store::{DictionaryHandle, ShardEntry};
 use crate::FleetError;
 
 /// Everything a worker thread needs to diagnose one shard's reports.
@@ -41,8 +41,9 @@ pub struct ShardRuntime {
     /// registry order — feeds
     /// [`twm_repair::DiagnosticSession::with_transforms`].
     pub transforms: Vec<SchemeTransform>,
-    /// The shard's signature dictionary.
-    pub dictionary: Arc<SignatureDictionary>,
+    /// The shard's dictionary handle — resident, or served from its
+    /// spill file through the bounded page cache.
+    pub dictionary: DictionaryHandle,
     /// A coverage engine under the dictionary's scheme, sharing its base
     /// engine's prepared contents.
     pub engine: CoverageEngine,
@@ -55,7 +56,7 @@ pub struct ShardRuntime {
 
 impl ShardRuntime {
     fn build(entry: &ShardEntry, base: &CoverageEngine) -> Result<Self, FleetError> {
-        let dictionary = Arc::clone(&entry.dictionary);
+        let dictionary = entry.dictionary.clone();
         let config = dictionary.config();
         let registry = SchemeRegistry::all(config.width())?;
         let transforms = registry.transform_all(&entry.source)?;
@@ -72,7 +73,7 @@ impl ShardRuntime {
             .position(|id| id == dictionary.scheme())
             .map(|at| transforms[at].clone())
             .expect("registry.get succeeded, so the id is present");
-        let misr = dictionary.misr().clone();
+        let misr = dictionary.misr_template().clone();
         Ok(Self {
             source: entry.source.clone(),
             registry,
@@ -95,6 +96,7 @@ pub struct RuntimeCache {
     runtimes: BTreeMap<ShardKey, (u64, Arc<ShardRuntime>)>,
     bases: Vec<((MemoryConfig, ContentPolicy), CoverageEngine)>,
     metrics: CacheMetrics,
+    evicted: Vec<ShardKey>,
 }
 
 impl RuntimeCache {
@@ -115,6 +117,7 @@ impl RuntimeCache {
             runtimes: BTreeMap::new(),
             bases: Vec::new(),
             metrics: CacheMetrics::default(),
+            evicted: Vec::new(),
         })
     }
 
@@ -149,6 +152,7 @@ impl RuntimeCache {
                 .expect("capacity > 0, so a full cache is non-empty");
             self.runtimes.remove(&oldest);
             self.metrics.evictions += 1;
+            self.evicted.push(oldest);
         }
         self.runtimes
             .insert(key, (self.clock, Arc::clone(&runtime)));
@@ -158,6 +162,13 @@ impl RuntimeCache {
     /// Drops a shard's cached runtime (after an eviction from the store).
     pub fn invalidate(&mut self, key: ShardKey) {
         self.runtimes.remove(&key);
+    }
+
+    /// Drains the shard keys evicted by the LRU bound since the last
+    /// call — the service's hook for demoting cold shards to their spill
+    /// files ([`crate::DictionaryStore::spill`]).
+    pub fn take_evicted(&mut self) -> Vec<ShardKey> {
+        std::mem::take(&mut self.evicted)
     }
 
     /// Cache health counters.

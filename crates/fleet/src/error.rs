@@ -29,6 +29,10 @@ pub enum FleetError {
     Wire(String),
     /// The runtime cache was configured with zero capacity.
     ZeroCapacity,
+    /// A transport or spill-file I/O failure.
+    Io(std::io::Error),
+    /// A paged dictionary store failure (spill or rehydration).
+    Store(twm_store::StoreError),
     /// An underlying core (scheme registry / transform) error.
     Core(CoreError),
     /// An underlying coverage-engine error.
@@ -55,6 +59,8 @@ impl fmt::Display for FleetError {
             ),
             Self::Wire(message) => write!(f, "wire decode failed: {message}"),
             Self::ZeroCapacity => write!(f, "runtime cache capacity must be non-zero"),
+            Self::Io(error) => write!(f, "i/o error: {error}"),
+            Self::Store(error) => write!(f, "dictionary store error: {error}"),
             Self::Core(error) => write!(f, "core error: {error}"),
             Self::Coverage(error) => write!(f, "coverage error: {error}"),
             Self::Repair(error) => write!(f, "repair error: {error}"),
@@ -63,7 +69,27 @@ impl fmt::Display for FleetError {
     }
 }
 
-impl std::error::Error for FleetError {}
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(error) => Some(error),
+            Self::Store(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(error: std::io::Error) -> Self {
+        Self::Io(error)
+    }
+}
+
+impl From<twm_store::StoreError> for FleetError {
+    fn from(error: twm_store::StoreError) -> Self {
+        Self::Store(error)
+    }
+}
 
 impl From<CoreError> for FleetError {
     fn from(error: CoreError) -> Self {

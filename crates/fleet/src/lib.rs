@@ -10,9 +10,11 @@
 //! * [`shard`] — [`ShardKey`]: dictionaries and cached runtimes are
 //!   partitioned by `(MemoryConfig, SchemeId, test fingerprint)`, the
 //!   triple a trail must match for a lookup to mean anything.
-//! * [`store`] — [`DictionaryStore`]: registered
-//!   [`SignatureDictionary`]s, with wire-format export/import for
-//!   persistence.
+//! * [`store`] — [`DictionaryStore`]: registered dictionaries behind
+//!   [`DictionaryHandle`]s (resident, or **spilled** to a paged
+//!   [`twm_store::PagedDictionary`] file that keeps serving lookups from
+//!   disk under a bounded page cache), with streaming wire-format
+//!   export/import for persistence.
 //! * [`cache`] — [`RuntimeCache`]: an LRU bound over per-shard
 //!   [`ShardRuntime`]s (scheme registry, transforms, coverage engine,
 //!   MISR), rebuilt on miss through the cheap
@@ -30,8 +32,13 @@
 //!   repair-rate-vs-spares curves; [`CacheMetrics`] kept separate
 //!   because hit rates depend on arrival order.
 //! * [`wire`] — a compact self-describing binary encoding of the serde
-//!   data model; every request, response and persisted dictionary
-//!   round-trips through [`wire::to_bytes`] / [`wire::from_bytes`].
+//!   data model (layout owned by [`twm_store::wire`]); every request,
+//!   response and persisted dictionary round-trips through
+//!   [`wire::to_bytes`] / [`wire::from_bytes`], or streams over
+//!   [`std::io::Read`]/[`std::io::Write`] with [`wire::write_to`] /
+//!   [`wire::read_from`].
+//! * [`tcp`] — [`TcpFront`]/[`FleetClient`]: a length-prefixed blocking
+//!   TCP framing of the same request/response pairs.
 //!
 //! ## A minimal deployment
 //!
@@ -83,6 +90,7 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 pub mod store;
+pub mod tcp;
 pub mod wire;
 
 pub use cache::{RuntimeCache, ShardRuntime};
@@ -94,8 +102,10 @@ pub use service::{
 };
 pub use shard::{ShardKey, TestFingerprint};
 pub use stats::{CacheMetrics, FleetStatistics};
-pub use store::{DictionaryStore, PersistedShard, ShardEntry};
+pub use store::{DictionaryHandle, DictionaryStore, PersistedShard, ShardEntry, SpillConfig};
+pub use tcp::{FleetClient, TcpFront};
 
-// Re-exported so service callers can build reports and decode dictionaries
-// without depending on twm-repair directly.
+// Re-exported so service callers can build reports, decode dictionaries
+// and size spill files without depending on twm-repair/twm-store directly.
 pub use twm_repair::{SignatureDictionary, SignatureTrail};
+pub use twm_store::{PagedDictionary, StoreOptions};

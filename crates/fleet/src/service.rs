@@ -29,17 +29,17 @@ use twm_march::MarchTest;
 use twm_mem::{FaultyMemory, MemoryConfig, RepairableMemory};
 use twm_repair::{
     localise_trail, verify_repair, DictionaryOptions, LocatedDefect, RepairAllocator, RepairPlan,
-    SignatureDictionary, SignatureTrail,
+    SignatureDictionary, SignatureTrail, TrailLookup,
 };
 
 use crate::cache::{RuntimeCache, ShardRuntime};
 use crate::shard::ShardKey;
 use crate::stats::{CacheMetrics, FleetStatistics};
-use crate::store::DictionaryStore;
+use crate::store::{DictionaryStore, SpillConfig};
 use crate::FleetError;
 
 /// Service-wide configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Worker-thread strategy for batch fan-out, engine simulations and
     /// server-side dictionary builds.
@@ -50,6 +50,11 @@ pub struct FleetConfig {
     /// simulation (apply the plan to the ambiguity class's representative
     /// injection and re-run the scheme session through the remap table).
     pub verify_repairs: bool,
+    /// When set, shards whose runtimes fall out of the LRU cache are
+    /// demoted to paged spill files under this configuration — lookups
+    /// keep working from disk and fleet memory stays bounded by the
+    /// page-cache budget.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +63,7 @@ impl Default for FleetConfig {
             strategy: Strategy::Auto,
             cache_capacity: 8,
             verify_repairs: true,
+            spill: None,
         }
     }
 }
@@ -292,10 +298,14 @@ impl FleetService {
     /// count (`Parallel { threads: 0 }`).
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         let workers = config.strategy.worker_threads()?;
+        let store = match config.spill {
+            Some(spill) => DictionaryStore::with_spill(spill),
+            None => DictionaryStore::new(),
+        };
         Ok(Self {
             verify_repairs: config.verify_repairs,
             workers,
-            store: Mutex::new(DictionaryStore::new()),
+            store: Mutex::new(store),
             cache: Mutex::new(RuntimeCache::new(config.cache_capacity, config.strategy)?),
             stats: Mutex::new(FleetStatistics::default()),
         })
@@ -350,11 +360,12 @@ impl FleetService {
                     .keys()
                     .map(|shard| {
                         let entry = store.get(shard).expect("listed key is present");
+                        let stats = entry.dictionary.stats();
                         ShardInfo {
                             shard,
                             test_name: entry.source.name().to_string(),
-                            classes: entry.dictionary.classes().len(),
-                            indexed: entry.dictionary.stats().indexed,
+                            classes: stats.classes,
+                            indexed: stats.indexed,
                         }
                     })
                     .collect();
@@ -394,10 +405,11 @@ impl FleetService {
     fn registered(&self, shard: ShardKey) -> Result<Response, FleetError> {
         let store = self.store.lock().expect("store lock");
         let entry = store.get(shard).ok_or(FleetError::UnknownShard(shard))?;
+        let stats = entry.dictionary.stats();
         Ok(Response::Registered {
             shard,
-            classes: entry.dictionary.classes().len(),
-            indexed: entry.dictionary.stats().indexed,
+            classes: stats.classes,
+            indexed: stats.indexed,
         })
     }
 
@@ -446,7 +458,7 @@ impl FleetService {
         let shards: BTreeSet<ShardKey> = reports.iter().map(|report| report.shard).collect();
         let mut runtimes: BTreeMap<ShardKey, Result<Arc<ShardRuntime>, String>> = BTreeMap::new();
         {
-            let store = self.store.lock().expect("store lock");
+            let mut store = self.store.lock().expect("store lock");
             let mut cache = self.cache.lock().expect("cache lock");
             for &shard in &shards {
                 let Some(entry) = store.get(shard) else {
@@ -456,6 +468,13 @@ impl FleetService {
                     .runtime(shard, entry)
                     .map_err(|error| error.to_string());
                 runtimes.insert(shard, runtime);
+            }
+            // Cold shards fell out of the runtime LRU: demote their
+            // dictionaries to spill files (no-op without a spill config).
+            // The spilled shard keeps serving — its next lookups stream
+            // from disk through the bounded page cache.
+            for evicted in cache.take_evicted() {
+                store.spill(evicted)?;
             }
         }
 
@@ -514,7 +533,14 @@ impl FleetService {
 /// Diagnoses one device from its trail: dictionary lookup, spare
 /// allocation and (optionally) simulated repair verification.
 fn diagnose_device(runtime: &ShardRuntime, report: &DeviceReport, verify: bool) -> DeviceVerdict {
-    let diagnosis = localise_trail(&runtime.dictionary, &report.trail);
+    let diagnosis = match localise_trail(&runtime.dictionary, &report.trail) {
+        Ok(diagnosis) => diagnosis,
+        Err(error) => {
+            return DeviceVerdict::Failed {
+                message: error.to_string(),
+            }
+        }
+    };
     if diagnosis.clean {
         return DeviceVerdict::Clean;
     }
@@ -553,7 +579,7 @@ fn verify_plan(
 ) -> Result<bool, FleetError> {
     let class = runtime
         .dictionary
-        .lookup(trail)
+        .find(trail)?
         .expect("caller checked dictionary_hit");
     let representative = class.injections[0].clone();
     let mut memory = FaultyMemory::with_faults(runtime.dictionary.config(), representative)?;

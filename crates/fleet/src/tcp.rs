@@ -1,0 +1,221 @@
+//! A length-prefixed blocking TCP transport for the fleet service.
+//!
+//! The service core is transport-agnostic ([`FleetService::handle`] takes
+//! decoded [`Request`] values); this module is the thinnest wire that
+//! makes it remote: every frame is a `u32` little-endian byte length
+//! followed by that many bytes of [`crate::wire`] payload. A connection
+//! carries any number of request frames, each answered by exactly one
+//! response frame, in order; the peer closing between frames ends the
+//! conversation cleanly.
+//!
+//! Deliberately std-only and blocking: one thread per accepted
+//! connection at most (callers wanting concurrency accept in their own
+//! threads or put the [`crate::Dispatcher`] pool behind one front). The
+//! framing guards both sides with [`MAX_FRAME`] so a corrupt or hostile
+//! length prefix cannot drive an unbounded allocation.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use crate::service::{FleetService, Request, Response};
+use crate::{wire, FleetError};
+
+/// Upper bound on a frame's payload bytes (1 GiB). Dictionaries export
+/// whole in one frame, so the bound is generous; a length prefix beyond
+/// it is treated as a malformed stream, not an allocation request.
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`FleetError::Io`] when the writer fails, [`FleetError::Wire`] when
+/// the payload exceeds [`MAX_FRAME`].
+pub fn write_frame<W: Write + ?Sized>(writer: &mut W, payload: &[u8]) -> Result<(), FleetError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FleetError::Wire(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte bound",
+            payload.len()
+        )));
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits u32");
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean end-of-stream
+/// (the peer closed between frames).
+///
+/// # Errors
+///
+/// [`FleetError::Wire`] when the stream ends inside a frame or the
+/// length prefix exceeds [`MAX_FRAME`]; [`FleetError::Io`] for other
+/// read failures.
+pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> Result<Option<Vec<u8>>, FleetError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FleetError::Wire(
+                    "stream ended inside a frame's length prefix".into(),
+                ))
+            }
+            Ok(count) => filled += count,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FleetError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FleetError::Wire(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FleetError::Wire("stream ended inside a frame's payload".into())
+        } else {
+            FleetError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// A blocking TCP front over a shared [`FleetService`].
+#[derive(Debug)]
+pub struct TcpFront {
+    listener: TcpListener,
+    service: Arc<FleetService>,
+}
+
+impl TcpFront {
+    /// Binds a listener (use port 0 for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the bind fails.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<FleetService>) -> Result<Self, FleetError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (where clients connect).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the socket cannot report it.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, FleetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts one connection and serves it to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] / [`FleetError::Wire`] from the accept or the
+    /// conversation. Malformed *requests inside* a healthy stream do not
+    /// error here — they are answered with [`Response::Error`] frames.
+    pub fn accept_one(&self) -> Result<(), FleetError> {
+        let (stream, _) = self.listener.accept()?;
+        self.serve_connection(stream)
+    }
+
+    /// Serves request frames on an accepted stream until the peer closes.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpFront::accept_one`].
+    pub fn serve_connection(&self, mut stream: TcpStream) -> Result<(), FleetError> {
+        while let Some(payload) = read_frame(&mut stream)? {
+            let response = match wire::from_bytes::<Request>(&payload) {
+                Ok(request) => self.service.handle(request),
+                Err(error) => Response::Error {
+                    message: error.to_string(),
+                },
+            };
+            write_frame(&mut stream, &wire::to_bytes(&response))?;
+        }
+        Ok(())
+    }
+
+    /// Accepts and serves connections forever (one at a time).
+    ///
+    /// # Errors
+    ///
+    /// The first accept or conversation failure — a supervisor loop
+    /// owns the restart policy.
+    pub fn run(&self) -> Result<(), FleetError> {
+        loop {
+            self.accept_one()?;
+        }
+    }
+}
+
+/// A blocking client for a [`TcpFront`].
+#[derive(Debug)]
+pub struct FleetClient {
+    stream: TcpStream,
+}
+
+impl FleetClient {
+    /// Connects to a front.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FleetError> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] / [`FleetError::Wire`] on transport failures —
+    /// including the server closing before responding.
+    pub fn request(&mut self, request: &Request) -> Result<Response, FleetError> {
+        write_frame(&mut self.stream, &wire::to_bytes(request))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| FleetError::Wire("server closed before responding".into()))?;
+        wire::from_bytes(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        let mut reader = stream.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_and_giant_prefixes_are_typed() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello").unwrap();
+        let mut reader = &stream[..3]; // inside the prefix
+        assert!(matches!(read_frame(&mut reader), Err(FleetError::Wire(_))));
+        let mut reader = &stream[..6]; // inside the payload
+        assert!(matches!(read_frame(&mut reader), Err(FleetError::Wire(_))));
+        let giant = (u32::try_from(MAX_FRAME).unwrap() + 1).to_le_bytes();
+        let mut reader = &giant[..];
+        assert!(matches!(read_frame(&mut reader), Err(FleetError::Wire(_))));
+    }
+}

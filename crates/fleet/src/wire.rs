@@ -17,33 +17,36 @@
 //! | `8` | record — `u64` LE field count + (name string, value) pairs |
 //! | `9` | variant — name string + payload value |
 //!
-//! Decoding is strict: every length is bounds-checked against the
-//! remaining input, strings must be valid UTF-8 and [`from_bytes`]
-//! rejects trailing bytes. The module is deliberately the only place
-//! that knows the byte layout — when the build moves to crates.io this
-//! is the seam to swap for `bincode`/`postcard` over real serde.
+//! The byte layout is owned by [`twm_store::wire`] — the dictionary
+//! store persists the same values — and this module wraps it with the
+//! fleet's error type. Since the store grew **streaming** entry points,
+//! the fleet codec streams too: [`write_to`] / [`read_from`] encode and
+//! decode over any [`std::io::Write`] / [`std::io::Read`] without
+//! buffering the whole payload, and the original [`to_bytes`] /
+//! [`from_bytes`] helpers remain as the `Vec<u8>` convenience layer.
+//! Decoding is strict: every length is bounds-checked, strings must be
+//! valid UTF-8 and [`from_bytes`] rejects trailing bytes.
 
-use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use twm_store::wire as codec;
+use twm_store::wire::WireError;
 
 use crate::FleetError;
 
-const TAG_UNIT: u8 = 0;
-const TAG_BOOL: u8 = 1;
-const TAG_UINT: u8 = 2;
-const TAG_INT: u8 = 3;
-const TAG_FLOAT: u8 = 4;
-const TAG_STR: u8 = 5;
-const TAG_SEQ: u8 = 6;
-const TAG_MAP: u8 = 7;
-const TAG_RECORD: u8 = 8;
-const TAG_VARIANT: u8 = 9;
+fn lift(error: WireError) -> FleetError {
+    match error {
+        WireError::Io(e) => FleetError::Io(e),
+        other => FleetError::Wire(other.to_string()),
+    }
+}
 
 /// Encodes a value into the wire format.
 #[must_use]
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
-    let mut bytes = Vec::new();
-    encode(&serde::to_value(value), &mut bytes);
-    bytes
+    codec::to_bytes(value)
 }
 
 /// Decodes a value from the wire format.
@@ -52,239 +55,103 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
 ///
 /// [`FleetError::Wire`] on a truncated or malformed payload, trailing
 /// bytes, or a decoded tree that does not match `T`'s shape.
-pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &[u8]) -> Result<T, FleetError> {
-    let mut cursor = Cursor { bytes, at: 0 };
-    let value = decode(&mut cursor)?;
-    if cursor.at != bytes.len() {
-        return Err(FleetError::Wire(format!(
-            "{} trailing bytes after value",
-            bytes.len() - cursor.at
-        )));
-    }
-    Ok(serde::from_value(&value)?)
+pub fn from_bytes<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, FleetError> {
+    codec::from_bytes(bytes).map_err(lift)
 }
 
-fn encode(value: &Value, out: &mut Vec<u8>) {
-    match value {
-        Value::Unit => out.push(TAG_UNIT),
-        Value::Bool(flag) => {
-            out.push(TAG_BOOL);
-            out.push(u8::from(*flag));
-        }
-        Value::UInt(number) => {
-            out.push(TAG_UINT);
-            out.extend_from_slice(&number.to_le_bytes());
-        }
-        Value::Int(number) => {
-            out.push(TAG_INT);
-            out.extend_from_slice(&number.to_le_bytes());
-        }
-        Value::Float(number) => {
-            out.push(TAG_FLOAT);
-            out.extend_from_slice(&number.to_bits().to_le_bytes());
-        }
-        Value::Str(text) => {
-            out.push(TAG_STR);
-            encode_str(text, out);
-        }
-        Value::Seq(items) => {
-            out.push(TAG_SEQ);
-            encode_len(items.len(), out);
-            for item in items {
-                encode(item, out);
-            }
-        }
-        Value::Map(entries) => {
-            out.push(TAG_MAP);
-            encode_len(entries.len(), out);
-            for (key, entry) in entries {
-                encode(key, out);
-                encode(entry, out);
-            }
-        }
-        Value::Record(fields) => {
-            out.push(TAG_RECORD);
-            encode_len(fields.len(), out);
-            for (name, field) in fields {
-                encode_str(name, out);
-                encode(field, out);
-            }
-        }
-        Value::Variant(name, payload) => {
-            out.push(TAG_VARIANT);
-            encode_str(name, out);
-            encode(payload, out);
-        }
-    }
+/// Encodes a value directly onto a writer — no intermediate buffer, so
+/// exports stream to files and sockets whatever the dictionary size.
+///
+/// # Errors
+///
+/// [`FleetError::Io`] when the writer fails.
+pub fn write_to<W, T>(writer: &mut W, value: &T) -> Result<(), FleetError>
+where
+    W: Write + ?Sized,
+    T: Serialize + ?Sized,
+{
+    codec::write_to(writer, value).map_err(lift)
 }
 
-fn encode_len(len: usize, out: &mut Vec<u8>) {
-    out.extend_from_slice(&(len as u64).to_le_bytes());
-}
-
-fn encode_str(text: &str, out: &mut Vec<u8>) {
-    encode_len(text.len(), out);
-    out.extend_from_slice(text.as_bytes());
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl Cursor<'_> {
-    fn take(&mut self, count: usize) -> Result<&[u8], FleetError> {
-        let end = self
-            .at
-            .checked_add(count)
-            .filter(|&end| end <= self.bytes.len())
-            .ok_or_else(|| {
-                FleetError::Wire(format!(
-                    "truncated payload: need {count} bytes at offset {}, have {}",
-                    self.at,
-                    self.bytes.len() - self.at
-                ))
-            })?;
-        let slice = &self.bytes[self.at..end];
-        self.at = end;
-        Ok(slice)
-    }
-
-    fn take_len(&mut self) -> Result<usize, FleetError> {
-        let raw = u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
-        // A length cannot exceed the remaining input (every element takes
-        // at least a tag byte) — reject early so a corrupt length cannot
-        // drive a huge allocation.
-        let remaining = self.bytes.len() - self.at;
-        if raw > remaining as u64 {
-            return Err(FleetError::Wire(format!(
-                "length {raw} exceeds {remaining} remaining bytes"
-            )));
-        }
-        Ok(raw as usize)
-    }
-
-    fn take_str(&mut self) -> Result<String, FleetError> {
-        let len = self.take_len()?;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| FleetError::Wire("string is not valid UTF-8".to_string()))
-    }
-}
-
-fn decode(cursor: &mut Cursor<'_>) -> Result<Value, FleetError> {
-    let tag = cursor.take(1)?[0];
-    match tag {
-        TAG_UNIT => Ok(Value::Unit),
-        TAG_BOOL => match cursor.take(1)?[0] {
-            0 => Ok(Value::Bool(false)),
-            1 => Ok(Value::Bool(true)),
-            other => Err(FleetError::Wire(format!("invalid bool byte {other:#04x}"))),
-        },
-        TAG_UINT => Ok(Value::UInt(u128::from_le_bytes(
-            cursor.take(16)?.try_into().expect("16 bytes"),
-        ))),
-        TAG_INT => Ok(Value::Int(i128::from_le_bytes(
-            cursor.take(16)?.try_into().expect("16 bytes"),
-        ))),
-        TAG_FLOAT => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
-            cursor.take(8)?.try_into().expect("8 bytes"),
-        )))),
-        TAG_STR => Ok(Value::Str(cursor.take_str()?)),
-        TAG_SEQ => {
-            let len = cursor.take_len()?;
-            let mut items = Vec::with_capacity(len);
-            for _ in 0..len {
-                items.push(decode(cursor)?);
-            }
-            Ok(Value::Seq(items))
-        }
-        TAG_MAP => {
-            let len = cursor.take_len()?;
-            let mut entries = Vec::with_capacity(len);
-            for _ in 0..len {
-                let key = decode(cursor)?;
-                let entry = decode(cursor)?;
-                entries.push((key, entry));
-            }
-            Ok(Value::Map(entries))
-        }
-        TAG_RECORD => {
-            let len = cursor.take_len()?;
-            let mut fields = Vec::with_capacity(len);
-            for _ in 0..len {
-                let name = cursor.take_str()?;
-                let field = decode(cursor)?;
-                fields.push((name, field));
-            }
-            Ok(Value::Record(fields))
-        }
-        TAG_VARIANT => {
-            let name = cursor.take_str()?;
-            let payload = decode(cursor)?;
-            Ok(Value::Variant(name, Box::new(payload)))
-        }
-        other => Err(FleetError::Wire(format!("unknown value tag {other:#04x}"))),
-    }
+/// Decodes one value from a reader, leaving it positioned after the
+/// value (framing is the caller's concern — see [`crate::tcp`]).
+///
+/// # Errors
+///
+/// [`FleetError::Io`] when the reader fails mid-value is *not* produced
+/// — a truncated stream is a malformed value, [`FleetError::Wire`];
+/// other reader failures surface as [`FleetError::Io`].
+pub fn read_from<R, T>(reader: &mut R) -> Result<T, FleetError>
+where
+    R: Read + ?Sized,
+    T: for<'de> Deserialize<'de>,
+{
+    codec::read_from(reader).map_err(lift)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn round_trip(value: &Value) {
-        let mut bytes = Vec::new();
-        encode(value, &mut bytes);
-        let mut cursor = Cursor {
-            bytes: &bytes,
-            at: 0,
-        };
-        let back = decode(&mut cursor).unwrap();
-        assert_eq!(cursor.at, bytes.len());
-        assert_eq!(&back, value);
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        name: String,
+        words: Vec<u64>,
+        flag: bool,
     }
 
-    #[test]
-    fn every_value_shape_round_trips() {
-        round_trip(&Value::Unit);
-        round_trip(&Value::Bool(true));
-        round_trip(&Value::UInt(u128::MAX));
-        round_trip(&Value::Int(i128::MIN));
-        round_trip(&Value::Float(-0.5));
-        round_trip(&Value::Str("märz".to_string()));
-        round_trip(&Value::Seq(vec![Value::UInt(1), Value::Bool(false)]));
-        round_trip(&Value::Map(vec![(Value::Str("k".into()), Value::UInt(7))]));
-        round_trip(&Value::Record(vec![("field".to_string(), Value::Unit)]));
-        round_trip(&Value::Variant(
-            "Some".to_string(),
-            Box::new(Value::UInt(3)),
-        ));
+    fn sample() -> Sample {
+        Sample {
+            name: "march".into(),
+            words: vec![0, 1, u64::MAX],
+            flag: true,
+        }
     }
 
     #[test]
     fn typed_round_trip() {
-        let value: Vec<(String, Option<u32>)> =
-            vec![("a".to_string(), Some(7)), ("b".to_string(), None)];
-        let bytes = to_bytes(&value);
-        let back: Vec<(String, Option<u32>)> = from_bytes(&bytes).unwrap();
-        assert_eq!(back, value);
+        let bytes = to_bytes(&sample());
+        assert_eq!(from_bytes::<Sample>(&bytes).unwrap(), sample());
+    }
+
+    #[test]
+    fn streaming_and_buffered_layouts_are_identical() {
+        let buffered = to_bytes(&sample());
+        let mut streamed = Vec::new();
+        write_to(&mut streamed, &sample()).unwrap();
+        assert_eq!(streamed, buffered);
+        let mut reader = streamed.as_slice();
+        assert_eq!(read_from::<_, Sample>(&mut reader).unwrap(), sample());
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn read_from_leaves_the_reader_between_values() {
+        let mut stream = Vec::new();
+        write_to(&mut stream, &1u32).unwrap();
+        write_to(&mut stream, "two").unwrap();
+        let mut reader = stream.as_slice();
+        assert_eq!(read_from::<_, u32>(&mut reader).unwrap(), 1);
+        assert_eq!(read_from::<_, String>(&mut reader).unwrap(), "two");
     }
 
     #[test]
     fn malformed_payloads_are_rejected() {
-        // Truncated integer payload.
-        assert!(from_bytes::<u32>(&[TAG_UINT, 1, 2]).is_err());
-        // Unknown tag.
-        assert!(from_bytes::<u32>(&[0xFF]).is_err());
-        // Oversized length prefix cannot allocate.
-        let mut huge = vec![TAG_SEQ];
-        huge.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(from_bytes::<Vec<u32>>(&huge).is_err());
+        // Truncated value.
+        let mut bytes = to_bytes(&sample());
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            from_bytes::<Sample>(&bytes),
+            Err(FleetError::Wire(_))
+        ));
         // Trailing bytes.
-        let mut padded = to_bytes(&7u32);
-        padded.push(0);
-        assert!(from_bytes::<u32>(&padded).is_err());
-        // Invalid bool byte.
-        assert!(from_bytes::<bool>(&[TAG_BOOL, 2]).is_err());
+        let mut bytes = to_bytes(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<Sample>(&bytes),
+            Err(FleetError::Wire(_))
+        ));
+        // Unknown tag.
+        assert!(matches!(from_bytes::<u32>(&[42]), Err(FleetError::Wire(_))));
     }
 }

@@ -217,7 +217,15 @@ fn shard_export_import_round_trips_the_dictionary() {
     let mut restored = DictionaryStore::new();
     let restored_key = restored.import(&bytes).unwrap();
     assert_eq!(restored_key, key);
-    assert_eq!(&*restored.get(key).unwrap().dictionary, &dictionary);
+    assert_eq!(
+        &**restored
+            .get(key)
+            .unwrap()
+            .dictionary
+            .resident()
+            .expect("imports register resident"),
+        &dictionary
+    );
 
     // Duplicate registration is rejected, eviction makes room.
     assert!(restored.import(&bytes).is_err());

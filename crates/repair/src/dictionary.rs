@@ -59,6 +59,33 @@ impl SignatureTrail {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// The signature-wise XOR of two trails of the same shape.
+    ///
+    /// MISR compaction is linear over GF(2), so trail differences compose
+    /// by XOR — the primitive behind content-normalised lookup
+    /// ([`crate::TrailLookup::find_normalised`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::TrailShapeMismatch`] if the trails hold different
+    ///   signature counts.
+    /// * [`RepairError::Mem`] if paired signatures differ in width.
+    pub fn xor(&self, other: &SignatureTrail) -> Result<SignatureTrail, RepairError> {
+        if self.0.len() != other.0.len() {
+            return Err(RepairError::TrailShapeMismatch {
+                left: self.0.len(),
+                right: other.0.len(),
+            });
+        }
+        let words = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a.checked_xor(b))
+            .collect::<Result<Vec<Word>, _>>()?;
+        Ok(SignatureTrail::new(words))
+    }
 }
 
 /// Faults (and multi-fault injections) sharing one signature trail — the
@@ -198,6 +225,134 @@ impl SignatureDictionary {
         universe: &[Fault],
         options: &DictionaryOptions,
     ) -> Result<Self, RepairError> {
+        Ok(DictionaryStream::build(engine, universe, options)?.into_dictionary())
+    }
+
+    /// Reassembles a dictionary from previously produced parts — the
+    /// rehydration path for serialised or paged dictionaries
+    /// (`twm-store`'s `PagedDictionary::read_dictionary`).
+    ///
+    /// `misr` may be in any run state; it is reset to a template. `classes`
+    /// must be strictly sorted by trail (the binary-search invariant
+    /// [`SignatureDictionary::build`] guarantees), every trail must share
+    /// the fault-free trail's shape, and no class may sit on the fault-free
+    /// trail itself.
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::MisrWidthMismatch`] for a MISR of the wrong width.
+    /// * [`RepairError::InvalidDictionary`] when the parts violate the
+    ///   invariants above.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        scheme: SchemeId,
+        test_name: String,
+        config: MemoryConfig,
+        content: ContentPolicy,
+        misr: Misr,
+        fault_free: SignatureTrail,
+        classes: Vec<AmbiguityClass>,
+        undetected: Vec<Vec<Fault>>,
+    ) -> Result<Self, RepairError> {
+        if misr.width() != config.width() {
+            return Err(RepairError::MisrWidthMismatch {
+                misr: misr.width(),
+                memory: config.width(),
+            });
+        }
+        let mut indexed = 0usize;
+        for (position, class) in classes.iter().enumerate() {
+            if class.trail.len() != fault_free.len() {
+                return Err(RepairError::InvalidDictionary(format!(
+                    "class {position} trail holds {} signatures, expected {}",
+                    class.trail.len(),
+                    fault_free.len()
+                )));
+            }
+            if class.trail == fault_free {
+                return Err(RepairError::InvalidDictionary(format!(
+                    "class {position} sits on the fault-free trail"
+                )));
+            }
+            if class.injections.is_empty() {
+                return Err(RepairError::InvalidDictionary(format!(
+                    "class {position} holds no injections"
+                )));
+            }
+            if let Some(previous) = position.checked_sub(1) {
+                if classes[previous].trail >= class.trail {
+                    return Err(RepairError::InvalidDictionary(format!(
+                        "classes are not strictly sorted by trail at position {position}"
+                    )));
+                }
+            }
+            indexed += class.injections.len();
+        }
+        let mut misr_template = misr;
+        misr_template.reset();
+        Ok(Self {
+            scheme,
+            test_name,
+            config,
+            content,
+            misr: misr_template,
+            classes,
+            undetected,
+            fault_free,
+            indexed,
+        })
+    }
+
+    /// The scheme the dictionary's sessions ran under.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeId {
+        self.scheme
+    }
+}
+
+/// A dictionary build that **streams** its ambiguity classes out in sorted
+/// trail order instead of collecting them — the construction half of the
+/// out-of-core path (`twm-store`'s `PagedDictionary::build_to_disk` writes
+/// each drained class straight to its paged file).
+///
+/// All build-wide metadata (scheme, shapes, the fault-free trail, the
+/// undetected injections) is available **before** the first class is
+/// drained, so a disk writer can lay out its header up front. Draining the
+/// stream into [`DictionaryStream::into_dictionary`] reproduces
+/// [`SignatureDictionary::build`] bit-for-bit.
+///
+/// The trail computation and grouping still run in RAM (the universe is
+/// simulated and sorted in-process); what streaming removes is the second
+/// materialised copy of every class on the consumer side. An external-sort
+/// build for universes whose *trail map* outgrows RAM is a documented next
+/// rung in the ROADMAP.
+#[derive(Debug)]
+pub struct DictionaryStream {
+    scheme: SchemeId,
+    test_name: String,
+    config: MemoryConfig,
+    content: ContentPolicy,
+    misr: Misr,
+    fault_free: SignatureTrail,
+    undetected: Vec<Vec<Fault>>,
+    indexed: usize,
+    class_count: usize,
+    classes: std::collections::btree_map::IntoIter<SignatureTrail, Vec<Vec<Fault>>>,
+}
+
+impl DictionaryStream {
+    /// Runs the dictionary build and returns the draining stream. Inputs,
+    /// validation and errors are exactly those of
+    /// [`SignatureDictionary::build`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SignatureDictionary::build`].
+    pub fn build(
+        engine: &CoverageEngine,
+        universe: &[Fault],
+        options: &DictionaryOptions,
+    ) -> Result<Self, RepairError> {
         if universe.is_empty() {
             return Err(RepairError::EmptyUniverse);
         }
@@ -276,11 +431,6 @@ impl SignatureDictionary {
                 indexed += 1;
             }
         }
-        let classes = by_trail
-            .into_iter()
-            .map(|(trail, injections)| AmbiguityClass { trail, injections })
-            .collect();
-
         let mut misr_template = misr;
         misr_template.reset();
         Ok(Self {
@@ -289,11 +439,30 @@ impl SignatureDictionary {
             config,
             content,
             misr: misr_template,
-            classes,
-            undetected,
             fault_free,
+            undetected,
             indexed,
+            class_count: by_trail.len(),
+            classes: by_trail.into_iter(),
         })
+    }
+
+    /// Drains every remaining class and assembles the in-RAM dictionary —
+    /// [`SignatureDictionary::build`] is exactly this over a fresh stream.
+    #[must_use]
+    pub fn into_dictionary(mut self) -> SignatureDictionary {
+        let classes: Vec<AmbiguityClass> = self.by_ref().collect();
+        SignatureDictionary {
+            scheme: self.scheme,
+            test_name: self.test_name,
+            config: self.config,
+            content: self.content,
+            misr: self.misr,
+            classes,
+            undetected: self.undetected,
+            fault_free: self.fault_free,
+            indexed: self.indexed,
+        }
     }
 
     /// The scheme the dictionary's sessions ran under.
@@ -302,6 +471,81 @@ impl SignatureDictionary {
         self.scheme
     }
 
+    /// Name of the transparent test the trails were produced by.
+    #[must_use]
+    pub fn test_name(&self) -> &str {
+        &self.test_name
+    }
+
+    /// The memory shape the dictionary is being built for.
+    #[must_use]
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// The reference initial-content policy trails are measured under.
+    #[must_use]
+    pub fn content(&self) -> ContentPolicy {
+        self.content
+    }
+
+    /// The (reset) MISR template the trails are compacted with.
+    #[must_use]
+    pub fn misr_template(&self) -> &Misr {
+        &self.misr
+    }
+
+    /// The fault-free reference trail.
+    #[must_use]
+    pub fn fault_free_trail(&self) -> &SignatureTrail {
+        &self.fault_free
+    }
+
+    /// Injections that are not signature-detectable under the reference
+    /// content.
+    #[must_use]
+    pub fn undetected(&self) -> &[Vec<Fault>] {
+        &self.undetected
+    }
+
+    /// Consumes the stream's undetected injections (for writers that
+    /// persist them after draining the classes).
+    #[must_use]
+    pub fn take_undetected(&mut self) -> Vec<Vec<Fault>> {
+        std::mem::take(&mut self.undetected)
+    }
+
+    /// Signature-detectable injections indexed across all classes.
+    #[must_use]
+    pub fn indexed(&self) -> usize {
+        self.indexed
+    }
+
+    /// Total number of ambiguity classes the stream yields (known before
+    /// the first drain).
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+}
+
+impl Iterator for DictionaryStream {
+    type Item = AmbiguityClass;
+
+    fn next(&mut self) -> Option<AmbiguityClass> {
+        self.classes
+            .next()
+            .map(|(trail, injections)| AmbiguityClass { trail, injections })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.classes.size_hint()
+    }
+}
+
+impl ExactSizeIterator for DictionaryStream {}
+
+impl SignatureDictionary {
     /// Name of the transparent test the trails were produced by.
     #[must_use]
     pub fn test_name(&self) -> &str {

@@ -48,6 +48,21 @@ pub enum RepairError {
         /// Word width of the memory.
         memory: usize,
     },
+    /// Two signature trails of different lengths were combined — they can
+    /// never describe the same session shape.
+    TrailShapeMismatch {
+        /// Signature count of the left trail.
+        left: usize,
+        /// Signature count of the right trail.
+        right: usize,
+    },
+    /// A trail-lookup backend failed to serve a query (an I/O failure or
+    /// on-disk corruption in a paged dictionary) — the message carries the
+    /// backend's own error rendering.
+    Lookup(String),
+    /// Dictionary parts do not assemble into a valid dictionary (unsorted
+    /// classes, shape mismatches, a class on the fault-free trail).
+    InvalidDictionary(String),
 }
 
 impl fmt::Display for RepairError {
@@ -96,6 +111,18 @@ impl fmt::Display for RepairError {
                     f,
                     "scheme registry width {registry} does not match the memory width {memory}"
                 )
+            }
+            RepairError::TrailShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "signature trails of different lengths ({left} vs {right}) cannot be combined"
+                )
+            }
+            RepairError::Lookup(message) => {
+                write!(f, "trail-lookup backend failed: {message}")
+            }
+            RepairError::InvalidDictionary(message) => {
+                write!(f, "invalid dictionary parts: {message}")
             }
         }
     }
@@ -153,6 +180,9 @@ mod tests {
                 registry: 8,
                 memory: 4,
             },
+            RepairError::TrailShapeMismatch { left: 3, right: 4 },
+            RepairError::Lookup("page 3 checksum mismatch".into()),
+            RepairError::InvalidDictionary("classes are not sorted".into()),
         ];
         for err in samples {
             let msg = err.to_string();

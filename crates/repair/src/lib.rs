@@ -79,17 +79,20 @@ pub mod allocator;
 pub mod dictionary;
 mod error;
 pub mod localise;
+pub mod lookup;
 pub mod verify;
 
 pub use allocator::{AllocatorOptions, RepairAllocator, RepairAssignment, RepairPlan};
 pub use dictionary::{
-    AmbiguityClass, AmbiguityStats, DictionaryOptions, SignatureDictionary, SignatureTrail,
+    AmbiguityClass, AmbiguityStats, DictionaryOptions, DictionaryStream, SignatureDictionary,
+    SignatureTrail,
 };
 pub use error::RepairError;
 pub use localise::{
-    localise_trail, DefectEvidence, DiagnosticSession, LocalisationOutcome, LocatedDefect,
-    TrailDiagnosis,
+    localise_trail, localise_trail_normalised, DefectEvidence, DiagnosticSession,
+    LocalisationOutcome, LocatedDefect, TrailDiagnosis,
 };
+pub use lookup::TrailLookup;
 pub use verify::{verify_repair, RepairVerification};
 
 use twm_mem::RepairableMemory;

@@ -39,7 +39,8 @@ use twm_core::scheme::{SchemeRegistry, SchemeTransform};
 use twm_march::MarchTest;
 use twm_mem::{BitAddress, FaultClass, FaultyMemory};
 
-use crate::dictionary::{SignatureDictionary, SignatureTrail};
+use crate::dictionary::{AmbiguityClass, SignatureTrail};
+use crate::lookup::TrailLookup;
 use crate::RepairError;
 
 /// Maximum evidence points a candidate can accumulate (see
@@ -159,7 +160,7 @@ impl LocalisationOutcome {
 pub struct DiagnosticSession<'a> {
     registry: &'a SchemeRegistry,
     transforms: Cow<'a, [SchemeTransform]>,
-    dictionary: Option<&'a SignatureDictionary>,
+    dictionary: Option<&'a dyn TrailLookup>,
     misr: Misr,
 }
 
@@ -224,11 +225,13 @@ impl<'a> DiagnosticSession<'a> {
         })
     }
 
-    /// Attaches a signature dictionary. Its scheme must be registered in
-    /// the session's registry (the session needs to run that scheme to
-    /// produce a comparable trail), its shape must match the registry
-    /// width, and its MISR must equal the session's — trails compacted by
-    /// different registers could never match.
+    /// Attaches a signature dictionary — any [`TrailLookup`] backend, the
+    /// in-RAM [`crate::SignatureDictionary`] or a paged on-disk store. Its
+    /// scheme must be registered in the session's registry (the session
+    /// needs to run that scheme to produce a comparable trail), its shape
+    /// must match the registry width, and its MISR must equal the
+    /// session's — trails compacted by different registers could never
+    /// match.
     ///
     /// # Errors
     ///
@@ -239,10 +242,7 @@ impl<'a> DiagnosticSession<'a> {
     /// * [`RepairError::MisrMismatch`] if the dictionary was built with a
     ///   different MISR than the session's (set the session's MISR first
     ///   via [`DiagnosticSession::with_misr`] when using a custom one).
-    pub fn with_dictionary(
-        mut self,
-        dictionary: &'a SignatureDictionary,
-    ) -> Result<Self, RepairError> {
+    pub fn with_dictionary(mut self, dictionary: &'a dyn TrailLookup) -> Result<Self, RepairError> {
         if dictionary.config().width() != self.registry.width() {
             return Err(RepairError::WidthMismatch {
                 registry: self.registry.width(),
@@ -252,7 +252,7 @@ impl<'a> DiagnosticSession<'a> {
         if self.registry.get(dictionary.scheme()).is_none() {
             return Err(RepairError::ConfigMismatch);
         }
-        if !misr_templates_equal(&self.misr, dictionary.misr()) {
+        if !misr_templates_equal(&self.misr, dictionary.misr_template()) {
             return Err(RepairError::MisrMismatch);
         }
         self.dictionary = Some(dictionary);
@@ -275,7 +275,7 @@ impl<'a> DiagnosticSession<'a> {
             });
         }
         if let Some(dictionary) = self.dictionary {
-            if !misr_templates_equal(&misr, dictionary.misr()) {
+            if !misr_templates_equal(&misr, dictionary.misr_template()) {
                 return Err(RepairError::MisrMismatch);
             }
         }
@@ -341,8 +341,8 @@ impl<'a> DiagnosticSession<'a> {
 
         // 2. Dictionary lookup: the ambiguity class seeds cell-level
         //    candidates with fault-class hypotheses.
-        let matched = match (self.dictionary, &observed_trail) {
-            (Some(dictionary), Some(trail)) => dictionary.lookup(trail),
+        let matched: Option<AmbiguityClass> = match (self.dictionary, &observed_trail) {
+            (Some(dictionary), Some(trail)) => dictionary.find(trail)?,
             _ => None,
         };
 
@@ -354,7 +354,7 @@ impl<'a> DiagnosticSession<'a> {
             in_class: bool,
         }
         let mut candidates: BTreeMap<BitAddress, Candidate> = BTreeMap::new();
-        if let Some(class) = matched {
+        if let Some(class) = &matched {
             for injection in &class.injections {
                 for fault in injection {
                     let candidate = candidates.entry(fault.victim()).or_default();
@@ -446,7 +446,7 @@ impl<'a> DiagnosticSession<'a> {
             diagnosis,
             sessions,
             dictionary_hit: matched.is_some(),
-            ambiguity: matched.map_or(0, |class| class.injections.len()),
+            ambiguity: matched.as_ref().map_or(0, |class| class.injections.len()),
         })
     }
 
@@ -485,31 +485,39 @@ pub struct TrailDiagnosis {
 /// Diagnoses a memory from its observed signature trail alone — the
 /// server-side half of [`DiagnosticSession::localise`], for deployments
 /// where only the serialised trail travels (a fleet service ingesting field
-/// reports). The trail is matched against the dictionary; the ambiguity
-/// class's injections become ranked [`LocatedDefect`]s with
-/// dictionary-only evidence ([`DefectEvidence::in_ambiguity_class`]).
+/// reports). The trail is matched against any [`TrailLookup`] backend (the
+/// in-RAM dictionary or a paged on-disk store); the ambiguity class's
+/// injections become ranked [`LocatedDefect`]s with dictionary-only
+/// evidence ([`DefectEvidence::in_ambiguity_class`]).
 ///
 /// The `stuck_value` hypothesis is derived from the fault model instead of
 /// an observation: a stuck-at cell is constantly at its stuck value, a cell
 /// with a blocked rising (falling) transition can only be observed at 0
 /// (1); coupling victims carry no constant.
-#[must_use]
-pub fn localise_trail(dictionary: &SignatureDictionary, trail: &SignatureTrail) -> TrailDiagnosis {
-    if trail == dictionary.fault_free_trail() {
-        return TrailDiagnosis {
+///
+/// # Errors
+///
+/// [`RepairError::Lookup`] when a paged backend cannot serve the query
+/// (I/O failure, on-disk corruption); the in-RAM backend never fails.
+pub fn localise_trail<D: TrailLookup + ?Sized>(
+    dictionary: &D,
+    trail: &SignatureTrail,
+) -> Result<TrailDiagnosis, RepairError> {
+    if trail == dictionary.reference_trail() {
+        return Ok(TrailDiagnosis {
             defects: Vec::new(),
             dictionary_hit: false,
             ambiguity: 0,
             clean: true,
-        };
+        });
     }
-    let Some(class) = dictionary.lookup(trail) else {
-        return TrailDiagnosis {
+    let Some(class) = dictionary.find(trail)? else {
+        return Ok(TrailDiagnosis {
             defects: Vec::new(),
             dictionary_hit: false,
             ambiguity: 0,
             clean: false,
-        };
+        });
     };
 
     #[derive(Default)]
@@ -557,18 +565,40 @@ pub fn localise_trail(dictionary: &SignatureDictionary, trail: &SignatureTrail) 
             evidence,
         })
         .collect();
-    TrailDiagnosis {
+    Ok(TrailDiagnosis {
         defects,
         dictionary_hit: true,
         ambiguity: class.injections.len(),
         clean: false,
-    }
+    })
+}
+
+/// Content-normalised [`localise_trail`]: matches `observed` after
+/// absorbing `expected`, the fault-free trail of the memory's *current*
+/// content, via [`TrailLookup::find_normalised`]'s GF(2) shift. A
+/// normalised trail equal to the reference (i.e. `observed == expected`)
+/// reports clean; with `expected` equal to the reference trail this is
+/// exactly [`localise_trail`].
+///
+/// # Errors
+///
+/// * [`RepairError::TrailShapeMismatch`] / [`RepairError::Mem`] if the
+///   trails disagree in shape with the dictionary's.
+/// * [`RepairError::Lookup`] from a paged backend, as in
+///   [`localise_trail`].
+pub fn localise_trail_normalised<D: TrailLookup + ?Sized>(
+    dictionary: &D,
+    observed: &SignatureTrail,
+    expected: &SignatureTrail,
+) -> Result<TrailDiagnosis, RepairError> {
+    let key = observed.xor(expected)?.xor(dictionary.reference_trail())?;
+    localise_trail(dictionary, &key)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dictionary::{apply_content, DictionaryOptions};
+    use crate::dictionary::{apply_content, DictionaryOptions, SignatureDictionary};
     use twm_core::scheme::SchemeId;
     use twm_coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
     use twm_march::algorithms::march_c_minus;

@@ -1,0 +1,228 @@
+//! The [`TrailLookup`] trait: what a signature-trail diagnosis needs from
+//! a dictionary, abstracted over its storage.
+//!
+//! Two backends implement it:
+//!
+//! * the in-RAM [`SignatureDictionary`] (this crate) — classes resident in
+//!   a sorted `Vec`, lookups are infallible binary searches;
+//! * the paged `PagedDictionary` (`twm-store`) — classes on disk behind a
+//!   bounded page cache, lookups stream index pages and can fail on I/O or
+//!   corruption.
+//!
+//! [`crate::localise_trail`] and [`crate::DiagnosticSession`] accept any
+//! implementor, so a fleet shard can swap its resident dictionary for a
+//! paged file without touching the diagnosis code. The trait is
+//! object-safe: `&dyn TrailLookup` is the working currency.
+//!
+//! ## Content-normalised lookup
+//!
+//! Dictionary trails are measured under one reference initial content, but
+//! transparent sessions run on *whatever the field memory holds*. MISR
+//! compaction is linear over GF(2), so for faults whose error stream is
+//! content-independent the observed trail under drifted content is the
+//! reference trail's class key shifted by the expected (fault-free) trail
+//! of that drifted content:
+//!
+//! ```text
+//! observed ⊕ expected_drifted = class_key ⊕ reference
+//! ```
+//!
+//! [`TrailLookup::find_normalised`] solves for the class key —
+//! `observed ⊕ expected ⊕ reference` — and looks that up, absorbing the
+//! expected-data trail so hits survive content drift. For faults whose
+//! error stream *does* depend on content (a stuck-at cell's error depends
+//! on the data written over it), the normalised key is a best-effort
+//! projection: it degrades to a miss, never a wrong class, because only
+//! exact trail matches are returned.
+
+use twm_bist::Misr;
+use twm_core::scheme::SchemeId;
+use twm_coverage::ContentPolicy;
+use twm_mem::MemoryConfig;
+
+use crate::dictionary::{AmbiguityClass, AmbiguityStats, SignatureDictionary, SignatureTrail};
+use crate::RepairError;
+
+/// A queryable signature-trail dictionary — see the [module docs](self).
+///
+/// `Debug` keeps implementors embeddable in derived-`Debug` structs
+/// ([`crate::DiagnosticSession`]); `Send + Sync` lets fleet workers share
+/// one backend across threads.
+pub trait TrailLookup: std::fmt::Debug + Send + Sync {
+    /// The scheme the dictionary's sessions ran under.
+    fn scheme(&self) -> SchemeId;
+
+    /// Name of the transparent test the trails were produced by.
+    fn test_name(&self) -> &str;
+
+    /// The memory shape the dictionary was built for.
+    fn config(&self) -> MemoryConfig;
+
+    /// The reference initial-content policy trails were measured under.
+    fn content(&self) -> ContentPolicy;
+
+    /// The (reset) MISR template the trails were compacted with.
+    fn misr_template(&self) -> &Misr;
+
+    /// The fault-free reference trail.
+    fn reference_trail(&self) -> &SignatureTrail;
+
+    /// Looks up an observed trail, returning its ambiguity class (owned —
+    /// a paged backend deserialises it from disk) on a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::Lookup`] when the backend cannot serve the query
+    /// (I/O failure, on-disk corruption). The in-RAM backend never fails.
+    fn find(&self, trail: &SignatureTrail) -> Result<Option<AmbiguityClass>, RepairError>;
+
+    /// The dictionary's ambiguity statistics.
+    fn ambiguity_stats(&self) -> AmbiguityStats;
+
+    /// Content-normalised lookup: matches `observed` against the
+    /// dictionary after absorbing `expected`, the fault-free trail of the
+    /// memory's *current* content (see the [module docs](self)). With
+    /// `expected` equal to the reference trail this is exactly
+    /// [`TrailLookup::find`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::TrailShapeMismatch`] / [`RepairError::Mem`] if the
+    ///   trails disagree in shape with the dictionary's.
+    /// * [`RepairError::Lookup`] from the backend, as in
+    ///   [`TrailLookup::find`].
+    fn find_normalised(
+        &self,
+        observed: &SignatureTrail,
+        expected: &SignatureTrail,
+    ) -> Result<Option<AmbiguityClass>, RepairError> {
+        let key = observed.xor(expected)?.xor(self.reference_trail())?;
+        self.find(&key)
+    }
+}
+
+impl TrailLookup for SignatureDictionary {
+    fn scheme(&self) -> SchemeId {
+        SignatureDictionary::scheme(self)
+    }
+
+    fn test_name(&self) -> &str {
+        SignatureDictionary::test_name(self)
+    }
+
+    fn config(&self) -> MemoryConfig {
+        SignatureDictionary::config(self)
+    }
+
+    fn content(&self) -> ContentPolicy {
+        SignatureDictionary::content(self)
+    }
+
+    fn misr_template(&self) -> &Misr {
+        self.misr()
+    }
+
+    fn reference_trail(&self) -> &SignatureTrail {
+        self.fault_free_trail()
+    }
+
+    fn find(&self, trail: &SignatureTrail) -> Result<Option<AmbiguityClass>, RepairError> {
+        Ok(self.lookup(trail).cloned())
+    }
+
+    fn ambiguity_stats(&self) -> AmbiguityStats {
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::DictionaryOptions;
+    use twm_core::scheme::SchemeRegistry;
+    use twm_coverage::{CoverageEngine, UniverseBuilder};
+    use twm_march::algorithms::march_c_minus;
+    use twm_mem::Word;
+
+    fn dictionary(words: usize, width: usize) -> SignatureDictionary {
+        let config = MemoryConfig::new(words, width).unwrap();
+        let registry = SchemeRegistry::all(width).unwrap();
+        let engine = CoverageEngine::for_scheme(
+            registry.get(SchemeId::TwmTa).unwrap(),
+            &march_c_minus(),
+            config,
+        )
+        .unwrap()
+        .content(ContentPolicy::Random { seed: 11 })
+        .build()
+        .unwrap();
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn in_ram_backend_mirrors_inherent_api() {
+        let dictionary = dictionary(6, 4);
+        let lookup: &dyn TrailLookup = &dictionary;
+        assert_eq!(lookup.scheme(), SignatureDictionary::scheme(&dictionary));
+        assert_eq!(lookup.config(), SignatureDictionary::config(&dictionary));
+        assert_eq!(lookup.content(), SignatureDictionary::content(&dictionary));
+        assert_eq!(lookup.test_name(), dictionary.test_name());
+        assert_eq!(lookup.reference_trail(), dictionary.fault_free_trail());
+        assert_eq!(lookup.ambiguity_stats(), dictionary.stats());
+        for class in dictionary.classes() {
+            assert_eq!(lookup.find(&class.trail).unwrap().as_ref(), Some(class));
+        }
+        let absent = SignatureTrail::new(vec![Word::ones(4); dictionary.fault_free_trail().len()]);
+        if dictionary.lookup(&absent).is_none() {
+            assert_eq!(lookup.find(&absent).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn normalised_lookup_with_reference_expectation_is_plain_lookup() {
+        let dictionary = dictionary(6, 4);
+        let reference = dictionary.fault_free_trail().clone();
+        for class in dictionary.classes() {
+            let normalised = dictionary
+                .find_normalised(&class.trail, &reference)
+                .unwrap();
+            assert_eq!(normalised.as_ref(), Some(class));
+        }
+    }
+
+    #[test]
+    fn normalised_lookup_absorbs_a_synthetic_content_shift() {
+        // Build a synthetic dictionary where the linearity assumption holds
+        // exactly: class keys are reference ⊕ Δ for fixed per-class deltas.
+        // Observing key ⊕ reference ⊕ expected under any expected trail
+        // must then hit the same class.
+        let dictionary = dictionary(6, 4);
+        let reference = dictionary.fault_free_trail();
+        let shift = SignatureTrail::new(
+            (0..reference.len())
+                .map(|i| Word::from_bits(u128::from(i as u32 % 13) + 1, 4).unwrap())
+                .collect(),
+        );
+        let expected = reference.xor(&shift).unwrap();
+        for class in dictionary.classes().iter().take(16) {
+            let observed = class.trail.xor(&shift).unwrap();
+            let hit = dictionary.find_normalised(&observed, &expected).unwrap();
+            assert_eq!(
+                hit.as_ref(),
+                Some(class),
+                "normalisation must recover the class"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let dictionary = dictionary(4, 4);
+        let short = SignatureTrail::new(vec![Word::zeros(4)]);
+        assert!(matches!(
+            dictionary.find_normalised(&short, dictionary.fault_free_trail()),
+            Err(RepairError::TrailShapeMismatch { .. })
+        ));
+    }
+}

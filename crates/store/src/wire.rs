@@ -1,0 +1,434 @@
+//! The wire format: a compact, self-describing binary encoding of the
+//! serde data model, streamed over [`io::Read`] / [`io::Write`].
+//!
+//! Fleet requests, persisted dictionary shards and the paged store's
+//! metadata all travel as [`serde::Value`] trees:
+//!
+//! | tag | payload |
+//! |----:|---------|
+//! | `0` | unit — empty |
+//! | `1` | bool — one byte, `0`/`1` |
+//! | `2` | unsigned — 16 bytes LE |
+//! | `3` | signed — 16 bytes LE (two's complement) |
+//! | `4` | float — 8 bytes, IEEE-754 bit pattern LE |
+//! | `5` | string — `u64` LE byte length + UTF-8 bytes |
+//! | `6` | sequence — `u64` LE element count + elements |
+//! | `7` | map — `u64` LE entry count + key/value pairs |
+//! | `8` | record — `u64` LE field count + (name string, value) pairs |
+//! | `9` | variant — name string + payload value |
+//!
+//! Decoding is strict: strings must be valid UTF-8, unknown tags are
+//! rejected, nesting depth is capped, and [`from_bytes`] rejects trailing
+//! bytes. Length prefixes cannot drive runaway allocations: collections
+//! grow incrementally as their elements actually decode, and string/byte
+//! reads go through [`io::Read::take`], so a corrupt length fails on EOF
+//! after reading at most the real input. The module is deliberately the
+//! only place that knows the byte layout — when the build moves to
+//! crates.io this is the seam to swap for `bincode`/`postcard` over real
+//! serde.
+//!
+//! The streaming entry points are [`write_to`] / [`read_from`];
+//! [`to_bytes`] / [`from_bytes`] are thin in-RAM wrappers over them
+//! (`twm-fleet` re-exports those wrappers for its message framing).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize, Value};
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_UINT: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_SEQ: u8 = 6;
+const TAG_MAP: u8 = 7;
+const TAG_RECORD: u8 = 8;
+const TAG_VARIANT: u8 = 9;
+
+/// Value trees deeper than this are rejected — far above anything the
+/// stack's data model produces, low enough that a crafted input cannot
+/// overflow the decoder's stack.
+const MAX_DEPTH: usize = 256;
+
+/// Collection allocations are pre-reserved at most this many elements;
+/// beyond it they grow as elements actually decode.
+const MAX_PREALLOC: usize = 4096;
+
+/// Errors of the wire codec.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The byte stream is not a well-formed wire value (truncation,
+    /// unknown tag, invalid UTF-8, trailing bytes, excessive nesting).
+    Malformed(String),
+    /// The decoded value tree does not match the target type's shape.
+    Model(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Malformed(message) => write!(f, "malformed wire payload: {message}"),
+            WireError::Model(message) => {
+                write!(f, "wire value does not fit target type: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        // EOF mid-value is a property of the payload, not the transport.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Malformed("payload truncated mid-value".to_string())
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Encodes a value into the wire format, streaming it to `writer`.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the writer fails.
+pub fn write_to<W: Write + ?Sized, T: Serialize + ?Sized>(
+    writer: &mut W,
+    value: &T,
+) -> Result<(), WireError> {
+    encode(&serde::to_value(value), writer).map_err(WireError::from)
+}
+
+/// Decodes a value from the wire format, streaming it from `reader`.
+///
+/// Reads exactly one value and leaves the reader positioned after it —
+/// the framing caller decides whether trailing bytes are acceptable
+/// (length-prefixed transports pass an [`io::Read::take`] adapter or use
+/// [`from_bytes`]).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on a truncated or malformed payload,
+/// [`WireError::Model`] if the decoded tree does not match `T`'s shape,
+/// [`WireError::Io`] when the reader itself fails.
+pub fn read_from<R: Read + ?Sized, T: for<'de> Deserialize<'de>>(
+    reader: &mut R,
+) -> Result<T, WireError> {
+    let value = decode(reader, 0)?;
+    serde::from_value(&value).map_err(|e| WireError::Model(e.to_string()))
+}
+
+/// Encodes a value into an in-RAM wire buffer.
+#[must_use]
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    encode(&serde::to_value(value), &mut bytes).expect("writing to a Vec cannot fail");
+    bytes
+}
+
+/// Decodes a value from an in-RAM wire buffer, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// As [`read_from`], plus [`WireError::Malformed`] for trailing bytes.
+pub fn from_bytes<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut reader = bytes;
+    let value = decode(&mut reader, 0)?;
+    if !reader.is_empty() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after value",
+            reader.len()
+        )));
+    }
+    serde::from_value(&value).map_err(|e| WireError::Model(e.to_string()))
+}
+
+fn encode<W: Write + ?Sized>(value: &Value, out: &mut W) -> io::Result<()> {
+    match value {
+        Value::Unit => out.write_all(&[TAG_UNIT]),
+        Value::Bool(flag) => out.write_all(&[TAG_BOOL, u8::from(*flag)]),
+        Value::UInt(number) => {
+            out.write_all(&[TAG_UINT])?;
+            out.write_all(&number.to_le_bytes())
+        }
+        Value::Int(number) => {
+            out.write_all(&[TAG_INT])?;
+            out.write_all(&number.to_le_bytes())
+        }
+        Value::Float(number) => {
+            out.write_all(&[TAG_FLOAT])?;
+            out.write_all(&number.to_bits().to_le_bytes())
+        }
+        Value::Str(text) => {
+            out.write_all(&[TAG_STR])?;
+            encode_str(text, out)
+        }
+        Value::Seq(items) => {
+            out.write_all(&[TAG_SEQ])?;
+            encode_len(items.len(), out)?;
+            for item in items {
+                encode(item, out)?;
+            }
+            Ok(())
+        }
+        Value::Map(entries) => {
+            out.write_all(&[TAG_MAP])?;
+            encode_len(entries.len(), out)?;
+            for (key, entry) in entries {
+                encode(key, out)?;
+                encode(entry, out)?;
+            }
+            Ok(())
+        }
+        Value::Record(fields) => {
+            out.write_all(&[TAG_RECORD])?;
+            encode_len(fields.len(), out)?;
+            for (name, field) in fields {
+                encode_str(name, out)?;
+                encode(field, out)?;
+            }
+            Ok(())
+        }
+        Value::Variant(name, payload) => {
+            out.write_all(&[TAG_VARIANT])?;
+            encode_str(name, out)?;
+            encode(payload, out)
+        }
+    }
+}
+
+fn encode_len<W: Write + ?Sized>(len: usize, out: &mut W) -> io::Result<()> {
+    out.write_all(&(len as u64).to_le_bytes())
+}
+
+fn encode_str<W: Write + ?Sized>(text: &str, out: &mut W) -> io::Result<()> {
+    encode_len(text.len(), out)?;
+    out.write_all(text.as_bytes())
+}
+
+fn read_array<R: Read + ?Sized, const N: usize>(reader: &mut R) -> Result<[u8; N], WireError> {
+    let mut bytes = [0u8; N];
+    reader.read_exact(&mut bytes)?;
+    Ok(bytes)
+}
+
+fn read_len<R: Read + ?Sized>(reader: &mut R) -> Result<usize, WireError> {
+    let raw = u64::from_le_bytes(read_array::<R, 8>(reader)?);
+    usize::try_from(raw)
+        .map_err(|_| WireError::Malformed(format!("length {raw} exceeds the address space")))
+}
+
+fn read_str<R: Read + ?Sized>(reader: &mut R) -> Result<String, WireError> {
+    let len = read_len(reader)?;
+    // Grow incrementally through a bounded reader: a corrupt length fails
+    // on EOF after at most the real input, instead of pre-allocating `len`.
+    let mut bytes = Vec::with_capacity(len.min(MAX_PREALLOC));
+    let consumed = reader.take(len as u64).read_to_end(&mut bytes)?;
+    if consumed < len {
+        return Err(WireError::Malformed(format!(
+            "string of {len} bytes truncated after {consumed}"
+        )));
+    }
+    String::from_utf8(bytes).map_err(|_| WireError::Malformed("string is not valid UTF-8".into()))
+}
+
+fn decode<R: Read + ?Sized>(reader: &mut R, depth: usize) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::Malformed(format!(
+            "value nesting exceeds {MAX_DEPTH} levels"
+        )));
+    }
+    let tag = read_array::<R, 1>(reader)?[0];
+    match tag {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_BOOL => match read_array::<R, 1>(reader)?[0] {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(WireError::Malformed(format!(
+                "invalid bool byte {other:#04x}"
+            ))),
+        },
+        TAG_UINT => Ok(Value::UInt(u128::from_le_bytes(read_array::<R, 16>(
+            reader,
+        )?))),
+        TAG_INT => Ok(Value::Int(i128::from_le_bytes(read_array::<R, 16>(
+            reader,
+        )?))),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
+            read_array::<R, 8>(reader)?,
+        )))),
+        TAG_STR => Ok(Value::Str(read_str(reader)?)),
+        TAG_SEQ => {
+            let len = read_len(reader)?;
+            let mut items = Vec::with_capacity(len.min(MAX_PREALLOC));
+            for _ in 0..len {
+                items.push(decode(reader, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let len = read_len(reader)?;
+            let mut entries = Vec::with_capacity(len.min(MAX_PREALLOC));
+            for _ in 0..len {
+                let key = decode(reader, depth + 1)?;
+                let entry = decode(reader, depth + 1)?;
+                entries.push((key, entry));
+            }
+            Ok(Value::Map(entries))
+        }
+        TAG_RECORD => {
+            let len = read_len(reader)?;
+            let mut fields = Vec::with_capacity(len.min(MAX_PREALLOC));
+            for _ in 0..len {
+                let name = read_str(reader)?;
+                let field = decode(reader, depth + 1)?;
+                fields.push((name, field));
+            }
+            Ok(Value::Record(fields))
+        }
+        TAG_VARIANT => {
+            let name = read_str(reader)?;
+            let payload = decode(reader, depth + 1)?;
+            Ok(Value::Variant(name, Box::new(payload)))
+        }
+        other => Err(WireError::Malformed(format!(
+            "unknown value tag {other:#04x}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Value) {
+        let mut bytes = Vec::new();
+        encode(value, &mut bytes).unwrap();
+        let mut reader = bytes.as_slice();
+        let back = decode(&mut reader, 0).unwrap();
+        assert!(reader.is_empty());
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn every_value_shape_round_trips() {
+        round_trip(&Value::Unit);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::UInt(u128::MAX));
+        round_trip(&Value::Int(i128::MIN));
+        round_trip(&Value::Float(-0.5));
+        round_trip(&Value::Str("märz".to_string()));
+        round_trip(&Value::Seq(vec![Value::UInt(1), Value::Bool(false)]));
+        round_trip(&Value::Map(vec![(Value::Str("k".into()), Value::UInt(7))]));
+        round_trip(&Value::Record(vec![("field".to_string(), Value::Unit)]));
+        round_trip(&Value::Variant(
+            "Some".to_string(),
+            Box::new(Value::UInt(3)),
+        ));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let value: Vec<(String, Option<u32>)> =
+            vec![("a".to_string(), Some(7)), ("b".to_string(), None)];
+        let bytes = to_bytes(&value);
+        let back: Vec<(String, Option<u32>)> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn streaming_round_trip_over_io() {
+        let value: Vec<(String, Vec<u64>)> = (0..50)
+            .map(|i| (format!("entry-{i}"), (0..i).collect()))
+            .collect();
+        let mut buffer = Vec::new();
+        write_to(&mut buffer, &value).unwrap();
+        assert_eq!(buffer, to_bytes(&value));
+        // Read through a one-byte-at-a-time reader to exercise partial
+        // reads on every fixed-size field.
+        struct TrickleReader<'a>(&'a [u8]);
+        impl Read for TrickleReader<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let back: Vec<(String, Vec<u64>)> = read_from(&mut TrickleReader(&buffer)).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn read_from_leaves_reader_after_the_value() {
+        let mut buffer = to_bytes(&3u32);
+        buffer.extend_from_slice(&to_bytes(&"next".to_string()));
+        let mut reader = buffer.as_slice();
+        let first: u32 = read_from(&mut reader).unwrap();
+        let second: String = read_from(&mut reader).unwrap();
+        assert_eq!(first, 3);
+        assert_eq!(second, "next");
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Truncated integer payload.
+        assert!(from_bytes::<u32>(&[TAG_UINT, 1, 2]).is_err());
+        // Unknown tag.
+        assert!(from_bytes::<u32>(&[0xFF]).is_err());
+        // Oversized length prefix cannot allocate.
+        let mut huge = vec![TAG_SEQ];
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_bytes::<Vec<u32>>(&huge).is_err());
+        // Oversized string length fails without a giant allocation.
+        let mut text = vec![TAG_STR];
+        text.extend_from_slice(&u64::MAX.to_le_bytes());
+        text.extend_from_slice(b"abc");
+        assert!(from_bytes::<String>(&text).is_err());
+        // Trailing bytes.
+        let mut padded = to_bytes(&7u32);
+        padded.push(0);
+        assert!(from_bytes::<u32>(&padded).is_err());
+        // Invalid bool byte.
+        assert!(from_bytes::<bool>(&[TAG_BOOL, 2]).is_err());
+        // A variant chain deeper than the cap is rejected, not a stack
+        // overflow.
+        let mut nested = Vec::new();
+        for _ in 0..(MAX_DEPTH + 8) {
+            nested.push(TAG_VARIANT);
+            nested.extend_from_slice(&1u64.to_le_bytes());
+            nested.push(b'v');
+        }
+        nested.push(TAG_UNIT);
+        assert!(matches!(
+            from_bytes::<u32>(&nested),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatches_are_model_errors() {
+        let bytes = to_bytes(&"text".to_string());
+        assert!(matches!(
+            from_bytes::<u32>(&bytes),
+            Err(WireError::Model(_))
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! The single-pass store writer: streams sorted ambiguity classes into a
+//! paged file without materialising the dictionary.
+//!
+//! Index entries append to the final file as classes drain (their region
+//! directly follows the metadata); payload records stream to a sibling
+//! temp file because their region comes last and its page count is only
+//! known at the end. Once the class stream is dry the temp bytes are
+//! page-chunked and checksummed into the final file, and the header —
+//! whose statistics fields accumulated during the drain — is rewritten
+//! over the placeholder page 0. Peak memory is one page buffer plus one
+//! class, whatever the dictionary size.
+
+use std::ffi::OsString;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use twm_repair::AmbiguityClass;
+
+use crate::format::{
+    pages_for, seal_page, Header, CHECKSUM_LEN, END_OF_PAGE, ENTRY_FIXED, MAX_PAGE_SIZE,
+    MIN_PAGE_SIZE, TRAIL_WORD_BYTES,
+};
+use crate::paged::StoreMeta;
+use crate::{wire, StoreError};
+
+/// Longest count of equal leading words.
+fn common_prefix(a: &[u128], b: &[u128]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+fn temp_payload_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| OsString::from("store"), OsString::from);
+    name.push(".payload.tmp");
+    path.with_file_name(name)
+}
+
+/// Validates a page size against the entry geometry it must hold.
+pub(crate) fn validate_page_size(page_size: usize, trail_words: usize) -> Result<(), StoreError> {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
+        return Err(StoreError::InvalidOptions(format!(
+            "page size {page_size} outside [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+        )));
+    }
+    if trail_words >= usize::from(END_OF_PAGE) {
+        return Err(StoreError::InvalidOptions(format!(
+            "trail length {trail_words} exceeds the index entry format"
+        )));
+    }
+    let full_entry = ENTRY_FIXED + trail_words * TRAIL_WORD_BYTES;
+    let capacity = page_size - CHECKSUM_LEN;
+    if full_entry > capacity {
+        return Err(StoreError::InvalidOptions(format!(
+            "page capacity {capacity} cannot hold one full index entry of {full_entry} bytes \
+             (trail of {trail_words} words)"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes a complete store file at `path`. `classes` must yield
+/// strictly trail-ascending classes whose trails share `meta`'s
+/// fault-free shape — exactly what [`twm_repair::DictionaryStream`] and
+/// [`twm_repair::SignatureDictionary::classes`] produce.
+pub(crate) fn write_store<I>(
+    path: &Path,
+    page_size: usize,
+    meta: &StoreMeta,
+    undetected: &[Vec<twm_mem::Fault>],
+    classes: I,
+) -> Result<Header, StoreError>
+where
+    I: IntoIterator<Item = AmbiguityClass>,
+{
+    let trail_words = meta.fault_free.len();
+    validate_page_size(page_size, trail_words)?;
+    let temp = temp_payload_path(path);
+    let result = write_store_inner(path, &temp, page_size, meta, undetected, classes);
+    let _ = std::fs::remove_file(&temp);
+    if result.is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    result
+}
+
+fn write_store_inner<I>(
+    path: &Path,
+    temp: &Path,
+    page_size: usize,
+    meta: &StoreMeta,
+    undetected: &[Vec<twm_mem::Fault>],
+    classes: I,
+) -> Result<Header, StoreError>
+where
+    I: IntoIterator<Item = AmbiguityClass>,
+{
+    let capacity = page_size - CHECKSUM_LEN;
+    let trail_words = meta.fault_free.len();
+    let width = meta.config.width();
+
+    // Payload stream: length-prefixed wire records, undetected first (its
+    // handle is implicitly position 0).
+    // Read+write: the stream is read back for page-chunking at the end.
+    let mut payload = BufWriter::new(
+        std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(temp)?,
+    );
+    let mut payload_bytes: u64 = 0;
+    let write_record = |payload: &mut BufWriter<File>,
+                        payload_bytes: &mut u64,
+                        bytes: &[u8]|
+     -> Result<u64, StoreError> {
+        let at = *payload_bytes;
+        let len = u32::try_from(bytes.len()).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "payload record of {} bytes exceeds u32",
+                bytes.len()
+            ))
+        })?;
+        payload.write_all(&len.to_le_bytes())?;
+        payload.write_all(bytes)?;
+        *payload_bytes += 4 + u64::from(len);
+        Ok(at)
+    };
+    write_record(
+        &mut payload,
+        &mut payload_bytes,
+        &wire::to_bytes(undetected),
+    )?;
+
+    // Final file: placeholder header, then the metadata region.
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&vec![0u8; page_size])?;
+    let meta_encoded = wire::to_bytes(meta);
+    let meta_pages = pages_for(meta_encoded.len() as u64, capacity);
+    let mut page = vec![0u8; page_size];
+    for chunk in meta_encoded.chunks(capacity) {
+        page.fill(0);
+        page[..chunk.len()].copy_from_slice(chunk);
+        seal_page(&mut page);
+        out.write_all(&page)?;
+    }
+
+    // Index region, streamed: prefix-compressed entries, first entry of
+    // every page full so pages are self-contained.
+    let mut offset = 0usize;
+    let mut index_pages = 0u32;
+    let mut page_prev: Vec<u128> = Vec::new();
+    let mut last_trail: Vec<u128> = Vec::new();
+    let mut entries = 0u64;
+    let mut indexed = 0u64;
+    let mut max_class_size = 0u64;
+    let mut distinguishable = 0u64;
+    page.fill(0);
+    for class in classes {
+        let signatures = class.trail.signatures();
+        if signatures.len() != trail_words {
+            return Err(StoreError::Corrupt(format!(
+                "class trail holds {} signatures, expected {trail_words}",
+                signatures.len()
+            )));
+        }
+        if signatures.iter().any(|word| word.width() != width) {
+            return Err(StoreError::Corrupt(format!(
+                "class trail carries a signature wider than {width} bits"
+            )));
+        }
+        let words: Vec<u128> = signatures.iter().map(|word| word.to_bits()).collect();
+        if entries > 0 && words <= last_trail {
+            return Err(StoreError::UnsortedClasses);
+        }
+
+        let record_at = write_record(
+            &mut payload,
+            &mut payload_bytes,
+            &wire::to_bytes(&class.injections),
+        )?;
+        let handle_page = u32::try_from(record_at / capacity as u64)
+            .map_err(|_| StoreError::Corrupt("payload region exceeds u32 pages".into()))?;
+        let handle_offset = (record_at % capacity as u64) as u32;
+        let injections = u32::try_from(class.injections.len())
+            .map_err(|_| StoreError::Corrupt("class injection count exceeds u32".into()))?;
+
+        let mut prefix = if offset == 0 {
+            0
+        } else {
+            common_prefix(&page_prev, &words)
+        };
+        let mut entry_len = ENTRY_FIXED + (trail_words - prefix) * TRAIL_WORD_BYTES;
+        if offset + entry_len > capacity {
+            // Seal this page (early-end sentinel if there is room) and
+            // start a fresh one with a full entry.
+            if offset + 2 <= capacity {
+                page[offset..offset + 2].copy_from_slice(&END_OF_PAGE.to_le_bytes());
+            }
+            seal_page(&mut page);
+            out.write_all(&page)?;
+            index_pages += 1;
+            page.fill(0);
+            offset = 0;
+            prefix = 0;
+            entry_len = ENTRY_FIXED + trail_words * TRAIL_WORD_BYTES;
+        }
+        page[offset..offset + 2].copy_from_slice(&(prefix as u16).to_le_bytes());
+        page[offset + 2..offset + 4]
+            .copy_from_slice(&((trail_words - prefix) as u16).to_le_bytes());
+        page[offset + 4..offset + 8].copy_from_slice(&injections.to_le_bytes());
+        page[offset + 8..offset + 12].copy_from_slice(&handle_page.to_le_bytes());
+        page[offset + 12..offset + 16].copy_from_slice(&handle_offset.to_le_bytes());
+        let mut at = offset + ENTRY_FIXED;
+        for &word in &words[prefix..] {
+            page[at..at + TRAIL_WORD_BYTES].copy_from_slice(&word.to_le_bytes());
+            at += TRAIL_WORD_BYTES;
+        }
+        offset += entry_len;
+
+        entries += 1;
+        indexed += u64::from(injections);
+        max_class_size = max_class_size.max(u64::from(injections));
+        if injections == 1 {
+            distinguishable += 1;
+        }
+        page_prev = words.clone();
+        last_trail = words;
+    }
+    if offset > 0 {
+        if offset + 2 <= capacity {
+            page[offset..offset + 2].copy_from_slice(&END_OF_PAGE.to_le_bytes());
+        }
+        seal_page(&mut page);
+        out.write_all(&page)?;
+        index_pages += 1;
+    }
+
+    // Payload region: page-chunk the temp stream into the final file.
+    payload.flush()?;
+    let mut payload_file = payload
+        .into_inner()
+        .map_err(|e| StoreError::Io(e.into_error()))?;
+    payload_file.seek(SeekFrom::Start(0))?;
+    let payload_pages = pages_for(payload_bytes, capacity);
+    let mut reader = BufReader::new(payload_file);
+    let mut remaining = payload_bytes;
+    for _ in 0..payload_pages {
+        page.fill(0);
+        let take = (remaining as usize).min(capacity);
+        reader.read_exact(&mut page[..take])?;
+        remaining -= take as u64;
+        seal_page(&mut page);
+        out.write_all(&page)?;
+    }
+
+    // Rewrite the real header over the placeholder.
+    let header = Header {
+        page_size: page_size as u32,
+        meta_bytes: meta_encoded.len() as u64,
+        meta_pages,
+        index_pages,
+        payload_pages,
+        entries,
+        indexed,
+        undetected: undetected.len() as u64,
+        max_class_size,
+        distinguishable,
+        trail_words: trail_words as u32,
+        width: width as u32,
+        payload_bytes,
+    };
+    out.flush()?;
+    let mut file = out
+        .into_inner()
+        .map_err(|e| StoreError::Io(e.into_error()))?;
+    header.encode(&mut page);
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&page)?;
+    file.sync_all()?;
+    Ok(header)
+}

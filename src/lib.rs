@@ -50,6 +50,14 @@
 //!   [`RepairableMemory`](mem::RepairableMemory) spare words, and
 //!   [`verify_repair`](repair::verify_repair) proving the signature comes
 //!   back clean on the remapped memory.
+//! * [`store`] — paged, disk-backed signature dictionaries: a
+//!   checksummed fixed-size-page file format with prefix-compressed
+//!   sorted index pages, a bounded-LRU [`Pager`](store::Pager), and
+//!   [`PagedDictionary`](store::PagedDictionary) — the out-of-core
+//!   sibling of [`SignatureDictionary`](repair::SignatureDictionary),
+//!   answering the same [`TrailLookup`](repair::TrailLookup) queries
+//!   bit-identically from disk (property-tested in
+//!   `crates/store/tests/paged_equivalence.rs`).
 //! * [`fleet`] — the fleet-scale diagnosis service: signature
 //!   dictionaries sharded by `(memory shape, scheme, test fingerprint)`
 //!   in a [`DictionaryStore`](fleet::DictionaryStore) with wire-format
@@ -233,7 +241,9 @@
 //! thousands reporting **trails only** to a maintenance service. [`fleet`]
 //! is that service core — dictionaries per deployment triple, batched
 //! trail diagnosis, repair plans verified by simulation, and fleet-level
-//! statistics — transport-agnostic and deterministic:
+//! statistics — transport-agnostic (a length-prefixed blocking TCP
+//! front, [`TcpFront`](fleet::TcpFront)/[`FleetClient`](fleet::FleetClient),
+//! is one thin wrapper away) and deterministic:
 //!
 //! ```
 //! use twm::core::SchemeId;
@@ -272,6 +282,58 @@
 //! `examples/fleet_diagnosis.rs` runs a 100-device, two-shard fleet end to
 //! end and `benches/fleet.rs` measures batched-lookup throughput and the
 //! warm-cache vs cold-build latency gap.
+//!
+//! ## Dictionaries bigger than RAM
+//!
+//! At production memory sizes a signature dictionary no longer fits in
+//! memory. [`store`] writes it once to a checksummed paged file and
+//! serves the **same** [`TrailLookup`](repair::TrailLookup) queries
+//! through a bounded page cache — so
+//! [`localise_trail`](repair::localise_trail) neither knows nor cares
+//! whether the dictionary lives in RAM or on disk:
+//!
+//! ```
+//! use twm::core::{SchemeId, SchemeRegistry};
+//! use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+//! use twm::march::algorithms::march_c_minus;
+//! use twm::mem::MemoryConfig;
+//! use twm::repair::{localise_trail, DictionaryOptions, TrailLookup};
+//! use twm::store::{PagedDictionary, StoreOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MemoryConfig::new(8, 4)?;
+//! let registry = SchemeRegistry::all(4)?;
+//! let engine = CoverageEngine::for_scheme(
+//!     registry.get(SchemeId::TwmTa).unwrap(),
+//!     &march_c_minus(),
+//!     config,
+//! )?
+//! .content(ContentPolicy::Random { seed: 5 })
+//! .build()?;
+//! let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+//!
+//! // Stream the build straight to disk — the full dictionary is never
+//! // resident — then diagnose from the file through the page cache.
+//! let path = std::env::temp_dir().join("twm-facade-quickstart.twmstore");
+//! let paged = PagedDictionary::build_to_disk(
+//!     &engine,
+//!     &universe,
+//!     &DictionaryOptions::default(),
+//!     &path,
+//!     &StoreOptions::default(),
+//! )?;
+//! let diagnosis = localise_trail(&paged, paged.reference_trail())?;
+//! assert!(diagnosis.clean);
+//! assert!(paged.cache_metrics().hit_rate() > 0.0);
+//! # std::fs::remove_file(&path)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `examples/out_of_core_dictionary.rs` builds a dictionary several times
+//! the page-cache budget and proves disk-served lookups bit-identical to
+//! the in-RAM build; `perf_trajectory` records build-to-disk throughput
+//! and cold-vs-warm lookup latency in `BENCH_<pr>.json`.
 
 #![warn(missing_docs)]
 
@@ -283,3 +345,4 @@ pub use twm_march as march;
 pub use twm_mem as mem;
 pub use twm_repair as repair;
 pub use twm_search as search;
+pub use twm_store as store;
