@@ -23,14 +23,21 @@
 //! * `dictionary_store` — the out-of-core dictionary backend:
 //!   build-to-disk injections/second, on-disk bytes per indexed entry,
 //!   cold (fresh pager, empty page cache) versus warm trail-lookup
-//!   latency and the warm page-cache hit rate.
+//!   latency and the warm page-cache hit rate;
+//! * `obs_overhead` — the observability tax: the 64K-word
+//!   `engine_reuse` packed path timed with tracing disabled (the
+//!   default one-atomic-load gate) versus enabled into a ring sink,
+//!   reports asserted bit-identical across the A/B first.
 //!
 //! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]
-//! [--assert-fleet-speedup X]`. With `--assert-speedup`, the process
-//! exits non-zero unless the packed kernel beats the scalar baseline by
-//! at least `X`×; `--assert-fleet-speedup` does the same for the warm
-//! cache against the cold build — CI uses both to keep the speedup
-//! claims exercised on every push.
+//! [--assert-fleet-speedup X] [--assert-obs-overhead PCT]`. With
+//! `--assert-speedup`, the process exits non-zero unless the packed
+//! kernel beats the scalar baseline by at least `X`×;
+//! `--assert-fleet-speedup` does the same for the warm cache against
+//! the cold build; `--assert-obs-overhead` fails the run when enabling
+//! tracing costs more than `PCT`% on the engine-reuse path — CI uses
+//! all three to keep the speedup and non-interference claims exercised
+//! on every push.
 
 use std::time::Instant;
 
@@ -49,7 +56,7 @@ use twm_search::{MutationModel, Objective, ObjectiveOptions};
 use twm_store::{PagedDictionary, StoreOptions};
 
 /// The PR this trajectory point belongs to.
-const PR: u32 = 8;
+const PR: u32 = 9;
 
 /// PR 5's measured `engine_reuse` arena throughput at 64K words
 /// (faults/second) — the baseline the packed kernel is compared against.
@@ -355,6 +362,59 @@ fn measure_fleet() -> FleetBatch {
     }
 }
 
+struct ObsOverhead {
+    off_faults_per_sec: f64,
+    on_faults_per_sec: f64,
+    overhead_pct: f64,
+}
+
+/// The observability tax on the hottest instrumented path: the 64K-word
+/// packed engine-reuse report, timed with the trace gate closed (the
+/// default — each would-be span costs one relaxed atomic load) versus
+/// open into a bounded ring sink. Metrics counters are always on in
+/// both runs; the A/B isolates the cost of *enabling* tracing. The two
+/// reports are asserted bit-identical before any timing — the
+/// non-interference invariant, measured as well as property-tested.
+fn measure_obs_overhead() -> ObsOverhead {
+    let config = MemoryConfig::new(1 << 16, 32).unwrap();
+    let test = march_c_minus();
+    let faults = UniverseBuilder::new(config)
+        .stuck_at()
+        .transition()
+        .sample_per_class(256, 5)
+        .build();
+    let engine = CoverageEngine::builder(config)
+        .test(&test)
+        .options(EvaluationOptions {
+            content: ContentPolicy::Random { seed: 11 },
+            contents_per_fault: 1,
+        })
+        .strategy(Strategy::Serial)
+        .build()
+        .unwrap();
+
+    twm_obs::trace::set_enabled(false);
+    let off_report = engine.report(&faults).unwrap();
+    let off_secs = time_mean(|| drop(engine.report(&faults).unwrap()), 5, 0.5);
+
+    let ring = std::sync::Arc::new(twm_obs::RingSink::new(4096));
+    twm_obs::trace::set_sink(ring);
+    twm_obs::trace::set_enabled(true);
+    let on_report = engine.report(&faults).unwrap();
+    let on_secs = time_mean(|| drop(engine.report(&faults).unwrap()), 5, 0.5);
+    twm_obs::trace::set_enabled(false);
+
+    assert_eq!(
+        off_report, on_report,
+        "reports must stay bit-identical with tracing on and off"
+    );
+    ObsOverhead {
+        off_faults_per_sec: faults.len() as f64 / off_secs,
+        on_faults_per_sec: faults.len() as f64 / on_secs,
+        overhead_pct: (on_secs / off_secs - 1.0) * 100.0,
+    }
+}
+
 struct DictionaryStore {
     words: usize,
     width: usize,
@@ -446,9 +506,10 @@ fn measure_dictionary_store() -> DictionaryStore {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut assert_speedup: Option<f64> = None;
     let mut assert_fleet_speedup: Option<f64> = None;
+    let mut assert_obs_overhead: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -471,11 +532,19 @@ fn main() {
                         .expect("--assert-fleet-speedup requires a number"),
                 );
             }
+            "--assert-obs-overhead" => {
+                assert_obs_overhead = Some(
+                    args.next()
+                        .expect("--assert-obs-overhead requires a percentage")
+                        .parse()
+                        .expect("--assert-obs-overhead requires a percentage"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_trajectory [--out PATH] [--assert-speedup X] \
-                     [--assert-fleet-speedup X]"
+                     [--assert-fleet-speedup X] [--assert-obs-overhead PCT]"
                 );
                 std::process::exit(2);
             }
@@ -515,6 +584,12 @@ fn main() {
         store.cold_lookup_us,
         store.warm_lookup_us,
         store.warm_hit_rate
+    );
+    eprintln!("measuring observability overhead (tracing off vs on, 64K engine reuse)...");
+    let obs = measure_obs_overhead();
+    eprintln!(
+        "  off {:.1} faults/s, on {:.1} faults/s ({:+.2}%)",
+        obs.off_faults_per_sec, obs.on_faults_per_sec, obs.overhead_pct
     );
 
     // The artifact schema is tiny and append-only, so it is formatted by
@@ -574,6 +649,13 @@ fn main() {
       "cold_lookup_latency_us": {store_cold:.1},
       "warm_lookup_latency_us": {store_warm:.1},
       "warm_page_cache_hit_rate": {store_hit_rate:.4}
+    }},
+    "obs_overhead": {{
+      "words": 65536,
+      "width": 32,
+      "obs_off_faults_per_sec": {obs_off:.1},
+      "obs_on_faults_per_sec": {obs_on:.1},
+      "overhead_pct": {obs_pct:.2}
     }}
   }}
 }}
@@ -604,6 +686,9 @@ fn main() {
         store_cold = store.cold_lookup_us,
         store_warm = store.warm_lookup_us,
         store_hit_rate = store.warm_hit_rate,
+        obs_off = obs.off_faults_per_sec,
+        obs_on = obs.on_faults_per_sec,
+        obs_pct = obs.overhead_pct,
     );
     std::fs::write(&out_path, &json).expect("write trajectory artifact");
     println!("wrote {out_path}");
@@ -632,6 +717,19 @@ fn main() {
         println!(
             "warm fleet cache speedup {:.1}x meets the required {required}x",
             fleet.warm_speedup_vs_cold
+        );
+    }
+    if let Some(limit) = assert_obs_overhead {
+        if obs.overhead_pct > limit {
+            eprintln!(
+                "FAIL: tracing-enabled overhead {:+.2}% exceeds the allowed {limit}%",
+                obs.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "tracing-enabled overhead {:+.2}% stays within the allowed {limit}%",
+            obs.overhead_pct
         );
     }
 }

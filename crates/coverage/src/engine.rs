@@ -54,9 +54,9 @@
 
 use std::borrow::Borrow;
 use std::collections::VecDeque;
-#[cfg(feature = "parallel")]
 use std::sync::OnceLock;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 #[cfg(feature = "parallel")]
 use crate::pool::WorkerPool;
@@ -395,6 +395,55 @@ const STREAM_CHUNK: usize = 32;
 #[cfg(feature = "parallel")]
 const STEAL_GRAIN: usize = 4;
 
+/// Process-wide engine counters in the [`twm_obs::global`] registry.
+/// Counting is batched (one `add` per report leg or per worker drain,
+/// never per fault in an inner loop) so instrumentation stays inside
+/// the measured overhead bound; none of it influences verdicts.
+struct EngineObs {
+    /// `report` calls completed (either outcome).
+    reports: twm_obs::Counter,
+    /// Wall time of each `report` call.
+    report_latency: twm_obs::Histogram,
+    /// Lane batches resolved by one packed march execution.
+    packed_batches: twm_obs::Counter,
+    /// Faults evaluated through packed lanes.
+    packed_faults: twm_obs::Counter,
+    /// Faults evaluated on the scalar fault-local path of a batched
+    /// report.
+    scalar_faults: twm_obs::Counter,
+    /// Work items claimed from a shared steal cursor (batched-report
+    /// items and streaming-window grains). Only the parallel feature
+    /// has a cursor to steal from.
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    window_steals: twm_obs::Counter,
+    /// Streaming windows evaluated by `verdicts`.
+    verdict_windows: twm_obs::Counter,
+    /// Arena memories currently idle in the engine pools (checked in,
+    /// ready for checkout) — pool depth across all engines.
+    pool_idle_arenas: twm_obs::Gauge,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = twm_obs::global();
+        EngineObs {
+            reports: registry.counter("twm_coverage_reports_total", &[]),
+            report_latency: registry.histogram(
+                "twm_coverage_report_latency_ns",
+                &[],
+                &twm_obs::latency_bounds(),
+            ),
+            packed_batches: registry.counter("twm_coverage_packed_batches_total", &[]),
+            packed_faults: registry.counter("twm_coverage_packed_faults_total", &[]),
+            scalar_faults: registry.counter("twm_coverage_scalar_faults_total", &[]),
+            window_steals: registry.counter("twm_coverage_window_steals_total", &[]),
+            verdict_windows: registry.counter("twm_coverage_verdict_windows_total", &[]),
+            pool_idle_arenas: registry.gauge("twm_coverage_pool_idle_arenas", &[]),
+        }
+    })
+}
+
 /// One parallel worker's slot-tagged verdict output for a streaming window:
 /// `(window slot, verdict)` pairs, merged back in slot order so work-stealing
 /// never changes the stream. Pooled on the engine across windows.
@@ -636,6 +685,19 @@ impl CoverageEngine {
     /// * [`CoverageError::Bist`] if the test cannot be executed on the
     ///   memory.
     pub fn report(&self, universe: &[Fault]) -> Result<CoverageReport, CoverageError> {
+        let mut span = twm_obs::span("coverage.report");
+        span.field("universe", universe.len());
+        let start = Instant::now();
+        let result = self.report_inner(universe);
+        let obs = engine_obs();
+        obs.reports.incr();
+        obs.report_latency
+            .observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        span.field("outcome", if result.is_ok() { "ok" } else { "error" });
+        result
+    }
+
+    fn report_inner(&self, universe: &[Fault]) -> Result<CoverageReport, CoverageError> {
         if universe.is_empty() {
             return Err(CoverageError::EmptyUniverse);
         }
@@ -729,6 +791,10 @@ impl CoverageEngine {
         packed.sort_by_key(|&i| (universe[i].victim().word, i));
         scalar.sort_by_key(|&i| (fault_cost_rank(&universe[i]), i));
         let batches: Vec<&[usize]> = packed.chunks(Packed64::COUNT).collect();
+        let obs = engine_obs();
+        obs.packed_batches.add(batches.len() as u64);
+        obs.packed_faults.add(packed.len() as u64);
+        obs.scalar_faults.add(scalar.len() as u64);
 
         let mut detected: Vec<Option<bool>> = vec![None; universe.len()];
         if self.threads <= 1 {
@@ -817,11 +883,13 @@ impl CoverageEngine {
                     let mut scalar_arena: Option<FaultyMemory> = None;
                     let mut faults = Vec::new();
                     let mut out: Vec<(usize, bool)> = Vec::new();
+                    let mut steals = 0u64;
                     while !failed.load(Ordering::Relaxed) {
                         let item = cursor.fetch_add(1, Ordering::Relaxed);
                         if item >= total {
                             break;
                         }
+                        steals += 1;
                         let outcome = if item < batches.len() {
                             let batch = batches[item];
                             let arena = arena
@@ -850,6 +918,7 @@ impl CoverageEngine {
                             break;
                         }
                     }
+                    engine_obs().window_steals.add(steals);
                     self.checkin(scalar_arena);
                     out
                 }
@@ -1137,13 +1206,12 @@ impl CoverageEngine {
         if !self.reuse_memory {
             return None;
         }
-        Some(
-            self.pool
-                .lock()
-                .expect("arena pool lock poisoned")
-                .pop()
-                .unwrap_or_else(|| FaultyMemory::fault_free(self.config)),
-        )
+        let mut pool = self.pool.lock().expect("arena pool lock poisoned");
+        let memory = pool.pop();
+        if memory.is_some() {
+            engine_obs().pool_idle_arenas.decr();
+        }
+        Some(memory.unwrap_or_else(|| FaultyMemory::fault_free(self.config)))
     }
 
     /// Returns an arena memory to the pool.
@@ -1153,6 +1221,7 @@ impl CoverageEngine {
                 .lock()
                 .expect("arena pool lock poisoned")
                 .push(memory);
+            engine_obs().pool_idle_arenas.incr();
         }
     }
 
@@ -1282,6 +1351,7 @@ impl CoverageEngine {
     ) {
         slots.clear();
         slots.resize_with(window.len(), || None);
+        engine_obs().verdict_windows.incr();
         let threads = self.threads.min(window.len()).max(1);
         if threads <= 1 {
             let mut arena = self.checkout();
@@ -1302,16 +1372,19 @@ impl CoverageEngine {
                     move || {
                         let mut arena = self.checkout();
                         let mut out = self.take_scratch();
+                        let mut steals = 0u64;
                         loop {
                             let start = cursor.fetch_add(STEAL_GRAIN, Ordering::Relaxed);
                             if start >= window.len() {
                                 break;
                             }
+                            steals += 1;
                             let end = (start + STEAL_GRAIN).min(window.len());
                             for (offset, &fault) in window[start..end].iter().enumerate() {
                                 out.push((start + offset, self.fault_detected(&mut arena, fault)));
                             }
                         }
+                        engine_obs().window_steals.add(steals);
                         self.checkin(arena);
                         out
                     }

@@ -16,19 +16,44 @@
 //! instead of regenerating contents.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use twm_bist::Misr;
 use twm_core::scheme::{SchemeRegistry, SchemeTransform};
 use twm_coverage::{ContentPolicy, CoverageEngine, Strategy};
 use twm_march::MarchTest;
 use twm_mem::MemoryConfig;
+use twm_obs::Counter;
 use twm_repair::TrailLookup;
 
 use crate::shard::ShardKey;
 use crate::stats::CacheMetrics;
 use crate::store::{DictionaryHandle, ShardEntry};
 use crate::FleetError;
+
+/// Process-wide runtime-cache counters in the [`twm_obs::global`]
+/// registry — the scrapeable mirror of every cache instance's
+/// [`CacheMetrics`] snapshot, plus the spill counter the service bumps
+/// when a demoted shard goes to disk.
+pub(crate) struct CacheObs {
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) spills: Counter,
+}
+
+pub(crate) fn cache_obs() -> &'static CacheObs {
+    static OBS: OnceLock<CacheObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = twm_obs::global();
+        CacheObs {
+            hits: registry.counter("twm_fleet_cache_hits_total", &[]),
+            misses: registry.counter("twm_fleet_cache_misses_total", &[]),
+            evictions: registry.counter("twm_fleet_cache_evictions_total", &[]),
+            spills: registry.counter("twm_fleet_cache_spills_total", &[]),
+        }
+    })
+}
 
 /// Everything a worker thread needs to diagnose one shard's reports.
 #[derive(Debug)]
@@ -95,7 +120,9 @@ pub struct RuntimeCache {
     clock: u64,
     runtimes: BTreeMap<ShardKey, (u64, Arc<ShardRuntime>)>,
     bases: Vec<((MemoryConfig, ContentPolicy), CoverageEngine)>,
-    metrics: CacheMetrics,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
     evicted: Vec<ShardKey>,
 }
 
@@ -116,7 +143,9 @@ impl RuntimeCache {
             clock: 0,
             runtimes: BTreeMap::new(),
             bases: Vec::new(),
-            metrics: CacheMetrics::default(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
             evicted: Vec::new(),
         })
     }
@@ -137,10 +166,12 @@ impl RuntimeCache {
         self.clock += 1;
         if let Some((stamp, runtime)) = self.runtimes.get_mut(&key) {
             *stamp = self.clock;
-            self.metrics.hits += 1;
+            self.hits.incr();
+            cache_obs().hits.incr();
             return Ok(Arc::clone(runtime));
         }
-        self.metrics.misses += 1;
+        self.misses.incr();
+        cache_obs().misses.incr();
         let base = self.base_engine(key.config, entry.dictionary.content(), &entry.source)?;
         let runtime = Arc::new(ShardRuntime::build(entry, &base)?);
         if self.runtimes.len() == self.capacity {
@@ -151,7 +182,8 @@ impl RuntimeCache {
                 .map(|(&key, _)| key)
                 .expect("capacity > 0, so a full cache is non-empty");
             self.runtimes.remove(&oldest);
-            self.metrics.evictions += 1;
+            self.evictions.incr();
+            cache_obs().evictions.incr();
             self.evicted.push(oldest);
         }
         self.runtimes
@@ -171,10 +203,17 @@ impl RuntimeCache {
         std::mem::take(&mut self.evicted)
     }
 
-    /// Cache health counters.
+    /// A snapshot of the cache health counters. The counters live on
+    /// [`twm_obs`] atomics (mirrored into the global registry as
+    /// `twm_fleet_cache_*_total`); this accessor is the same thin
+    /// per-instance view callers have always had.
     #[must_use]
     pub fn metrics(&self) -> CacheMetrics {
-        self.metrics
+        CacheMetrics {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 
     /// Number of cached shard runtimes.

@@ -20,19 +20,21 @@
 //! deterministic [`FleetStatistics`].
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use twm_core::scheme::SchemeId;
 use twm_coverage::{ContentPolicy, Strategy, UniverseBuilder};
 use twm_march::MarchTest;
 use twm_mem::{FaultyMemory, MemoryConfig, RepairableMemory};
+use twm_obs::{latency_bounds, Counter, Histogram, MetricsReport};
 use twm_repair::{
     localise_trail, verify_repair, DictionaryOptions, LocatedDefect, RepairAllocator, RepairPlan,
     SignatureDictionary, SignatureTrail, TrailLookup,
 };
 
-use crate::cache::{RuntimeCache, ShardRuntime};
+use crate::cache::{cache_obs, RuntimeCache, ShardRuntime};
 use crate::shard::ShardKey;
 use crate::stats::{CacheMetrics, FleetStatistics};
 use crate::store::{DictionaryStore, SpillConfig};
@@ -163,6 +165,10 @@ pub enum Request {
     Statistics,
     /// Runtime-cache health counters.
     CacheMetrics,
+    /// A scrape of the process-wide [`twm_obs`] metrics registry —
+    /// the remote equivalent of calling [`twm_obs::Registry::snapshot`]
+    /// in-process.
+    Metrics,
 }
 
 /// A registered shard, as listed by [`Request::ListShards`].
@@ -267,11 +273,88 @@ pub enum Response {
     Statistics(FleetStatistics),
     /// Cache health counters.
     CacheMetrics(CacheMetrics),
+    /// A metrics-registry scrape. `text` and `report` are rendered
+    /// from **one** snapshot, so `report.expose() == text` holds even
+    /// while counters keep ticking — the invariant the remote-scrape
+    /// equality test asserts.
+    Metrics {
+        /// The snapshot in the Prometheus text exposition format.
+        text: String,
+        /// The same snapshot, structured.
+        report: MetricsReport,
+    },
     /// The request failed.
     Error {
         /// The error rendered as text.
         message: String,
     },
+}
+
+/// The wire-stable name of a request variant, used as the `request`
+/// label on the fleet's per-variant counters and latency histograms.
+fn request_name(request: &Request) -> &'static str {
+    match request {
+        Request::RegisterDictionary { .. } => "RegisterDictionary",
+        Request::BuildDictionary { .. } => "BuildDictionary",
+        Request::EvictDictionary { .. } => "EvictDictionary",
+        Request::ListShards => "ListShards",
+        Request::DiagnoseBatch { .. } => "DiagnoseBatch",
+        Request::ExportShard { .. } => "ExportShard",
+        Request::ImportShard { .. } => "ImportShard",
+        Request::Statistics => "Statistics",
+        Request::CacheMetrics => "CacheMetrics",
+        Request::Metrics => "Metrics",
+    }
+}
+
+struct RequestObs {
+    requests: Counter,
+    latency: Histogram,
+}
+
+/// Pre-registered per-variant handles, so the request hot path never
+/// takes the registry lock: one table lookup, one counter add and one
+/// histogram observation per request.
+fn request_obs(variant: &'static str) -> &'static RequestObs {
+    static TABLE: OnceLock<BTreeMap<&'static str, RequestObs>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let registry = twm_obs::global();
+        [
+            "RegisterDictionary",
+            "BuildDictionary",
+            "EvictDictionary",
+            "ListShards",
+            "DiagnoseBatch",
+            "ExportShard",
+            "ImportShard",
+            "Statistics",
+            "CacheMetrics",
+            "Metrics",
+        ]
+        .into_iter()
+        .map(|name| {
+            (
+                name,
+                RequestObs {
+                    requests: registry.counter("twm_fleet_requests_total", &[("request", name)]),
+                    latency: registry.histogram(
+                        "twm_fleet_request_latency_ns",
+                        &[("request", name)],
+                        &latency_bounds(),
+                    ),
+                },
+            )
+        })
+        .collect()
+    });
+    table
+        .get(variant)
+        .expect("request_name only returns table keys")
+}
+
+fn batch_devices_obs() -> &'static Counter {
+    static DEVICES: OnceLock<Counter> = OnceLock::new();
+    DEVICES.get_or_init(|| twm_obs::global().counter("twm_fleet_batch_devices_total", &[]))
 }
 
 /// The in-process fleet diagnosis service.
@@ -328,13 +411,28 @@ impl FleetService {
 
     /// Handles one request synchronously. Never panics on bad input —
     /// failures come back as [`Response::Error`].
+    ///
+    /// Every call counts into `twm_fleet_requests_total{request=...}`
+    /// and observes its wall time into
+    /// `twm_fleet_request_latency_ns{request=...}`; with the trace gate
+    /// on it also runs under a `fleet.request` span. None of that
+    /// influences the response.
     pub fn handle(&self, request: Request) -> Response {
-        match self.dispatch(request) {
+        let variant = request_name(&request);
+        let mut span = twm_obs::span("fleet.request");
+        span.field("request", variant);
+        let start = Instant::now();
+        let response = match self.dispatch(request) {
             Ok(response) => response,
             Err(error) => Response::Error {
                 message: error.to_string(),
             },
-        }
+        };
+        let obs = request_obs(variant);
+        obs.requests.incr();
+        obs.latency
+            .observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        response
     }
 
     fn dispatch(&self, request: Request) -> Result<Response, FleetError> {
@@ -386,6 +484,14 @@ impl FleetService {
             Request::CacheMetrics => Ok(Response::CacheMetrics(
                 self.cache.lock().expect("cache lock").metrics(),
             )),
+            Request::Metrics => {
+                // One snapshot feeds both renderings: the text a human
+                // scrapes and the structured report a client re-renders
+                // must describe the same instant.
+                let report = twm_obs::global().snapshot();
+                let text = report.expose();
+                Ok(Response::Metrics { text, report })
+            }
         }
     }
 
@@ -456,6 +562,11 @@ impl FleetService {
         // fan-out: a missing store entry is a per-device verdict, not an
         // error; a failed cold build poisons only its shard's devices.
         let shards: BTreeSet<ShardKey> = reports.iter().map(|report| report.shard).collect();
+        batch_devices_obs().add(reports.len() as u64);
+        let mut span = twm_obs::span("fleet.batch");
+        span.field("devices", reports.len());
+        span.field("shards", shards.len());
+        span.field("workers", self.workers);
         let mut runtimes: BTreeMap<ShardKey, Result<Arc<ShardRuntime>, String>> = BTreeMap::new();
         {
             let mut store = self.store.lock().expect("store lock");
@@ -474,7 +585,9 @@ impl FleetService {
             // The spilled shard keeps serving — its next lookups stream
             // from disk through the bounded page cache.
             for evicted in cache.take_evicted() {
-                store.spill(evicted)?;
+                if store.spill(evicted)? {
+                    cache_obs().spills.incr();
+                }
             }
         }
 

@@ -8,18 +8,60 @@
 //! response frame, in order; the peer closing between frames ends the
 //! conversation cleanly.
 //!
-//! Deliberately std-only and blocking: one thread per accepted
-//! connection at most (callers wanting concurrency accept in their own
-//! threads or put the [`crate::Dispatcher`] pool behind one front). The
-//! framing guards both sides with [`MAX_FRAME`] so a corrupt or hostile
-//! length prefix cannot drive an unbounded allocation.
+//! Deliberately std-only and blocking. [`TcpFront::run`] serves one
+//! connection at a time; [`TcpFront::run_concurrent`] puts the
+//! [`crate::Dispatcher`] thread pool behind the front — one lightweight
+//! thread per live connection feeding a fixed pool of handler workers —
+//! so multiple connections are served simultaneously. The framing
+//! guards both sides with [`MAX_FRAME`] so a corrupt or hostile length
+//! prefix cannot drive an unbounded allocation.
+//!
+//! The front is instrumented as an access log: a connection gauge
+//! (`twm_fleet_connections`) plus frame/byte/error counters in the
+//! [`twm_obs::global`] registry, and — with the trace gate on —
+//! per-connection spans carrying per-frame events with byte counts and
+//! error outcomes.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use twm_obs::{Counter, Gauge};
+
+use crate::dispatch::Dispatcher;
 use crate::service::{FleetService, Request, Response};
 use crate::{wire, FleetError};
+
+/// Process-wide access-log counters for the TCP front.
+struct FrontObs {
+    /// Connections currently being served.
+    connections: Gauge,
+    /// Connections accepted since process start.
+    connections_total: Counter,
+    /// Request frames decoded and answered.
+    frames: Counter,
+    /// Payload bytes read off accepted streams.
+    bytes_in: Counter,
+    /// Payload bytes written back.
+    bytes_out: Counter,
+    /// Frames whose payload failed to decode as a [`Request`].
+    frame_errors: Counter,
+}
+
+fn front_obs() -> &'static FrontObs {
+    static OBS: OnceLock<FrontObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = twm_obs::global();
+        FrontObs {
+            connections: registry.gauge("twm_fleet_connections", &[]),
+            connections_total: registry.counter("twm_fleet_connections_total", &[]),
+            frames: registry.counter("twm_fleet_frames_total", &[]),
+            bytes_in: registry.counter("twm_fleet_frame_bytes_in_total", &[]),
+            bytes_out: registry.counter("twm_fleet_frame_bytes_out_total", &[]),
+            frame_errors: registry.counter("twm_fleet_frame_errors_total", &[]),
+        }
+    })
+}
 
 /// Upper bound on a frame's payload bytes (1 GiB). Dictionaries export
 /// whole in one frame, so the bound is generous; a length prefix beyond
@@ -133,17 +175,72 @@ impl TcpFront {
     /// # Errors
     ///
     /// As [`TcpFront::accept_one`].
-    pub fn serve_connection(&self, mut stream: TcpStream) -> Result<(), FleetError> {
-        while let Some(payload) = read_frame(&mut stream)? {
-            let response = match wire::from_bytes::<Request>(&payload) {
-                Ok(request) => self.service.handle(request),
-                Err(error) => Response::Error {
-                    message: error.to_string(),
-                },
-            };
-            write_frame(&mut stream, &wire::to_bytes(&response))?;
+    pub fn serve_connection(&self, stream: TcpStream) -> Result<(), FleetError> {
+        self.serve_stream(stream, None)
+    }
+
+    /// The shared conversation loop: decode, handle (in-process or
+    /// through a dispatcher pool), respond — logging every frame.
+    fn serve_stream(
+        &self,
+        mut stream: TcpStream,
+        dispatcher: Option<&Dispatcher>,
+    ) -> Result<(), FleetError> {
+        let obs = front_obs();
+        obs.connections.incr();
+        obs.connections_total.incr();
+        let mut span = twm_obs::span("fleet.connection");
+        if let Ok(peer) = stream.peer_addr() {
+            span.field("peer", peer);
         }
-        Ok(())
+        let mut frames = 0u64;
+        let result = (|| {
+            while let Some(payload) = read_frame(&mut stream)? {
+                obs.frames.incr();
+                obs.bytes_in.add(payload.len() as u64);
+                let (response, outcome) = match wire::from_bytes::<Request>(&payload) {
+                    Ok(request) => {
+                        let response = match dispatcher {
+                            Some(pool) => pool.submit(request).wait(),
+                            None => self.service.handle(request),
+                        };
+                        (response, "ok")
+                    }
+                    Err(error) => {
+                        obs.frame_errors.incr();
+                        (
+                            Response::Error {
+                                message: error.to_string(),
+                            },
+                            "bad_request",
+                        )
+                    }
+                };
+                let encoded = wire::to_bytes(&response);
+                obs.bytes_out.add(encoded.len() as u64);
+                twm_obs::event(
+                    "fleet.frame",
+                    &[
+                        ("bytes_in", &payload.len().to_string()),
+                        ("bytes_out", &encoded.len().to_string()),
+                        ("outcome", outcome),
+                    ],
+                );
+                frames += 1;
+                write_frame(&mut stream, &encoded)?;
+            }
+            Ok(())
+        })();
+        span.field("frames", frames);
+        span.field(
+            "outcome",
+            match &result {
+                Ok(()) => "closed",
+                Err(_) => "error",
+            },
+        );
+        obs.connections.decr();
+        result
     }
 
     /// Accepts and serves connections forever (one at a time).
@@ -156,6 +253,65 @@ impl TcpFront {
         loop {
             self.accept_one()?;
         }
+    }
+
+    /// Accepts and serves connections forever, **concurrently**: a
+    /// [`Dispatcher`] pool of `workers` threads handles requests while
+    /// one lightweight thread per live connection owns its stream's
+    /// framing, so slow or held-open peers never block each other.
+    ///
+    /// # Errors
+    ///
+    /// The first accept failure (after every live connection drains).
+    /// Per-connection conversation failures end only that connection.
+    pub fn run_concurrent(&self, workers: usize) -> Result<(), FleetError> {
+        let dispatcher = Dispatcher::new(Arc::clone(&self.service), workers);
+        std::thread::scope(|scope| loop {
+            let (stream, _) = self.listener.accept()?;
+            let dispatcher = &dispatcher;
+            scope.spawn(move || {
+                // A peer hanging up mid-frame is that peer's problem.
+                let _ = self.serve_stream(stream, Some(dispatcher));
+            });
+        })
+    }
+
+    /// Accepts exactly `connections` connections and serves them
+    /// concurrently through `dispatcher`, returning when all have
+    /// closed — [`TcpFront::run_concurrent`] with a deterministic
+    /// endpoint, for tests and drains.
+    ///
+    /// # Errors
+    ///
+    /// The first accept failure, or the first conversation failure
+    /// among the accepted connections (all are joined first).
+    pub fn accept_pooled(
+        &self,
+        dispatcher: &Dispatcher,
+        connections: usize,
+    ) -> Result<(), FleetError> {
+        std::thread::scope(|scope| {
+            let mut served = Vec::with_capacity(connections);
+            let mut accepting = Ok(());
+            for _ in 0..connections {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        served
+                            .push(scope.spawn(move || self.serve_stream(stream, Some(dispatcher))));
+                    }
+                    Err(error) => {
+                        accepting = Err(FleetError::Io(error));
+                        break;
+                    }
+                }
+            }
+            let mut result = accepting;
+            for connection in served {
+                let outcome = connection.join().expect("connection thread panicked");
+                result = result.and(outcome);
+            }
+            result
+        })
     }
 }
 

@@ -1,0 +1,599 @@
+//! The metrics registry: atomic counters, gauges and fixed-bucket
+//! histograms behind stable `(name, labels)` keys, with deterministic
+//! snapshots and Prometheus-style text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed:
+//! registration takes the registry lock once, after which every update
+//! is a relaxed atomic operation — no lock, no allocation. Values are
+//! integers throughout (count, sum and bucket bounds are `u64`; gauges
+//! are `i64`), so a [`MetricsReport`] survives any serialisation
+//! round-trip bit-exactly — the property the fleet's remote scrape
+//! equality test rests on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter (relaxed atomic adds).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter, not attached to any registry — for
+    /// per-instance metrics mirrored into global counters by their
+    /// owner (see the store pager and the fleet runtime cache).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (current value, not a rate).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A standalone gauge, not attached to any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn decr(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds of the finite buckets, strictly
+    /// increasing; an implicit `+Inf` bucket follows.
+    bounds: Vec<u64>,
+    /// One slot per finite bound plus the `+Inf` overflow slot.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of integer observations (nanoseconds,
+/// bytes, counts — the unit is the caller's naming convention).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A standalone histogram over `bounds` (deduplicated and sorted;
+    /// an implicit `+Inf` bucket is always appended).
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation into the first bucket whose bound is
+    /// `>= value` (the `+Inf` slot when none is).
+    pub fn observe(&self, value: u64) {
+        let inner = &self.0;
+        let slot = inner
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(inner.bounds.len());
+        inner.counts[slot].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets. Concurrent observers may
+    /// land between the bucket reads; each scrape is still internally
+    /// monotonic with the previous one.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|count| count.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Strictly increasing bounds `start, start*factor, ...` (`count` of
+/// them), saturating at `u64::MAX`.
+#[must_use]
+pub fn exponential_bounds(start: u64, factor: u64, count: usize) -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(count);
+    let mut bound = start.max(1);
+    for _ in 0..count {
+        bounds.push(bound);
+        bound = bound.saturating_mul(factor.max(2));
+    }
+    bounds
+}
+
+/// The workspace's default latency buckets: 1 µs to ~67 s in powers of
+/// four, in nanoseconds.
+#[must_use]
+pub fn latency_bounds() -> Vec<u64> {
+    exponential_bounds(1_000, 4, 13)
+}
+
+/// One metric label (a `name="value"` pair in the exposition).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// The label name.
+    pub name: String,
+    /// The label value (escaped on exposition).
+    pub value: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<Label>,
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics. Registration is idempotent: asking for
+/// an existing `(name, labels)` key returns a clone of the original
+/// handle, so any number of call sites share one underlying atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Handle>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    MetricKey {
+        name: name.to_string(),
+        labels: labels
+            .iter()
+            .map(|(name, value)| Label {
+                name: (*name).to_string(),
+                value: (*value).to_string(),
+            })
+            .collect(),
+    }
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `(name, labels)`, created on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// When the key is already registered as a different metric kind —
+    /// a programming error, caught loudly.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let handle = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Handle::Counter(Counter::new()));
+        match handle {
+            Handle::Counter(counter) => counter.clone(),
+            other => panic!("metric `{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `(name, labels)`, created on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`], on a kind mismatch.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let handle = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Handle::Gauge(Gauge::new()));
+        match handle {
+            Handle::Gauge(gauge) => gauge.clone(),
+            other => panic!("metric `{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `(name, labels)`, created over
+    /// `bounds` on first use (later registrations share the original
+    /// buckets — their `bounds` argument is ignored).
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`], on a kind mismatch.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let handle = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Handle::Histogram(Histogram::new(bounds)));
+        match handle {
+            Handle::Histogram(histogram) => histogram.clone(),
+            other => panic!("metric `{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Freezes every registered metric into a report, in deterministic
+    /// `(name, labels)` order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsReport {
+        let metrics = self.metrics.lock().expect("registry lock");
+        MetricsReport {
+            metrics: metrics
+                .iter()
+                .map(|(key, handle)| MetricSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value: match handle {
+                        Handle::Counter(counter) => MetricValue::Counter(counter.get()),
+                        Handle::Gauge(gauge) => MetricValue::Gauge(gauge.get()),
+                        Handle::Histogram(histogram) => {
+                            MetricValue::Histogram(histogram.snapshot())
+                        }
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text format —
+    /// shorthand for `self.snapshot().expose()`.
+    #[must_use]
+    pub fn expose(&self) -> String {
+        self.snapshot().expose()
+    }
+}
+
+/// The process-wide registry every twm crate instruments into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// A histogram frozen at snapshot time. `counts` are **per-bucket**
+/// (not cumulative); the last slot is the `+Inf` overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` slots).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// One sample of a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// The metric name.
+    pub name: String,
+    /// Its labels, sorted.
+    pub labels: Vec<Label>,
+    /// Its frozen value.
+    pub value: MetricValue,
+}
+
+/// A whole registry frozen at one instant. All-integer, so any
+/// serialisation round-trip reproduces it bit-exactly, and
+/// [`MetricsReport::expose`] renders the identical text on both sides
+/// of a wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Every registered metric, in deterministic `(name, labels)`
+    /// order.
+    pub metrics: Vec<MetricSample>,
+}
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(value: &str, out: &mut String) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn render_labels(labels: &[Label], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for label in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&label.name);
+        out.push_str("=\"");
+        escape_label(&label.value, out);
+        out.push('"');
+    }
+    if let Some((name, value)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_label(value, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl MetricsReport {
+    /// Renders the report in the Prometheus text exposition format.
+    /// Histogram buckets are emitted cumulatively with `le` labels (the
+    /// last as `+Inf`), followed by `_sum` and `_count` series.
+    #[must_use]
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let mut previous: Option<&str> = None;
+        for sample in &self.metrics {
+            if previous != Some(sample.name.as_str()) {
+                let kind = match &sample.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+                previous = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                MetricValue::Counter(value) => {
+                    out.push_str(&sample.name);
+                    render_labels(&sample.labels, None, &mut out);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricValue::Gauge(value) => {
+                    out.push_str(&sample.name);
+                    render_labels(&sample.labels, None, &mut out);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricValue::Histogram(snapshot) => {
+                    let mut cumulative = 0u64;
+                    for (at, count) in snapshot.counts.iter().enumerate() {
+                        cumulative += count;
+                        let bound = snapshot
+                            .bounds
+                            .get(at)
+                            .map_or_else(|| "+Inf".to_string(), u64::to_string);
+                        out.push_str(&sample.name);
+                        out.push_str("_bucket");
+                        render_labels(&sample.labels, Some(("le", &bound)), &mut out);
+                        let _ = writeln!(out, " {cumulative}");
+                    }
+                    out.push_str(&sample.name);
+                    out.push_str("_sum");
+                    render_labels(&sample.labels, None, &mut out);
+                    let _ = writeln!(out, " {}", snapshot.sum);
+                    out.push_str(&sample.name);
+                    out.push_str("_count");
+                    render_labels(&sample.labels, None, &mut out);
+                    let _ = writeln!(out, " {}", snapshot.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_handles_by_key() {
+        let registry = Registry::new();
+        let a = registry.counter("requests_total", &[("kind", "x")]);
+        let b = registry.counter("requests_total", &[("kind", "x")]);
+        let other = registry.counter("requests_total", &[("kind", "y")]);
+        a.incr();
+        b.add(2);
+        other.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+
+        let gauge = registry.gauge("depth", &[]);
+        gauge.incr();
+        gauge.incr();
+        gauge.decr();
+        assert_eq!(registry.gauge("depth", &[]).get(), 1);
+        gauge.set(-4);
+        assert_eq!(gauge.get(), -4);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("x", &[]);
+        let _ = registry.gauge("x", &[]);
+    }
+
+    /// Bucket edges are inclusive: a value equal to a bound lands in
+    /// that bound's bucket, one past it in the next, and anything
+    /// beyond the last bound in `+Inf`.
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let histogram = Histogram::new(&[10, 100]);
+        histogram.observe(0);
+        histogram.observe(10); // edge: still the first bucket
+        histogram.observe(11); // first past the edge
+        histogram.observe(100); // edge of the second
+        histogram.observe(101); // overflow
+        histogram.observe(u64::MAX); // deep overflow
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.counts, vec![2, 2, 2]);
+        assert_eq!(snapshot.count, 6);
+        // The sum is a relaxed accumulator: it wraps on overflow.
+        assert_eq!(
+            snapshot.sum,
+            (10u64 + 11 + 100 + 101).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduplicated() {
+        let histogram = Histogram::new(&[100, 10, 100, 1]);
+        assert_eq!(histogram.snapshot().bounds, vec![1, 10, 100]);
+    }
+
+    #[test]
+    fn exponential_bounds_saturate() {
+        assert_eq!(exponential_bounds(1_000, 4, 3), vec![1_000, 4_000, 16_000]);
+        let saturated = exponential_bounds(u64::MAX / 2, 4, 3);
+        assert_eq!(saturated[1], u64::MAX);
+        assert_eq!(saturated[2], u64::MAX);
+        assert_eq!(latency_bounds().len(), 13);
+    }
+
+    /// Exposition escapes label values and renders histograms with
+    /// cumulative buckets.
+    #[test]
+    fn exposition_format_and_escaping() {
+        let registry = Registry::new();
+        registry
+            .counter("odd_total", &[("path", "a\\b\"c\nd")])
+            .add(7);
+        let histogram = registry.histogram("lat", &[], &[5, 50]);
+        histogram.observe(3);
+        histogram.observe(30);
+        histogram.observe(300);
+        let text = registry.expose();
+        assert!(text.contains("# TYPE odd_total counter\n"));
+        assert!(
+            text.contains("odd_total{path=\"a\\\\b\\\"c\\nd\"} 7\n"),
+            "escaping failed: {text}"
+        );
+        assert!(text.contains("lat_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"50\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 333\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    /// The snapshot is deterministic and re-renders to the identical
+    /// text — the property the remote scrape test rests on.
+    #[test]
+    fn snapshot_rerenders_identically() {
+        let registry = Registry::new();
+        registry.counter("b_total", &[]).add(2);
+        registry.counter("a_total", &[("z", "1")]).add(1);
+        registry.gauge("depth", &[]).set(5);
+        registry.histogram("h", &[], &[1, 2]).observe(2);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.expose(), registry.expose());
+        assert_eq!(snapshot, registry.snapshot());
+        // Samples are ordered by name: a_total, b_total, depth, h.
+        let names: Vec<&str> = snapshot
+            .metrics
+            .iter()
+            .map(|sample| sample.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a_total", "b_total", "depth", "h"]);
+    }
+}

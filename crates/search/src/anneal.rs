@@ -184,6 +184,7 @@ pub fn anneal(
                 let delta = energy(score) - energy(current_score);
                 let accept = delta <= 0.0 || unit(&mut rng) < (-delta / temperature).exp();
                 if accept {
+                    crate::objective::count_accepted("anneal");
                     current = tests[index].clone();
                     current_score = score;
                     log.push(ProvenanceEntry {

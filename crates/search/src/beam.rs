@@ -146,6 +146,7 @@ pub fn beam_search(
         pool.truncate(options.beam_width);
         for (member, origin) in &pool {
             if let Some((mutation, parent)) = origin {
+                crate::objective::count_accepted("beam");
                 log.push(ProvenanceEntry {
                     step: generation,
                     mutation: Some(*mutation),

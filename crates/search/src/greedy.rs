@@ -86,6 +86,7 @@ pub fn minimise_greedy(
             }
         }
         let Some(index) = chosen else { break };
+        crate::objective::count_accepted("greedy");
         let parent = current.to_string();
         current = tests[index].clone();
         current_score = scores[index].expect("chosen candidates are feasible");

@@ -14,6 +14,8 @@
 //! candidate order, so batches are **bit-identical for any thread count**
 //! (property-tested in `tests/determinism.rs`).
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use twm_core::scheme::SchemeRegistry;
@@ -22,6 +24,33 @@ use twm_march::{MarchElement, MarchTest, Operation};
 use twm_mem::{Fault, MemoryConfig};
 
 use crate::SearchError;
+
+/// Process-wide scoring counters in the [`twm_obs::global`] registry.
+/// With the per-strategy `twm_search_accepted_total` counters the
+/// strategies bump, `accepted / scored` is the search acceptance rate.
+struct SearchObs {
+    scored: twm_obs::Counter,
+    infeasible: twm_obs::Counter,
+}
+
+fn search_obs() -> &'static SearchObs {
+    static OBS: OnceLock<SearchObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = twm_obs::global();
+        SearchObs {
+            scored: registry.counter("twm_search_candidates_scored_total", &[]),
+            infeasible: registry.counter("twm_search_infeasible_candidates_total", &[]),
+        }
+    })
+}
+
+/// Counts one accepted candidate for `strategy` — called by the search
+/// strategies at the moments they log an accepted provenance entry.
+pub(crate) fn count_accepted(strategy: &'static str) {
+    twm_obs::global()
+        .counter("twm_search_accepted_total", &[("strategy", strategy)])
+        .incr();
+}
 
 /// The objective value of one candidate.
 ///
@@ -276,7 +305,10 @@ impl Objective {
         template: &CoverageEngine,
         test: &MarchTest,
     ) -> Result<Option<Score>, SearchError> {
+        let obs = search_obs();
+        obs.scored.incr();
         let Some(scheme_cost) = self.scheme_cost(test) else {
+            obs.infeasible.incr();
             return Ok(None);
         };
         let engine = template.with_test(test)?;

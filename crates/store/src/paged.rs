@@ -318,7 +318,7 @@ impl PagedDictionary {
     /// A snapshot of the page cache's hit/miss/eviction counters.
     #[must_use]
     pub fn cache_metrics(&self) -> PageCacheMetrics {
-        *self.lock_pager().metrics()
+        self.lock_pager().metrics()
     }
 
     /// The page cache's byte budget.

@@ -12,12 +12,38 @@
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
+use twm_obs::Counter;
 
 use crate::format::{verify_page, CHECKSUM_LEN};
 use crate::StoreError;
+
+/// Process-wide page-cache counters in the [`twm_obs::global`]
+/// registry, mirroring every pager instance — the scrapeable side of
+/// the per-instance [`PageCacheMetrics`] snapshots.
+struct StoreObs {
+    reads: Counter,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    checksum_failures: Counter,
+}
+
+fn store_obs() -> &'static StoreObs {
+    static OBS: OnceLock<StoreObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = twm_obs::global();
+        StoreObs {
+            reads: registry.counter("twm_store_page_reads_total", &[]),
+            hits: registry.counter("twm_store_page_hits_total", &[]),
+            misses: registry.counter("twm_store_page_misses_total", &[]),
+            evictions: registry.counter("twm_store_page_evictions_total", &[]),
+            checksum_failures: registry.counter("twm_store_checksum_failures_total", &[]),
+        }
+    })
+}
 
 /// Hit/miss/eviction counters of a page cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +74,27 @@ struct CachedPage {
     data: Arc<[u8]>,
 }
 
+/// Per-instance [`twm_obs::Counter`]s behind [`Pager::metrics`] —
+/// the `PageCacheMetrics` struct is now a *snapshot* of these, so the
+/// counters live on the observability registry's atomic primitives
+/// while every existing accessor keeps working.
+#[derive(Debug, Default)]
+struct PagerCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl PagerCounters {
+    fn snapshot(&self) -> PageCacheMetrics {
+        PageCacheMetrics {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+}
+
 /// Checksum-verified page reads over one store file, LRU-cached under a
 /// byte budget. See the [module docs](self).
 pub struct Pager {
@@ -58,7 +105,7 @@ pub struct Pager {
     clock: u64,
     cached_bytes: usize,
     cache: BTreeMap<u32, CachedPage>,
-    metrics: PageCacheMetrics,
+    metrics: PagerCounters,
 }
 
 impl std::fmt::Debug for Pager {
@@ -68,7 +115,7 @@ impl std::fmt::Debug for Pager {
             .field("pages", &self.pages)
             .field("budget", &self.budget)
             .field("cached", &self.cache.len())
-            .field("metrics", &self.metrics)
+            .field("metrics", &self.metrics.snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -88,7 +135,7 @@ impl Pager {
             clock: 0,
             cached_bytes: 0,
             cache: BTreeMap::new(),
-            metrics: PageCacheMetrics::default(),
+            metrics: PagerCounters::default(),
         }
     }
 
@@ -98,10 +145,13 @@ impl Pager {
         self.budget
     }
 
-    /// The cache counters so far.
+    /// A snapshot of the cache counters so far. The counters live on
+    /// [`twm_obs`] atomics (mirrored into the global registry as
+    /// `twm_store_page_*_total`); this accessor is the same thin
+    /// per-instance view callers have always had.
     #[must_use]
-    pub fn metrics(&self) -> &PageCacheMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> PageCacheMetrics {
+        self.metrics.snapshot()
     }
 
     /// Bytes currently held by cached pages.
@@ -129,12 +179,16 @@ impl Pager {
             )));
         }
         self.clock += 1;
+        let obs = store_obs();
+        obs.reads.incr();
         if let Some(cached) = self.cache.get_mut(&index) {
             cached.stamp = self.clock;
-            self.metrics.hits += 1;
+            self.metrics.hits.incr();
+            obs.hits.incr();
             return Ok(Arc::clone(&cached.data));
         }
-        self.metrics.misses += 1;
+        self.metrics.misses.incr();
+        obs.misses.incr();
 
         let mut page = vec![0u8; self.page_size];
         self.file
@@ -146,7 +200,10 @@ impl Pager {
                 StoreError::Io(e)
             }
         })?;
-        verify_page(&page, index)?;
+        if let Err(error) = verify_page(&page, index) {
+            obs.checksum_failures.incr();
+            return Err(error);
+        }
         page.truncate(self.page_size - CHECKSUM_LEN);
         let data: Arc<[u8]> = page.into();
 
@@ -160,7 +217,8 @@ impl Pager {
                 };
                 self.cache.remove(&oldest);
                 self.cached_bytes -= self.page_size;
-                self.metrics.evictions += 1;
+                self.metrics.evictions.incr();
+                obs.evictions.incr();
             }
             self.cache.insert(
                 index,
@@ -207,7 +265,7 @@ mod tests {
         assert_eq!(pager.page(0).unwrap()[0], 0); // hit, freshens 0
         assert_eq!(pager.page(2).unwrap()[0], 2); // evicts 1 (LRU)
         assert_eq!(pager.page(0).unwrap()[0], 0); // still cached
-        let metrics = *pager.metrics();
+        let metrics = pager.metrics();
         assert_eq!(metrics.hits, 2);
         assert_eq!(metrics.misses, 3);
         assert_eq!(metrics.evictions, 1);

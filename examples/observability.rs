@@ -1,0 +1,181 @@
+//! An instrumented fleet run, watched end to end through [`twm::obs`]:
+//!
+//! 1. Tracing is switched on into a bounded ring sink (it is off — one
+//!    relaxed atomic load per would-be span — by default).
+//! 2. One shard's signature dictionary is built **server-side** and
+//!    eight devices (six healthy, two with stuck-at defects) report
+//!    their MISR trails in a single `DiagnoseBatch`.
+//! 3. The process-wide metrics registry is scraped through the same
+//!    `Request::Metrics` endpoint a `FleetClient` would hit over TCP,
+//!    and the Prometheus-style exposition is printed.
+//! 4. The example asserts the key instrumentation actually fired:
+//!    request/latency series, batch fan-out counts, cache misses from
+//!    the cold shard, coverage-engine windows from the dictionary
+//!    build, and the spans the ring sink captured.
+//!
+//! Everything runs from fixed seeds, so repeated runs print the same
+//! verdicts (CI runs this example as a smoke check; only the latency
+//! samples vary).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use twm::bist::{run_scheme_session_staged, Misr};
+use twm::core::{SchemeId, SchemeRegistry};
+use twm::coverage::ContentPolicy;
+use twm::fleet::{
+    DeviceReport, DeviceVerdict, FleetService, Request, Response, ShardKey, SignatureTrail,
+    UniverseSpec,
+};
+use twm::march::algorithms::march_c_minus;
+use twm::mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig};
+use twm::obs::{trace, MetricValue, MetricsReport, RingSink};
+
+const SEED: u64 = 2005;
+const DEVICES: usize = 8;
+
+/// Sum of a counter's samples in the report (across label sets).
+fn counter(report: &MetricsReport, name: &str) -> u64 {
+    report
+        .metrics
+        .iter()
+        .filter(|sample| sample.name == name)
+        .map(|sample| match &sample.value {
+            MetricValue::Counter(value) => *value,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn device_trail(config: MemoryConfig, faults: &[Fault]) -> SignatureTrail {
+    let registry = SchemeRegistry::all(config.width()).unwrap();
+    let transform = registry
+        .get(SchemeId::TwmTa)
+        .unwrap()
+        .transform(&march_c_minus())
+        .unwrap();
+    let mut memory =
+        FaultyMemory::with_faults(config, FaultSet::from_faults(faults.iter().copied())).unwrap();
+    memory.fill_random(SEED);
+    let misr = Misr::standard(config.width());
+    let staged = run_scheme_session_staged(&transform, &mut memory, misr).unwrap();
+    SignatureTrail::new(staged.signature_trail())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Open the trace gate into a bounded, drop-oldest ring.
+    let ring = Arc::new(RingSink::new(4096));
+    trace::set_sink(ring.clone());
+    trace::set_enabled(true);
+
+    let config = MemoryConfig::new(16, 8)?;
+    let service = FleetService::with_defaults()?;
+    let shard = ShardKey::new(config, SchemeId::TwmTa, &march_c_minus());
+
+    // 2. Server-side dictionary build (exercises the instrumented
+    //    coverage engine), then one batched diagnosis.
+    let Response::Registered { indexed, .. } = service.handle(Request::BuildDictionary {
+        scheme: SchemeId::TwmTa,
+        source: march_c_minus(),
+        config,
+        content: ContentPolicy::Random { seed: SEED },
+        universe: UniverseSpec::default(),
+    }) else {
+        panic!("server-side build failed");
+    };
+    println!("shard registered: {indexed} injections indexed in the dictionary");
+
+    let reports: Vec<DeviceReport> = (0..DEVICES)
+        .map(|index| {
+            let defects = match index {
+                2 => vec![Fault::stuck_at(BitAddress::new(3, 1), true)],
+                5 => vec![Fault::stuck_at(BitAddress::new(9, 6), false)],
+                _ => Vec::new(),
+            };
+            DeviceReport {
+                device: format!("device-{index:02}"),
+                shard,
+                trail: device_trail(config, &defects),
+                spares: 1,
+            }
+        })
+        .collect();
+    let Response::Batch(batch) = service.handle(Request::DiagnoseBatch { reports }) else {
+        panic!("batch failed");
+    };
+    let diagnosed = batch
+        .outcomes
+        .iter()
+        .filter(|outcome| matches!(outcome.verdict, DeviceVerdict::Diagnosed(_)))
+        .count();
+    println!(
+        "batch: {} devices, {diagnosed} diagnosed, {} clean",
+        batch.statistics.devices,
+        batch.outcomes.len() - diagnosed
+    );
+    assert_eq!(batch.statistics.devices, DEVICES as u64);
+    assert_eq!(diagnosed, 2);
+
+    // 3. One coverage report on the same shard exercises the
+    //    instrumented engine (packed-batch counts, report latency).
+    let registry = SchemeRegistry::all(config.width())?;
+    let engine = twm::coverage::CoverageEngine::for_scheme(
+        registry.get(SchemeId::TwmTa).unwrap(),
+        &march_c_minus(),
+        config,
+    )?
+    .content(ContentPolicy::Random { seed: SEED })
+    .build()?;
+    let universe = twm::coverage::UniverseBuilder::new(config)
+        .stuck_at()
+        .transition()
+        .build();
+    let coverage = engine.report(&universe)?;
+    println!(
+        "coverage report: {}/{} faults detected",
+        coverage.detected_faults(),
+        universe.len()
+    );
+
+    // 4. Scrape the registry through the service endpoint — the same
+    //    one-snapshot `{text, report}` pair a TCP client receives.
+    trace::set_enabled(false);
+    let Response::Metrics { text, report } = service.handle(Request::Metrics) else {
+        panic!("metrics scrape failed");
+    };
+    assert_eq!(report.expose(), text, "one snapshot, two renderings");
+    println!("\n=== metrics exposition ===\n{text}");
+
+    // 5. The instrumentation actually fired.
+    for name in [
+        "twm_fleet_requests_total",
+        "twm_fleet_batch_devices_total",
+        "twm_fleet_cache_misses_total",
+        "twm_coverage_reports_total",
+        "twm_coverage_packed_faults_total",
+    ] {
+        let value = counter(&report, name);
+        assert!(value > 0, "{name} stayed zero");
+        println!("{name} = {value}");
+    }
+    assert!(text.contains("# TYPE twm_fleet_request_latency_ns histogram"));
+
+    let records = ring.take();
+    let spans = records
+        .iter()
+        .filter(|record| matches!(record, twm::obs::Record::Span { .. }))
+        .count();
+    println!(
+        "\ntrace ring captured {} records ({spans} spans)",
+        records.len()
+    );
+    assert!(spans >= 2, "request and batch spans were traced");
+
+    println!("\nobservability example OK");
+    Ok(())
+}

@@ -69,6 +69,17 @@
 //!   them into [`FleetStatistics`](fleet::FleetStatistics) (failure rates
 //!   per fault class, ambiguity histograms, repair-rate-vs-spares
 //!   curves).
+//! * [`obs`] — std-only observability for all of the above: a
+//!   process-wide [`Registry`](obs::Registry) of atomic counters, gauges
+//!   and fixed-bucket histograms with Prometheus-style
+//!   [text exposition](obs::MetricsReport::expose), plus hierarchical
+//!   [`span`](obs::span)s/[`event`](obs::event)s behind a static gate
+//!   (disabled tracing costs one relaxed atomic load). Instrumentation
+//!   never changes results — coverage reports, batch diagnoses and paged
+//!   lookups are bit-identical with observability on or off
+//!   (property-tested in `tests/obs_non_interference.rs`) — and a live
+//!   fleet server is scrapeable over TCP via
+//!   [`Request::Metrics`](fleet::Request::Metrics).
 //!
 //! ## Quickstart
 //!
@@ -334,6 +345,57 @@
 //! the page-cache budget and proves disk-served lookups bit-identical to
 //! the in-RAM build; `perf_trajectory` records build-to-disk throughput
 //! and cold-vs-warm lookup latency in `BENCH_<pr>.json`.
+//!
+//! ## Watching it run
+//!
+//! Every subsystem above is instrumented through [`obs`]: the coverage
+//! engine counts packed vs scalar fault evaluations and window steals,
+//! the fleet service records per-request latency histograms and cache
+//! hits/misses/evictions/spills, the pager counts page reads and
+//! checksum failures, and the TCP front keeps a per-frame access log.
+//! Metrics are always on (lock-free atomics); tracing is off until you
+//! flip the gate:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use twm::fleet::{FleetService, Request, Response};
+//! use twm::obs::{trace, RingSink};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Route completed spans/events to a bounded ring and open the gate.
+//! let ring = Arc::new(RingSink::new(256));
+//! trace::set_sink(ring.clone());
+//! trace::set_enabled(true);
+//!
+//! let service = FleetService::with_defaults()?;
+//! let Response::Batch(batch) = service.handle(Request::DiagnoseBatch { reports: Vec::new() })
+//! else {
+//!     panic!("batch failed");
+//! };
+//! assert_eq!(batch.statistics.devices, 0);
+//!
+//! trace::set_enabled(false);
+//! // The request produced spans ("fleet.request" wrapping "fleet.batch") ...
+//! assert!(ring.take().len() >= 2);
+//!
+//! // ... and bumped the always-on metrics registry, scrapeable in
+//! // process or over TCP via `Request::Metrics`.
+//! let Response::Metrics { text, report } = service.handle(Request::Metrics) else {
+//!     panic!("metrics failed");
+//! };
+//! assert_eq!(report.expose(), text);
+//! assert!(text.contains("twm_fleet_requests_total"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The same snapshot ships through any `FleetClient` — scraping a live
+//! server returns the identical exposition a sidecar would render from
+//! the serde [`MetricsReport`](obs::MetricsReport).
+//! `examples/observability.rs` runs an instrumented two-shard fleet and
+//! prints the full report; `perf_trajectory` A/B-measures the
+//! tracing-enabled overhead on the 64K-word engine-reuse path and CI
+//! gates it below 5% (`BENCH_<pr>.json`, `--assert-obs-overhead`).
 
 #![warn(missing_docs)]
 
@@ -343,6 +405,7 @@ pub use twm_coverage as coverage;
 pub use twm_fleet as fleet;
 pub use twm_march as march;
 pub use twm_mem as mem;
+pub use twm_obs as obs;
 pub use twm_repair as repair;
 pub use twm_search as search;
 pub use twm_store as store;

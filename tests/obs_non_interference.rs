@@ -1,0 +1,177 @@
+//! The observability invariant, property-tested end to end:
+//! instrumentation only observes. Coverage reports, fleet batch
+//! diagnoses and paged-dictionary lookups are **bit-identical** with
+//! tracing enabled (spans/events flowing into a ring sink) and disabled
+//! (the default one-atomic-load gate).
+//!
+//! The trace gate is process-global, so every test in this binary
+//! serialises on one mutex and restores the disabled state before
+//! releasing it.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+
+use twm::core::{SchemeId, SchemeRegistry};
+use twm::coverage::{ContentPolicy, CoverageEngine, UniverseBuilder};
+use twm::fleet::{
+    DeviceReport, FleetConfig, FleetService, Request, Response, ShardKey, SignatureTrail,
+};
+use twm::march::algorithms::march_c_minus;
+use twm::mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig};
+use twm::obs::{trace, RingSink};
+use twm::repair::{localise_trail, DictionaryOptions, SignatureDictionary, TrailLookup};
+use twm::store::{PagedDictionary, StoreOptions};
+
+/// Serialises gate flips across the tests in this binary.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `work` twice — observability off, then on (tracing into a fresh
+/// ring sink) — and returns both results plus the number of records the
+/// enabled run produced. The gate is left disabled.
+fn off_then_on<T>(work: impl Fn() -> T) -> (T, T, usize) {
+    trace::set_enabled(false);
+    let off = work();
+    let ring = Arc::new(RingSink::new(1 << 16));
+    trace::set_sink(ring.clone());
+    trace::set_enabled(true);
+    let on = work();
+    trace::set_enabled(false);
+    (off, on, ring.take().len())
+}
+
+fn engine(words: usize, scheme: SchemeId, seed: u64) -> CoverageEngine {
+    let config = MemoryConfig::new(words, 4).unwrap();
+    let registry = SchemeRegistry::all(4).unwrap();
+    CoverageEngine::for_scheme(registry.get(scheme).unwrap(), &march_c_minus(), config)
+        .unwrap()
+        .content(ContentPolicy::Random { seed })
+        .build()
+        .unwrap()
+}
+
+fn device_trail(config: MemoryConfig, seed: u64, faults: &[Fault]) -> SignatureTrail {
+    let registry = SchemeRegistry::all(config.width()).unwrap();
+    let transform = registry
+        .get(SchemeId::TwmTa)
+        .unwrap()
+        .transform(&march_c_minus())
+        .unwrap();
+    let mut memory =
+        FaultyMemory::with_faults(config, FaultSet::from_faults(faults.iter().copied())).unwrap();
+    memory.fill_random(seed);
+    let misr = twm::bist::Misr::standard(config.width());
+    let staged = twm::bist::run_scheme_session_staged(&transform, &mut memory, misr).unwrap();
+    SignatureTrail::new(staged.signature_trail())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `CoverageEngine::report` is bit-identical with tracing on or off,
+    /// over random memory shapes, schemes and content seeds.
+    #[test]
+    fn coverage_reports_are_identical_with_obs_on_and_off(
+        words in 6usize..10,
+        scheme_pick in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let _gate = gate();
+        let scheme = [SchemeId::TwmTa, SchemeId::Scheme1][scheme_pick];
+        let engine = engine(words, scheme, seed);
+        let universe = UniverseBuilder::new(engine.config())
+            .stuck_at()
+            .transition()
+            .build();
+        let (off, on, records) = off_then_on(|| engine.report(&universe).unwrap());
+        prop_assert_eq!(off, on);
+        prop_assert!(records > 0, "the enabled run traced at least one span");
+    }
+
+    /// A fleet `DiagnoseBatch` — dictionary registration, cache fill,
+    /// diagnosis, statistics — answers bit-identically with tracing on
+    /// or off, each run on a fresh service.
+    #[test]
+    fn diagnose_batch_is_identical_with_obs_on_and_off(
+        seed in any::<u64>(),
+        column in 0usize..4,
+    ) {
+        let _gate = gate();
+        let config = MemoryConfig::new(6, 4).unwrap();
+        let engine = engine(6, SchemeId::TwmTa, seed);
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        let dictionary =
+            SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default()).unwrap();
+        let shard = ShardKey::new(config, SchemeId::TwmTa, &march_c_minus());
+        let fault = Fault::stuck_at(BitAddress::new(2, column), true);
+        let reports = vec![
+            DeviceReport {
+                device: "clean".into(),
+                shard,
+                trail: device_trail(config, seed, &[]),
+                spares: 1,
+            },
+            DeviceReport {
+                device: "stuck".into(),
+                shard,
+                trail: device_trail(config, seed, &[fault]),
+                spares: 1,
+            },
+        ];
+
+        let (off, on, records) = off_then_on(|| {
+            let service = FleetService::new(FleetConfig::default()).unwrap();
+            let registered = service.handle(Request::RegisterDictionary {
+                source: march_c_minus(),
+                dictionary: dictionary.clone(),
+            });
+            assert!(matches!(registered, Response::Registered { .. }));
+            service.handle(Request::DiagnoseBatch { reports: reports.clone() })
+        });
+        prop_assert!(matches!(&off, Response::Batch(_)));
+        prop_assert_eq!(off, on);
+        prop_assert!(records > 0, "the enabled run traced at least one span");
+    }
+
+    /// Paged-dictionary lookups served through the instrumented pager
+    /// diagnose bit-identically with tracing on or off.
+    #[test]
+    fn paged_lookups_are_identical_with_obs_on_and_off(
+        seed in any::<u64>(),
+        column in 0usize..4,
+    ) {
+        let _gate = gate();
+        let config = MemoryConfig::new(6, 4).unwrap();
+        let engine = engine(6, SchemeId::TwmTa, seed);
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        let path = std::env::temp_dir().join(format!(
+            "twm-obs-noninterference-{}-{seed:x}.twmstore",
+            std::process::id()
+        ));
+        let paged = PagedDictionary::build_to_disk(
+            &engine,
+            &universe,
+            &DictionaryOptions::default(),
+            &path,
+            &StoreOptions { page_size: 256, cache_budget: 1024 },
+        )
+        .unwrap();
+        let fault = Fault::stuck_at(BitAddress::new(3, column), true);
+        let faulty = device_trail(config, seed, &[fault]);
+
+        let (off, on, _records) = off_then_on(|| {
+            let clean = localise_trail(&paged, paged.reference_trail()).unwrap();
+            let diagnosed = localise_trail(&paged, &faulty).unwrap();
+            (clean, diagnosed)
+        });
+        prop_assert!(off.0.clean);
+        prop_assert!(!off.1.clean);
+        prop_assert_eq!(off, on);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
