@@ -26,8 +26,11 @@
 //!   latency and the warm page-cache hit rate;
 //! * `obs_overhead` — the observability tax: the 64K-word
 //!   `engine_reuse` packed path timed with tracing disabled (the
-//!   default one-atomic-load gate) versus enabled into a ring sink,
-//!   reports asserted bit-identical across the A/B first.
+//!   default one-atomic-load gate) versus enabled into the sampling
+//!   profiler sink, reports asserted bit-identical across the A/B
+//!   first. The profiler's per-span self-time aggregates from the
+//!   enabled run land in the artifact's `profile` section, so every
+//!   trajectory point says *where* the workload's time went.
 //!
 //! Usage: `perf_trajectory [--out PATH] [--assert-speedup X]
 //! [--assert-fleet-speedup X] [--assert-obs-overhead PCT]`. With
@@ -56,7 +59,7 @@ use twm_search::{MutationModel, Objective, ObjectiveOptions};
 use twm_store::{PagedDictionary, StoreOptions};
 
 /// The PR this trajectory point belongs to.
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 /// PR 5's measured `engine_reuse` arena throughput at 64K words
 /// (faults/second) — the baseline the packed kernel is compared against.
@@ -366,15 +369,19 @@ struct ObsOverhead {
     off_faults_per_sec: f64,
     on_faults_per_sec: f64,
     overhead_pct: f64,
+    profile: twm_obs::ProfileReport,
 }
 
 /// The observability tax on the hottest instrumented path: the 64K-word
 /// packed engine-reuse report, timed with the trace gate closed (the
 /// default — each would-be span costs one relaxed atomic load) versus
-/// open into a bounded ring sink. Metrics counters are always on in
-/// both runs; the A/B isolates the cost of *enabling* tracing. The two
+/// open into the sampling profiler sink, which aggregates per-span
+/// self-time as spans close. Metrics counters are always on in both
+/// runs; the A/B isolates the cost of *enabling* tracing. The two
 /// reports are asserted bit-identical before any timing — the
-/// non-interference invariant, measured as well as property-tested.
+/// non-interference invariant, measured as well as property-tested —
+/// and the profiler's aggregates over the timed iterations come back
+/// as the artifact's `profile` section.
 fn measure_obs_overhead() -> ObsOverhead {
     let config = MemoryConfig::new(1 << 16, 32).unwrap();
     let test = march_c_minus();
@@ -395,23 +402,44 @@ fn measure_obs_overhead() -> ObsOverhead {
 
     twm_obs::trace::set_enabled(false);
     let off_report = engine.report(&faults).unwrap();
-    let off_secs = time_mean(|| drop(engine.report(&faults).unwrap()), 5, 0.5);
-
-    let ring = std::sync::Arc::new(twm_obs::RingSink::new(4096));
-    twm_obs::trace::set_sink(ring);
+    let profiler = std::sync::Arc::new(twm_obs::ProfilerSink::new());
+    twm_obs::trace::set_sink(profiler.clone());
     twm_obs::trace::set_enabled(true);
     let on_report = engine.report(&faults).unwrap();
-    let on_secs = time_mean(|| drop(engine.report(&faults).unwrap()), 5, 0.5);
     twm_obs::trace::set_enabled(false);
-
     assert_eq!(
         off_report, on_report,
         "reports must stay bit-identical with tracing on and off"
     );
+
+    // Interleaved A/B: alternate one gate-closed and one gate-open
+    // report per round, so slow machine drift (thermal throttling,
+    // background load) lands on both arms equally instead of biasing
+    // whichever block ran second. The gate flip itself is one atomic
+    // store per round — noise-free at this granularity.
+    profiler.reset(); // profile the measurement rounds, not the equality check
+    let mut off_secs = 0.0f64;
+    let mut on_secs = 0.0f64;
+    let mut rounds = 0u64;
+    while rounds < 5 || off_secs + on_secs < 1.0 {
+        let start = Instant::now();
+        drop(engine.report(&faults).unwrap());
+        off_secs += start.elapsed().as_secs_f64();
+
+        twm_obs::trace::set_enabled(true);
+        let start = Instant::now();
+        drop(engine.report(&faults).unwrap());
+        on_secs += start.elapsed().as_secs_f64();
+        twm_obs::trace::set_enabled(false);
+        rounds += 1;
+    }
+
+    let per_arm = (rounds * faults.len() as u64) as f64;
     ObsOverhead {
-        off_faults_per_sec: faults.len() as f64 / off_secs,
-        on_faults_per_sec: faults.len() as f64 / on_secs,
+        off_faults_per_sec: per_arm / off_secs,
+        on_faults_per_sec: per_arm / on_secs,
         overhead_pct: (on_secs / off_secs - 1.0) * 100.0,
+        profile: profiler.snapshot(),
     }
 }
 
@@ -505,8 +533,28 @@ fn measure_dictionary_store() -> DictionaryStore {
     }
 }
 
+/// Renders the profiler's top self-time spans as a JSON array (span
+/// names are static identifiers from our own instrumentation, so no
+/// escaping is needed).
+fn format_profile(profile: &twm_obs::ProfileReport, top: usize) -> String {
+    let mut out = String::from("[");
+    for (at, span) in profile.top(top).iter().enumerate() {
+        if at > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\n        \"span\": \"{}\",\n        \"calls\": {},\n        \
+             \"self_ns\": {},\n        \"total_ns\": {},\n        \"min_ns\": {},\n        \
+             \"max_ns\": {}\n      }}",
+            span.name, span.calls, span.self_ns, span.total_ns, span.min_ns, span.max_ns
+        ));
+    }
+    out.push_str("\n    ]");
+    out
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut assert_speedup: Option<f64> = None;
     let mut assert_fleet_speedup: Option<f64> = None;
     let mut assert_obs_overhead: Option<f64> = None;
@@ -591,6 +639,14 @@ fn main() {
         "  off {:.1} faults/s, on {:.1} faults/s ({:+.2}%)",
         obs.off_faults_per_sec, obs.on_faults_per_sec, obs.overhead_pct
     );
+    for span in obs.profile.top(3) {
+        eprintln!(
+            "  profile: {} x{} self {:.1} ms",
+            span.name,
+            span.calls,
+            span.self_ns as f64 / 1e6
+        );
+    }
 
     // The artifact schema is tiny and append-only, so it is formatted by
     // hand rather than routed through the serde value model.
@@ -657,6 +713,12 @@ fn main() {
       "obs_on_faults_per_sec": {obs_on:.1},
       "overhead_pct": {obs_pct:.2}
     }}
+  }},
+  "profile": {{
+    "workload": "engine_reuse_64k (packed, tracing into ProfilerSink)",
+    "total_self_ns": {profile_total_ns},
+    "open_parents": {profile_open},
+    "top_spans_by_self_time": {profile_spans}
   }}
 }}
 "#,
@@ -689,6 +751,9 @@ fn main() {
         obs_off = obs.off_faults_per_sec,
         obs_on = obs.on_faults_per_sec,
         obs_pct = obs.overhead_pct,
+        profile_total_ns = obs.profile.total_self_ns(),
+        profile_open = obs.profile.open_parents,
+        profile_spans = format_profile(&obs.profile, 10),
     );
     std::fs::write(&out_path, &json).expect("write trajectory artifact");
     println!("wrote {out_path}");

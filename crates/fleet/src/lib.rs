@@ -27,6 +27,11 @@
 //!   thread count.
 //! * [`dispatch`] — [`Dispatcher`]: a std-only thread pool for callers
 //!   that want queued, concurrent request handling.
+//!   With [`FleetConfig::metrics_http`] set, the service also serves a
+//!   pull-based `GET /metrics` + `GET /healthz` HTTP endpoint (a
+//!   [`twm_obs::MetricsServer`] over the process-wide registry) from a
+//!   background thread — the scrape bytes equal the
+//!   [`Request::Metrics`] exposition of the same snapshot.
 //! * [`stats`] — [`FleetStatistics`]: additive (order-independent)
 //!   aggregates — failure rates per fault class, ambiguity histograms,
 //!   repair-rate-vs-spares curves; [`CacheMetrics`] kept separate

@@ -20,6 +20,7 @@
 //! deterministic [`FleetStatistics`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -28,7 +29,9 @@ use twm_core::scheme::SchemeId;
 use twm_coverage::{ContentPolicy, Strategy, UniverseBuilder};
 use twm_march::MarchTest;
 use twm_mem::{FaultyMemory, MemoryConfig, RepairableMemory};
-use twm_obs::{latency_bounds, Counter, Histogram, MetricsReport};
+use twm_obs::{
+    latency_bounds, Counter, Histogram, HistogramSnapshot, MetricsReport, MetricsServer,
+};
 use twm_repair::{
     localise_trail, verify_repair, DictionaryOptions, LocatedDefect, RepairAllocator, RepairPlan,
     SignatureDictionary, SignatureTrail, TrailLookup,
@@ -57,6 +60,13 @@ pub struct FleetConfig {
     /// keep working from disk and fleet memory stays bounded by the
     /// page-cache budget.
     pub spill: Option<SpillConfig>,
+    /// When set, the service binds a [`twm_obs::MetricsServer`] on this
+    /// address at construction and serves `GET /metrics` (the
+    /// process-wide registry in the Prometheus text format) and
+    /// `GET /healthz` from a background thread for the life of the
+    /// process. Bind to port 0 and read the resolved address back with
+    /// [`FleetService::metrics_addr`].
+    pub metrics_http: Option<SocketAddr>,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +76,7 @@ impl Default for FleetConfig {
             cache_capacity: 8,
             verify_repairs: true,
             spill: None,
+            metrics_http: None,
         }
     }
 }
@@ -315,9 +326,9 @@ struct RequestObs {
 /// Pre-registered per-variant handles, so the request hot path never
 /// takes the registry lock: one table lookup, one counter add and one
 /// histogram observation per request.
-fn request_obs(variant: &'static str) -> &'static RequestObs {
+fn request_table() -> &'static BTreeMap<&'static str, RequestObs> {
     static TABLE: OnceLock<BTreeMap<&'static str, RequestObs>> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let registry = twm_obs::global();
         [
             "RegisterDictionary",
@@ -346,10 +357,26 @@ fn request_obs(variant: &'static str) -> &'static RequestObs {
             )
         })
         .collect()
-    });
-    table
+    })
+}
+
+fn request_obs(variant: &'static str) -> &'static RequestObs {
+    request_table()
         .get(variant)
         .expect("request_name only returns table keys")
+}
+
+/// Snapshots the per-variant latency histograms, skipping variants that
+/// have never been observed. Wall-clock derived — feeds the
+/// reporting-only `latency` field of [`FleetStatistics`].
+fn request_latency_snapshots() -> BTreeMap<String, HistogramSnapshot> {
+    request_table()
+        .iter()
+        .filter_map(|(&name, obs)| {
+            let snapshot = obs.latency.snapshot();
+            (snapshot.count > 0).then(|| (name.to_string(), snapshot))
+        })
+        .collect()
 }
 
 fn batch_devices_obs() -> &'static Counter {
@@ -369,21 +396,32 @@ pub struct FleetService {
     store: Mutex<DictionaryStore>,
     cache: Mutex<RuntimeCache>,
     stats: Mutex<FleetStatistics>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl FleetService {
     /// Creates a service with the given configuration.
     ///
+    /// When [`FleetConfig::metrics_http`] is set, a
+    /// [`twm_obs::MetricsServer`] over the process-wide registry is bound
+    /// here and served from a detached background thread for the life of
+    /// the process.
+    ///
     /// # Errors
     ///
     /// [`FleetError::ZeroCapacity`] for a zero cache capacity,
     /// [`FleetError::Coverage`] when the strategy cannot resolve a worker
-    /// count (`Parallel { threads: 0 }`).
+    /// count (`Parallel { threads: 0 }`), [`FleetError::Io`] when the
+    /// metrics endpoint cannot bind its address.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         let workers = config.strategy.worker_threads()?;
         let store = match config.spill {
             Some(spill) => DictionaryStore::with_spill(spill),
             None => DictionaryStore::new(),
+        };
+        let metrics_addr = match config.metrics_http {
+            Some(addr) => Some(Self::spawn_metrics_server(addr)?),
+            None => None,
         };
         Ok(Self {
             verify_repairs: config.verify_repairs,
@@ -391,7 +429,23 @@ impl FleetService {
             store: Mutex::new(store),
             cache: Mutex::new(RuntimeCache::new(config.cache_capacity, config.strategy)?),
             stats: Mutex::new(FleetStatistics::default()),
+            metrics_addr,
         })
+    }
+
+    /// Binds the scrape endpoint and hands it to a detached serving
+    /// thread. Failing to *bind* is a construction error; once bound,
+    /// accept-loop errors only terminate the serving thread (diagnosis
+    /// must not die with its observability).
+    fn spawn_metrics_server(addr: SocketAddr) -> Result<SocketAddr, FleetError> {
+        let server = MetricsServer::bind(addr)?;
+        let bound = server.local_addr()?;
+        std::thread::Builder::new()
+            .name("twm-metrics-http".into())
+            .spawn(move || {
+                let _ = server.run_concurrent();
+            })?;
+        Ok(bound)
     }
 
     /// Creates a service with the default configuration.
@@ -407,6 +461,13 @@ impl FleetService {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The resolved address of the HTTP metrics endpoint, when
+    /// [`FleetConfig::metrics_http`] requested one (useful with port 0).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Handles one request synchronously. Never panics on bad input —
@@ -478,9 +539,14 @@ impl FleetService {
                 let shard = self.store.lock().expect("store lock").import(&bytes)?;
                 self.registered(shard)
             }
-            Request::Statistics => Ok(Response::Statistics(
-                self.stats.lock().expect("stats lock").clone(),
-            )),
+            Request::Statistics => {
+                let mut statistics = self.stats.lock().expect("stats lock").clone();
+                // Only the cumulative view carries latency: batch-level
+                // statistics stay wall-clock-free so they remain
+                // bit-identical serial vs. concurrent.
+                statistics.latency = request_latency_snapshots();
+                Ok(Response::Statistics(statistics))
+            }
             Request::CacheMetrics => Ok(Response::CacheMetrics(
                 self.cache.lock().expect("cache lock").metrics(),
             )),

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use twm_mem::FaultClass;
+use twm_obs::{HistogramSnapshot, QuantileSummary};
 
 /// Aggregate diagnosis statistics over a batch (or a whole deployment).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,9 +39,28 @@ pub struct FleetStatistics {
     /// `spares -> diagnosed reports`. Feeds
     /// [`FleetStatistics::repair_rate_curve`].
     pub spares_needed: BTreeMap<u64, u64>,
+    /// Per-request-variant latency histograms (nanoseconds), captured
+    /// from the process-wide metrics registry. Wall-clock derived, so
+    /// it is **excluded from the determinism contract**: batch-level
+    /// statistics leave this empty (batches stay bit-identical serial
+    /// vs. concurrent), and only the cumulative
+    /// [`crate::Request::Statistics`] view fills it. Summarise with
+    /// [`FleetStatistics::latency_quantiles`].
+    pub latency: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl FleetStatistics {
+    /// p50/p90/p99 request latency per request variant, from the
+    /// captured histograms (variants with no observations are skipped).
+    #[must_use]
+    pub fn latency_quantiles(&self) -> Vec<(String, QuantileSummary)> {
+        self.latency
+            .iter()
+            .filter_map(|(variant, snapshot)| {
+                snapshot.summary().map(|summary| (variant.clone(), summary))
+            })
+            .collect()
+    }
     /// Failure rate per fault class: each pinned class's share of all
     /// pinned defect hypotheses, as `(class, count, fraction)` rows.
     #[must_use]
@@ -94,6 +114,19 @@ impl FleetStatistics {
         }
         for (&spares, &count) in &other.spares_needed {
             *self.spares_needed.entry(spares).or_default() += count;
+        }
+        for (variant, snapshot) in &other.latency {
+            match self.latency.get_mut(variant) {
+                // Same bucket layout adds bucket-wise; a layout
+                // mismatch keeps the existing histogram (merging
+                // incompatible buckets has no meaningful answer).
+                Some(mine) => {
+                    let _ = mine.accumulate(snapshot);
+                }
+                None => {
+                    self.latency.insert(variant.clone(), snapshot.clone());
+                }
+            }
         }
     }
 }

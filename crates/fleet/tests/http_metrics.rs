@@ -1,0 +1,138 @@
+//! The PR's acceptance pin, live: a fleet service with
+//! `FleetConfig::metrics_http` serves scrape bytes over HTTP that are
+//! **byte-identical** to the [`Request::Metrics`] exposition of the
+//! same registry state, with per-variant request counters and latency
+//! histograms that separate cleanly.
+//!
+//! One `#[test]` on purpose: the asserted state lives in the
+//! process-wide registry, and a single test per integration-test
+//! process is the only way to keep sibling tests out of the snapshot.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use twm_fleet::{FleetConfig, FleetService, Request, Response};
+use twm_obs::MetricValue;
+
+/// GETs a path and returns (status line, body bytes).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: twm-fleet-test\r\n\r\n").as_bytes())
+        .expect("send request");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|window| window == b"\r\n\r\n")
+        .expect("header/body split");
+    let head = std::str::from_utf8(&response[..split]).expect("ASCII head");
+    let status = head.lines().next().expect("status line").to_string();
+    (status, response[split + 4..].to_vec())
+}
+
+#[test]
+fn live_http_scrape_matches_request_metrics_and_variants_separate() {
+    let service = FleetService::new(FleetConfig {
+        metrics_http: Some("127.0.0.1:0".parse().unwrap()),
+        ..FleetConfig::default()
+    })
+    .expect("service with metrics endpoint");
+    let addr = service.metrics_addr().expect("resolved endpoint address");
+
+    // Drive a known request mix so the per-variant metrics have
+    // something to separate.
+    for _ in 0..3 {
+        let response = service.handle(Request::ListShards);
+        assert!(matches!(response, Response::Shards(_)));
+    }
+    let response = service.handle(Request::CacheMetrics);
+    assert!(matches!(response, Response::CacheMetrics(_)));
+
+    // Scrape over HTTP *first*: `handle` counts a request after its
+    // dispatch snapshots the registry, so the in-process exposition that
+    // follows sees exactly the state the wire scrape saw.
+    let (status, scraped) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let Response::Metrics { text, report } = service.handle(Request::Metrics) else {
+        panic!("expected a metrics response");
+    };
+    assert_eq!(
+        scraped,
+        text.clone().into_bytes(),
+        "HTTP scrape bytes diverged from the Request::Metrics exposition"
+    );
+    assert_eq!(report.expose(), text, "report and text left one snapshot");
+
+    // Per-variant separability: the request mix above, nothing bleeding
+    // between variants, and latency histogram counts agreeing with the
+    // request counters.
+    let count_of = |variant: &str| -> u64 {
+        report
+            .metrics
+            .iter()
+            .find_map(|sample| match &sample.value {
+                MetricValue::Counter(total)
+                    if sample.name == "twm_fleet_requests_total"
+                        && sample
+                            .labels
+                            .iter()
+                            .any(|label| label.name == "request" && label.value == variant) =>
+                {
+                    Some(*total)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no requests_total for {variant}"))
+    };
+    let latency_count_of = |variant: &str| -> u64 {
+        report
+            .metrics
+            .iter()
+            .find_map(|sample| match &sample.value {
+                MetricValue::Histogram(snapshot)
+                    if sample.name == "twm_fleet_request_latency_ns"
+                        && sample
+                            .labels
+                            .iter()
+                            .any(|label| label.name == "request" && label.value == variant) =>
+                {
+                    Some(snapshot.count)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no latency histogram for {variant}"))
+    };
+    assert_eq!(count_of("ListShards"), 3);
+    assert_eq!(count_of("CacheMetrics"), 1);
+    assert_eq!(count_of("DiagnoseBatch"), 0);
+    assert_eq!(latency_count_of("ListShards"), 3);
+    assert_eq!(latency_count_of("CacheMetrics"), 1);
+    assert_eq!(latency_count_of("DiagnoseBatch"), 0);
+
+    // The cumulative statistics view carries the same latency data,
+    // summarised to p50/p90/p99 per variant.
+    let Response::Statistics(statistics) = service.handle(Request::Statistics) else {
+        panic!("expected statistics");
+    };
+    let listed = statistics
+        .latency
+        .get("ListShards")
+        .expect("ListShards latency snapshot");
+    assert_eq!(listed.count, 3);
+    assert!(!statistics.latency.contains_key("DiagnoseBatch"));
+    let quantiles = statistics.latency_quantiles();
+    let (_, summary) = quantiles
+        .iter()
+        .find(|(variant, _)| variant == "ListShards")
+        .expect("ListShards quantile summary");
+    assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+
+    // Liveness endpoint, after the equality asserts (healthz refreshes
+    // the uptime gauge, i.e. mutates the registry).
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let body = String::from_utf8(body).expect("JSON body");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+}

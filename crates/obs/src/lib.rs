@@ -6,7 +6,7 @@
 //! fan-out visibility at runtime, and operating the TCP front needs an
 //! access log and saturation metrics.
 //!
-//! Three pieces, deliberately small:
+//! The pieces, deliberately small:
 //!
 //! * [`metrics`] — a process-wide [`Registry`] of atomic [`Counter`]s,
 //!   [`Gauge`]s and fixed-bucket [`Histogram`]s. The hot path is
@@ -23,7 +23,24 @@
 //!   are pushed to a pluggable process-wide [`Sink`] — [`JsonLinesSink`]
 //!   for log shipping, [`RingSink`] (bounded, drop-oldest) for tests,
 //!   [`NoopSink`] by default — and a one-in-N sampling knob bounds the
-//!   volume under load.
+//!   volume under load. Lossy sinks count their losses
+//!   (`twm_obs_sink_write_errors_total`, `twm_obs_ring_dropped_records`)
+//!   so dropped records are visible on any scrape.
+//! * [`http`] — a minimal std-only HTTP/1.1 [`MetricsServer`] serving
+//!   `GET /metrics` (the exposition of one snapshot, with **zero**
+//!   registry mutation per scrape) and `GET /healthz` (uptime +
+//!   build-info gauges), with typed 400/404/405 handling — a stock
+//!   Prometheus scrapes a live process without the fleet's frame
+//!   protocol.
+//! * [`profile`] — a [`ProfilerSink`] folding the span stream into
+//!   per-span-name **self-time** (elapsed minus direct children),
+//!   call counts and min/max/total wall time, snapshotting to a serde
+//!   [`ProfileReport`] — "where does the time go", with no record
+//!   shipping.
+//! * Quantiles — [`HistogramSnapshot::quantile`] interpolates within
+//!   buckets (exact at bucket edges), and
+//!   [`HistogramSnapshot::summary`] rolls p50/p90/p99 into a
+//!   [`QuantileSummary`] for reports and fleet statistics.
 //! * The **non-interference invariant**: instrumentation only observes.
 //!   Enabling or disabling any of it never changes a computed result —
 //!   coverage reports, batch diagnoses and dictionary lookups are
@@ -63,15 +80,34 @@
 //! let records = ring.take();
 //! assert_eq!(records.len(), 2);
 //! ```
+//!
+//! ## Scraping over HTTP and summarising latency
+//!
+//! ```no_run
+//! use twm_obs::{global, latency_bounds, MetricsServer};
+//!
+//! let latency = global().histogram("doc_http_latency_ns", &[], &latency_bounds());
+//! latency.observe(2_000);
+//! let p99 = latency.snapshot().quantile(0.99).unwrap();
+//! assert!(p99 >= 1_000.0);
+//!
+//! // `GET http://127.0.0.1:9090/metrics` now returns the exposition.
+//! let server = MetricsServer::bind("127.0.0.1:9090").unwrap();
+//! server.run_concurrent().unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod http;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
+pub use http::{MetricsServer, ServerStats};
 pub use metrics::{
     exponential_bounds, global, latency_bounds, Counter, Gauge, Histogram, HistogramSnapshot,
-    Label, MetricSample, MetricValue, MetricsReport, Registry,
+    Label, MetricSample, MetricValue, MetricsReport, QuantileSummary, Registry,
 };
+pub use profile::{ProfileReport, ProfilerSink, SpanProfile};
 pub use trace::{event, span, JsonLinesSink, NoopSink, Record, RingSink, Sink, Span};

@@ -361,6 +361,106 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+/// The p50/p90/p99 view of one histogram, estimated from its buckets
+/// by [`HistogramSnapshot::summary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// Total observations behind the estimates.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` is clamped into `[0, 1]`) by
+    /// linear interpolation within the bucket holding the target rank —
+    /// the `histogram_quantile` rule. Bucket counts are integers, so a
+    /// rank landing exactly on a cumulative bucket boundary yields an
+    /// interpolation fraction of exactly `0.0` or `1.0`: quantiles at
+    /// bucket edges are **exact**, not approximate.
+    ///
+    /// Returns `None` for an empty histogram, a malformed snapshot
+    /// (`counts` must have `bounds.len() + 1` slots), a non-finite `q`,
+    /// or when the target rank falls in the `+Inf` bucket of a
+    /// histogram with no finite bounds. A rank in the `+Inf` bucket of
+    /// a histogram that *has* finite bounds reports the largest finite
+    /// bound — the best available lower estimate.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !q.is_finite() || self.counts.len() != self.bounds.len() + 1 {
+            return None;
+        }
+        // Rank against the sum of the bucket counts, not the `count`
+        // field: a concurrent snapshot may tear between the two, and
+        // internal consistency is what keeps the scan total.
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cumulative = 0u64;
+        for (at, &bucket) in self.counts.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let previous = cumulative;
+            cumulative += bucket;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            let lower = if at == 0 {
+                0.0
+            } else {
+                self.bounds[at - 1] as f64
+            };
+            let Some(&bound) = self.bounds.get(at) else {
+                // The +Inf bucket has no upper edge to interpolate to.
+                return self.bounds.last().map(|&last| last as f64);
+            };
+            let fraction = ((rank - previous as f64) / bucket as f64).clamp(0.0, 1.0);
+            return Some(lower + (bound as f64 - lower) * fraction);
+        }
+        // Unreachable: rank <= total and the last non-empty bucket's
+        // cumulative count is exactly `total`.
+        None
+    }
+
+    /// The p50/p90/p99 summary, or `None` when [`Self::quantile`]
+    /// cannot produce all three (empty or malformed histogram).
+    #[must_use]
+    pub fn summary(&self) -> Option<QuantileSummary> {
+        Some(QuantileSummary {
+            count: self.count,
+            sum: self.sum,
+            p50: self.quantile(0.5)?,
+            p90: self.quantile(0.9)?,
+            p99: self.quantile(0.99)?,
+        })
+    }
+
+    /// Adds `other`'s observations into this snapshot bucket-by-bucket.
+    /// Returns `false` (leaving `self` untouched) when the bucket
+    /// layouts differ — merging histograms is only meaningful over
+    /// identical bounds.
+    pub fn accumulate(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count = self.count.wrapping_add(other.count);
+        true
+    }
+}
+
 /// One sample of a [`MetricsReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricSample {
@@ -425,6 +525,22 @@ fn render_labels(labels: &[Label], extra: Option<(&str, &str)>, out: &mut String
 }
 
 impl MetricsReport {
+    /// The quantile summary of every histogram in the report that holds
+    /// at least one observation, in the report's deterministic
+    /// `(name, labels)` order.
+    #[must_use]
+    pub fn quantiles(&self) -> Vec<(String, Vec<Label>, QuantileSummary)> {
+        self.metrics
+            .iter()
+            .filter_map(|sample| match &sample.value {
+                MetricValue::Histogram(snapshot) => snapshot
+                    .summary()
+                    .map(|summary| (sample.name.clone(), sample.labels.clone(), summary)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Renders the report in the Prometheus text exposition format.
     /// Histogram buckets are emitted cumulatively with `le` labels (the
     /// last as `+Inf`), followed by `_sum` and `_count` series.
@@ -574,6 +690,98 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("lat_sum 333\n"));
         assert!(text.contains("lat_count 3\n"));
+    }
+
+    /// Quantiles landing exactly on cumulative bucket boundaries return
+    /// the bucket edge exactly (binary-exact `q` values, so no float
+    /// slop is tolerated in the assertions).
+    #[test]
+    fn quantiles_are_exact_at_bucket_edges() {
+        let histogram = Histogram::new(&[10, 100, 1000]);
+        // 4 observations in (0,10], 2 in (10,100], 2 in (100,1000].
+        for value in [1, 2, 3, 4, 50, 60, 500, 600] {
+            histogram.observe(value);
+        }
+        let snapshot = histogram.snapshot();
+        // Ranks 4 and 6 of 8 sit exactly on bucket boundaries.
+        assert_eq!(snapshot.quantile(0.5), Some(10.0));
+        assert_eq!(snapshot.quantile(0.75), Some(100.0));
+        assert_eq!(snapshot.quantile(1.0), Some(1000.0));
+        // q = 0 is the lower edge of the first non-empty bucket.
+        assert_eq!(snapshot.quantile(0.0), Some(0.0));
+        // Midway through the second bucket: rank 5 of 8, one of the two
+        // observations in (10, 100] -> 10 + 100/2... interpolated.
+        assert_eq!(snapshot.quantile(0.625), Some(55.0));
+        // Out-of-range q clamps instead of failing.
+        assert_eq!(snapshot.quantile(7.5), snapshot.quantile(1.0));
+        assert_eq!(snapshot.quantile(-1.0), snapshot.quantile(0.0));
+        assert_eq!(snapshot.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantiles_handle_overflow_and_empty_histograms() {
+        let empty = Histogram::new(&[10]).snapshot();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.summary(), None);
+
+        // Every observation in +Inf: report the largest finite bound.
+        let overflowing = Histogram::new(&[10, 100]);
+        overflowing.observe(5_000);
+        assert_eq!(overflowing.snapshot().quantile(0.99), Some(100.0));
+
+        // No finite bounds at all: nothing to estimate with.
+        let unbounded = Histogram::new(&[]);
+        unbounded.observe(5);
+        assert_eq!(unbounded.snapshot().quantile(0.5), None);
+
+        let summary = overflowing.snapshot().summary().unwrap();
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.sum, 5_000);
+        assert_eq!(
+            (summary.p50, summary.p90, summary.p99),
+            (100.0, 100.0, 100.0)
+        );
+    }
+
+    /// Merging snapshots is bucket-wise addition over identical bounds
+    /// and a refusal otherwise.
+    #[test]
+    fn snapshot_accumulate_requires_matching_bounds() {
+        let a = Histogram::new(&[10, 100]);
+        a.observe(5);
+        a.observe(50);
+        let b = Histogram::new(&[10, 100]);
+        b.observe(500);
+        let mut merged = a.snapshot();
+        assert!(merged.accumulate(&b.snapshot()));
+        assert_eq!(merged.counts, vec![1, 1, 1]);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 555);
+
+        let mismatched = Histogram::new(&[10]).snapshot();
+        let before = merged.clone();
+        assert!(!merged.accumulate(&mismatched));
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn report_quantiles_skip_empty_histograms() {
+        let registry = Registry::new();
+        registry.counter("c_total", &[]).incr();
+        let _empty = registry.histogram("h_empty", &[], &[10]);
+        registry
+            .histogram("h_used", &[("k", "v")], &[10, 100])
+            .observe(7);
+        let quantiles = registry.snapshot().quantiles();
+        assert_eq!(quantiles.len(), 1);
+        let (name, labels, summary) = &quantiles[0];
+        assert_eq!(name, "h_used");
+        assert_eq!(labels[0].value, "v");
+        assert_eq!(summary.count, 1);
+        // One observation in (0, 10]: the median interpolates to the
+        // bucket midpoint, not the raw value (which a snapshot no
+        // longer has).
+        assert_eq!(summary.p50, 5.0);
     }
 
     /// The snapshot is deterministic and re-renders to the identical

@@ -11,9 +11,12 @@
 //! record volume under load without touching call sites.
 //!
 //! Sinks never influence results (the non-interference invariant): a
-//! failing [`JsonLinesSink`] writer drops records silently, and the
-//! bounded [`RingSink`] drops its oldest records on overflow, counting
-//! what it lost.
+//! failing [`JsonLinesSink`] writer drops records, and the bounded
+//! [`RingSink`] drops its oldest records on overflow — but neither
+//! loses them *silently*: write failures count into the
+//! `twm_obs_sink_write_errors_total` counter and ring drops into the
+//! `twm_obs_ring_dropped_records` gauge, so span loss is visible on
+//! any scrape.
 
 use std::collections::VecDeque;
 use std::fmt::Display;
@@ -22,6 +25,8 @@ use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::metrics::{global, Counter, Gauge};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SAMPLE_ONE_IN: AtomicU64 = AtomicU64::new(1);
@@ -165,11 +170,14 @@ struct RingState {
 }
 
 /// A bounded in-memory sink for tests: keeps the newest `capacity`
-/// records, dropping the oldest on overflow (and counting the drops).
+/// records, dropping the oldest on overflow (and counting the drops —
+/// per instance via [`RingSink::dropped`], and cumulatively across all
+/// rings in the process via the `twm_obs_ring_dropped_records` gauge).
 #[derive(Debug)]
 pub struct RingSink {
     capacity: usize,
     state: Mutex<RingState>,
+    dropped_gauge: Gauge,
 }
 
 impl RingSink {
@@ -179,6 +187,7 @@ impl RingSink {
         Self {
             capacity: capacity.max(1),
             state: Mutex::new(RingState::default()),
+            dropped_gauge: global().gauge("twm_obs_ring_dropped_records", &[]),
         }
     }
 
@@ -214,15 +223,19 @@ impl Sink for RingSink {
         if state.records.len() == self.capacity {
             state.records.pop_front();
             state.dropped += 1;
+            self.dropped_gauge.incr();
         }
         state.records.push_back(record);
     }
 }
 
-/// A sink writing each record as one JSON line. Write failures are
-/// swallowed — observability never fails the application.
+/// A sink writing each record as one JSON line. Write failures never
+/// reach the caller — observability never fails the application — but
+/// each one counts into the `twm_obs_sink_write_errors_total` counter
+/// so lost records are visible on any scrape.
 pub struct JsonLinesSink<W: Write + Send> {
     writer: Mutex<W>,
+    write_errors: Counter,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
@@ -230,7 +243,15 @@ impl<W: Write + Send> JsonLinesSink<W> {
     pub fn new(writer: W) -> Self {
         Self {
             writer: Mutex::new(writer),
+            write_errors: global().counter("twm_obs_sink_write_errors_total", &[]),
         }
+    }
+
+    /// Write failures swallowed (and counted) so far, process-wide:
+    /// the counter is shared by every `JsonLinesSink` in the registry.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.get()
     }
 
     /// Unwraps the writer (flushing is the writer's own business).
@@ -244,7 +265,9 @@ impl<W: Write + Send> Sink for JsonLinesSink<W> {
         let mut line = record.to_json();
         line.push('\n');
         let mut writer = self.writer.lock().expect("jsonl lock");
-        let _ = writer.write_all(line.as_bytes());
+        if writer.write_all(line.as_bytes()).is_err() {
+            self.write_errors.incr();
+        }
     }
 }
 
@@ -494,6 +517,60 @@ mod tests {
         // counts are not guaranteed — but one-in-four over sixteen
         // spans keeps roughly a quarter, never all.
         assert!((2..=6).contains(&kept), "kept {kept} of 16 at 1-in-4");
+    }
+
+    /// A failing writer never reaches the caller but leaves a count in
+    /// the process-wide write-error counter.
+    #[test]
+    fn json_lines_write_failures_are_counted() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _buffer: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonLinesSink::new(FailingWriter);
+        let before = sink.write_errors();
+        sink.record(Record::Event {
+            span: 0,
+            name: "lost",
+            fields: Vec::new(),
+        });
+        sink.record(Record::Event {
+            span: 0,
+            name: "also-lost",
+            fields: Vec::new(),
+        });
+        // The counter is process-global (other tests may bump it), so
+        // assert the delta, not the absolute value.
+        assert_eq!(sink.write_errors() - before, 2);
+        assert_eq!(
+            global()
+                .counter("twm_obs_sink_write_errors_total", &[])
+                .get(),
+            sink.write_errors()
+        );
+    }
+
+    /// Ring overflow mirrors its per-instance drop count into the
+    /// process-wide gauge.
+    #[test]
+    fn ring_drops_are_mirrored_into_the_registry_gauge() {
+        let gauge = global().gauge("twm_obs_ring_dropped_records", &[]);
+        let before = gauge.get();
+        let ring = RingSink::new(1);
+        for at in 0..4 {
+            ring.record(Record::Event {
+                span: at,
+                name: "spill",
+                fields: Vec::new(),
+            });
+        }
+        assert_eq!(ring.dropped(), 3);
+        assert!(gauge.get() - before >= 3, "gauge missed the ring's drops");
     }
 
     #[test]

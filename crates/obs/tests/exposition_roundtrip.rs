@@ -1,0 +1,470 @@
+//! A strict parser for the Prometheus text exposition, used to prove
+//! `MetricsReport::expose()` round-trips: `parse(report.expose()) ==
+//! report` over proptest-generated registries. The parser rejects
+//! missing TYPE lines, non-cumulative `le` buckets, a `_count` that
+//! disagrees with the `+Inf` bucket, bad escapes — so the property
+//! also pins the format details the renderer promises.
+
+use proptest::prelude::*;
+use twm_obs::{
+    Histogram, HistogramSnapshot, Label, MetricSample, MetricValue, MetricsReport, Registry,
+};
+
+// ---------------------------------------------------------------------------
+// The parser
+// ---------------------------------------------------------------------------
+
+type ParseResult<T> = Result<T, String>;
+
+/// Splits `name{labels} value` into its three parts, unescaping label
+/// values.
+fn parse_sample_line(line: &str) -> ParseResult<(String, Vec<Label>, String)> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("no value on line {line:?}"))?;
+    let name = line[..name_end].to_string();
+    if name.is_empty() {
+        return Err(format!("empty metric name in {line:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+        parse_labels(inner)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let value = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("expected ` value` after labels in {line:?}"))?;
+    if value.is_empty() || value.contains(' ') {
+        return Err(format!("malformed value {value:?} in {line:?}"));
+    }
+    Ok((name, labels, value.to_string()))
+}
+
+/// Parses `name="value",...}` (the opening brace already consumed),
+/// returning the labels and the remainder after the closing brace.
+fn parse_labels(mut input: &str) -> ParseResult<(Vec<Label>, &str)> {
+    let mut labels = Vec::new();
+    loop {
+        let equals = input
+            .find('=')
+            .ok_or_else(|| format!("label without `=` near {input:?}"))?;
+        let name = input[..equals].to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+        {
+            return Err(format!("bad label name {name:?}"));
+        }
+        let after_quote = input[equals + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted near {input:?}"))?;
+        let mut value = String::new();
+        let mut chars = after_quote.char_indices();
+        let after_value = loop {
+            let (at, ch) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated label value near {after_quote:?}"))?;
+            match ch {
+                '"' => break &after_quote[at + 1..],
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                other => value.push(other),
+            }
+        };
+        labels.push(Label { name, value });
+        match after_value.strip_prefix(',') {
+            Some(rest) => input = rest,
+            None => {
+                let rest = after_value
+                    .strip_prefix('}')
+                    .ok_or_else(|| format!("expected `}}` or `,` near {after_value:?}"))?;
+                return Ok((labels, rest));
+            }
+        }
+    }
+}
+
+/// One histogram label-set being accumulated from its exposition
+/// block.
+struct HistogramBlock {
+    name: String,
+    labels: Vec<Label>,
+    bounds: Vec<u64>,
+    cumulative: Vec<u64>,
+    saw_inf: bool,
+    sum: Option<u64>,
+}
+
+impl HistogramBlock {
+    fn finish(self, count: u64) -> ParseResult<MetricSample> {
+        if !self.saw_inf {
+            return Err(format!("histogram {} ended without +Inf bucket", self.name));
+        }
+        let total = *self.cumulative.last().expect("+Inf bucket present");
+        if total != count {
+            return Err(format!(
+                "histogram {}: _count {count} != +Inf cumulative {total}",
+                self.name
+            ));
+        }
+        let sum = self
+            .sum
+            .ok_or_else(|| format!("histogram {} has no _sum", self.name))?;
+        let mut counts = Vec::with_capacity(self.cumulative.len());
+        let mut previous = 0u64;
+        for &cumulative in &self.cumulative {
+            counts.push(cumulative - previous);
+            previous = cumulative;
+        }
+        Ok(MetricSample {
+            name: self.name,
+            labels: self.labels,
+            value: MetricValue::Histogram(HistogramSnapshot {
+                bounds: self.bounds,
+                counts,
+                sum,
+                count,
+            }),
+        })
+    }
+}
+
+/// Parses a full exposition strictly; see the module docs for what is
+/// rejected.
+fn parse_exposition(text: &str) -> ParseResult<MetricsReport> {
+    let mut types: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut metrics: Vec<MetricSample> = Vec::new();
+    let mut block: Option<HistogramBlock> = None;
+
+    for line in text.lines() {
+        if let Some(type_line) = line.strip_prefix("# TYPE ") {
+            let mut parts = type_line.split(' ');
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("malformed TYPE line {line:?}"));
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown kind {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unexpected comment {line:?}"));
+        }
+        let (full_name, mut labels, value) = parse_sample_line(line)?;
+
+        // Histogram series? The suffixed name must resolve to a base
+        // with a declared histogram TYPE.
+        let histogram_part = ["_bucket", "_sum", "_count"].into_iter().find(|suffix| {
+            full_name
+                .strip_suffix(suffix)
+                .is_some_and(|base| types.get(base).map(String::as_str) == Some("histogram"))
+        });
+        if let Some(suffix) = histogram_part {
+            let base = full_name
+                .strip_suffix(suffix)
+                .expect("suffix just matched")
+                .to_string();
+            match suffix {
+                "_bucket" => {
+                    let le_at = labels
+                        .iter()
+                        .position(|label| label.name == "le")
+                        .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                    if le_at != labels.len() - 1 {
+                        return Err(format!("le is not the last label: {line:?}"));
+                    }
+                    let le = labels.remove(le_at);
+                    let cumulative: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad bucket count {value:?}"))?;
+                    let current = match &mut block {
+                        Some(current) if current.name == base && current.labels == labels => {
+                            current
+                        }
+                        Some(unfinished) => {
+                            return Err(format!(
+                                "histogram {} interrupted by bucket of {base}",
+                                unfinished.name
+                            ));
+                        }
+                        None => block.insert(HistogramBlock {
+                            name: base,
+                            labels,
+                            bounds: Vec::new(),
+                            cumulative: Vec::new(),
+                            saw_inf: false,
+                            sum: None,
+                        }),
+                    };
+                    if current.saw_inf {
+                        return Err(format!("bucket after +Inf in {}", current.name));
+                    }
+                    if current
+                        .cumulative
+                        .last()
+                        .is_some_and(|&last| cumulative < last)
+                    {
+                        return Err(format!("non-cumulative buckets in {}", current.name));
+                    }
+                    if le.value == "+Inf" {
+                        current.saw_inf = true;
+                    } else {
+                        let bound: u64 = le
+                            .value
+                            .parse()
+                            .map_err(|_| format!("bad le bound {:?}", le.value))?;
+                        if current.bounds.last().is_some_and(|&last| bound <= last) {
+                            return Err(format!("le bounds not increasing in {}", current.name));
+                        }
+                        current.bounds.push(bound);
+                    }
+                    current.cumulative.push(cumulative);
+                }
+                "_sum" => {
+                    let current = block
+                        .as_mut()
+                        .filter(|current| current.name == base && current.labels == labels)
+                        .ok_or_else(|| format!("_sum without buckets: {line:?}"))?;
+                    if current.sum.is_some() {
+                        return Err(format!("duplicate _sum for {base}"));
+                    }
+                    current.sum = Some(value.parse().map_err(|_| format!("bad sum {value:?}"))?);
+                }
+                _count => {
+                    let current = block
+                        .take()
+                        .filter(|current| current.name == base && current.labels == labels)
+                        .ok_or_else(|| format!("_count without buckets: {line:?}"))?;
+                    let count: u64 = value.parse().map_err(|_| format!("bad count {value:?}"))?;
+                    metrics.push(current.finish(count)?);
+                }
+            }
+            continue;
+        }
+
+        if block.is_some() {
+            return Err(format!("histogram block interrupted by {line:?}"));
+        }
+        let sample_value = match types.get(&full_name).map(String::as_str) {
+            Some("counter") => MetricValue::Counter(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad counter value {value:?}"))?,
+            ),
+            Some("gauge") => MetricValue::Gauge(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad gauge value {value:?}"))?,
+            ),
+            Some("histogram") => {
+                return Err(format!("bare sample for histogram {full_name:?}"));
+            }
+            _ => return Err(format!("sample without TYPE: {full_name:?}")),
+        };
+        metrics.push(MetricSample {
+            name: full_name,
+            labels,
+            value: sample_value,
+        });
+    }
+    if let Some(unfinished) = block {
+        return Err(format!("histogram {} never finished", unfinished.name));
+    }
+    Ok(MetricsReport { metrics })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cases
+// ---------------------------------------------------------------------------
+
+/// A hand-built registry covering the sharp edges: escaping, shared
+/// names over multiple label sets, an empty-bounds histogram.
+#[test]
+fn hand_picked_registry_round_trips() {
+    let registry = Registry::new();
+    registry
+        .counter(
+            "c_requests_total",
+            &[("path", "a\\b\"c\nd"), ("zone", "eu")],
+        )
+        .add(7);
+    registry
+        .counter("c_requests_total", &[("path", "plain")])
+        .add(2);
+    registry.gauge("g_depth", &[]).set(-41);
+    let shared = registry.histogram("h_lat_ns", &[("kind", "x")], &[10, 100]);
+    shared.observe(5);
+    shared.observe(50);
+    shared.observe(5_000);
+    let other = registry.histogram("h_lat_ns", &[("kind", "y")], &[10, 100]);
+    other.observe(101);
+    let _empty_bounds = registry.histogram("h_unbounded", &[], &[]);
+    registry.histogram("h_unbounded", &[], &[]).observe(9);
+
+    let report = registry.snapshot();
+    let parsed = parse_exposition(&report.expose()).expect("strict parse");
+    assert_eq!(parsed, report);
+}
+
+/// The parser actually rejects broken expositions (so the round-trip
+/// property is not vacuously satisfied by a permissive parser).
+#[test]
+fn parser_rejects_malformed_expositions() {
+    for (text, why) in [
+        ("x_total 3\n", "sample without TYPE"),
+        ("# TYPE x_total counter\nx_total 3 4\n", "two values"),
+        ("# TYPE x_total counter\nx_total -3\n", "negative counter"),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"10\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+            "non-cumulative buckets",
+        ),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 2\n",
+            "_count disagrees with +Inf",
+        ),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 0\nh_count 1\n",
+            "no +Inf bucket",
+        ),
+        (
+            "# TYPE h histogram\nh_bucket{le=\"10\"} 1\n",
+            "unfinished histogram",
+        ),
+        (
+            "# TYPE x counter\nx{k=\"bad\\t\"} 1\n",
+            "unknown escape",
+        ),
+        ("# TYPE x counter\n# TYPE x counter\nx 1\n", "duplicate TYPE"),
+    ] {
+        assert!(
+            parse_exposition(text).is_err(),
+            "parser accepted {why}: {text:?}"
+        );
+    }
+}
+
+/// Adversarial label values survive: every byte of the palette the
+/// fuzzer uses, in one value.
+#[test]
+fn escaping_torture_value_round_trips() {
+    let registry = Registry::new();
+    let value: String = PALETTE.iter().collect();
+    registry.counter("c_odd_total", &[("k0", &value)]).incr();
+    let report = registry.snapshot();
+    assert_eq!(parse_exposition(&report.expose()).unwrap(), report);
+}
+
+// ---------------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------------
+
+/// Characters label values are built from: ASCII plus everything the
+/// escaper and the label grammar could trip on.
+const PALETTE: &[char] = &[
+    'a', 'b', 'z', 'A', '0', '9', '_', ' ', '"', '\\', '\n', '{', '}', '=', ',', 'λ', '→',
+];
+
+fn label_value(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|&byte| PALETTE[byte as usize % PALETTE.len()])
+        .collect()
+}
+
+/// `(kind, label value seeds)` + `(scalar, bounds, observations)` —
+/// everything needed to register one metric.
+type MetricSpec = ((u8, Vec<Vec<u8>>), (u64, Vec<u64>, Vec<u64>));
+
+fn register(registry: &Registry, at: usize, spec: &MetricSpec) {
+    let ((kind, label_seeds), (scalar, bounds, observations)) = spec;
+    let values: Vec<String> = label_seeds.iter().map(|seed| label_value(seed)).collect();
+    let names: Vec<String> = (0..values.len()).map(|at| format!("k{at}")).collect();
+    let labels: Vec<(&str, &str)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(values.iter().map(String::as_str))
+        .collect();
+    match kind % 3 {
+        0 => registry
+            .counter(&format!("c_{at}_total"), &labels)
+            .add(*scalar),
+        1 => registry
+            .gauge(&format!("g_{at}"), &labels)
+            .set(*scalar as i64),
+        _ => {
+            let histogram = registry.histogram(&format!("h_{at}_ns"), &labels, bounds);
+            for &observation in observations {
+                histogram.observe(observation);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// expose() -> strict parse reproduces the report exactly, for any
+    /// mix of metric kinds, hostile label values and bucket layouts.
+    #[test]
+    fn generated_registries_round_trip(
+        specs in collection::vec(
+            (
+                (0u8..3, collection::vec(collection::vec(any::<u8>(), 0..10), 0..3)),
+                (0u64..1_000_000, collection::vec(1u64..50_000, 0..6), collection::vec(0u64..60_000, 0..12)),
+            ),
+            1..7,
+        )
+    ) {
+        let registry = Registry::new();
+        for (at, spec) in specs.iter().enumerate() {
+            register(&registry, at, spec);
+        }
+        let report = registry.snapshot();
+        let text = report.expose();
+        let parsed = parse_exposition(&text)
+            .unwrap_or_else(|error| panic!("strict parse failed: {error}\n--- exposition ---\n{text}"));
+        prop_assert_eq!(parsed, report);
+    }
+
+    /// Rendered histogram buckets are cumulative and end at `_count`
+    /// (checked directly on the text, independent of the parser).
+    #[test]
+    fn rendered_buckets_are_cumulative(
+        bounds in collection::vec(1u64..10_000, 0..6),
+        observations in collection::vec(0u64..12_000, 1..40),
+    ) {
+        let histogram = Histogram::new(&bounds);
+        for &observation in &observations {
+            histogram.observe(observation);
+        }
+        // Render through a report holding just this histogram.
+        let report = MetricsReport {
+            metrics: vec![MetricSample {
+                name: "h_ns".to_string(),
+                labels: Vec::new(),
+                value: MetricValue::Histogram(histogram.snapshot()),
+            }],
+        };
+        let text = report.expose();
+        let mut previous = 0u64;
+        let mut inf = None;
+        for line in text.lines().filter(|line| line.starts_with("h_ns_bucket")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(value >= previous, "non-cumulative: {text}");
+            previous = value;
+            if line.contains("le=\"+Inf\"") {
+                inf = Some(value);
+            }
+        }
+        prop_assert_eq!(inf, Some(observations.len() as u64));
+        let count_line = text.lines().find(|line| line.starts_with("h_ns_count")).unwrap();
+        prop_assert_eq!(count_line, format!("h_ns_count {}", observations.len()).as_str());
+    }
+}

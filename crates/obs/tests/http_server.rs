@@ -1,0 +1,218 @@
+//! Integration tests for `twm_obs::http::MetricsServer` over real
+//! sockets: scrape bytes equal the snapshot exposition, scrapes never
+//! perturb the registry they serve, and malformed traffic gets typed
+//! errors. Everything runs against caller-owned registries, so the
+//! process-wide registry (shared by sibling tests) never enters the
+//! assertions.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use twm_obs::{MetricsServer, Registry};
+
+/// A parsed HTTP/1.1 response: status code, headers, body bytes.
+struct HttpResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+/// Sends raw bytes, reads to EOF (the server is `Connection: close`),
+/// and splits the response.
+fn raw_request(addr: SocketAddr, request: &[u8]) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // The server may respond (and close) before the whole request is
+    // written — a 400 for an oversized head does exactly that — so a
+    // write error here is not a test failure.
+    let _ = stream.write_all(request);
+    let _ = stream.flush();
+    // Half-close so the server's error paths see EOF instead of an
+    // open stream when they drain before closing.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|window| window == b"\r\n\r\n")
+        .expect("header/body split");
+    let head = std::str::from_utf8(&response[..split]).expect("ASCII head");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .map(|line| {
+            let (name, value) = line.split_once(": ").expect("header line");
+            (name.to_string(), value.to_string())
+        })
+        .collect();
+    HttpResponse {
+        status,
+        headers,
+        body: response[split + 4..].to_vec(),
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> HttpResponse {
+    raw_request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: twm-test\r\nAccept: */*\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Binds a server over `registry` and serves it from a background
+/// thread for the rest of the process's life.
+fn spawn_server(registry: Arc<Registry>) -> (Arc<MetricsServer>, SocketAddr) {
+    let server = Arc::new(MetricsServer::bind_registry("127.0.0.1:0", registry).expect("bind"));
+    let addr = server.local_addr().expect("local addr");
+    let background = server.clone();
+    thread::spawn(move || {
+        let _ = background.run_concurrent();
+    });
+    (server, addr)
+}
+
+/// The acceptance pin: HTTP scrape bytes == `snapshot().expose()` of
+/// the same registry, including escaping and histogram rendering — and
+/// scraping twice returns identical bytes because `/metrics` performs
+/// no registry mutation.
+#[test]
+fn scrape_bytes_equal_snapshot_exposition_and_scrapes_are_pure() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .counter("requests_total", &[("path", "a\\b\"c\nd")])
+        .add(7);
+    registry.gauge("depth", &[]).set(-3);
+    let latency = registry.histogram("latency_ns", &[("verb", "get")], &[1_000, 10_000]);
+    latency.observe(500);
+    latency.observe(5_000);
+    latency.observe(50_000);
+    let (server, addr) = spawn_server(registry.clone());
+
+    let first = get(addr, "/metrics");
+    assert_eq!(first.status, 200);
+    assert_eq!(
+        first.header("Content-Type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    assert_eq!(
+        first.header("Content-Length"),
+        Some(first.body.len().to_string().as_str())
+    );
+    assert_eq!(first.header("Connection"), Some("close"));
+    assert_eq!(
+        first.body,
+        registry.snapshot().expose().into_bytes(),
+        "HTTP scrape and in-process exposition diverged"
+    );
+
+    // Error traffic in between must not show up in the exposition...
+    assert_eq!(get(addr, "/nope").status, 404);
+    let post = raw_request(addr, b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(post.status, 405);
+    assert_eq!(post.header("Allow"), Some("GET"));
+
+    // ...so a second scrape is byte-identical to the first.
+    let second = get(addr, "/metrics");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "a scrape perturbed the registry");
+
+    let stats = server.stats();
+    assert_eq!(stats.scrapes, 2);
+    assert_eq!(stats.not_found, 1);
+    assert_eq!(stats.method_not_allowed, 1);
+    assert_eq!(stats.connections, 4);
+}
+
+/// `/healthz` answers JSON, refreshes the uptime gauge, and carries the
+/// build-info labels registered at bind.
+#[test]
+fn healthz_reports_liveness_and_updates_uptime() {
+    let registry = Arc::new(Registry::new());
+    let (server, addr) = spawn_server(registry.clone());
+
+    // Bind registered the endpoint's own gauges.
+    let text = registry.expose();
+    assert!(text.contains("# TYPE twm_build_info gauge"), "{text}");
+    assert!(
+        text.contains("twm_build_info{package=\"twm-obs\"")
+            && text.contains("version=\"")
+            && text.contains("\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("twm_obs_http_uptime_seconds"), "{text}");
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("Content-Type"), Some("application/json"));
+    let body = String::from_utf8(health.body).expect("JSON body");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"package\":\"twm-obs\""), "{body}");
+    assert!(body.contains("\"uptime_seconds\":"), "{body}");
+    assert!(registry.gauge("twm_obs_http_uptime_seconds", &[]).get() >= 0);
+    assert_eq!(server.stats().health_checks, 1);
+}
+
+/// Typed 400s: malformed request lines, oversized heads, binary junk.
+#[test]
+fn malformed_requests_get_400s() {
+    let registry = Arc::new(Registry::new());
+    let (server, addr) = spawn_server(registry);
+
+    for raw in [
+        b"GARBAGE\r\n\r\n".to_vec(),
+        b"GET /metrics\r\n\r\n".to_vec(),         // no version
+        b"GET metrics HTTP/1.1\r\n\r\n".to_vec(), // not origin-form
+        b"\xff\xfe\x00binary HTTP/1.1\r\n\r\n".to_vec(), // not UTF-8
+    ] {
+        let response = raw_request(addr, &raw);
+        assert_eq!(response.status, 400, "accepted {raw:?}");
+    }
+
+    // An oversized head (no terminator within the cap) is refused.
+    let oversized = vec![b'A'; 10 * 1024];
+    let response = raw_request(addr, &oversized);
+    assert_eq!(response.status, 400);
+
+    assert_eq!(server.stats().bad_requests, 5);
+    assert_eq!(server.stats().scrapes, 0);
+}
+
+/// The serial accept loop serves the same contract as the concurrent
+/// one (one `accept_one` per request).
+#[test]
+fn accept_one_serves_serially() {
+    let registry = Arc::new(Registry::new());
+    registry.counter("serial_total", &[]).add(3);
+    let server = Arc::new(MetricsServer::bind_registry("127.0.0.1:0", registry.clone()).unwrap());
+    let addr = server.local_addr().unwrap();
+
+    let background = server.clone();
+    let serving = thread::spawn(move || {
+        for _ in 0..2 {
+            background.accept_one().expect("accept");
+        }
+    });
+    let first = get(addr, "/metrics");
+    let second = get(addr, "/metrics");
+    serving.join().expect("serving thread");
+
+    assert_eq!(first.status, 200);
+    assert_eq!(second.body, registry.snapshot().expose().into_bytes());
+    assert_eq!(server.stats().scrapes, 2);
+}

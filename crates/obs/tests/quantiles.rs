@@ -1,0 +1,119 @@
+//! `HistogramSnapshot::quantile` property-tested against a scalar
+//! reference: for any bucket layout and observation set, the bucketed
+//! estimate must land in the same bucket as the true order statistic
+//! computed from the raw (sorted) observations, quantiles must be
+//! monotone in `q`, and ranks on cumulative bucket boundaries must hit
+//! the bucket edge exactly.
+
+use proptest::prelude::*;
+use twm_obs::Histogram;
+
+fn snapshot_of(bounds: &[u64], observations: &[u64]) -> twm_obs::HistogramSnapshot {
+    let histogram = Histogram::new(bounds);
+    for &observation in observations {
+        histogram.observe(observation);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    /// The estimate lies inside the bucket holding the reference order
+    /// statistic — the tightest promise a bucketed histogram can make,
+    /// and exactly what `histogram_quantile` promises.
+    #[test]
+    fn estimate_lands_in_the_reference_bucket(
+        bounds in collection::vec(1u64..10_000, 1..8),
+        observations in collection::vec(0u64..12_000, 1..100),
+        per_mille in 0u64..1001,
+    ) {
+        let snapshot = snapshot_of(&bounds, &observations);
+        let q = per_mille as f64 / 1000.0;
+        let estimated = snapshot.quantile(q).expect("non-empty histogram");
+
+        // Scalar reference: the ceil(q*n)-th order statistic (1-based;
+        // q = 0 means the minimum).
+        let mut sorted = observations.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        let reference = sorted[rank - 1];
+
+        match snapshot.bounds.iter().position(|&bound| reference <= bound) {
+            Some(at) => {
+                let lower = if at == 0 { 0.0 } else { snapshot.bounds[at - 1] as f64 };
+                let upper = snapshot.bounds[at] as f64;
+                prop_assert!(
+                    estimated >= lower && estimated <= upper,
+                    "q={q}: estimate {estimated} outside bucket ({lower}, {upper}] of reference {reference}",
+                );
+            }
+            // Reference overflowed every bound: the estimate reports
+            // the largest finite bound.
+            None => prop_assert_eq!(estimated, *snapshot.bounds.last().unwrap() as f64),
+        }
+    }
+
+    /// More quantile never means a smaller value.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        bounds in collection::vec(1u64..10_000, 1..8),
+        observations in collection::vec(0u64..12_000, 1..60),
+        a in 0u64..1001,
+        b in 0u64..1001,
+    ) {
+        let snapshot = snapshot_of(&bounds, &observations);
+        let (low, high) = (a.min(b), a.max(b));
+        let at_low = snapshot.quantile(low as f64 / 1000.0).unwrap();
+        let at_high = snapshot.quantile(high as f64 / 1000.0).unwrap();
+        prop_assert!(at_low <= at_high, "q={low}‰ -> {at_low} > q={high}‰ -> {at_high}");
+    }
+
+    /// A rank landing exactly on a cumulative bucket boundary returns
+    /// that bucket's upper bound *exactly* — integer bucket counts make
+    /// the interpolation fraction exactly 1.0, no float slop. (Asserted
+    /// whenever `cum/total` survives the f64 round-trip, which the
+    /// generated sizes make the overwhelmingly common case.)
+    #[test]
+    fn bucket_edges_are_exact(
+        bounds in collection::vec(1u64..10_000, 1..8),
+        observations in collection::vec(0u64..12_000, 1..60),
+    ) {
+        let snapshot = snapshot_of(&bounds, &observations);
+        let total: u64 = snapshot.counts.iter().sum();
+        let mut cumulative = 0u64;
+        for (at, &count) in snapshot.counts.iter().enumerate() {
+            cumulative += count;
+            if count == 0 || at >= snapshot.bounds.len() {
+                continue;
+            }
+            let q = cumulative as f64 / total as f64;
+            if q * total as f64 == cumulative as f64 {
+                prop_assert_eq!(
+                    snapshot.quantile(q),
+                    Some(snapshot.bounds[at] as f64),
+                    "edge at cumulative {}/{} of bound {}",
+                    cumulative,
+                    total,
+                    snapshot.bounds[at],
+                );
+            }
+        }
+    }
+
+    /// The p50/p90/p99 summary agrees with the underlying quantile
+    /// calls and carries the snapshot's count and sum.
+    #[test]
+    fn summary_matches_its_quantiles(
+        bounds in collection::vec(1u64..10_000, 1..8),
+        observations in collection::vec(0u64..12_000, 1..60),
+    ) {
+        let snapshot = snapshot_of(&bounds, &observations);
+        let summary = snapshot.summary().expect("non-empty histogram");
+        prop_assert_eq!(summary.count, snapshot.count);
+        prop_assert_eq!(summary.sum, snapshot.sum);
+        prop_assert_eq!(Some(summary.p50), snapshot.quantile(0.5));
+        prop_assert_eq!(Some(summary.p90), snapshot.quantile(0.9));
+        prop_assert_eq!(Some(summary.p99), snapshot.quantile(0.99));
+        prop_assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+    }
+}

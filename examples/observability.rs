@@ -1,14 +1,19 @@
 //! An instrumented fleet run, watched end to end through [`twm::obs`]:
 //!
 //! 1. Tracing is switched on into a bounded ring sink (it is off — one
-//!    relaxed atomic load per would-be span — by default).
+//!    relaxed atomic load per would-be span — by default), and the
+//!    fleet service binds a pull-based HTTP `/metrics` endpoint.
 //! 2. One shard's signature dictionary is built **server-side** and
 //!    eight devices (six healthy, two with stuck-at defects) report
 //!    their MISR trails in a single `DiagnoseBatch`.
-//! 3. The process-wide metrics registry is scraped through the same
-//!    `Request::Metrics` endpoint a `FleetClient` would hit over TCP,
-//!    and the Prometheus-style exposition is printed.
-//! 4. The example asserts the key instrumentation actually fired:
+//! 3. A coverage report runs under the **sampling profiler sink**, and
+//!    the per-span self-time profile is printed.
+//! 4. Cumulative statistics carry per-variant latency histograms,
+//!    summarised to p50/p90/p99 quantiles.
+//! 5. The endpoint is scraped **over TCP** (a raw, curl-free HTTP GET)
+//!    and the bytes are asserted identical to the `Request::Metrics`
+//!    exposition of the same registry state; `/healthz` answers too.
+//! 6. The example asserts the key instrumentation actually fired:
 //!    request/latency series, batch fan-out counts, cache misses from
 //!    the cold shard, coverage-engine windows from the dictionary
 //!    build, and the spans the ring sink captured.
@@ -23,18 +28,20 @@
 //! cargo run --release --example observability
 //! ```
 
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
 
 use twm::bist::{run_scheme_session_staged, Misr};
 use twm::core::{SchemeId, SchemeRegistry};
 use twm::coverage::ContentPolicy;
 use twm::fleet::{
-    DeviceReport, DeviceVerdict, FleetService, Request, Response, ShardKey, SignatureTrail,
-    UniverseSpec,
+    DeviceReport, DeviceVerdict, FleetConfig, FleetService, Request, Response, ShardKey,
+    SignatureTrail, UniverseSpec,
 };
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig};
-use twm::obs::{trace, MetricValue, MetricsReport, RingSink};
+use twm::obs::{trace, MetricValue, MetricsReport, ProfilerSink, RingSink};
 
 const SEED: u64 = 2005;
 const DEVICES: usize = 8;
@@ -50,6 +57,26 @@ fn counter(report: &MetricsReport, name: &str) -> u64 {
             _ => 0,
         })
         .sum()
+}
+
+/// A raw, dependency-free HTTP GET: returns (status line, body bytes).
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: twm-example\r\n\r\n").as_bytes())?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let split = response
+        .windows(4)
+        .position(|window| window == b"\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = std::str::from_utf8(&response[..split])
+        .expect("ASCII head")
+        .lines()
+        .next()
+        .expect("status line")
+        .to_string();
+    Ok((status, response[split + 4..].to_vec()))
 }
 
 fn device_trail(config: MemoryConfig, faults: &[Fault]) -> SignatureTrail {
@@ -68,13 +95,19 @@ fn device_trail(config: MemoryConfig, faults: &[Fault]) -> SignatureTrail {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Open the trace gate into a bounded, drop-oldest ring.
+    // 1. Open the trace gate into a bounded, drop-oldest ring, and ask
+    //    the service for a scrapeable HTTP endpoint on an OS-picked port.
     let ring = Arc::new(RingSink::new(4096));
     trace::set_sink(ring.clone());
     trace::set_enabled(true);
 
     let config = MemoryConfig::new(16, 8)?;
-    let service = FleetService::with_defaults()?;
+    let service = FleetService::new(FleetConfig {
+        metrics_http: Some("127.0.0.1:0".parse()?),
+        ..FleetConfig::default()
+    })?;
+    let endpoint = service.metrics_addr().expect("metrics endpoint bound");
+    println!("metrics endpoint: http://{endpoint}/metrics");
     let shard = ShardKey::new(config, SchemeId::TwmTa, &march_c_minus());
 
     // 2. Server-side dictionary build (exercises the instrumented
@@ -121,8 +154,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(batch.statistics.devices, DEVICES as u64);
     assert_eq!(diagnosed, 2);
 
-    // 3. One coverage report on the same shard exercises the
-    //    instrumented engine (packed-batch counts, report latency).
+    // 3. One coverage report on the same shard, traced into the
+    //    sampling profiler: per-span self-time instead of raw records.
+    let profiler = Arc::new(ProfilerSink::new());
+    trace::set_sink(profiler.clone());
     let registry = SchemeRegistry::all(config.width())?;
     let engine = twm::coverage::CoverageEngine::for_scheme(
         registry.get(SchemeId::TwmTa).unwrap(),
@@ -141,17 +176,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         coverage.detected_faults(),
         universe.len()
     );
+    let profile = profiler.snapshot();
+    assert!(!profile.spans.is_empty(), "the profiler saw no spans");
+    println!("\n=== profile (self-time per span) ===");
+    for span in profile.top(5) {
+        println!(
+            "{:<28} x{:<5} self {:>9.3} ms  total {:>9.3} ms",
+            span.name,
+            span.calls,
+            span.self_ns as f64 / 1e6,
+            span.total_ns as f64 / 1e6
+        );
+    }
 
-    // 4. Scrape the registry through the service endpoint — the same
-    //    one-snapshot `{text, report}` pair a TCP client receives.
+    // 4. The cumulative statistics view carries per-variant latency,
+    //    summarised to quantiles.
+    let Response::Statistics(statistics) = service.handle(Request::Statistics) else {
+        panic!("statistics failed");
+    };
+    println!("\n=== request latency quantiles (ns) ===");
+    let quantiles = statistics.latency_quantiles();
+    assert!(!quantiles.is_empty(), "no latency recorded");
+    for (variant, summary) in &quantiles {
+        println!(
+            "{variant:<20} n={:<4} p50 {:>12.0}  p90 {:>12.0}  p99 {:>12.0}",
+            summary.count, summary.p50, summary.p90, summary.p99
+        );
+        assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+    }
+
+    // 5. Scrape over the wire *first*, then through the in-process
+    //    endpoint: `handle` counts a request after its dispatch
+    //    snapshots the registry, so both see identical state and the
+    //    bytes must match exactly.
     trace::set_enabled(false);
+    let (status, scraped) = http_get(endpoint, "/metrics")?;
+    assert_eq!(status, "HTTP/1.1 200 OK");
     let Response::Metrics { text, report } = service.handle(Request::Metrics) else {
         panic!("metrics scrape failed");
     };
     assert_eq!(report.expose(), text, "one snapshot, two renderings");
-    println!("\n=== metrics exposition ===\n{text}");
+    assert_eq!(
+        scraped,
+        text.clone().into_bytes(),
+        "HTTP scrape and Request::Metrics must expose the same bytes"
+    );
+    let (status, health) = http_get(endpoint, "/healthz")?;
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    println!("\nhealthz: {}", String::from_utf8_lossy(&health));
+    println!("\n=== metrics exposition (HTTP scrape == Request::Metrics) ===\n{text}");
 
-    // 5. The instrumentation actually fired.
+    // 6. The instrumentation actually fired.
     for name in [
         "twm_fleet_requests_total",
         "twm_fleet_batch_devices_total",
@@ -164,6 +239,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{name} = {value}");
     }
     assert!(text.contains("# TYPE twm_fleet_request_latency_ns histogram"));
+    assert!(text.contains("# TYPE twm_build_info gauge"));
 
     let records = ring.take();
     let spans = records

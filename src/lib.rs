@@ -79,7 +79,13 @@
 //!   lookups are bit-identical with observability on or off
 //!   (property-tested in `tests/obs_non_interference.rs`) — and a live
 //!   fleet server is scrapeable over TCP via
-//!   [`Request::Metrics`](fleet::Request::Metrics).
+//!   [`Request::Metrics`](fleet::Request::Metrics) or pulled straight
+//!   over HTTP from the std-only [`MetricsServer`](obs::MetricsServer)
+//!   (`GET /metrics` + `/healthz`, wired in with
+//!   [`FleetConfig::metrics_http`](fleet::FleetConfig)). Tracing can
+//!   also feed the [`ProfilerSink`](obs::ProfilerSink), aggregating
+//!   per-span self-time, and histograms summarise to p50/p90/p99
+//!   [`QuantileSummary`](obs::QuantileSummary)s.
 //!
 //! ## Quickstart
 //!
@@ -391,11 +397,24 @@
 //!
 //! The same snapshot ships through any `FleetClient` — scraping a live
 //! server returns the identical exposition a sidecar would render from
-//! the serde [`MetricsReport`](obs::MetricsReport).
-//! `examples/observability.rs` runs an instrumented two-shard fleet and
-//! prints the full report; `perf_trajectory` A/B-measures the
-//! tracing-enabled overhead on the 64K-word engine-reuse path and CI
-//! gates it below 5% (`BENCH_<pr>.json`, `--assert-obs-overhead`).
+//! the serde [`MetricsReport`](obs::MetricsReport) — and with
+//! [`FleetConfig::metrics_http`](fleet::FleetConfig) set, any HTTP
+//! client (Prometheus, `curl`, a raw `TcpStream`) can pull the same
+//! bytes from `GET /metrics`; the scrape is byte-identical to the
+//! `Request::Metrics` exposition of the same registry state, and
+//! `GET /healthz` answers liveness JSON. For *where the time goes*,
+//! swap the ring for a [`ProfilerSink`](obs::ProfilerSink) — it
+//! aggregates per-span-name call counts and self-time (elapsed minus
+//! child spans) — and summarise any latency histogram with
+//! [`HistogramSnapshot::quantile`](obs::HistogramSnapshot::quantile) or
+//! the p50/p90/p99 carried in
+//! [`FleetStatistics::latency_quantiles`](fleet::FleetStatistics::latency_quantiles).
+//! `examples/observability.rs` runs an instrumented fleet end to end —
+//! live HTTP scrape, profiler, quantiles — and `perf_trajectory`
+//! A/B-measures the tracing-enabled overhead on the 64K-word
+//! engine-reuse path with the profiler as the sink, embedding the
+//! resulting span profile in `BENCH_<pr>.json`; CI gates the overhead
+//! below 5% (`--assert-obs-overhead`).
 
 #![warn(missing_docs)]
 

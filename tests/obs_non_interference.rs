@@ -1,8 +1,10 @@
 //! The observability invariant, property-tested end to end:
 //! instrumentation only observes. Coverage reports, fleet batch
 //! diagnoses and paged-dictionary lookups are **bit-identical** with
-//! tracing enabled (spans/events flowing into a ring sink) and disabled
-//! (the default one-atomic-load gate).
+//! tracing enabled (spans/events flowing into a ring sink or the
+//! sampling profiler) and disabled (the default one-atomic-load gate),
+//! and a live HTTP `/metrics` scrape in the middle of a run perturbs
+//! nothing.
 //!
 //! The trace gate is process-global, so every test in this binary
 //! serialises on one mutex and restores the disabled state before
@@ -19,7 +21,7 @@ use twm::fleet::{
 };
 use twm::march::algorithms::march_c_minus;
 use twm::mem::{BitAddress, Fault, FaultSet, FaultyMemory, MemoryConfig};
-use twm::obs::{trace, RingSink};
+use twm::obs::{trace, ProfileReport, ProfilerSink, RingSink};
 use twm::repair::{localise_trail, DictionaryOptions, SignatureDictionary, TrailLookup};
 use twm::store::{PagedDictionary, StoreOptions};
 
@@ -43,6 +45,19 @@ fn off_then_on<T>(work: impl Fn() -> T) -> (T, T, usize) {
     let on = work();
     trace::set_enabled(false);
     (off, on, ring.take().len())
+}
+
+/// Like [`off_then_on`], but the enabled run traces into a
+/// [`ProfilerSink`]; returns both results plus the profile.
+fn off_then_profiled<T>(work: impl Fn() -> T) -> (T, T, ProfileReport) {
+    trace::set_enabled(false);
+    let off = work();
+    let profiler = Arc::new(ProfilerSink::new());
+    trace::set_sink(profiler.clone());
+    trace::set_enabled(true);
+    let on = work();
+    trace::set_enabled(false);
+    (off, on, profiler.snapshot())
 }
 
 fn engine(words: usize, scheme: SchemeId, seed: u64) -> CoverageEngine {
@@ -136,6 +151,84 @@ proptest! {
         prop_assert!(matches!(&off, Response::Batch(_)));
         prop_assert_eq!(off, on);
         prop_assert!(records > 0, "the enabled run traced at least one span");
+    }
+
+    /// Running a coverage report under the sampling profiler changes
+    /// nothing: the result stays bit-identical, while the profile sees
+    /// real spans with self-time bounded by total time.
+    #[test]
+    fn profiled_coverage_reports_are_identical(
+        words in 6usize..10,
+        seed in any::<u64>(),
+    ) {
+        let _gate = gate();
+        let engine = engine(words, SchemeId::TwmTa, seed);
+        let universe = UniverseBuilder::new(engine.config())
+            .stuck_at()
+            .transition()
+            .build();
+        let (off, on, profile) = off_then_profiled(|| engine.report(&universe).unwrap());
+        prop_assert_eq!(off, on);
+        prop_assert!(!profile.spans.is_empty(), "the profiler saw no spans");
+        prop_assert_eq!(profile.open_parents, 0, "spans leaked pending child time");
+        for span in &profile.spans {
+            prop_assert!(span.calls > 0);
+            prop_assert!(span.self_ns <= span.total_ns, "{}", span.name);
+            prop_assert!(span.min_ns <= span.max_ns, "{}", span.name);
+        }
+    }
+
+    /// A live HTTP `/metrics` scrape against the service's own endpoint,
+    /// fired between batches, perturbs nothing: outcomes match a
+    /// scrape-free service bit for bit.
+    #[test]
+    fn live_http_scrapes_do_not_perturb_diagnosis(
+        seed in any::<u64>(),
+        column in 0usize..4,
+    ) {
+        let config = MemoryConfig::new(6, 4).unwrap();
+        let engine = engine(6, SchemeId::TwmTa, seed);
+        let universe = UniverseBuilder::new(config).stuck_at().transition().build();
+        let dictionary =
+            SignatureDictionary::build(&engine, &universe, &DictionaryOptions::default()).unwrap();
+        let shard = ShardKey::new(config, SchemeId::TwmTa, &march_c_minus());
+        let fault = Fault::stuck_at(BitAddress::new(2, column), true);
+        let reports = vec![DeviceReport {
+            device: "stuck".into(),
+            shard,
+            trail: device_trail(config, seed, &[fault]),
+            spares: 1,
+        }];
+
+        let run = |metrics_http: Option<std::net::SocketAddr>| {
+            let service = FleetService::new(FleetConfig {
+                metrics_http,
+                ..FleetConfig::default()
+            })
+            .unwrap();
+            let registered = service.handle(Request::RegisterDictionary {
+                source: march_c_minus(),
+                dictionary: dictionary.clone(),
+            });
+            assert!(matches!(registered, Response::Registered { .. }));
+            let first = service.handle(Request::DiagnoseBatch { reports: reports.clone() });
+            if let Some(addr) = service.metrics_addr() {
+                // A real scrape over the wire, mid-run.
+                use std::io::{Read, Write};
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut scraped = Vec::new();
+                stream.read_to_end(&mut scraped).unwrap();
+                assert!(scraped.starts_with(b"HTTP/1.1 200 OK\r\n"));
+            }
+            let second = service.handle(Request::DiagnoseBatch { reports: reports.clone() });
+            (first, second)
+        };
+
+        let silent = run(None);
+        let scraped = run(Some("127.0.0.1:0".parse().unwrap()));
+        prop_assert_eq!(silent, scraped);
     }
 
     /// Paged-dictionary lookups served through the instrumented pager
